@@ -1,0 +1,58 @@
+//! Bench: the consistency checker — happened-before construction and
+//! full safety/liveness verification on traces of increasing size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_checker::{check, HbGraph, Trace};
+use prcc_core::{System, Value};
+use prcc_net::DelayModel;
+use prcc_sharegraph::{topology, Placement, RegisterId, ReplicaId};
+
+/// Generates a consistent trace by running the real protocol.
+fn make_trace(writes_per_replica: u64) -> (Trace, Placement) {
+    let g = topology::ring(6);
+    let placement = g.placement().clone();
+    let mut sys = System::builder(g)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .seed(1)
+        .build();
+    for round in 0..writes_per_replica {
+        for i in 0..6u32 {
+            sys.write(ReplicaId::new(i), RegisterId::new(i), Value::from(round));
+        }
+        for _ in 0..4 {
+            sys.step();
+        }
+    }
+    sys.run_to_quiescence();
+    (sys.trace().clone(), placement)
+}
+
+fn bench_hb_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hb_build");
+    for n in [20u64, 80, 320] {
+        let (trace, _) = make_trace(n);
+        g.bench_with_input(
+            BenchmarkId::new("updates", trace.num_updates()),
+            &trace,
+            |b, t| b.iter(|| HbGraph::build(black_box(t))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_full_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consistency_check");
+    g.sample_size(20);
+    for n in [20u64, 80] {
+        let (trace, placement) = make_trace(n);
+        g.bench_with_input(
+            BenchmarkId::new("updates", trace.num_updates()),
+            &(trace, placement),
+            |b, (t, p)| b.iter(|| check(black_box(t), black_box(p))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hb_build, bench_full_check);
+criterion_main!(benches);

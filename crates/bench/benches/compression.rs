@@ -1,0 +1,43 @@
+//! Bench: timestamp compression analysis (Appendix D) — rank and atom
+//! computation over edge register-set matrices.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_sharegraph::{topology, LoopConfig, ReplicaId, TimestampGraphs};
+use prcc_timestamp::compress_replica;
+use prcc_timestamp::compress::{atoms, rank};
+use prcc_sharegraph::RegSet;
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compression_rank");
+    for rows in [4usize, 16, 64] {
+        // Overlapping register sets: row k covers registers k..k+8.
+        let mat: Vec<RegSet> = (0..rows)
+            .map(|k| RegSet::from_indices((k as u32)..(k as u32 + 8)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("rank", rows), &mat, |b, mat| {
+            b.iter(|| rank(black_box(mat)))
+        });
+        g.bench_with_input(BenchmarkId::new("atoms", rows), &mat, |b, mat| {
+            b.iter(|| atoms(black_box(mat)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_replica_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress_replica");
+    let clique = topology::clique_full(8, 16);
+    let graphs = TimestampGraphs::build(&clique, LoopConfig::EXHAUSTIVE);
+    g.bench_function("clique8x16", |b| {
+        b.iter(|| compress_replica(black_box(&clique), graphs.of(ReplicaId::new(0))))
+    });
+    let geo = topology::geo_placement(6, 4, 2, 0);
+    let geo_graphs = TimestampGraphs::build(&geo, LoopConfig::EXHAUSTIVE);
+    g.bench_function("geo6", |b| {
+        b.iter(|| compress_replica(black_box(&geo), geo_graphs.of(ReplicaId::new(0))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank, bench_replica_compression);
+criterion_main!(benches);

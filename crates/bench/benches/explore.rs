@@ -1,0 +1,50 @@
+//! Bench: the interleaving explorer — state-space size and throughput of
+//! exhaustive verification as the scenario grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_core::Scenario;
+use prcc_sharegraph::{topology, RegisterId, ReplicaId};
+
+fn chain_scenario(n: usize) -> Scenario {
+    let g = topology::ring(n);
+    let mut s = Scenario::new(g);
+    let mut prev = None;
+    for i in 1..n as u32 {
+        let idx = match prev {
+            None => s.write(ReplicaId::new(1), RegisterId::new(0)),
+            Some(p) => s.write_after(ReplicaId::new(i), RegisterId::new(i), [p]),
+        };
+        prev = Some(idx);
+    }
+    s
+}
+
+fn concurrent_scenario(writers: usize) -> Scenario {
+    let g = topology::clique_full(writers, 1);
+    let mut s = Scenario::new(g);
+    for i in 0..writers as u32 {
+        s.write(ReplicaId::new(i), RegisterId::new(0));
+    }
+    s
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore");
+    g.sample_size(10);
+    for n in [4usize, 5, 6] {
+        let s = chain_scenario(n);
+        g.bench_with_input(BenchmarkId::new("ring_chain", n), &s, |b, s| {
+            b.iter(|| black_box(s).explore())
+        });
+    }
+    for w in [3usize, 4] {
+        let s = concurrent_scenario(w);
+        g.bench_with_input(BenchmarkId::new("concurrent_clique", w), &s, |b, s| {
+            b.iter(|| black_box(s).explore())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench: pending-buffer drain — the replica's step-4 loop under
+//! out-of-order bursts (ablation: delivery reordering cost).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_core::{CausalityTracker, EdgeTracker, Replica, Value};
+use prcc_sharegraph::{topology, LoopConfig, RegisterId, ReplicaId, TimestampGraphs};
+use prcc_timestamp::TsRegistry;
+use std::sync::Arc;
+
+/// Builds `n` updates from replica 0 to replica 1 and returns them
+/// reversed (worst-case ordering for the scan-based drain).
+fn make_burst(n: usize) -> (Replica, Vec<prcc_core::UpdateMsg>) {
+    let g = topology::path(2);
+    let reg = Arc::new(TsRegistry::new(
+        &g,
+        TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE),
+    ));
+    let r0 = ReplicaId::new(0);
+    let r1 = ReplicaId::new(1);
+    let mut sender = Replica::new(
+        r0,
+        g.placement().registers_of(r0).clone(),
+        Box::new(EdgeTracker::new(reg.clone(), r0)) as Box<dyn CausalityTracker>,
+    );
+    let mut msgs = Vec::with_capacity(n);
+    for i in 0..n {
+        let (m, _) = sender
+            .write(RegisterId::new(0), Value::from(i as u64), vec![r1])
+            .unwrap();
+        msgs.push(m);
+    }
+    msgs.reverse();
+    let receiver = Replica::new(
+        r1,
+        g.placement().registers_of(r1).clone(),
+        Box::new(EdgeTracker::new(reg, r1)) as Box<dyn CausalityTracker>,
+    );
+    (receiver, msgs)
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pending_drain");
+    g.sample_size(20);
+    for n in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("reversed_burst", n), &n, |b, &n| {
+            b.iter_batched(
+                || make_burst(n),
+                |(mut receiver, msgs)| {
+                    let mut applied = 0;
+                    for m in msgs {
+                        applied += receiver.receive(black_box(m)).len();
+                    }
+                    assert_eq!(applied, n);
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_drain);
+criterion_main!(benches);

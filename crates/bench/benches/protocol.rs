@@ -1,0 +1,47 @@
+//! Bench: end-to-end protocol throughput — writes driven through a full
+//! simulated deployment to quiescence, edge-indexed vs vector-clock
+//! (experiment E10's engine under the profiler).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_core::TrackerKind;
+use prcc_net::DelayModel;
+use prcc_sharegraph::{topology, LoopConfig};
+use prcc_sim::{run_scenario, ScenarioConfig, WorkloadConfig};
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_run");
+    g.sample_size(10);
+    let cfg_base = ScenarioConfig {
+        workload: WorkloadConfig {
+            writes_per_replica: 30,
+            zipf_theta: 0.9,
+            seed: 1,
+        },
+        delay: DelayModel::Uniform { min: 1, max: 10 },
+        net_seed: 1,
+        steps_between_ops: 2,
+        dummies: vec![],
+        staleness_probes: 0,
+        tracker: TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE),
+    };
+    for (name, graph) in [
+        ("ring8", topology::ring(8)),
+        ("tree15", topology::binary_tree(15)),
+        ("grid3x3", topology::grid(3, 3)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("edge", name), &graph, |b, graph| {
+            b.iter(|| run_scenario(black_box(graph), &cfg_base))
+        });
+        let vc_cfg = ScenarioConfig {
+            tracker: TrackerKind::VectorClock,
+            ..cfg_base.clone()
+        };
+        g.bench_with_input(BenchmarkId::new("vector_clock", name), &graph, |b, graph| {
+            b.iter(|| run_scenario(black_box(graph), &vc_cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

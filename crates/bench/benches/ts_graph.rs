@@ -1,0 +1,46 @@
+//! Bench: timestamp-graph construction (Definition 5) across topologies,
+//! plus the exhaustive-vs-bounded loop-search ablation called out in
+//! DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_sharegraph::{topology, LoopConfig, TimestampGraphs};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ts_graph_build");
+    g.sample_size(10);
+    for (name, graph) in [
+        ("ring8", topology::ring(8)),
+        ("ring12", topology::ring(12)),
+        ("tree15", topology::binary_tree(15)),
+        ("grid3x3", topology::grid(3, 3)),
+        ("clique6", topology::clique_full(6, 12)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("exhaustive", name), &graph, |b, graph| {
+            b.iter(|| TimestampGraphs::build(black_box(graph), LoopConfig::EXHAUSTIVE))
+        });
+        g.bench_with_input(BenchmarkId::new("bounded4", name), &graph, |b, graph| {
+            b.iter(|| TimestampGraphs::build(black_box(graph), LoopConfig::bounded(4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_loop_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("loop_query");
+    g.sample_size(20);
+    let ring = topology::ring(10);
+    let far = prcc_sharegraph::edge(5, 6);
+    let i = prcc_sharegraph::ReplicaId::new(0);
+    g.bench_function("ring10_far_edge", |b| {
+        b.iter(|| prcc_sharegraph::exists_loop(black_box(&ring), i, far, LoopConfig::EXHAUSTIVE))
+    });
+    let grid = topology::grid(4, 4);
+    let e = prcc_sharegraph::edge(5, 6);
+    g.bench_function("grid4x4_edge", |b| {
+        b.iter(|| prcc_sharegraph::exists_loop(black_box(&grid), i, e, LoopConfig::EXHAUSTIVE))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_loop_query);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! E12 (extension) — metadata density vs sharing density.
+//!
+//! The paper's trade-off in structural form: as replication factor grows,
+//! `(i, e_jk)`-loops proliferate and the necessary edge set `E_i` swells
+//! from the tree floor (`2·N_i`) toward the clique ceiling
+//! (`R·(R−1)` uncompressed). Certificate lengths shrink at the same time —
+//! denser graphs have shorter loops, which also means Appendix D's
+//! truncation saves little there.
+
+use crate::table::Experiment;
+use prcc_sharegraph::analysis::{certificate_length_histogram, edge_stats};
+use prcc_sharegraph::topology::{self, RandomPlacementConfig};
+
+/// Runs E12.
+pub fn run() -> Experiment {
+    let mut e = Experiment::new(
+        "E12",
+        "Metadata density vs sharing density (extension)",
+        "Overhead factor |E_i| / 2N_i rises from 1.0 (trees) toward the \
+         clique ceiling as sharing densifies; loop certificates get \
+         shorter, so truncation saves less on dense graphs.",
+        &[
+            "placement",
+            "avg counters",
+            "max",
+            "far-edge frac",
+            "overhead",
+            "mode cert len",
+        ],
+    );
+
+    let mode_of = |hist: &[usize]| -> String {
+        hist.iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, _)| k.to_string())
+            .unwrap_or_else(|| "-".to_owned())
+    };
+
+    let mut overheads = Vec::new();
+    let mut cases: Vec<(String, prcc_sharegraph::ShareGraph)> = vec![
+        ("tree(15)".into(), topology::binary_tree(15)),
+        ("ring(8)".into(), topology::ring(8)),
+        ("grid(3x3)".into(), topology::grid(3, 3)),
+    ];
+    for rf in [2usize, 3, 5] {
+        cases.push((
+            format!("random rf={rf}"),
+            topology::random_connected_placement(RandomPlacementConfig {
+                replicas: 8,
+                registers: 16,
+                replication_factor: rf,
+                seed: rf as u64,
+            }),
+        ));
+    }
+    cases.push(("clique(6)".into(), topology::clique_full(6, 8)));
+
+    for (name, g) in &cases {
+        let s = edge_stats(g);
+        let hist = certificate_length_histogram(g);
+        e.row([
+            name.clone(),
+            format!("{:.1}", s.avg_counters),
+            s.max_counters.to_string(),
+            format!("{:.2}", s.far_edge_fraction),
+            format!("{:.2}", s.overhead_factor),
+            mode_of(&hist),
+        ]);
+        overheads.push((name.clone(), s.overhead_factor));
+    }
+
+    let tree_oh = overheads[0].1;
+    let clique_oh = overheads.last().unwrap().1;
+    e.check(
+        (tree_oh - 1.0).abs() < 1e-9,
+        "tree: overhead factor exactly 1.0 (only incident edges)",
+    );
+    e.check(
+        clique_oh > 2.0,
+        "clique: overhead well above the tree floor",
+    );
+    // Random placements: rf=5 at least as dense as rf=2.
+    let rf2 = overheads.iter().find(|(n, _)| n == "random rf=2").unwrap().1;
+    let rf5 = overheads.iter().find(|(n, _)| n == "random rf=5").unwrap().1;
+    e.check(
+        rf5 >= rf2,
+        "denser random sharing ⇒ overhead factor does not decrease",
+    );
+    // Certificates: ring's are the full cycle, clique's are triangles.
+    let ring_hist = certificate_length_histogram(&topology::ring(8));
+    let clique_hist = certificate_length_histogram(&topology::clique_full(6, 8));
+    e.check(
+        ring_hist[8] > 0 && ring_hist[3..8].iter().all(|&c| c == 0),
+        "ring(8): every certificate is the full 8-cycle",
+    );
+    e.check(
+        clique_hist[3] > 0 && clique_hist[4..].iter().sum::<usize>() == 0,
+        "clique: every certificate is a triangle",
+    );
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e12_matches_expectations() {
+        let e = super::run();
+        assert!(e.verdict, "{e}");
+    }
+}

@@ -1,0 +1,81 @@
+//! E1 — timestamp-graph edge sets on the paper's worked examples
+//! (Figures 3 and 5, Definitions 4–5).
+
+use crate::table::Experiment;
+use prcc_sharegraph::{edge, paper_examples, LoopConfig, ReplicaId, TimestampGraphs};
+
+/// Runs E1.
+pub fn run() -> Experiment {
+    let mut e = Experiment::new(
+        "E1",
+        "Timestamp graphs on the paper's examples (Figs 3, 5)",
+        "Figure 5b: replica 1 tracks e_43 but not e_34, e_32 but not e_23; \
+         a path share graph (Fig 3) induces no far edges at all.",
+        &["graph", "replica", "|E_i|", "tracked far edges"],
+    );
+
+    // Figure 3: the path-shaped example.
+    let g3 = paper_examples::figure3();
+    let graphs3 = TimestampGraphs::build(&g3, LoopConfig::EXHAUSTIVE);
+    for tg in graphs3.iter() {
+        let far: Vec<String> = tg
+            .edges()
+            .iter()
+            .filter(|ed| !ed.touches(tg.replica()))
+            .map(|ed| ed.to_string())
+            .collect();
+        e.row([
+            "fig3".to_owned(),
+            format!("{}", tg.replica()),
+            tg.len().to_string(),
+            if far.is_empty() {
+                "-".to_owned()
+            } else {
+                far.join(" ")
+            },
+        ]);
+    }
+    let no_far_edges = graphs3
+        .iter()
+        .all(|tg| tg.edges().iter().all(|ed| ed.touches(tg.replica())));
+    e.check(no_far_edges, "Fig 3 (a path): only incident edges tracked");
+
+    // Figure 5: the worked example.
+    let g5 = paper_examples::figure5();
+    let graphs5 = TimestampGraphs::build(&g5, LoopConfig::EXHAUSTIVE);
+    for tg in graphs5.iter() {
+        let far: Vec<String> = tg
+            .edges()
+            .iter()
+            .filter(|ed| !ed.touches(tg.replica()))
+            .map(|ed| ed.to_string())
+            .collect();
+        e.row([
+            "fig5".to_owned(),
+            format!("{}", tg.replica()),
+            tg.len().to_string(),
+            if far.is_empty() {
+                "-".to_owned()
+            } else {
+                far.join(" ")
+            },
+        ]);
+    }
+    let g1 = graphs5.of(ReplicaId::new(0));
+    e.check(g1.contains(edge(3, 2)), "e_43 ∈ G_1 (paper: (1,2,3,4) is a (1,e_43)-loop)");
+    e.check(!g1.contains(edge(2, 3)), "e_34 ∉ G_1 (paper: (1,4,3,2) is not a (1,e_34)-loop)");
+    e.check(g1.contains(edge(2, 1)), "e_32 ∈ G_1");
+    e.check(!g1.contains(edge(1, 2)), "e_23 ∉ G_1");
+    e.note("Directionality: timestamp edges are not necessarily bidirectional.");
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e1_matches_paper() {
+        let e = super::run();
+        assert!(e.verdict, "{e}");
+        assert_eq!(e.rows.len(), 8);
+    }
+}

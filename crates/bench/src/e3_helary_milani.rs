@@ -1,0 +1,213 @@
+//! E3 — the Hélary–Milani correction (Section 3.2, Appendix A).
+//!
+//! * Figure 8a: the loop is a *minimal x-hoop* under the original
+//!   Definition 18, so HM would force replica `i` to track `x` — yet no
+//!   `(i, e)-loop` exists and a full simulated run without that tracking
+//!   stays consistent (**over-tracking**).
+//! * Figure 8b: the loop is *not* minimal under the modified
+//!   Definition 20, so modified-HM says `i` may ignore `x` — yet Theorem 8
+//!   requires `e_kj ∈ E_i`, and dropping it produces a safety violation
+//!   (**under-tracking**).
+
+use crate::table::Experiment;
+use prcc_core::{System, TrackerKind, Value};
+use prcc_net::DelayModel;
+use prcc_sharegraph::hoops::{Hoop, HoopVariant};
+use prcc_sharegraph::paper_examples::{ce_regs, figure8a, figure8b, CE};
+use prcc_sharegraph::{exists_loop, EdgeId, LoopConfig, RegisterId};
+
+/// The adversarial run on Figure 8b: hold `k → j` on an `x`-write, thread
+/// the dependency around the 7-cycle through `i`, deliver the cycle's last
+/// hop to `j` first. Returns (safety violations, liveness violations).
+fn fig8b_adversarial(drop_ekj_at_i: bool) -> (usize, usize) {
+    let g = figure8b();
+    // Unique cycle-edge register ids from the constructor:
+    // x=0 (j,k), y=1 (b1,b2,a1), 3 (j,b1), 4 (b2,i), 5 (i,a1), 6 (a2,k),
+    // 7 (a1,a2).
+    let mut b = System::builder(g)
+        .delay(DelayModel::Fixed(1))
+        .seed(0);
+    if drop_ekj_at_i {
+        b = b.drop_edge(CE.i, EdgeId::new(CE.k, CE.j));
+    }
+    let mut sys = b.build();
+    sys.hold_link(CE.k, CE.j);
+    sys.write(CE.k, ce_regs::X, Value::from(1u64)); // u0, held toward j
+    sys.write(CE.k, RegisterId::new(6), Value::from(2u64)); // k → a2
+    sys.run_to_quiescence();
+    sys.write(CE.a2, RegisterId::new(7), Value::from(3u64)); // a2 → a1
+    sys.run_to_quiescence();
+    sys.write(CE.a1, RegisterId::new(5), Value::from(4u64)); // a1 → i
+    sys.run_to_quiescence();
+    sys.write(CE.i, RegisterId::new(4), Value::from(5u64)); // i → b2
+    sys.run_to_quiescence();
+    sys.write(CE.b2, ce_regs::Y, Value::from(6u64)); // b2 → b1 (and a1)
+    sys.run_to_quiescence();
+    sys.write(CE.b1, RegisterId::new(3), Value::from(7u64)); // b1 → j
+    sys.run_to_quiescence();
+    sys.release_link(CE.k, CE.j);
+    sys.run_to_quiescence();
+    let rep = sys.check();
+    (
+        rep.safety_violations().count(),
+        rep.liveness_violations().count(),
+    )
+}
+
+/// Runs E3.
+pub fn run() -> Experiment {
+    let mut e = Experiment::new(
+        "E3",
+        "Correction to Hélary–Milani minimal hoops (Figs 8a, 8b)",
+        "Original Def. 18 over-tracks (Fig 8a: minimal hoop but no loop); \
+         modified Def. 20 under-tracks (Fig 8b: no minimal hoop but \
+         Theorem 8 requires e_kj, and dropping it breaks safety).",
+        &["figure", "criterion", "says i tracks x?", "loop machinery", "simulated outcome"],
+    );
+
+    // --- Figure 8a ---
+    let g8a = figure8a();
+    let hoop_a = Hoop {
+        register: ce_regs::X,
+        path: vec![CE.j, CE.b1, CE.b2, CE.i, CE.a1, CE.a2, CE.k],
+    };
+    let hm_orig_says_track = hoop_a.is_minimal(&g8a, HoopVariant::Original);
+    let loop_jk = exists_loop(&g8a, CE.i, EdgeId::new(CE.j, CE.k), LoopConfig::EXHAUSTIVE);
+    let loop_kj = exists_loop(&g8a, CE.i, EdgeId::new(CE.k, CE.j), LoopConfig::EXHAUSTIVE);
+
+    // Simulate Figure 8a with the exact algorithm (which does NOT track x
+    // at i) under an adversarial-style workload: writes on every register
+    // at every holder, multiple rounds, wide delays.
+    let mut consistent_8a = true;
+    for seed in 0..5 {
+        let mut sys = System::builder(g8a.clone())
+            .tracker(TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE))
+            .delay(DelayModel::Uniform { min: 1, max: 50 })
+            .seed(seed)
+            .build();
+        for round in 0..3u64 {
+            for reg in 0..g8a.placement().num_registers() as u32 {
+                for &h in g8a.placement().holders(RegisterId::new(reg)) {
+                    sys.write(h, RegisterId::new(reg), Value::from(round));
+                }
+                for _ in 0..3 {
+                    sys.step();
+                }
+            }
+        }
+        sys.run_to_quiescence();
+        consistent_8a &= sys.check().is_consistent() && sys.stuck_pending() == 0;
+    }
+    e.row([
+        "8a",
+        "HM original (Def 18)",
+        if hm_orig_says_track { "yes" } else { "no" },
+        "no (i,e_jk)/(i,e_kj)-loop",
+        if consistent_8a {
+            "consistent WITHOUT tracking x"
+        } else {
+            "inconsistent"
+        },
+    ]);
+    e.check(hm_orig_says_track, "Fig 8a loop is a minimal x-hoop per Def 18");
+    e.check(!loop_jk && !loop_kj, "no (i, e_jk)- or (i, e_kj)-loop exists");
+    e.check(
+        consistent_8a,
+        "simulation: i never tracks x, yet every run is causally consistent ⇒ Def 18 over-tracks",
+    );
+
+    // --- Figure 8b ---
+    let g8b = figure8b();
+    let hoop_b = Hoop {
+        register: ce_regs::X,
+        path: vec![CE.j, CE.b1, CE.b2, CE.i, CE.a1, CE.a2, CE.k],
+    };
+    let hm_mod_says_track = hoop_b.is_minimal(&g8b, HoopVariant::Modified);
+    let loop_kj_b = exists_loop(&g8b, CE.i, EdgeId::new(CE.k, CE.j), LoopConfig::EXHAUSTIVE);
+    let (safety_full, live_full) = fig8b_adversarial(false);
+    let (safety_drop, _live_drop) = fig8b_adversarial(true);
+    e.row([
+        "8b",
+        "HM modified (Def 20)",
+        if hm_mod_says_track { "yes" } else { "no" },
+        "(i,e_kj)-loop exists",
+        if safety_drop > 0 {
+            "dropping e_kj ⇒ safety violation"
+        } else {
+            "no violation"
+        },
+    ]);
+    e.check(!hm_mod_says_track, "Fig 8b hoop is NOT minimal per Def 20 (y held by 3 hoop replicas)");
+    e.check(loop_kj_b, "but Theorem 8 requires e_kj ∈ E_i");
+    e.check(
+        safety_full + live_full == 0,
+        "exact algorithm survives the adversarial execution",
+    );
+    e.check(
+        safety_drop > 0,
+        "dropping e_kj at i ⇒ safety violation ⇒ Def 20 under-tracks",
+    );
+
+    // Quantify HM over-tracking on random placements: for each replica i
+    // and register x it does not store, compare "HM (Def 18) requires i to
+    // transmit info about x" against "some tracked far edge of i carries
+    // x" (the loop-based requirement).
+    use prcc_sharegraph::hoops::helary_milani_tracked_registers;
+    use prcc_sharegraph::topology::{random_connected_placement, RandomPlacementConfig};
+    use prcc_sharegraph::{LoopConfig as LC, TimestampGraphs};
+    let mut hm_total = 0usize;
+    let mut ours_total = 0usize;
+    let mut hm_only = 0usize;
+    for seed in 0..4 {
+        let g = random_connected_placement(RandomPlacementConfig {
+            replicas: 6,
+            registers: 6,
+            replication_factor: 2,
+            seed,
+        });
+        let graphs = TimestampGraphs::build(&g, LC::EXHAUSTIVE);
+        for i in g.replicas() {
+            let hm = helary_milani_tracked_registers(&g, i, HoopVariant::Original, 8);
+            let tg = graphs.of(i);
+            for xr in 0..g.placement().num_registers() as u32 {
+                let reg = RegisterId::new(xr);
+                if g.placement().stores(i, reg) {
+                    continue;
+                }
+                let hm_says = hm.contains(reg);
+                let ours_says = tg
+                    .edges()
+                    .iter()
+                    .any(|ed| !ed.touches(i) && g.edge_registers(*ed).contains(reg));
+                hm_total += usize::from(hm_says);
+                ours_total += usize::from(ours_says);
+                hm_only += usize::from(hm_says && !ours_says);
+            }
+        }
+    }
+    e.row([
+        "random×4".to_owned(),
+        "aggregate (replica, register) pairs".to_owned(),
+        format!("HM: {hm_total}"),
+        format!("loops: {ours_total}"),
+        format!("{hm_only} pairs over-tracked by HM"),
+    ]);
+    e.check(
+        hm_total >= ours_total,
+        "HM's original condition requires at least as much tracking as Theorem 8",
+    );
+    e.note(format!(
+        "Across 4 random placements HM requires {hm_total} foreign-register \
+         trackings vs {ours_total} by the loop condition ({hm_only} saved)."
+    ));
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e3_matches_paper() {
+        let e = super::run();
+        assert!(e.verdict, "{e}");
+    }
+}

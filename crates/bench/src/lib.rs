@@ -1,0 +1,58 @@
+//! Experiment harness for the PRCC reproduction: one module per
+//! experiment (see `DESIGN.md` for the per-experiment index), a shared
+//! table type, and the `report` binary that regenerates every table.
+
+#![warn(missing_docs)]
+
+pub mod e10_head_to_head;
+pub mod e11_exhaustive;
+pub mod e12_density;
+pub mod e1_structure;
+pub mod e2_oblivious;
+pub mod e3_helary_milani;
+pub mod e4_sizes;
+pub mod e5_compression;
+pub mod e6_dummies;
+pub mod e7_ring_breaking;
+pub mod e8_truncation;
+pub mod e9_client_server;
+pub mod table;
+
+pub use table::Experiment;
+
+/// Runs every experiment in order.
+pub fn run_all() -> Vec<Experiment> {
+    vec![
+        e1_structure::run(),
+        e2_oblivious::run(),
+        e3_helary_milani::run(),
+        e4_sizes::run(),
+        e5_compression::run(),
+        e6_dummies::run(),
+        e7_ring_breaking::run(),
+        e8_truncation::run(),
+        e9_client_server::run(),
+        e10_head_to_head::run(),
+        e11_exhaustive::run(),
+        e12_density::run(),
+    ]
+}
+
+/// Runs one experiment by id (`"e1"`–`"e12"`, case-insensitive).
+pub fn run_one(id: &str) -> Option<Experiment> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Some(e1_structure::run()),
+        "e2" => Some(e2_oblivious::run()),
+        "e3" => Some(e3_helary_milani::run()),
+        "e4" => Some(e4_sizes::run()),
+        "e5" => Some(e5_compression::run()),
+        "e6" => Some(e6_dummies::run()),
+        "e7" => Some(e7_ring_breaking::run()),
+        "e8" => Some(e8_truncation::run()),
+        "e9" => Some(e9_client_server::run()),
+        "e10" => Some(e10_head_to_head::run()),
+        "e11" => Some(e11_exhaustive::run()),
+        "e12" => Some(e12_density::run()),
+        _ => None,
+    }
+}

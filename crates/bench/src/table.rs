@@ -1,0 +1,148 @@
+//! Plain-text experiment tables, printable and JSON-serializable.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One experiment's output: a titled table plus free-form notes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Experiment {
+    /// Short id, e.g. `"E4"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper claims / what shape to expect.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Observations appended below the table.
+    pub notes: Vec<String>,
+    /// Whether the measured shape matches the paper's claim.
+    pub verdict: bool,
+}
+
+impl Experiment {
+    /// Starts an experiment table.
+    pub fn new(
+        id: &str,
+        title: &str,
+        claim: &str,
+        headers: &[&str],
+    ) -> Self {
+        Experiment {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            claim: claim.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            verdict: true,
+        }
+    }
+
+    /// Appends one row (stringifies each cell).
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends an observation note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Records a claim-check: all must hold for the verdict to stay true.
+    pub fn check(&mut self, ok: bool, what: impl Into<String>) {
+        let what = what.into();
+        if ok {
+            self.notes.push(format!("✔ {what}"));
+        } else {
+            self.notes.push(format!("✘ FAILED: {what}"));
+            self.verdict = false;
+        }
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        writeln!(f, "claim: {}", self.claim)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:width$} |", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  {n}")?;
+        }
+        writeln!(
+            f,
+            "verdict: {}",
+            if self.verdict { "MATCHES PAPER" } else { "MISMATCH" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let mut e = Experiment::new("E0", "demo", "demo claim", &["a", "b"]);
+        e.row(["x", "y"]);
+        e.row([1.to_string(), 2.to_string()]);
+        e.note("note");
+        e.check(true, "good");
+        let s = e.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("| x"));
+        assert!(s.contains("✔ good"));
+        assert!(s.contains("MATCHES PAPER"));
+        assert!(e.verdict);
+    }
+
+    #[test]
+    fn failed_check_flips_verdict() {
+        let mut e = Experiment::new("E0", "demo", "c", &["a"]);
+        e.check(false, "bad");
+        assert!(!e.verdict);
+        assert!(e.to_string().contains("MISMATCH"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut e = Experiment::new("E0", "demo", "c", &["a", "b"]);
+        e.row(["only-one"]);
+    }
+
+    #[test]
+    fn json_serializable() {
+        let mut e = Experiment::new("E1", "t", "c", &["h"]);
+        e.row(["v"]);
+        let js = serde_json::to_string(&e).unwrap();
+        assert!(js.contains("\"id\":\"E1\""));
+    }
+}

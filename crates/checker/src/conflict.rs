@@ -1,0 +1,333 @@
+//! The conflict relation on causal pasts — Definition 13 of the paper.
+//!
+//! Two causal pasts `S₁`, `S₂` of replica `i` *conflict* when any
+//! algorithm satisfying Constraint 1 (timestamps are a function of the
+//! causal past) must assign them different timestamps (Lemma 14). The
+//! chromatic number of the conflict graph then lower-bounds the timestamp
+//! space size (Theorem 15).
+//!
+//! This module implements the relation exactly, for the small instances
+//! used in experiment E4 and in tests; loop quantification is exhaustive
+//! (exponential worst case, like the definition itself).
+
+use crate::trace::UpdateId;
+use prcc_sharegraph::{EdgeId, RegisterId, ReplicaId, ShareGraph};
+use std::collections::BTreeSet;
+
+/// A causal past: a set of updates, each with the register it wrote.
+/// (Definition 6 represents a past as a set of updates; registers are the
+/// only metadata the conflict relation needs.)
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CausalPast {
+    updates: BTreeSet<(UpdateId, RegisterId)>,
+}
+
+impl CausalPast {
+    /// An empty causal past.
+    pub fn new() -> Self {
+        CausalPast::default()
+    }
+
+    /// Adds an update.
+    pub fn insert(&mut self, u: UpdateId, register: RegisterId) {
+        self.updates.insert((u, register));
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The restriction `S|_e` (for `e = e_jk`): updates issued by `j` on
+    /// registers in `X_jk`. Empty when `e ∉ E`.
+    pub fn restrict(&self, g: &ShareGraph, e: EdgeId) -> BTreeSet<UpdateId> {
+        let regs = g.edge_registers(e);
+        self.updates
+            .iter()
+            .filter(|(u, x)| u.issuer == e.from && regs.contains(*x))
+            .map(|(u, _)| *u)
+            .collect()
+    }
+}
+
+impl FromIterator<(UpdateId, RegisterId)> for CausalPast {
+    fn from_iter<I: IntoIterator<Item = (UpdateId, RegisterId)>>(iter: I) -> Self {
+        CausalPast {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// True iff causal pasts `s1`, `s2` of replica `i` conflict
+/// (Definition 13). The relation as stated is asymmetric in the strict
+/// subset (`S₁|_e ⊂ S₂|_e`); use [`conflicts_symmetric`] for the
+/// either-order variant.
+pub fn conflicts(g: &ShareGraph, i: ReplicaId, s1: &CausalPast, s2: &CausalPast) -> bool {
+    // Condition 1: non-empty restrictions on every edge, for both pasts.
+    for &e in g.edges() {
+        if s1.restrict(g, e).is_empty() || s2.restrict(g, e).is_empty() {
+            return false;
+        }
+    }
+    // Condition 2a: a strict subset on an edge incident at i.
+    for &e in g.edges() {
+        if (e.from == i || e.to == i) && strict_subset(&s1.restrict(g, e), &s2.restrict(g, e)) {
+            return true;
+        }
+    }
+    // Condition 2b: a qualifying simple loop (i, l_1..l_s, r_1..r_t, i)
+    // with e = e_{r_1 l_s}.
+    let mut cycle = vec![i];
+    let mut used = vec![false; g.num_replicas()];
+    used[i.index()] = true;
+    cycle_dfs(g, i, i, &mut cycle, &mut used, &mut |cycle| {
+        // cycle = [i, v_1, ..., v_m]; split after position s.
+        let m = cycle.len() - 1;
+        for s in 1..m {
+            let ls = cycle[s];
+            let r1 = cycle[s + 1];
+            let e = EdgeId::new(r1, ls);
+            if !g.has_edge(e) {
+                continue;
+            }
+            if !strict_subset(&s1.restrict(g, e), &s2.restrict(g, e)) {
+                continue;
+            }
+            if loop_conditions_hold(g, i, &cycle[1..=s], &cycle[s + 1..], e, s1, s2) {
+                return true;
+            }
+        }
+        false
+    })
+}
+
+/// Symmetric conflict: [`conflicts`] in either argument order.
+pub fn conflicts_symmetric(
+    g: &ShareGraph,
+    i: ReplicaId,
+    s1: &CausalPast,
+    s2: &CausalPast,
+) -> bool {
+    conflicts(g, i, s1, s2) || conflicts(g, i, s2, s1)
+}
+
+fn strict_subset(a: &BTreeSet<UpdateId>, b: &BTreeSet<UpdateId>) -> bool {
+    a.len() < b.len() && a.is_subset(b)
+}
+
+/// Checks conditions (1) and (2) of Definition 13's loop clause for the
+/// loop `(i, ls_path…, rs_path…, i)` with distinguished edge `e`.
+///
+/// `ls` is `l_1..l_s` (so `ls.last() = l_s`), `rs` is `r_1..r_t`.
+fn loop_conditions_hold(
+    g: &ShareGraph,
+    i: ReplicaId,
+    ls: &[ReplicaId],
+    rs: &[ReplicaId],
+    e: EdgeId,
+    s1: &CausalPast,
+    s2: &CausalPast,
+) -> bool {
+    // (1): S1|_{e_{r_p l_q}} = S2|_{e_{r_p l_q}} for all p, q (r_{t+1}=i),
+    // except e itself.
+    let mut rs_ext: Vec<ReplicaId> = rs.to_vec();
+    rs_ext.push(i);
+    for &rp in &rs_ext {
+        for &lq in ls {
+            let edge = EdgeId::new(rp, lq);
+            if edge == e || !g.has_edge(edge) {
+                continue;
+            }
+            if s1.restrict(g, edge) != s2.restrict(g, edge) {
+                return false;
+            }
+        }
+    }
+    // (2): S_x|_{e_{r_p r_{p+1}}} − ∪_q S_x|_{e_{r_p l_q}} ≠ ∅ for
+    // 1 ≤ p ≤ t, x = 1, 2.
+    for p in 0..rs.len() {
+        let rp = rs[p];
+        let rp1 = rs_ext[p + 1];
+        let chain = EdgeId::new(rp, rp1);
+        if !g.has_edge(chain) {
+            return false;
+        }
+        for s in [s1, s2] {
+            let mut on_chain = s.restrict(g, chain);
+            for &lq in ls {
+                let lateral = EdgeId::new(rp, lq);
+                if g.has_edge(lateral) {
+                    for u in s.restrict(g, lateral) {
+                        on_chain.remove(&u);
+                    }
+                }
+            }
+            if on_chain.is_empty() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Enumerates simple cycles `(i, v_1, …, v_m, i)` with `m ≥ 2`, invoking
+/// `f` on each; stops early if `f` returns true.
+fn cycle_dfs(
+    g: &ShareGraph,
+    anchor: ReplicaId,
+    v: ReplicaId,
+    cycle: &mut Vec<ReplicaId>,
+    used: &mut Vec<bool>,
+    f: &mut impl FnMut(&[ReplicaId]) -> bool,
+) -> bool {
+    for &w in g.neighbors(v) {
+        if w == anchor {
+            if cycle.len() >= 3 && f(cycle) {
+                return true;
+            }
+            continue;
+        }
+        if used[w.index()] {
+            continue;
+        }
+        used[w.index()] = true;
+        cycle.push(w);
+        let found = cycle_dfs(g, anchor, w, cycle, used, f);
+        cycle.pop();
+        used[w.index()] = false;
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::topology;
+
+    fn u(issuer: u32, seq: u64) -> UpdateId {
+        UpdateId {
+            issuer: ReplicaId::new(issuer),
+            seq,
+        }
+    }
+    fn x(i: u32) -> RegisterId {
+        RegisterId::new(i)
+    }
+
+    /// A past with one update per directed edge of `g` (register = the
+    /// first register of that edge), issued by the edge source.
+    fn base_past(g: &ShareGraph) -> CausalPast {
+        let mut past = CausalPast::new();
+        for (n, &e) in g.edges().iter().enumerate() {
+            let reg = g.edge_registers(e).first().expect("non-empty edge");
+            past.insert(u(e.from.raw(), 1000 + n as u64), reg);
+        }
+        past
+    }
+
+    #[test]
+    fn restriction_filters_by_issuer_and_register() {
+        let g = topology::ring(3);
+        let mut past = CausalPast::new();
+        past.insert(u(0, 0), x(0)); // reg 0 shared r0-r1
+        past.insert(u(0, 1), x(2)); // reg 2 shared r2-r0
+        past.insert(u(1, 0), x(0));
+        let e01 = EdgeId::new(ReplicaId::new(0), ReplicaId::new(1));
+        let r = past.restrict(&g, e01);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&u(0, 0)));
+        // Missing edge ⇒ empty restriction.
+        assert!(past
+            .restrict(&g, EdgeId::new(ReplicaId::new(0), ReplicaId::new(2)))
+            .len() == 1); // 0-2 IS an edge in ring(3) (reg 2)
+    }
+
+    #[test]
+    fn empty_restriction_blocks_conflict() {
+        // Condition 1 requires non-empty restriction on EVERY edge.
+        let g = topology::ring(3);
+        let i = ReplicaId::new(0);
+        let s1 = CausalPast::new();
+        let s2 = base_past(&g);
+        assert!(!conflicts(&g, i, &s1, &s2));
+    }
+
+    #[test]
+    fn incident_edge_subset_conflicts() {
+        let g = topology::ring(3);
+        let i = ReplicaId::new(0);
+        let s1 = base_past(&g);
+        let mut s2 = s1.clone();
+        // Add one more update by r1 on the register shared with r0
+        // (edge e_10, incident at i).
+        s2.insert(u(1, 5), x(0));
+        assert!(conflicts(&g, i, &s1, &s2));
+        assert!(!conflicts(&g, i, &s2, &s1)); // asymmetric as defined
+        assert!(conflicts_symmetric(&g, i, &s2, &s1));
+    }
+
+    #[test]
+    fn identical_pasts_do_not_conflict() {
+        let g = topology::ring(4);
+        let i = ReplicaId::new(0);
+        let s = base_past(&g);
+        assert!(!conflicts(&g, i, &s, &s));
+    }
+
+    #[test]
+    fn far_edge_subset_conflicts_via_loop() {
+        // Ring of 4: i = r0, far edge e_21 (r2 -> r1). The loop
+        // (0, 1=l_1? ...) — Definition 13's loop (i, l_1..l_s, r_1..r_t):
+        // l side from i: 0-1 (l_1 = 1 = l_s), r side: r_1 = 2, r_2 = 3,
+        // back to 0. e = e_{r_1 l_s} = e_21. Chain edges e_23, e_30 carry
+        // updates not on lateral edges (base_past has one per edge).
+        let g = topology::ring(4);
+        let i = ReplicaId::new(0);
+        let s1 = base_past(&g);
+        let mut s2 = s1.clone();
+        s2.insert(u(2, 9), x(1)); // reg 1 shared r1-r2: on edge e_21
+        assert!(conflicts(&g, i, &s1, &s2));
+    }
+
+    #[test]
+    fn difference_on_non_loop_edge_does_not_conflict() {
+        // Path graph (no loops): a far-edge difference can't conflict.
+        let g = topology::path(4);
+        let i = ReplicaId::new(0);
+        let s1 = base_past(&g);
+        let mut s2 = s1.clone();
+        s2.insert(u(2, 9), x(2)); // reg 2 shared r2-r3: far edge e_23
+        assert!(conflicts(&g, i, &s1, &s2) == false);
+        // But a difference on r0's own edge does conflict.
+        let mut s3 = s1.clone();
+        s3.insert(u(1, 9), x(0)); // e_10, incident at r0
+        assert!(conflicts(&g, i, &s1, &s3));
+    }
+
+    #[test]
+    fn condition2_loop_requires_chain_witnesses() {
+        // Ring of 4 but the chain updates are removed from s1/s2 on edge
+        // e_30: restriction empty ⇒ condition 1 already fails.
+        let g = topology::ring(4);
+        let i = ReplicaId::new(0);
+        let mut s1 = CausalPast::new();
+        for (n, &e) in g.edges().iter().enumerate() {
+            if e == EdgeId::new(ReplicaId::new(3), ReplicaId::new(0)) {
+                continue;
+            }
+            let reg = g.edge_registers(e).first().unwrap();
+            s1.insert(u(e.from.raw(), 2000 + n as u64), reg);
+        }
+        let mut s2 = s1.clone();
+        s2.insert(u(2, 9), x(1));
+        assert!(!conflicts(&g, i, &s1, &s2));
+    }
+}

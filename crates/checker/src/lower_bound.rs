@@ -1,0 +1,225 @@
+//! Timestamp-space lower bounds via conflict cliques (Theorem 15).
+//!
+//! The paper bounds the timestamp space size `σ^i(m)` of replica `i` by
+//! the chromatic number of the conflict graph over causal pasts. A
+//! *clique* in that graph — a set of pairwise-conflicting pasts — gives a
+//! computable lower bound: `σ^i(m) ≥ clique size`.
+//!
+//! The clique the paper's closed forms rely on is the *prefix family*:
+//! fix one update-prefix per directed edge, and take every combination of
+//! per-edge counts in `1..=m` over the edges of `E_i`. Any two distinct
+//! count vectors differ on some edge where one restriction is a strict
+//! prefix (subset) of the other, and all other conditions of
+//! Definition 13 hold, so the family is a clique of size `m^{|E_i|}` —
+//! exactly `|E_i| · log₂ m` bits.
+//!
+//! Verifying all `m^{|E_i|} choose 2` pairs is exponential, so
+//! [`verify_prefix_clique`] checks the construction on a caller-bounded
+//! subset of edges and [`prefix_clique_bits`] reports the analytical size
+//! of the full family.
+
+use crate::conflict::{conflicts_symmetric, CausalPast};
+use crate::trace::UpdateId;
+use prcc_sharegraph::{EdgeId, ReplicaId, ShareGraph, TimestampGraph};
+
+/// Builds the prefix causal past with `counts[k]` updates on
+/// `varied[k]` and exactly one update on every other share-graph edge.
+///
+/// Updates are identified as `(issuer = e.from, seq = edge_index * M +
+/// n)`, so the same (edge, n) pair denotes the same update across pasts —
+/// prefix semantics.
+fn prefix_past(g: &ShareGraph, varied: &[EdgeId], counts: &[usize]) -> CausalPast {
+    const STRIDE: u64 = 1 << 20;
+    let mut past = CausalPast::new();
+    for (idx, &e) in g.edges().iter().enumerate() {
+        let count = varied
+            .iter()
+            .position(|&v| v == e)
+            .map(|k| counts[k])
+            .unwrap_or(1);
+        let reg = g
+            .edge_registers(e)
+            .first()
+            .expect("share edges are non-empty");
+        for n in 0..count {
+            past.insert(
+                UpdateId {
+                    issuer: e.from,
+                    seq: idx as u64 * STRIDE + n as u64,
+                },
+                reg,
+            );
+        }
+    }
+    past
+}
+
+/// Enumerates all count vectors in `1..=m` over `varied.len()` positions.
+fn count_vectors(k: usize, m: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![vec![]];
+    for _ in 0..k {
+        out = out
+            .into_iter()
+            .flat_map(|v| {
+                (1..=m).map(move |c| {
+                    let mut w = v.clone();
+                    w.push(c);
+                    w
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+/// Verifies that the prefix family over `varied ⊆ E_i` with counts
+/// `1..=m` is a clique of the conflict graph: every pair of distinct
+/// pasts conflicts. Returns the clique size.
+///
+/// # Panics
+///
+/// Panics if a `varied` edge is not in `tg` or not a share edge.
+pub fn verify_prefix_clique(
+    g: &ShareGraph,
+    tg: &TimestampGraph,
+    varied: &[EdgeId],
+    m: usize,
+) -> Result<usize, String> {
+    for &e in varied {
+        assert!(tg.contains(e), "{e} not tracked by {}", tg.replica());
+        assert!(g.has_edge(e), "{e} not a share edge");
+    }
+    let i: ReplicaId = tg.replica();
+    let vectors = count_vectors(varied.len(), m);
+    let pasts: Vec<CausalPast> = vectors
+        .iter()
+        .map(|v| prefix_past(g, varied, v))
+        .collect();
+    for a in 0..pasts.len() {
+        for b in (a + 1)..pasts.len() {
+            if !conflicts_symmetric(g, i, &pasts[a], &pasts[b]) {
+                return Err(format!(
+                    "pasts {:?} and {:?} do not conflict at {i}",
+                    vectors[a], vectors[b]
+                ));
+            }
+        }
+    }
+    Ok(pasts.len())
+}
+
+/// The size in bits implied by the full prefix clique over all of `E_i`:
+/// `|E_i| · log₂ m` (σ^i(m) ≥ m^{|E_i|}).
+pub fn prefix_clique_bits(tg: &TimestampGraph, m: u64) -> f64 {
+    tg.len() as f64 * (m as f64).log2()
+}
+
+/// Greedy coloring of an explicit conflict graph over `pasts` — an upper
+/// bound on its chromatic number, useful for sanity-checking small
+/// instances (χ ≥ clique, χ ≤ greedy).
+pub fn greedy_coloring(g: &ShareGraph, i: ReplicaId, pasts: &[CausalPast]) -> usize {
+    let n = pasts.len();
+    let mut colors = vec![usize::MAX; n];
+    let mut max_color = 0;
+    for v in 0..n {
+        let mut used = vec![false; max_color + 1];
+        for u in 0..v {
+            if colors[u] != usize::MAX
+                && conflicts_symmetric(g, i, &pasts[u], &pasts[v])
+                && colors[u] <= max_color
+            {
+                used[colors[u]] = true;
+            }
+        }
+        let c = (0..).find(|&c| c >= used.len() || !used[c]).unwrap();
+        colors[v] = c;
+        max_color = max_color.max(c + 1);
+    }
+    max_color
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::{topology, LoopConfig};
+
+    #[test]
+    fn tree_prefix_clique_verifies() {
+        // Star hub: vary both directions of one spoke, m = 3 ⇒ 9-clique.
+        let g = topology::star(3);
+        let hub = ReplicaId::new(0);
+        let tg = TimestampGraph::build(&g, hub, LoopConfig::EXHAUSTIVE);
+        let varied = [
+            EdgeId::new(hub, ReplicaId::new(1)),
+            EdgeId::new(ReplicaId::new(1), hub),
+        ];
+        let size = verify_prefix_clique(&g, &tg, &varied, 3).expect("clique");
+        assert_eq!(size, 9);
+    }
+
+    #[test]
+    fn ring_far_edge_participates_in_clique() {
+        // Ring of 4: vary a far edge of replica 0 together with an
+        // incident one; the far edge conflicts via the Definition 13 loop
+        // clause.
+        let g = topology::ring(4);
+        let i = ReplicaId::new(0);
+        let tg = TimestampGraph::build(&g, i, LoopConfig::EXHAUSTIVE);
+        let varied = [
+            EdgeId::new(ReplicaId::new(1), i),
+            EdgeId::new(ReplicaId::new(2), ReplicaId::new(1)),
+        ];
+        let size = verify_prefix_clique(&g, &tg, &varied, 2).expect("clique");
+        assert_eq!(size, 4);
+    }
+
+    #[test]
+    fn clique_bits_match_paper_closed_forms() {
+        // Cycle of n: |E_i| = 2n ⇒ 2n·log m bits — Section 4's implication.
+        let g = topology::ring(5);
+        let tg = TimestampGraph::build(&g, ReplicaId::new(0), LoopConfig::EXHAUSTIVE);
+        let bits = prefix_clique_bits(&tg, 8);
+        assert!((bits - 2.0 * 5.0 * 3.0).abs() < 1e-9);
+        // Tree: 2·N_i·log m.
+        let s = topology::star(4);
+        let hub = TimestampGraph::build(&s, ReplicaId::new(0), LoopConfig::EXHAUSTIVE);
+        assert!((prefix_clique_bits(&hub, 16) - 2.0 * 4.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untracked_edge_vectors_do_not_all_conflict() {
+        // A path has no far-edge loops: varying a far (untracked) edge
+        // must NOT produce a clique — the conflict relation refuses.
+        let g = topology::path(4);
+        let i = ReplicaId::new(0);
+        let far = EdgeId::new(ReplicaId::new(2), ReplicaId::new(3));
+        let p1 = prefix_past(&g, &[far], &[1]);
+        let p2 = prefix_past(&g, &[far], &[2]);
+        assert!(!conflicts_symmetric(&g, i, &p1, &p2));
+    }
+
+    #[test]
+    fn greedy_coloring_bounds() {
+        // On a verified clique, greedy coloring needs exactly clique-size
+        // colors.
+        let g = topology::star(2);
+        let hub = ReplicaId::new(0);
+        let varied = [EdgeId::new(hub, ReplicaId::new(1))];
+        let pasts: Vec<CausalPast> = (1..=3)
+            .map(|c| prefix_past(&g, &varied, &[c]))
+            .collect();
+        assert_eq!(greedy_coloring(&g, hub, &pasts), 3);
+        // Non-conflicting pasts (identical) need 1 color.
+        let same = vec![pasts[0].clone(), pasts[0].clone()];
+        assert_eq!(greedy_coloring(&g, hub, &same), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not tracked")]
+    fn varied_edges_must_be_tracked() {
+        let g = topology::path(3);
+        let tg = TimestampGraph::build(&g, ReplicaId::new(0), LoopConfig::EXHAUSTIVE);
+        let far = EdgeId::new(ReplicaId::new(1), ReplicaId::new(2));
+        let _ = verify_prefix_clique(&g, &tg, &[far], 2);
+    }
+}

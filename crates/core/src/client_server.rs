@@ -1,0 +1,649 @@
+//! The client-server architecture (Section 6, Appendix E).
+//!
+//! Servers are replicas; clients hold their own timestamps `μ_c` and may
+//! read/write at any replica of their set `R_c`, propagating causal
+//! dependencies *between* replicas that share no registers. Requests are
+//! gated by predicates `J₁`/`J₂` (the server buffers a request until its
+//! own timestamp dominates the client's incoming-edge view); server-to-
+//! server updates use the peer predicate `J₃` over the **augmented**
+//! timestamp graphs.
+
+use crate::message::{Metadata, UpdateMsg};
+use crate::value::Value;
+use prcc_checker::{check, CheckReport, Trace, UpdateId};
+use prcc_net::{DelayModel, SimNetwork};
+use prcc_sharegraph::{
+    AugmentedShareGraph, ClientId, RegisterId, ReplicaId,
+};
+use prcc_timestamp::{ClientTimestamp, ClientTsRegistry, EdgeTimestamp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a client request, in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// A client operation awaiting service.
+#[derive(Debug, Clone)]
+enum Request {
+    Read {
+        id: RequestId,
+        client: ClientId,
+        replica: ReplicaId,
+        register: RegisterId,
+        mu: ClientTimestamp,
+    },
+    Write {
+        id: RequestId,
+        client: ClientId,
+        replica: ReplicaId,
+        register: RegisterId,
+        value: Value,
+        mu: ClientTimestamp,
+    },
+}
+
+impl Request {
+    fn replica(&self) -> ReplicaId {
+        match self {
+            Request::Read { replica, .. } | Request::Write { replica, .. } => *replica,
+        }
+    }
+    fn mu(&self) -> &ClientTimestamp {
+        match self {
+            Request::Read { mu, .. } | Request::Write { mu, .. } => mu,
+        }
+    }
+}
+
+struct Server {
+    tau: EdgeTimestamp,
+    store: HashMap<RegisterId, Value>,
+    /// Which update produced the current value of each register.
+    store_src: HashMap<RegisterId, UpdateId>,
+    pending_updates: Vec<UpdateMsg>,
+    next_seq: u64,
+}
+
+/// One served client operation, in service order — the raw material for
+/// session-guarantee checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// The client's write was served, producing `update` on `register`.
+    Write {
+        /// The client.
+        client: ClientId,
+        /// The produced update.
+        update: UpdateId,
+        /// The written register.
+        register: RegisterId,
+    },
+    /// The client's read was served, observing the value produced by
+    /// `observed` (or nothing, for an unwritten register).
+    Read {
+        /// The client.
+        client: ClientId,
+        /// The read register.
+        register: RegisterId,
+        /// The update whose value was observed.
+        observed: Option<UpdateId>,
+    },
+}
+
+/// A complete simulated client-server deployment.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_core::client_server::ClientServerSystem;
+/// use prcc_core::Value;
+/// use prcc_net::DelayModel;
+/// use prcc_sharegraph::{topology, AugmentedShareGraph, ClientAssignment, ClientId, ReplicaId, RegisterId};
+///
+/// let g = topology::path(3);
+/// let mut clients = ClientAssignment::new(3);
+/// clients.assign(ClientId::new(0), [ReplicaId::new(0), ReplicaId::new(2)]);
+/// let aug = AugmentedShareGraph::new(g, clients);
+/// let mut sys = ClientServerSystem::new(aug, DelayModel::Fixed(1), 0);
+///
+/// let w = sys.write(ClientId::new(0), ReplicaId::new(0), RegisterId::new(0), Value::from(1u64));
+/// sys.run_to_quiescence();
+/// assert!(sys.is_write_done(w));
+/// ```
+pub struct ClientServerSystem {
+    aug: AugmentedShareGraph,
+    reg: ClientTsRegistry,
+    servers: Vec<Server>,
+    clients: HashMap<ClientId, ClientTimestamp>,
+    requests: Vec<Request>,
+    net: SimNetwork<UpdateMsg>,
+    trace: Trace,
+    next_request: u64,
+    read_results: HashMap<RequestId, Option<Value>>,
+    done_writes: HashMap<RequestId, UpdateId>,
+    sessions: Vec<SessionEvent>,
+}
+
+impl fmt::Debug for ClientServerSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientServerSystem")
+            .field("servers", &self.servers.len())
+            .field("clients", &self.clients.len())
+            .field("queued_requests", &self.requests.len())
+            .finish()
+    }
+}
+
+impl ClientServerSystem {
+    /// Creates the system over an augmented share graph.
+    pub fn new(aug: AugmentedShareGraph, delay: DelayModel, seed: u64) -> Self {
+        let reg = ClientTsRegistry::new(&aug);
+        let servers = aug
+            .base()
+            .replicas()
+            .map(|i| Server {
+                tau: reg.peer().new_timestamp(i),
+                store: HashMap::new(),
+                store_src: HashMap::new(),
+                pending_updates: Vec::new(),
+                next_seq: 0,
+            })
+            .collect();
+        let clients = aug
+            .clients()
+            .clients()
+            .iter()
+            .map(|(c, _)| (*c, reg.new_client_timestamp(*c)))
+            .collect();
+        ClientServerSystem {
+            aug,
+            reg,
+            servers,
+            clients,
+            requests: Vec::new(),
+            net: SimNetwork::new(delay, seed),
+            trace: Trace::new(),
+            next_request: 0,
+            read_results: HashMap::new(),
+            done_writes: HashMap::new(),
+            sessions: Vec::new(),
+        }
+    }
+
+    fn fresh_request(&mut self) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    /// Submits a write of `v` to register `x` at replica `i` on behalf of
+    /// client `c`. Served once predicate `J₂` admits it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ∉ R_c` or `x ∉ X_i`.
+    pub fn write(&mut self, c: ClientId, i: ReplicaId, x: RegisterId, v: Value) -> RequestId {
+        self.validate(c, i, x);
+        let id = self.fresh_request();
+        let mu = self.clients[&c].clone();
+        self.requests.push(Request::Write {
+            id,
+            client: c,
+            replica: i,
+            register: x,
+            value: v,
+            mu,
+        });
+        self.pump();
+        id
+    }
+
+    /// Submits a read of register `x` at replica `i` for client `c`.
+    /// Served once predicate `J₁` admits it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ∉ R_c` or `x ∉ X_i`.
+    pub fn read(&mut self, c: ClientId, i: ReplicaId, x: RegisterId) -> RequestId {
+        self.validate(c, i, x);
+        let id = self.fresh_request();
+        let mu = self.clients[&c].clone();
+        self.requests.push(Request::Read {
+            id,
+            client: c,
+            replica: i,
+            register: x,
+            mu,
+        });
+        self.pump();
+        id
+    }
+
+    fn validate(&self, c: ClientId, i: ReplicaId, x: RegisterId) {
+        let rs = self
+            .aug
+            .clients()
+            .replicas_of(c)
+            .unwrap_or_else(|| panic!("unknown client {c}"));
+        assert!(rs.contains(&i), "replica {i} not in R_{c}");
+        assert!(
+            self.aug.base().placement().stores(i, x),
+            "register {x} not stored at {i}"
+        );
+    }
+
+    /// Serves every currently admissible request (predicates `J₁`/`J₂`).
+    fn pump(&mut self) {
+        loop {
+            let Some(pos) = self.requests.iter().position(|rq| {
+                let srv = &self.servers[rq.replica().index()];
+                self.reg.request_ready(&srv.tau, rq.mu())
+            }) else {
+                return;
+            };
+            let rq = self.requests.remove(pos);
+            match rq {
+                Request::Read {
+                    id,
+                    client,
+                    replica,
+                    register,
+                    ..
+                } => {
+                    let tau = self.servers[replica.index()].tau.clone();
+                    let value = self.servers[replica.index()].store.get(&register).cloned();
+                    let observed = self.servers[replica.index()]
+                        .store_src
+                        .get(&register)
+                        .copied();
+                    self.read_results.insert(id, value);
+                    self.sessions.push(SessionEvent::Read {
+                        client,
+                        register,
+                        observed,
+                    });
+                    let mu = self.clients.get_mut(&client).expect("known client");
+                    self.reg.merge_into_client(mu, &tau);
+                }
+                Request::Write {
+                    id,
+                    client,
+                    replica,
+                    register,
+                    value,
+                    mu,
+                } => {
+                    // advance(i, τ, c, μ, x, v) then distribute.
+                    let g = self.aug.base().clone();
+                    {
+                        let srv = &mut self.servers[replica.index()];
+                        self.reg.advance_for_client(&mut srv.tau, &mu, register, &g);
+                        srv.store.insert(register, value.clone());
+                    }
+                    let (seq, tau) = {
+                        let srv = &mut self.servers[replica.index()];
+                        let s = srv.next_seq;
+                        srv.next_seq += 1;
+                        (s, srv.tau.clone())
+                    };
+                    let uid = UpdateId {
+                        issuer: replica,
+                        seq,
+                    };
+                    self.servers[replica.index()].store_src.insert(register, uid);
+                    self.sessions.push(SessionEvent::Write {
+                        client,
+                        update: uid,
+                        register,
+                    });
+                    self.trace.record_issue_with_id(uid, register);
+                    let msg = UpdateMsg {
+                        issuer: replica,
+                        seq,
+                        register,
+                        value: Some(value),
+                        meta: Metadata::Edge(tau.clone()),
+                        transit: None,
+                    };
+                    for &h in g.placement().holders(register) {
+                        if h != replica {
+                            self.net.send(replica, h, msg.clone());
+                        }
+                    }
+                    // Reply to client: merge τ_i into μ_c.
+                    let mu_c = self.clients.get_mut(&client).expect("known client");
+                    self.reg.merge_into_client(mu_c, &tau);
+                    self.done_writes.insert(id, uid);
+                }
+            }
+        }
+    }
+
+    /// Delivers one server-to-server update (predicate `J₃` + `merge₃`),
+    /// then serves any unblocked requests. Returns `false` at quiescence.
+    pub fn step(&mut self) -> bool {
+        let Some((_, env)) = self.net.next_delivery() else {
+            return false;
+        };
+        let dst = env.dst;
+        self.servers[dst.index()].pending_updates.push(env.msg);
+        // Drain pending per J₃.
+        loop {
+            let srv = &self.servers[dst.index()];
+            let Some(pos) = srv.pending_updates.iter().position(|m| match &m.meta {
+                Metadata::Edge(t) => self.reg.peer().ready(&srv.tau, m.issuer, t),
+                _ => false,
+            }) else {
+                break;
+            };
+            let m = self.servers[dst.index()].pending_updates.remove(pos);
+            if let Metadata::Edge(t) = &m.meta {
+                let srv = &mut self.servers[dst.index()];
+                self.reg.peer().merge(&mut srv.tau, m.issuer, t);
+                if let Some(v) = &m.value {
+                    srv.store.insert(m.register, v.clone());
+                    srv.store_src.insert(
+                        m.register,
+                        UpdateId {
+                            issuer: m.issuer,
+                            seq: m.seq,
+                        },
+                    );
+                }
+            }
+            self.trace.record_apply(
+                UpdateId {
+                    issuer: m.issuer,
+                    seq: m.seq,
+                },
+                dst,
+            );
+        }
+        self.pump();
+        true
+    }
+
+    /// Runs until no update is in flight and no request can be served.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+        self.pump();
+    }
+
+    /// The result of a completed read (`None` value = register unwritten).
+    /// Returns `None` if the read hasn't been served yet.
+    pub fn read_result(&self, id: RequestId) -> Option<&Option<Value>> {
+        self.read_results.get(&id)
+    }
+
+    /// True if the write request has been served.
+    pub fn is_write_done(&self, id: RequestId) -> bool {
+        self.done_writes.contains_key(&id)
+    }
+
+    /// Requests still blocked on their predicate.
+    pub fn blocked_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Checks replica-centric causal consistency of the server-side trace.
+    pub fn check(&self) -> CheckReport {
+        check(&self.trace, self.aug.base().placement())
+    }
+
+    /// The client's current timestamp (for size accounting).
+    pub fn client_timestamp(&self, c: ClientId) -> &ClientTimestamp {
+        &self.clients[&c]
+    }
+
+    /// The execution trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The served session events, in service order.
+    pub fn session_events(&self) -> &[SessionEvent] {
+        &self.sessions
+    }
+
+    /// Checks the client-visible session guarantees implied by causal
+    /// consistency:
+    ///
+    /// * **read-your-writes** — after a client's write `u` to `x`, a read
+    ///   of `x` by the same client never observes a value whose update
+    ///   strictly precedes `u` (`observed ↪ u` is forbidden; concurrent
+    ///   overwrites are allowed);
+    /// * **monotonic reads** — successive reads of `x` by one client never
+    ///   go causally backwards (`v₂ ↪ v₁` is forbidden).
+    ///
+    /// Returns human-readable descriptions of any violations.
+    pub fn check_sessions(&self) -> Vec<String> {
+        use prcc_checker::HbGraph;
+        let hb = HbGraph::build(&self.trace);
+        let mut violations = Vec::new();
+        // Per (client, register): last write update; last read observation.
+        let mut last_write: HashMap<(ClientId, RegisterId), UpdateId> = HashMap::new();
+        let mut last_read: HashMap<(ClientId, RegisterId), UpdateId> = HashMap::new();
+        for ev in &self.sessions {
+            match *ev {
+                SessionEvent::Write {
+                    client,
+                    update,
+                    register,
+                } => {
+                    last_write.insert((client, register), update);
+                    // The client's own write is also its latest observation.
+                    last_read.insert((client, register), update);
+                }
+                SessionEvent::Read {
+                    client,
+                    register,
+                    observed,
+                } => {
+                    let Some(obs) = observed else {
+                        if last_write.contains_key(&(client, register)) {
+                            violations.push(format!(
+                                "read-your-writes: {client} read unwritten {register} after writing it"
+                            ));
+                        }
+                        continue;
+                    };
+                    if let Some(&w) = last_write.get(&(client, register)) {
+                        if hb.happened_before(obs, w) {
+                            violations.push(format!(
+                                "read-your-writes: {client} observed {obs} older than own write {w} on {register}"
+                            ));
+                        }
+                    }
+                    if let Some(&prev) = last_read.get(&(client, register)) {
+                        if hb.happened_before(obs, prev) {
+                            violations.push(format!(
+                                "monotonic-reads: {client} observed {obs} older than previous {prev} on {register}"
+                            ));
+                        }
+                    }
+                    last_read.insert((client, register), obs);
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::{topology, ClientAssignment};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> RegisterId {
+        RegisterId::new(i)
+    }
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    /// Path 0-1-2 with one client on {0, 2} and one on {1}.
+    fn spanning_setup() -> ClientServerSystem {
+        let g = topology::path(3);
+        let mut clients = ClientAssignment::new(3);
+        clients.assign(c(0), [r(0), r(2)]);
+        clients.assign(c(1), [r(1)]);
+        let aug = AugmentedShareGraph::new(g, clients);
+        ClientServerSystem::new(aug, DelayModel::Fixed(2), 0)
+    }
+
+    #[test]
+    fn simple_write_then_read() {
+        let mut sys = spanning_setup();
+        let w = sys.write(c(0), r(0), x(0), Value::from(5u64));
+        assert!(sys.is_write_done(w)); // no dependencies: served at once
+        sys.run_to_quiescence();
+        // Register 0 is shared by replicas 0, 1; client 1 reads at 1.
+        let rd = sys.read(c(1), r(1), x(0));
+        sys.run_to_quiescence();
+        assert_eq!(sys.read_result(rd), Some(&Some(Value::from(5u64))));
+        assert!(sys.check().is_consistent());
+    }
+
+    #[test]
+    fn client_session_dependency_across_replicas() {
+        // Client 0 writes at replica 0, then reads its own write's effects
+        // at replica 2 through a fresh write — session causality carried by
+        // μ even though replicas 0 and 2 share nothing.
+        let mut sys = spanning_setup();
+        let w0 = sys.write(c(0), r(0), x(0), Value::from(1u64));
+        assert!(sys.is_write_done(w0));
+        let w2 = sys.write(c(0), r(2), x(1), Value::from(2u64));
+        assert!(sys.is_write_done(w2));
+        sys.run_to_quiescence();
+        let rep = sys.check();
+        assert!(rep.is_consistent(), "{:?}", rep.violations);
+        assert_eq!(sys.blocked_requests(), 0);
+    }
+
+    #[test]
+    fn read_blocks_until_dependency_arrives() {
+        // Client 0 writes x0 at replica 0 (shared 0-1). Client 0's μ now
+        // records the update. A read by client 0 at replica 2 is fine
+        // (x1 etc.), but a *read at replica 0* by a client whose μ is
+        // ahead of a fresh server blocks. Construct: client 0 writes at
+        // r0, then reads at r2 — r2 has no dependency on r0's edges...
+        // Use the spanning client to carry a dependency: client 0 writes
+        // x0 at r0, then writes x1 at r2. Client 1 cannot exist at r2, so
+        // instead verify r2's τ inherited e_01's counter via μ.
+        let mut sys = spanning_setup();
+        sys.write(c(0), r(0), x(0), Value::from(1u64));
+        sys.write(c(0), r(2), x(1), Value::from(2u64));
+        sys.run_to_quiescence();
+        // Replica 1 stores both registers 0 and 1. It must apply the x1
+        // write after the x0 write (safety) — checker verifies.
+        let rep = sys.check();
+        assert!(rep.is_consistent(), "{:?}", rep.violations);
+        assert_eq!(
+            sys.servers[1].store.get(&x(0)),
+            Some(&Value::from(1u64))
+        );
+        assert_eq!(
+            sys.servers[1].store.get(&x(1)),
+            Some(&Value::from(2u64))
+        );
+    }
+
+    #[test]
+    fn monotonic_session_reads() {
+        // After reading a value at one replica, the client's μ prevents
+        // reading an older state at another replica storing the register.
+        // Registers on a path are pairwise-shared, so use replica 1's
+        // registers: x0 (0-1) and x1 (1-2).
+        let mut sys = spanning_setup();
+        sys.write(c(1), r(1), x(0), Value::from(10u64));
+        sys.write(c(1), r(1), x(1), Value::from(11u64));
+        sys.run_to_quiescence();
+        // Client 0 reads x1 at replica 2 — sees 11 (delivered) and μ
+        // captures replica 2's view.
+        let rd = sys.read(c(0), r(2), x(1));
+        sys.run_to_quiescence();
+        assert_eq!(sys.read_result(rd), Some(&Some(Value::from(11u64))));
+        // A subsequent read at replica 0 of x0: replica 0 has already
+        // applied the x0 update (or the request waits until it does).
+        let rd2 = sys.read(c(0), r(0), x(0));
+        sys.run_to_quiescence();
+        assert_eq!(sys.read_result(rd2), Some(&Some(Value::from(10u64))));
+        assert!(sys.check().is_consistent());
+    }
+
+    #[test]
+    fn session_guarantees_hold() {
+        let mut sys = spanning_setup();
+        sys.write(c(0), r(0), x(0), Value::from(1u64));
+        sys.run_to_quiescence();
+        // Read back own write through the other holder's replica… client 0
+        // can only access r0 and r2; x0 lives at r0, r1. Read at r0.
+        let rd = sys.read(c(0), r(0), x(0));
+        sys.run_to_quiescence();
+        assert_eq!(sys.read_result(rd), Some(&Some(Value::from(1u64))));
+        assert!(sys.check_sessions().is_empty());
+        assert!(sys.session_events().len() >= 2);
+    }
+
+    #[test]
+    fn session_checker_catches_fabricated_violation() {
+        // Sanity: the checker logic flags an artificial stale observation.
+        let mut sys = spanning_setup();
+        sys.write(c(1), r(1), x(0), Value::from(1u64)); // u1
+        sys.write(c(1), r(1), x(0), Value::from(2u64)); // u2 (u1 ↪ u2)
+        sys.run_to_quiescence();
+        // Fabricate: pretend client 1 then read the OLD update.
+        let u1 = match sys.session_events()[0].clone() {
+            SessionEvent::Write { update, .. } => update,
+            other => panic!("unexpected {other:?}"),
+        };
+        sys.sessions.push(SessionEvent::Read {
+            client: c(1),
+            register: x(0),
+            observed: Some(u1),
+        });
+        let v = sys.check_sessions();
+        assert_eq!(v.len(), 2, "{v:?}"); // RYW + monotonic both fire
+        assert!(v[0].contains("read-your-writes"));
+    }
+
+    #[test]
+    fn cross_replica_session_reads_stay_monotonic() {
+        let mut sys = spanning_setup();
+        for round in 0..4u64 {
+            sys.write(c(1), r(1), x(0), Value::from(round));
+            sys.write(c(1), r(1), x(1), Value::from(round));
+            sys.run_to_quiescence();
+            let _ = sys.read(c(0), r(0), x(0));
+            let _ = sys.read(c(0), r(2), x(1));
+            sys.run_to_quiescence();
+        }
+        assert!(sys.check_sessions().is_empty());
+        assert!(sys.check().is_consistent());
+    }
+
+    #[test]
+    fn unserved_read_returns_none() {
+        let mut sys = spanning_setup();
+        let bogus = RequestId(99);
+        assert!(sys.read_result(bogus).is_none());
+        assert!(!sys.is_write_done(bogus));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in R_")]
+    fn client_cannot_access_foreign_replica() {
+        let mut sys = spanning_setup();
+        sys.write(c(1), r(0), x(0), Value::from(0u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "not stored")]
+    fn client_cannot_write_unstored_register() {
+        let mut sys = spanning_setup();
+        sys.write(c(0), r(0), x(1), Value::from(0u64));
+    }
+}

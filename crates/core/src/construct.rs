@@ -1,0 +1,206 @@
+//! Executable proof machinery: the `Propagation` procedure of Appendix C.
+//!
+//! Lemma 14's proof builds executions in which a chosen replica ends up
+//! with a *prescribed* causal past while other replicas see controlled
+//! subsets. The key ingredient is `Propagation(Tree, a, S)`: updates are
+//! issued in post-order of a rooted spanning tree, messages toward
+//! ancestors are delivered immediately, and messages toward everyone else
+//! are held back in their channels.
+//!
+//! [`propagate`] implements exactly that on a live [`System`] using link
+//! holds, and returns the set of updates issued. After it runs:
+//!
+//! * the root has applied (grown its causal past by) every issued update
+//!   on registers it stores;
+//! * replicas outside the issuing subtree have seen nothing;
+//! * releasing the held links later completes delivery without breaking
+//!   consistency (the algorithm under test permitting).
+
+use crate::system::System;
+use crate::value::Value;
+use prcc_checker::UpdateId;
+use prcc_sharegraph::spanning::SpanningTree;
+use prcc_sharegraph::{RegisterId, ReplicaId};
+use std::collections::HashMap;
+
+/// The write plan for one `Propagation` run: registers each replica
+/// issues, in order.
+pub type WritePlan = HashMap<ReplicaId, Vec<RegisterId>>;
+
+/// Runs `Propagation(tree, tree.root(), plan)` on `sys`:
+///
+/// 1. walks the tree in post-order;
+/// 2. each replica holds its links to every non-ancestor before issuing;
+/// 3. issues its planned writes (updates on registers shared with the
+///    parent last, per the paper's ordering);
+/// 4. the network drains so ancestor-bound updates apply.
+///
+/// Held links are left held; call [`release_all`] to complete delivery.
+/// Returns all issued update ids in issue order.
+///
+/// # Panics
+///
+/// Panics if a planned register is not stored at its replica.
+pub fn propagate(sys: &mut System, tree: &SpanningTree, plan: &WritePlan) -> Vec<UpdateId> {
+    let mut issued = Vec::new();
+    let replicas: Vec<ReplicaId> = sys.effective_graph().replicas().collect();
+    for v in tree.post_order() {
+        let Some(regs) = plan.get(&v) else { continue };
+        if regs.is_empty() {
+            continue;
+        }
+        // Hold links from v to every replica that is not an ancestor.
+        for &other in &replicas {
+            if other != v && !tree.is_ancestor_or_self(other, v) {
+                sys.hold_link(v, other);
+            }
+        }
+        // Issue: non-parent registers first, parent-shared last.
+        let parent = tree.parent(v);
+        let (mut non_parent, mut parent_regs): (Vec<RegisterId>, Vec<RegisterId>) = (
+            Vec::new(),
+            Vec::new(),
+        );
+        for &x in regs {
+            let shared_with_parent = parent.is_some_and(|p| {
+                sys.effective_graph()
+                    .placement()
+                    .shared(v, p)
+                    .contains(x)
+            });
+            if shared_with_parent {
+                parent_regs.push(x);
+            } else {
+                non_parent.push(x);
+            }
+        }
+        for x in non_parent.into_iter().chain(parent_regs) {
+            let id = sys.write(v, x, Value::from(issued.len() as u64));
+            issued.push(id);
+        }
+        // Deliver everything currently deliverable (ancestor-bound).
+        sys.run_to_quiescence();
+    }
+    issued
+}
+
+/// Releases every held link of `sys` among `replicas` and drains the
+/// network.
+pub fn release_all(sys: &mut System) {
+    let replicas: Vec<ReplicaId> = sys.effective_graph().replicas().collect();
+    for &a in &replicas {
+        for &b in &replicas {
+            if a != b {
+                sys.release_link(a, b);
+            }
+        }
+    }
+    sys.run_to_quiescence();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+    use prcc_checker::{causal_past, HbGraph};
+    use prcc_net::DelayModel;
+    use prcc_sharegraph::topology;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> RegisterId {
+        RegisterId::new(i)
+    }
+
+    /// On a path 0–1–2–3 rooted at 0: every replica writes its
+    /// parent-shared register; the root's causal past must contain all of
+    /// them, while leaves see nothing extra.
+    #[test]
+    fn root_accumulates_everything() {
+        let g = topology::path(4);
+        let tree = SpanningTree::bfs(&g, r(0));
+        let mut sys = System::builder(g).delay(DelayModel::Fixed(1)).seed(0).build();
+        let mut plan = WritePlan::new();
+        plan.insert(r(1), vec![x(0)]); // shared with parent 0
+        plan.insert(r(2), vec![x(1)]); // shared with parent 1
+        plan.insert(r(3), vec![x(2)]); // shared with parent 2
+        let issued = propagate(&mut sys, &tree, &plan);
+        assert_eq!(issued.len(), 3);
+
+        let hb = HbGraph::build(sys.trace());
+        let root_past = causal_past(sys.trace(), r(0), &hb);
+        for id in &issued {
+            assert!(root_past.contains(id), "{id} missing from root's past");
+        }
+        // r3 (a leaf) saw nothing: its past contains only its own issue.
+        let leaf_past = causal_past(sys.trace(), r(3), &hb);
+        assert_eq!(leaf_past.len(), 1);
+    }
+
+    /// Post-order issuing creates the happened-before chain the paper's
+    /// construction needs: deeper updates precede shallower ones.
+    #[test]
+    fn post_order_creates_hb_chain() {
+        let g = topology::path(3);
+        let tree = SpanningTree::bfs(&g, r(0));
+        let mut sys = System::builder(g).delay(DelayModel::Fixed(1)).seed(1).build();
+        let mut plan = WritePlan::new();
+        plan.insert(r(2), vec![x(1)]);
+        plan.insert(r(1), vec![x(0)]);
+        let issued = propagate(&mut sys, &tree, &plan);
+        let hb = HbGraph::build(sys.trace());
+        // r2's update (issued first, applied at r1) precedes r1's.
+        assert!(hb.happened_before(issued[0], issued[1]));
+    }
+
+    /// Held links keep non-ancestors oblivious; releasing them completes
+    /// delivery consistently.
+    #[test]
+    fn holds_then_release_stays_consistent() {
+        let g = topology::ring(5);
+        let tree = SpanningTree::bfs(&g, r(0));
+        let mut sys = System::builder(g.clone())
+            .delay(DelayModel::Fixed(1))
+            .seed(2)
+            .build();
+        let mut plan = WritePlan::new();
+        for i in 1..5u32 {
+            // Every replica writes every register it stores.
+            plan.insert(r(i), g.placement().registers_of(r(i)).iter().collect());
+        }
+        let issued = propagate(&mut sys, &tree, &plan);
+        assert!(!issued.is_empty());
+        // Mid-construction the system is NOT settled (held messages).
+        assert!(!sys.is_settled());
+        release_all(&mut sys);
+        assert!(sys.is_settled());
+        let rep = sys.check();
+        assert!(rep.is_consistent(), "{:?}", rep.violations);
+    }
+
+    /// The root's past grows by exactly the subtree contributions on
+    /// registers it stores — the quantitative claim of Appendix C's
+    /// Claim 1, specialized to the root.
+    #[test]
+    fn growth_matches_claim1() {
+        let g = topology::binary_tree(7);
+        let tree = SpanningTree::bfs(&g, r(0));
+        let mut sys = System::builder(g.clone())
+            .delay(DelayModel::Fixed(1))
+            .seed(3)
+            .build();
+        let mut plan = WritePlan::new();
+        // Children of root (1, 2) write their root-shared registers.
+        // binary_tree(7): register 0 shared (0,1), register 1 shared (0,2).
+        plan.insert(r(1), vec![x(0)]);
+        plan.insert(r(2), vec![x(1)]);
+        // Grandchildren write registers shared with their parents.
+        plan.insert(r(3), vec![x(2)]); // (1,3)
+        plan.insert(r(4), vec![x(3)]); // (1,4)
+        let issued = propagate(&mut sys, &tree, &plan);
+        let hb = HbGraph::build(sys.trace());
+        let root_past = causal_past(sys.trace(), r(0), &hb);
+        assert_eq!(root_past.len(), issued.len());
+    }
+}

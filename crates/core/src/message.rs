@@ -1,0 +1,158 @@
+//! Update messages exchanged between replicas.
+
+use crate::value::Value;
+use prcc_sharegraph::{RegisterId, ReplicaId};
+use prcc_timestamp::{EdgeTimestamp, VectorClock};
+use std::fmt;
+
+/// One entry of an explicit dependency list: an update identified by
+/// `(issuer, seq)`, writing `register`. Carrying the register lets a
+/// partial replica decide whether the dependency concerns it at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DepEntry {
+    /// The issuing replica.
+    pub issuer: ReplicaId,
+    /// Issuer-local sequence number.
+    pub seq: u64,
+    /// The register the dependency wrote.
+    pub register: RegisterId,
+}
+
+/// The metadata (timestamp) attached to an update message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metadata {
+    /// Edge-indexed timestamp (Section 3.3 algorithm).
+    Edge(EdgeTimestamp),
+    /// Vector clock (full-replication / dummy-emulation baseline).
+    Vector(VectorClock),
+    /// Explicit full-transitive dependency list — the Full-Track-style
+    /// baseline (Shen et al., cited in the paper's related work). Sorted,
+    /// deduplicated.
+    Deps(Vec<DepEntry>),
+}
+
+impl Metadata {
+    /// Serialized size of the metadata in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Metadata::Edge(t) => t.wire_size_bytes(),
+            Metadata::Vector(v) => v.wire_size_bytes(),
+            // issuer (4) + seq (8) + register (4) per entry.
+            Metadata::Deps(d) => d.len() * 16,
+        }
+    }
+
+    /// Number of counters (or entries) carried.
+    pub fn num_counters(&self) -> usize {
+        match self {
+            Metadata::Edge(t) => t.num_counters(),
+            Metadata::Vector(v) => v.len(),
+            Metadata::Deps(d) => d.len(),
+        }
+    }
+}
+
+/// Piggybacked payload for the routed protocol (Appendix D, "Restricting
+/// inter-replica communication patterns"): a logical write travelling over
+/// virtual-register updates toward its final holder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitInfo {
+    /// The originating update: `(issuer, issuer-local seq)`.
+    pub origin: (ReplicaId, u64),
+    /// The *logical* register being written.
+    pub register: RegisterId,
+    /// The replica that should apply the write on arrival.
+    pub final_dst: ReplicaId,
+    /// The written value.
+    pub value: Value,
+}
+
+/// An `update(i, τ, x, v)` message (step 2(iii) of the prototype), plus a
+/// per-issuer sequence number used only for tracing/debugging — the
+/// protocol itself relies solely on the timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateMsg {
+    /// The issuing replica `i`.
+    pub issuer: ReplicaId,
+    /// Issuer-local sequence number (0-based).
+    pub seq: u64,
+    /// The register written.
+    pub register: RegisterId,
+    /// The new value; `None` for metadata-only deliveries (dummy-register
+    /// recipients, Appendix D).
+    pub value: Option<Value>,
+    /// The issuer's timestamp after `advance`.
+    pub meta: Metadata,
+    /// Routed-protocol piggyback, if any.
+    pub transit: Option<TransitInfo>,
+}
+
+impl UpdateMsg {
+    /// True if this message carries no data payload.
+    pub fn is_metadata_only(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// Total wire size: metadata plus payload plus fixed header (issuer,
+    /// seq, register: 16 bytes), plus any transit piggyback (12-byte
+    /// routing header + value).
+    pub fn size_bytes(&self) -> usize {
+        16 + self.meta.size_bytes()
+            + self.value.as_ref().map_or(0, Value::size_bytes)
+            + self
+                .transit
+                .as_ref()
+                .map_or(0, |t| 12 + t.value.size_bytes())
+    }
+}
+
+impl fmt::Display for UpdateMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "update({}#{}, {}, {})",
+            self.issuer,
+            self.seq,
+            self.register,
+            match &self.value {
+                Some(v) => v.to_string(),
+                None => "<meta>".into(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_sizes() {
+        let vc = VectorClock::new(4);
+        let m = Metadata::Vector(vc);
+        assert_eq!(m.size_bytes(), 32);
+        assert_eq!(m.num_counters(), 4);
+    }
+
+    #[test]
+    fn message_size_accounting() {
+        let msg = UpdateMsg {
+            issuer: ReplicaId::new(0),
+            seq: 0,
+            register: RegisterId::new(1),
+            value: Some(Value::U64(5)),
+            meta: Metadata::Vector(VectorClock::new(2)),
+            transit: None,
+        };
+        assert_eq!(msg.size_bytes(), 16 + 16 + 8);
+        assert!(!msg.is_metadata_only());
+
+        let meta_only = UpdateMsg {
+            value: None,
+            ..msg
+        };
+        assert!(meta_only.is_metadata_only());
+        assert_eq!(meta_only.size_bytes(), 16 + 16);
+        assert!(meta_only.to_string().contains("<meta>"));
+    }
+}

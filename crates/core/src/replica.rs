@@ -1,0 +1,373 @@
+//! The replica state machine — the algorithm prototype of Section 2.1.
+//!
+//! A [`Replica`] owns the local copies of its registers, a pluggable
+//! [`CausalityTracker`], and the `pending` buffer of undeliverable
+//! updates. It is transport-agnostic: `write` returns the update messages
+//! to send, `receive` ingests one and returns every update that became
+//! applicable (step 4 loops until the predicate admits nothing more).
+
+use crate::message::UpdateMsg;
+use crate::tracker::CausalityTracker;
+use crate::value::Value;
+use prcc_sharegraph::{RegisterId, ReplicaId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors returned by replica operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaError {
+    /// The register is not stored at this replica.
+    NotStored {
+        /// The offending register.
+        register: RegisterId,
+        /// This replica.
+        replica: ReplicaId,
+    },
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaError::NotStored { register, replica } => {
+                write!(f, "register {register} is not stored at replica {replica}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+/// An update that was applied during [`Replica::receive`], with the
+/// number of pending-queue passes it waited (0 = applied immediately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Applied {
+    /// The applied update.
+    pub msg: UpdateMsg,
+}
+
+/// The replica prototype: local store + tracker + pending buffer.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_core::{Replica, EdgeTracker, Value};
+/// use prcc_sharegraph::{topology, LoopConfig, TimestampGraphs, ReplicaId, RegisterId};
+/// use prcc_timestamp::TsRegistry;
+/// use std::sync::Arc;
+///
+/// let g = topology::path(2);
+/// let reg = Arc::new(TsRegistry::new(&g, TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE)));
+/// let r0 = ReplicaId::new(0);
+/// let mut replica = Replica::new(
+///     r0,
+///     g.placement().registers_of(r0).clone(),
+///     Box::new(EdgeTracker::new(reg.clone(), r0)),
+/// );
+/// let (msg, recipients) = replica
+///     .write(RegisterId::new(0), Value::from(7u64), vec![ReplicaId::new(1)])
+///     .unwrap();
+/// assert_eq!(recipients, vec![ReplicaId::new(1)]);
+/// assert_eq!(msg.seq, 0);
+/// assert_eq!(replica.read(RegisterId::new(0)), Some(&Value::from(7u64)));
+/// ```
+#[derive(Clone)]
+pub struct Replica {
+    id: ReplicaId,
+    /// Registers actually stored here (data, not dummies).
+    stores: prcc_sharegraph::RegSet,
+    tracker: Box<dyn CausalityTracker>,
+    store: HashMap<RegisterId, Value>,
+    pending: Vec<UpdateMsg>,
+    next_seq: u64,
+    applied_count: u64,
+}
+
+impl fmt::Debug for Replica {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("pending", &self.pending.len())
+            .field("applied", &self.applied_count)
+            .field("tracker", &self.tracker)
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Creates a replica storing `stores`, tracking causality with
+    /// `tracker`.
+    pub fn new(
+        id: ReplicaId,
+        stores: prcc_sharegraph::RegSet,
+        tracker: Box<dyn CausalityTracker>,
+    ) -> Self {
+        Replica {
+            id,
+            stores,
+            tracker,
+            store: HashMap::new(),
+            pending: Vec::new(),
+            next_seq: 0,
+            applied_count: 0,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Step 1: serve a local read.
+    pub fn read(&self, x: RegisterId) -> Option<&Value> {
+        self.store.get(&x)
+    }
+
+    /// True if this replica stores `x` (as data).
+    pub fn stores(&self, x: RegisterId) -> bool {
+        self.stores.contains(x)
+    }
+
+    /// Step 2: serve a local write. Writes the local copy, advances the
+    /// timestamp, and returns the update message to distribute to
+    /// `recipients` (the caller decides who those are — plain holders, or
+    /// holders plus dummy-register subscribers).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NotStored`] if `x ∉ X_i`.
+    pub fn write(
+        &mut self,
+        x: RegisterId,
+        v: Value,
+        recipients: Vec<ReplicaId>,
+    ) -> Result<(UpdateMsg, Vec<ReplicaId>), ReplicaError> {
+        if !self.stores.contains(x) {
+            return Err(ReplicaError::NotStored {
+                register: x,
+                replica: self.id,
+            });
+        }
+        self.store.insert(x, v.clone());
+        let meta = self.tracker.on_local_write(x);
+        let msg = UpdateMsg {
+            issuer: self.id,
+            seq: self.next_seq,
+            register: x,
+            value: Some(v),
+            meta,
+            transit: None,
+        };
+        self.next_seq += 1;
+        Ok((msg, recipients))
+    }
+
+    /// Like [`write`](Self::write) but for issuing a metadata-carrying
+    /// update the replica does not store data for (virtual registers in
+    /// the routed protocol, Appendix D). The register must still be part
+    /// of the tracker's share graph.
+    pub fn issue_virtual(&mut self, x: RegisterId, v: Option<Value>) -> UpdateMsg {
+        let meta = self.tracker.on_local_write(x);
+        let msg = UpdateMsg {
+            issuer: self.id,
+            seq: self.next_seq,
+            register: x,
+            value: v,
+            meta,
+            transit: None,
+        };
+        self.next_seq += 1;
+        msg
+    }
+
+    /// Steps 3–4: ingest one update message, then drain the pending buffer
+    /// until the predicate admits nothing further. Returns all updates
+    /// applied by this call, in application order.
+    pub fn receive(&mut self, msg: UpdateMsg) -> Vec<Applied> {
+        self.pending.push(msg);
+        let mut applied = Vec::new();
+        loop {
+            let Some(pos) = self
+                .pending
+                .iter()
+                .position(|m| self.tracker.ready(m))
+            else {
+                break;
+            };
+            let m = self.pending.swap_remove(pos);
+            self.apply(&m);
+            applied.push(Applied { msg: m });
+        }
+        applied
+    }
+
+    fn apply(&mut self, m: &UpdateMsg) {
+        if let Some(v) = &m.value {
+            if self.stores.contains(m.register) {
+                self.store.insert(m.register, v.clone());
+            }
+        }
+        self.tracker.on_apply(m);
+        self.applied_count += 1;
+    }
+
+    /// Writes `v` into the local copy of `x` without protocol actions —
+    /// used by the routed protocol when a transit payload reaches its
+    /// final holder (the timestamp work happened on the virtual-register
+    /// updates).
+    pub(crate) fn store_local(&mut self, x: RegisterId, v: Value) {
+        self.store.insert(x, v);
+    }
+
+    /// Number of updates applied from remote replicas.
+    pub fn applied_count(&self) -> u64 {
+        self.applied_count
+    }
+
+    /// Updates currently buffered (predicate not yet satisfied).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The pending messages (for diagnostics).
+    pub fn pending(&self) -> &[UpdateMsg] {
+        &self.pending
+    }
+
+    /// The tracker (for size accounting and inspection).
+    pub fn tracker(&self) -> &dyn CausalityTracker {
+        self.tracker.as_ref()
+    }
+
+    /// Current metadata of this replica as attached to a hypothetical next
+    /// message (without advancing) — unavailable generically; use
+    /// [`Self::tracker`] sizes instead. Provided for symmetry in tests.
+    pub fn timestamp_bytes(&self) -> usize {
+        self.tracker.timestamp_bytes()
+    }
+}
+
+/// What a successful write produces: the update message and its
+/// recipients.
+pub type WriteOutput = (UpdateMsg, Vec<ReplicaId>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::EdgeTracker;
+    use prcc_sharegraph::{topology, LoopConfig, RegSet, TimestampGraphs};
+    use prcc_timestamp::TsRegistry;
+    use std::sync::Arc;
+
+    fn pair() -> (Replica, Replica) {
+        let g = topology::path(2);
+        let reg = Arc::new(TsRegistry::new(
+            &g,
+            TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE),
+        ));
+        let mk = |i: u32| {
+            let id = ReplicaId::new(i);
+            Replica::new(
+                id,
+                g.placement().registers_of(id).clone(),
+                Box::new(EdgeTracker::new(reg.clone(), id)) as Box<dyn CausalityTracker>,
+            )
+        };
+        (mk(0), mk(1))
+    }
+
+    #[test]
+    fn write_then_deliver() {
+        let (mut a, mut b) = pair();
+        let (msg, _) = a
+            .write(RegisterId::new(0), Value::from(5u64), vec![b.id()])
+            .unwrap();
+        let applied = b.receive(msg);
+        assert_eq!(applied.len(), 1);
+        assert_eq!(b.read(RegisterId::new(0)), Some(&Value::from(5u64)));
+        assert_eq!(b.applied_count(), 1);
+        assert_eq!(b.pending_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_buffered_then_drained() {
+        let (mut a, mut b) = pair();
+        let (m1, _) = a
+            .write(RegisterId::new(0), Value::from(1u64), vec![b.id()])
+            .unwrap();
+        let (m2, _) = a
+            .write(RegisterId::new(0), Value::from(2u64), vec![b.id()])
+            .unwrap();
+        // Deliver out of order.
+        assert!(b.receive(m2).is_empty());
+        assert_eq!(b.pending_count(), 1);
+        let applied = b.receive(m1);
+        assert_eq!(applied.len(), 2);
+        assert_eq!(applied[0].msg.seq, 0);
+        assert_eq!(applied[1].msg.seq, 1);
+        // Final value is the later write.
+        assert_eq!(b.read(RegisterId::new(0)), Some(&Value::from(2u64)));
+    }
+
+    #[test]
+    fn write_unstored_register_rejected() {
+        let (mut a, _) = pair();
+        let err = a
+            .write(RegisterId::new(9), Value::from(0u64), vec![])
+            .unwrap_err();
+        assert!(matches!(err, ReplicaError::NotStored { .. }));
+        assert!(err.to_string().contains("not stored"));
+    }
+
+    #[test]
+    fn metadata_only_update_skips_store() {
+        let (mut a, mut b) = pair();
+        let (mut msg, _) = a
+            .write(RegisterId::new(0), Value::from(1u64), vec![b.id()])
+            .unwrap();
+        msg.value = None; // simulate a dummy-register delivery
+        let applied = b.receive(msg);
+        assert_eq!(applied.len(), 1);
+        assert_eq!(b.read(RegisterId::new(0)), None);
+    }
+
+    #[test]
+    fn value_for_unstored_register_not_written() {
+        let (mut a, _) = pair();
+        // Build a replica that doesn't store register 0.
+        let g = topology::path(2);
+        let reg = Arc::new(TsRegistry::new(
+            &g,
+            TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE),
+        ));
+        let mut stranger = Replica::new(
+            ReplicaId::new(1),
+            RegSet::new(), // stores nothing
+            Box::new(EdgeTracker::new(reg, ReplicaId::new(1))),
+        );
+        let (msg, _) = a
+            .write(RegisterId::new(0), Value::from(1u64), vec![])
+            .unwrap();
+        stranger.receive(msg);
+        assert_eq!(stranger.read(RegisterId::new(0)), None);
+    }
+
+    #[test]
+    fn seq_numbers_increase() {
+        let (mut a, _) = pair();
+        for i in 0..3 {
+            let (m, _) = a
+                .write(RegisterId::new(0), Value::from(i as u64), vec![])
+                .unwrap();
+            assert_eq!(m.seq, i);
+        }
+        let virt = a.issue_virtual(RegisterId::new(0), None);
+        assert_eq!(virt.seq, 3);
+    }
+
+    #[test]
+    fn debug_output_nonempty() {
+        let (a, _) = pair();
+        let s = format!("{a:?}");
+        assert!(s.contains("Replica"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Restricted inter-replica communication — "breaking the ring"
+//! (Appendix D, Figure 13).
+//!
+//! In a ring of `n` replicas every timestamp needs `2n` counters. If one
+//! ring edge is *broken* — its shared register split into two local
+//! copies kept in sync by piggybacking the value on **virtual registers**
+//! along the remaining path — the share graph becomes a tree and each
+//! timestamp shrinks to `2·N_i` counters, at the cost of multi-hop
+//! propagation latency for writes to the broken register.
+//!
+//! [`RoutedRing`] implements exactly that transformation and protocol:
+//! writes to the broken register are carried hop-by-hop as
+//! metadata+payload updates on fresh virtual registers; intermediate
+//! replicas re-issue toward the destination; the final holder applies the
+//! value to its local twin copy.
+
+use crate::message::{TransitInfo, UpdateMsg};
+use crate::replica::Replica;
+use crate::system::SystemMetrics;
+use crate::tracker::{CausalityTracker, EdgeTracker};
+use crate::value::Value;
+use prcc_checker::{check, CheckReport, Trace, UpdateId};
+use prcc_net::{DelayModel, SimNetwork};
+use prcc_sharegraph::{
+    LoopConfig, Placement, RegSet, RegisterId, ReplicaId, ShareGraph, TimestampGraphs,
+};
+use prcc_timestamp::TsRegistry;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A ring deployment with one broken edge (Appendix D's optimization).
+pub struct RoutedRing {
+    n: usize,
+    /// Logical (original ring) placement, used for consistency checking.
+    logical: Placement,
+    /// Effective share graph: ring edge (n−1, 0) removed, virtual
+    /// registers along the path.
+    effective: ShareGraph,
+    /// The register whose direct edge was broken.
+    broken: RegisterId,
+    /// Twin copy id of the broken register at the far endpoint.
+    twin: RegisterId,
+    /// Virtual register on each path edge `(i, i+1)`, indexed by `i`.
+    virtuals: Vec<RegisterId>,
+    replicas: Vec<Replica>,
+    net: SimNetwork<UpdateMsg>,
+    trace: Trace,
+    metrics: SystemMetrics,
+    issue_time: HashMap<UpdateId, u64>,
+    /// Pending transit bookkeeping: origin update → issue tick (for
+    /// visibility latency of the broken register).
+    transit_issue: HashMap<(ReplicaId, u64), u64>,
+}
+
+impl fmt::Debug for RoutedRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutedRing")
+            .field("n", &self.n)
+            .field("broken", &self.broken)
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl RoutedRing {
+    /// Builds a ring of `n` replicas (register `i` shared by `i` and
+    /// `i+1 mod n`) with the edge between `n−1` and `0` broken: register
+    /// `n−1` becomes a local copy at `n−1` plus a twin at `0`, synced via
+    /// virtual registers along the path `n−1 → n−2 → … → 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize, delay: DelayModel, seed: u64) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 replicas");
+        let logical = prcc_sharegraph::topology::ring(n).placement().clone();
+        let broken = RegisterId::new((n - 1) as u32);
+        let twin = RegisterId::new(n as u32);
+        // Virtual registers: n+1 .. n+n-1, one per path edge (i, i+1),
+        // 0 ≤ i ≤ n−2.
+        let virtuals: Vec<RegisterId> = (0..n - 1)
+            .map(|i| RegisterId::new((n + 1 + i) as u32))
+            .collect();
+
+        let mut sets: Vec<RegSet> = (0..n)
+            .map(|i| logical.registers_of(ReplicaId::new(i as u32)).clone())
+            .collect();
+        // Break the ring: register n−1 was shared by replicas n−1 and 0.
+        // Keep it at n−1; replica 0 gets the twin instead.
+        sets[0].remove(broken);
+        sets[0].insert(twin);
+        // Lay the virtual registers.
+        for (i, &v) in virtuals.iter().enumerate() {
+            sets[i].insert(v);
+            sets[i + 1].insert(v);
+        }
+        let effective = ShareGraph::new(Placement::from_sets(sets));
+        let registry = Arc::new(TsRegistry::new(
+            &effective,
+            TimestampGraphs::build(&effective, LoopConfig::EXHAUSTIVE),
+        ));
+        let replicas = effective
+            .replicas()
+            .map(|i| {
+                Replica::new(
+                    i,
+                    effective.placement().registers_of(i).clone(),
+                    Box::new(EdgeTracker::new(registry.clone(), i))
+                        as Box<dyn CausalityTracker>,
+                )
+            })
+            .collect();
+
+        RoutedRing {
+            n,
+            logical,
+            effective,
+            broken,
+            twin,
+            virtuals,
+            replicas,
+            net: SimNetwork::new(delay, seed),
+            trace: Trace::new(),
+            metrics: SystemMetrics::default(),
+            issue_time: HashMap::new(),
+            transit_issue: HashMap::new(),
+        }
+    }
+
+    /// The effective (broken) share graph.
+    pub fn effective_graph(&self) -> &ShareGraph {
+        &self.effective
+    }
+
+    /// The logical ring placement.
+    pub fn logical_placement(&self) -> &Placement {
+        &self.logical
+    }
+
+    /// The broken register's id (`n−1`).
+    pub fn broken_register(&self) -> RegisterId {
+        self.broken
+    }
+
+    /// Per-replica timestamp counter counts under the broken topology.
+    pub fn timestamp_counters(&self) -> Vec<usize> {
+        self.replicas
+            .iter()
+            .map(|r| r.tracker().num_counters())
+            .collect()
+    }
+
+    /// Client write at replica `r`. For the broken register at its
+    /// endpoints, the value is routed; all other registers use the direct
+    /// protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not logically store `x`.
+    pub fn write(&mut self, r: ReplicaId, x: RegisterId, v: Value) -> UpdateId {
+        assert!(
+            self.logical.stores(r, x),
+            "register {x} not logically stored at {r}"
+        );
+        let local_reg = if x == self.broken && r == ReplicaId::new(0) {
+            self.twin
+        } else {
+            x
+        };
+        let holders: Vec<ReplicaId> = self
+            .effective
+            .placement()
+            .holders(local_reg)
+            .iter()
+            .copied()
+            .filter(|&h| h != r)
+            .collect();
+        let (msg, holders) = self.replicas[r.index()]
+            .write(local_reg, v.clone(), holders)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let id = UpdateId {
+            issuer: r,
+            seq: msg.seq,
+        };
+        self.trace.record_issue_with_id(id, x);
+        self.issue_time.insert(id, self.net.now());
+        for dst in &holders {
+            self.account_send(&msg);
+            self.net.send(r, *dst, msg.clone());
+        }
+        // Routed propagation for the broken register.
+        if x == self.broken && (r == ReplicaId::new(0) || r.index() == self.n - 1) {
+            let final_dst = if r == ReplicaId::new(0) {
+                ReplicaId::new((self.n - 1) as u32)
+            } else {
+                ReplicaId::new(0)
+            };
+            self.transit_issue.insert((r, msg.seq), self.net.now());
+            self.send_transit_hop(
+                r,
+                TransitInfo {
+                    origin: (r, msg.seq),
+                    register: x,
+                    final_dst,
+                    value: v,
+                },
+            );
+        }
+        id
+    }
+
+    /// Issues the next virtual-register hop from `at` toward the transit's
+    /// destination.
+    fn send_transit_hop(&mut self, at: ReplicaId, transit: TransitInfo) {
+        // Path is the line 0 — 1 — … — n−1; hop toward final_dst.
+        let next = if transit.final_dst.index() > at.index() {
+            ReplicaId::new(at.raw() + 1)
+        } else {
+            ReplicaId::new(at.raw() - 1)
+        };
+        let vreg = self.virtuals[at.index().min(next.index())];
+        let mut msg = self.replicas[at.index()].issue_virtual(vreg, None);
+        msg.transit = Some(transit);
+        let id = UpdateId {
+            issuer: at,
+            seq: msg.seq,
+        };
+        self.trace.record_issue_with_id(id, vreg);
+        self.issue_time.insert(id, self.net.now());
+        self.account_send(&msg);
+        self.net.send(at, next, msg);
+    }
+
+    fn account_send(&mut self, m: &UpdateMsg) {
+        self.metrics.metadata_bytes += m.meta.size_bytes();
+        if let Some(v) = &m.value {
+            self.metrics.data_messages += 1;
+            self.metrics.payload_bytes += v.size_bytes();
+        } else {
+            self.metrics.meta_messages += 1;
+        }
+    }
+
+    /// Reads the *logical* register `x` at replica `r`.
+    pub fn read(&self, r: ReplicaId, x: RegisterId) -> Option<&Value> {
+        let local = if x == self.broken && r == ReplicaId::new(0) {
+            self.twin
+        } else {
+            x
+        };
+        self.replicas[r.index()].read(local)
+    }
+
+    /// Delivers one message; returns `false` at quiescence.
+    pub fn step(&mut self) -> bool {
+        let Some((t, env)) = self.net.next_delivery() else {
+            return false;
+        };
+        let dst = env.dst;
+        let applied = self.replicas[dst.index()].receive(env.msg);
+        for a in applied {
+            let id = UpdateId {
+                issuer: a.msg.issuer,
+                seq: a.msg.seq,
+            };
+            // A terminating transit applies the logical write atomically
+            // with the hop update — record the origin first so the trace
+            // reflects that the dependency lands with (not after) the hop.
+            if let Some(transit) = &a.msg.transit {
+                if transit.final_dst == dst {
+                    let origin = UpdateId {
+                        issuer: transit.origin.0,
+                        seq: transit.origin.1,
+                    };
+                    self.trace.record_apply(origin, dst);
+                }
+            }
+            self.trace.record_apply(id, dst);
+            self.metrics.applies += 1;
+            if let Some(&issued) = self.issue_time.get(&id) {
+                let vis = t.saturating_sub(issued);
+                self.metrics.total_visibility += vis;
+                self.metrics.visibility_samples += 1;
+                self.metrics.max_visibility = self.metrics.max_visibility.max(vis);
+            }
+            if let Some(transit) = a.msg.transit.clone() {
+                if transit.final_dst == dst {
+                    // Final hop: apply the logical write (already recorded
+                    // in the trace above, before the hop's own apply).
+                    let local = if dst == ReplicaId::new(0) {
+                        self.twin
+                    } else {
+                        transit.register
+                    };
+                    self.replicas[dst.index()].store_local(local, transit.value.clone());
+                    if let Some(issued) = self.transit_issue.remove(&transit.origin) {
+                        let vis = t.saturating_sub(issued);
+                        self.metrics.total_visibility += vis;
+                        self.metrics.visibility_samples += 1;
+                        self.metrics.max_visibility = self.metrics.max_visibility.max(vis);
+                    }
+                } else {
+                    self.send_transit_hop(dst, transit);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until quiescence.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// True if nothing is in flight or pending.
+    pub fn is_settled(&self) -> bool {
+        self.net.is_quiescent() && self.replicas.iter().all(|r| r.pending_count() == 0)
+    }
+
+    /// Checks the trace against the *logical* ring placement.
+    pub fn check(&self) -> CheckReport {
+        check(&self.trace, &self.logical)
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> &SystemMetrics {
+        &self.metrics
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.net.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{System, TrackerKind};
+    use prcc_sharegraph::topology;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> RegisterId {
+        RegisterId::new(i)
+    }
+
+    #[test]
+    fn broken_ring_has_tree_sized_timestamps() {
+        let n = 6;
+        let routed = RoutedRing::new(n, DelayModel::Fixed(1), 0);
+        let counters = routed.timestamp_counters();
+        // Unbroken ring: every replica tracks 2n = 12 counters.
+        let plain = System::builder(topology::ring(n))
+            .tracker(TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE))
+            .build();
+        let plain_counters = plain.timestamp_counters();
+        assert!(plain_counters.iter().all(|&c| c == 2 * n));
+        // Broken ring (a path): interior replicas track 2·2 = 4... but the
+        // virtual registers double edge multiplicity, not edge count —
+        // counters are per *edge*, so interior = 4, endpoints = 2.
+        for (i, &c) in counters.iter().enumerate() {
+            let expected = if i == 0 || i == n - 1 { 2 } else { 4 };
+            assert_eq!(c, expected, "replica {i}");
+            assert!(c < plain_counters[i]);
+        }
+    }
+
+    #[test]
+    fn unbroken_registers_flow_directly() {
+        let mut ring = RoutedRing::new(5, DelayModel::Fixed(1), 1);
+        // Register 1 is shared by replicas 1 and 2 — untouched by the
+        // break.
+        ring.write(r(1), x(1), Value::from(7u64));
+        ring.run_to_quiescence();
+        assert!(ring.is_settled());
+        assert_eq!(ring.read(r(2), x(1)), Some(&Value::from(7u64)));
+        assert!(ring.check().is_consistent());
+    }
+
+    #[test]
+    fn broken_register_routes_to_far_endpoint() {
+        let n = 5;
+        let mut ring = RoutedRing::new(n, DelayModel::Fixed(1), 2);
+        let broken = ring.broken_register();
+        // Write at replica n−1 (holder of the original copy).
+        ring.write(r((n - 1) as u32), broken, Value::from(42u64));
+        ring.run_to_quiescence();
+        assert!(ring.is_settled());
+        // Replica 0 sees the value through the transit chain.
+        assert_eq!(ring.read(r(0), broken), Some(&Value::from(42u64)));
+        let rep = ring.check();
+        assert!(rep.is_consistent(), "{:?}", rep.violations);
+        // And the reverse direction.
+        ring.write(r(0), broken, Value::from(43u64));
+        ring.run_to_quiescence();
+        assert_eq!(
+            ring.read(r((n - 1) as u32), broken),
+            Some(&Value::from(43u64))
+        );
+    }
+
+    #[test]
+    fn transit_latency_exceeds_direct_latency() {
+        let n = 6;
+        let mut ring = RoutedRing::new(n, DelayModel::Fixed(10), 3);
+        // Direct write on an unbroken edge.
+        ring.write(r(1), x(1), Value::from(1u64));
+        ring.run_to_quiescence();
+        let direct_max = ring.metrics().max_visibility;
+        // Routed write crosses n−1 hops.
+        ring.write(r((n - 1) as u32), ring.broken_register(), Value::from(2u64));
+        ring.run_to_quiescence();
+        let routed_max = ring.metrics().max_visibility;
+        assert!(routed_max >= direct_max * ((n - 1) as u64) / 2);
+    }
+
+    #[test]
+    fn causal_chain_through_transit_respected() {
+        // Writes around the ring with causal chains crossing the broken
+        // edge; run with adversarial delays across seeds.
+        let n = 5;
+        for seed in 0..10 {
+            let mut ring = RoutedRing::new(
+                n,
+                DelayModel::Uniform { min: 1, max: 60 },
+                seed,
+            );
+            for round in 0..3u64 {
+                for i in 0..n as u32 {
+                    // Each replica writes one register it logically holds.
+                    ring.write(r(i), x(i), Value::from(round));
+                }
+            }
+            ring.run_to_quiescence();
+            assert!(ring.is_settled(), "seed {seed}");
+            let rep = ring.check();
+            assert!(rep.is_consistent(), "seed {seed}: {:?}", rep.violations);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not logically stored")]
+    fn write_requires_logical_holder() {
+        let mut ring = RoutedRing::new(4, DelayModel::Fixed(1), 0);
+        ring.write(r(2), x(0), Value::from(0u64));
+    }
+}

@@ -1,0 +1,154 @@
+//! Latency sampling with percentile queries.
+//!
+//! The experiment tables report not just means but the tail (p99) of
+//! visibility latency — the metric geo-replication papers care about.
+
+use std::fmt;
+
+/// A bag of latency samples (ticks) answering percentile queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// An empty collector.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile using nearest-rank (q in `[0, 1]`); 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Convenience: median.
+    pub fn p50(&mut self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Convenience: 99th percentile.
+    pub fn p99(&mut self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut copy = self.clone();
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p99={} max={}",
+            copy.len(),
+            copy.mean(),
+            copy.p50(),
+            copy.p99(),
+            copy.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.p50(), 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = LatencyStats::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            s.record(v);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.p50(), 50);
+        assert_eq!(s.percentile(0.9), 90);
+        assert_eq!(s.p99(), 100);
+        assert_eq!(s.percentile(0.0), 10);
+        assert_eq!(s.percentile(1.0), 100);
+        assert_eq!(s.max(), 100);
+        assert!((s.mean() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let mut s = LatencyStats::new();
+        for v in [5u64, 1, 3, 2, 4] {
+            s.record(v);
+        }
+        assert_eq!(s.p50(), 3);
+        s.record(0);
+        assert_eq!(s.percentile(0.001), 0); // re-sorts after new sample
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut s = LatencyStats::new();
+        s.record(7);
+        assert!(s.to_string().contains("p99=7"));
+        assert!(format!("{}", LatencyStats::new()).contains("n=0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_validated() {
+        let mut s = LatencyStats::new();
+        s.record(1);
+        s.percentile(1.5);
+    }
+}

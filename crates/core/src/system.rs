@@ -1,0 +1,691 @@
+//! A complete simulated deployment: replicas + network + trace + metrics.
+//!
+//! [`System`] is the reference harness for the peer-to-peer protocol. It
+//! owns one [`Replica`] per share-graph vertex, a deterministic
+//! [`SimNetwork`], and an execution [`Trace`] fed to the
+//! consistency checker. A [`SystemBuilder`] selects:
+//!
+//! * the causality tracker — the paper's edge-indexed algorithm
+//!   (optionally loop-truncated, Appendix D) or the vector-clock baseline
+//!   (which broadcasts metadata to every replica, i.e. the dummy-register
+//!   emulation of full replication);
+//! * dummy registers (Appendix D) — extra metadata-only subscriptions
+//!   that reshape the share graph;
+//! * dropped timestamp-graph edges — deliberate *oblivious* replicas for
+//!   reproducing Theorem 8's impossibility executions (experiment E2).
+
+use crate::message::UpdateMsg;
+use crate::replica::Replica;
+use crate::stats::LatencyStats;
+use crate::tracker::{CausalityTracker, EdgeTracker, FullDepsTracker, VcTracker};
+use crate::value::Value;
+use prcc_checker::{check, CheckReport, Trace, UpdateId};
+use prcc_net::{DelayModel, FaultPlan, SimNetwork};
+use prcc_sharegraph::{
+    EdgeId, LoopConfig, Placement, RegisterId, ReplicaId, ShareGraph, TimestampGraph,
+    TimestampGraphs,
+};
+use prcc_timestamp::TsRegistry;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which causality tracker the system runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerKind {
+    /// The paper's edge-indexed timestamps, with the given loop-search
+    /// bound (use [`LoopConfig::EXHAUSTIVE`] for the exact algorithm).
+    EdgeIndexed(LoopConfig),
+    /// Classic vector clocks with metadata broadcast to all replicas —
+    /// the full-replication emulation baseline (Appendix D).
+    VectorClock,
+    /// Explicit full-transitive dependency lists (Full-Track-style,
+    /// Shen et al.): correct under partial replication with no metadata
+    /// broadcast, but metadata grows with history.
+    FullDeps,
+}
+
+/// Aggregate counters collected while a [`System`] runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemMetrics {
+    /// Messages carrying a data payload.
+    pub data_messages: usize,
+    /// Metadata-only messages (dummy registers / VC broadcast).
+    pub meta_messages: usize,
+    /// Total metadata bytes across all messages.
+    pub metadata_bytes: usize,
+    /// Total payload bytes across data messages.
+    pub payload_bytes: usize,
+    /// Remote updates applied.
+    pub applies: usize,
+    /// Sum over applied updates of (apply − arrival) in ticks.
+    pub total_pending_wait: u64,
+    /// Max single (apply − arrival).
+    pub max_pending_wait: u64,
+    /// Sum over applied updates of (apply − issue) in ticks.
+    pub total_visibility: u64,
+    /// Number of visibility samples.
+    pub visibility_samples: usize,
+    /// Max single (apply − issue).
+    pub max_visibility: u64,
+}
+
+impl SystemMetrics {
+    /// Mean arrival→apply wait in ticks (0 if nothing applied).
+    pub fn mean_pending_wait(&self) -> f64 {
+        if self.applies == 0 {
+            0.0
+        } else {
+            self.total_pending_wait as f64 / self.applies as f64
+        }
+    }
+
+    /// Mean issue→apply visibility latency in ticks.
+    pub fn mean_visibility(&self) -> f64 {
+        if self.visibility_samples == 0 {
+            0.0
+        } else {
+            self.total_visibility as f64 / self.visibility_samples as f64
+        }
+    }
+}
+
+/// Builder for [`System`] (see C-BUILDER).
+#[derive(Debug)]
+pub struct SystemBuilder {
+    graph: ShareGraph,
+    tracker: TrackerKind,
+    dummies: Vec<(ReplicaId, RegisterId)>,
+    delay: DelayModel,
+    seed: u64,
+    dropped_edges: Vec<(ReplicaId, EdgeId)>,
+    faults: FaultPlan,
+}
+
+impl SystemBuilder {
+    /// Starts a builder over the *data* share graph.
+    pub fn new(graph: ShareGraph) -> Self {
+        SystemBuilder {
+            graph,
+            tracker: TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE),
+            dummies: Vec::new(),
+            delay: DelayModel::default(),
+            seed: 0,
+            dropped_edges: Vec::new(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Selects the tracker (default: exact edge-indexed).
+    pub fn tracker(mut self, kind: TrackerKind) -> Self {
+        self.tracker = kind;
+        self
+    }
+
+    /// Adds a dummy copy of `register` at `replica` (Appendix D): the
+    /// replica subscribes to metadata-only updates of the register,
+    /// reshaping the share graph. Ignored under [`TrackerKind::VectorClock`]
+    /// (which already broadcasts metadata to everyone).
+    pub fn dummy(mut self, replica: ReplicaId, register: RegisterId) -> Self {
+        self.dummies.push((replica, register));
+        self
+    }
+
+    /// Network delay model (default: uniform 1–10 ticks, non-FIFO).
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// RNG seed for the network.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Removes edge `e` from replica `i`'s timestamp graph, making the
+    /// replica *oblivious* to updates on `e` (Theorem 8's forbidden
+    /// configuration). Edge-indexed tracker only.
+    pub fn drop_edge(mut self, i: ReplicaId, e: EdgeId) -> Self {
+        self.dropped_edges.push((i, e));
+        self
+    }
+
+    /// Installs a network fault plan (duplication / drops / dead links).
+    /// The default is the paper's reliable-channel model.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> System {
+        let data_placement = self.graph.placement().clone();
+        // Effective placement = data + dummy copies.
+        let effective_graph = if self.dummies.is_empty() {
+            self.graph.clone()
+        } else {
+            let mut sets: Vec<prcc_sharegraph::RegSet> = (0..data_placement.num_replicas())
+                .map(|i| data_placement.registers_of(ReplicaId::new(i as u32)).clone())
+                .collect();
+            for (r, x) in &self.dummies {
+                sets[r.index()].insert(*x);
+            }
+            ShareGraph::new(Placement::from_sets(sets))
+        };
+        let n = effective_graph.num_replicas();
+
+        let mut replicas = Vec::with_capacity(n);
+        match self.tracker {
+            TrackerKind::EdgeIndexed(loops) => {
+                let mut graphs: Vec<TimestampGraph> = effective_graph
+                    .replicas()
+                    .map(|i| TimestampGraph::build(&effective_graph, i, loops))
+                    .collect();
+                for (i, e) in &self.dropped_edges {
+                    let tg = &graphs[i.index()];
+                    let edges: Vec<EdgeId> =
+                        tg.edges().iter().copied().filter(|x| x != e).collect();
+                    graphs[i.index()] = TimestampGraph::from_edges(*i, edges);
+                }
+                let registry = Arc::new(TsRegistry::new(
+                    &effective_graph,
+                    TimestampGraphs::from_graphs(graphs),
+                ));
+                for i in effective_graph.replicas() {
+                    replicas.push(Replica::new(
+                        i,
+                        data_placement.registers_of(i).clone(),
+                        Box::new(EdgeTracker::new(registry.clone(), i))
+                            as Box<dyn CausalityTracker>,
+                    ));
+                }
+            }
+            TrackerKind::VectorClock => {
+                for i in effective_graph.replicas() {
+                    replicas.push(Replica::new(
+                        i,
+                        data_placement.registers_of(i).clone(),
+                        Box::new(VcTracker::new(i, n)) as Box<dyn CausalityTracker>,
+                    ));
+                }
+            }
+            TrackerKind::FullDeps => {
+                for i in effective_graph.replicas() {
+                    replicas.push(Replica::new(
+                        i,
+                        data_placement.registers_of(i).clone(),
+                        Box::new(FullDepsTracker::new(
+                            i,
+                            data_placement.registers_of(i).clone(),
+                        )) as Box<dyn CausalityTracker>,
+                    ));
+                }
+            }
+        }
+
+        let mut net = SimNetwork::new(self.delay, self.seed);
+        net.set_faults(self.faults);
+        System {
+            data_placement,
+            effective_graph: Arc::new(effective_graph),
+            tracker_kind: self.tracker,
+            replicas,
+            net,
+            trace: Trace::new(),
+            metrics: SystemMetrics::default(),
+            arrival: HashMap::new(),
+            issue_time: HashMap::new(),
+            vis_stats: LatencyStats::new(),
+            latest_version: HashMap::new(),
+            update_version: HashMap::new(),
+            visible_version: HashMap::new(),
+            meta_log: HashMap::new(),
+        }
+    }
+}
+
+/// A running simulated deployment.
+pub struct System {
+    data_placement: Placement,
+    effective_graph: Arc<ShareGraph>,
+    tracker_kind: TrackerKind,
+    replicas: Vec<Replica>,
+    net: SimNetwork<UpdateMsg>,
+    trace: Trace,
+    metrics: SystemMetrics,
+    /// Arrival tick of each delivered-but-tracked message, keyed by
+    /// (issuer, seq, destination).
+    arrival: HashMap<(ReplicaId, u64, ReplicaId), u64>,
+    /// Issue tick per update.
+    issue_time: HashMap<UpdateId, u64>,
+    /// Full visibility-latency distribution (issue → apply).
+    vis_stats: LatencyStats,
+    /// Per-register global version counters (for staleness probes).
+    latest_version: HashMap<RegisterId, u64>,
+    /// Version assigned to each update.
+    update_version: HashMap<UpdateId, u64>,
+    /// Highest version applied per (replica, register).
+    visible_version: HashMap<(ReplicaId, RegisterId), u64>,
+    /// Metadata attached to each issued update (for invariant checking,
+    /// e.g. the Lemma 22 monotonicity property of Appendix B).
+    meta_log: HashMap<UpdateId, crate::Metadata>,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("replicas", &self.replicas.len())
+            .field("tracker", &self.tracker_kind)
+            .field("now", &self.net.now())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl System {
+    /// Starts building a system over `graph`.
+    pub fn builder(graph: ShareGraph) -> SystemBuilder {
+        SystemBuilder::new(graph)
+    }
+
+    /// The *data* placement (what replicas actually store).
+    pub fn data_placement(&self) -> &Placement {
+        &self.data_placement
+    }
+
+    /// The effective share graph (after dummy registers).
+    pub fn effective_graph(&self) -> &ShareGraph {
+        &self.effective_graph
+    }
+
+    /// Performs a client write of `v` to register `x` at replica `r`,
+    /// returning the update id. Non-panicking variant of [`Self::write`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ReplicaError::NotStored`] if `r` does not store `x`.
+    pub fn try_write(
+        &mut self,
+        r: ReplicaId,
+        x: RegisterId,
+        v: Value,
+    ) -> Result<UpdateId, crate::ReplicaError> {
+        if !self.data_placement.stores(r, x) {
+            return Err(crate::ReplicaError::NotStored {
+                register: x,
+                replica: r,
+            });
+        }
+        Ok(self.write(r, x, v))
+    }
+
+    /// Performs a client write of `v` to register `x` at replica `r`,
+    /// returning the update id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not store `x` — simulated clients only write
+    /// registers their replica stores, mirroring the paper's model.
+    pub fn write(&mut self, r: ReplicaId, x: RegisterId, v: Value) -> UpdateId {
+        let recipients = self.recipients_of(r, x);
+        let data_holders: Vec<ReplicaId> = self
+            .data_placement
+            .holders(x)
+            .iter()
+            .copied()
+            .filter(|&h| h != r)
+            .collect();
+        let (msg, recipients) = self.replicas[r.index()]
+            .write(x, v, recipients)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let id = UpdateId {
+            issuer: r,
+            seq: msg.seq,
+        };
+        self.trace.record_issue_with_id(id, x);
+        self.issue_time.insert(id, self.net.now());
+        let version = self.latest_version.entry(x).or_insert(0);
+        *version += 1;
+        let version = *version;
+        self.update_version.insert(id, version);
+        self.visible_version.insert((r, x), version);
+        self.meta_log.insert(id, msg.meta.clone());
+        for dst in recipients {
+            let mut m = msg.clone();
+            if !data_holders.contains(&dst) {
+                m.value = None; // metadata-only recipient
+            }
+            self.account_send(&m);
+            self.net.send(r, dst, m);
+        }
+        id
+    }
+
+    fn recipients_of(&self, r: ReplicaId, x: RegisterId) -> Vec<ReplicaId> {
+        match self.tracker_kind {
+            TrackerKind::EdgeIndexed(_) | TrackerKind::FullDeps => self
+                .effective_graph
+                .placement()
+                .holders(x)
+                .iter()
+                .copied()
+                .filter(|&h| h != r)
+                .collect(),
+            TrackerKind::VectorClock => self
+                .effective_graph
+                .replicas()
+                .filter(|&h| h != r)
+                .collect(),
+        }
+    }
+
+    fn account_send(&mut self, m: &UpdateMsg) {
+        self.metrics.metadata_bytes += m.meta.size_bytes();
+        if let Some(v) = &m.value {
+            self.metrics.data_messages += 1;
+            self.metrics.payload_bytes += v.size_bytes();
+        } else {
+            self.metrics.meta_messages += 1;
+        }
+    }
+
+    /// Reads register `x` at replica `r`.
+    pub fn read(&self, r: ReplicaId, x: RegisterId) -> Option<&Value> {
+        self.replicas[r.index()].read(x)
+    }
+
+    /// Delivers the next in-flight message, if any. Returns `false` at
+    /// quiescence.
+    pub fn step(&mut self) -> bool {
+        let Some((t, env)) = self.net.next_delivery() else {
+            return false;
+        };
+        let key = (env.msg.issuer, env.msg.seq, env.dst);
+        self.arrival.insert(key, t);
+        let applied = self.replicas[env.dst.index()].receive(env.msg);
+        for a in applied {
+            let id = UpdateId {
+                issuer: a.msg.issuer,
+                seq: a.msg.seq,
+            };
+            self.trace.record_apply(id, env.dst);
+            self.metrics.applies += 1;
+            if let Some(arrived) = self.arrival.remove(&(a.msg.issuer, a.msg.seq, env.dst)) {
+                let wait = t - arrived;
+                self.metrics.total_pending_wait += wait;
+                self.metrics.max_pending_wait = self.metrics.max_pending_wait.max(wait);
+            }
+            if let Some(&issued) = self.issue_time.get(&id) {
+                let vis = t.saturating_sub(issued);
+                self.metrics.total_visibility += vis;
+                self.metrics.visibility_samples += 1;
+                self.metrics.max_visibility = self.metrics.max_visibility.max(vis);
+                self.vis_stats.record(vis);
+            }
+            if let Some(&ver) = self.update_version.get(&id) {
+                let slot = self
+                    .visible_version
+                    .entry((env.dst, a.msg.register))
+                    .or_insert(0);
+                *slot = (*slot).max(ver);
+            }
+        }
+        true
+    }
+
+    /// Runs until no message is in flight. Held links keep their messages
+    /// parked; release them first if you used holds.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// True if the network is drained **and** no replica has buffered
+    /// updates it could not apply.
+    pub fn is_settled(&self) -> bool {
+        self.net.is_quiescent() && self.replicas.iter().all(|r| r.pending_count() == 0)
+    }
+
+    /// Total updates stuck in pending buffers (non-zero after
+    /// `run_to_quiescence` means the protocol lost liveness).
+    pub fn stuck_pending(&self) -> usize {
+        self.replicas.iter().map(|r| r.pending_count()).sum()
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Checks the trace against replica-centric causal consistency over
+    /// the *data* placement.
+    pub fn check(&self) -> CheckReport {
+        check(&self.trace, &self.data_placement)
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &SystemMetrics {
+        &self.metrics
+    }
+
+    /// Per-replica timestamp sizes in counters.
+    pub fn timestamp_counters(&self) -> Vec<usize> {
+        self.replicas.iter().map(|r| r.tracker().num_counters()).collect()
+    }
+
+    /// Direct access to a replica (diagnostics, tests).
+    pub fn replica(&self, r: ReplicaId) -> &Replica {
+        &self.replicas[r.index()]
+    }
+
+    /// Network control: hold a directed link (messages park until
+    /// released) — used to build the adversarial executions of Theorem 8.
+    pub fn hold_link(&mut self, src: ReplicaId, dst: ReplicaId) {
+        self.net.hold(src, dst);
+    }
+
+    /// Network control: release a held link.
+    pub fn release_link(&mut self, src: ReplicaId, dst: ReplicaId) {
+        self.net.release(src, dst);
+    }
+
+    /// Current simulated time in ticks.
+    pub fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    /// The full visibility-latency distribution (issue → apply, ticks).
+    pub fn visibility_stats(&self) -> LatencyStats {
+        self.vis_stats.clone()
+    }
+
+    /// Raw network statistics (including fault-plan drop/duplicate
+    /// counts).
+    pub fn net_stats(&self) -> prcc_net::NetStats {
+        self.net.stats()
+    }
+
+    /// The metadata (timestamp) that was attached to update `id` when it
+    /// was issued, if known.
+    pub fn metadata_of(&self, id: UpdateId) -> Option<&crate::Metadata> {
+        self.meta_log.get(&id)
+    }
+
+    /// Read staleness probe: how many globally issued versions of `x` the
+    /// copy visible at `r` lags behind. 0 means fully fresh (causal
+    /// consistency permits non-zero staleness; this measures how much).
+    pub fn read_staleness(&self, r: ReplicaId, x: RegisterId) -> u64 {
+        let latest = self.latest_version.get(&x).copied().unwrap_or(0);
+        let visible = self.visible_version.get(&(r, x)).copied().unwrap_or(0);
+        latest.saturating_sub(visible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::topology;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> RegisterId {
+        RegisterId::new(i)
+    }
+
+    #[test]
+    fn ring_converges_and_is_consistent() {
+        let mut sys = System::builder(topology::ring(5)).seed(11).build();
+        for round in 0..10u64 {
+            for i in 0..5u32 {
+                sys.write(r(i), x(i), Value::from(round));
+            }
+        }
+        sys.run_to_quiescence();
+        assert!(sys.is_settled(), "stuck: {}", sys.stuck_pending());
+        let rep = sys.check();
+        assert!(rep.is_consistent(), "{:?}", rep.violations);
+        // Register i is shared by replicas i and i+1: both read the value.
+        assert_eq!(sys.read(r(1), x(0)), Some(&Value::from(9u64)));
+    }
+
+    #[test]
+    fn vector_clock_baseline_converges() {
+        let mut sys = System::builder(topology::ring(4))
+            .tracker(TrackerKind::VectorClock)
+            .seed(3)
+            .build();
+        for i in 0..4u32 {
+            sys.write(r(i), x(i), Value::from(i as u64));
+        }
+        sys.run_to_quiescence();
+        assert!(sys.is_settled());
+        assert!(sys.check().is_consistent());
+        // VC mode broadcasts metadata: 3 messages per write + data overlap.
+        assert_eq!(
+            sys.metrics().data_messages + sys.metrics().meta_messages,
+            4 * 3
+        );
+        assert_eq!(sys.metrics().data_messages, 4); // one per write (other holder)
+    }
+
+    #[test]
+    fn partial_replication_sends_fewer_messages() {
+        let g = topology::ring(6);
+        let mut part = System::builder(g.clone()).seed(1).build();
+        let mut full = System::builder(g)
+            .tracker(TrackerKind::VectorClock)
+            .seed(1)
+            .build();
+        for i in 0..6u32 {
+            part.write(r(i), x(i), Value::from(1u64));
+            full.write(r(i), x(i), Value::from(1u64));
+        }
+        part.run_to_quiescence();
+        full.run_to_quiescence();
+        let pm = part.metrics();
+        let fm = full.metrics();
+        assert!(pm.data_messages + pm.meta_messages < fm.data_messages + fm.meta_messages);
+        assert!(part.check().is_consistent());
+        assert!(full.check().is_consistent());
+    }
+
+    #[test]
+    fn causal_chain_respected_under_adversarial_delays() {
+        // Triangle sharing one register; wide delays to force reordering.
+        let g = ShareGraph::new(
+            Placement::builder(3).share(0, [0, 1, 2]).build(),
+        );
+        for seed in 0..10 {
+            let mut sys = System::builder(g.clone())
+                .delay(DelayModel::Uniform { min: 1, max: 200 })
+                .seed(seed)
+                .build();
+            // Chain: r0 writes, then (after delivery) r1 writes, etc.
+            sys.write(r(0), x(0), Value::from(1u64));
+            sys.run_to_quiescence();
+            sys.write(r(1), x(0), Value::from(2u64));
+            sys.write(r(1), x(0), Value::from(3u64));
+            sys.write(r(0), x(0), Value::from(4u64));
+            sys.run_to_quiescence();
+            assert!(sys.is_settled(), "seed {seed}");
+            let rep = sys.check();
+            assert!(rep.is_consistent(), "seed {seed}: {:?}", rep.violations);
+        }
+    }
+
+    #[test]
+    fn figure5_system_runs_consistently() {
+        let g = prcc_sharegraph::paper_examples::figure5();
+        let mut sys = System::builder(g.clone()).seed(77).build();
+        // Write every register at each of its holders, twice.
+        for round in 0..2u64 {
+            for xr in 0..g.placement().num_registers() as u32 {
+                for &h in g.placement().holders(x(xr)) {
+                    sys.write(h, x(xr), Value::from(round));
+                }
+            }
+        }
+        sys.run_to_quiescence();
+        assert!(sys.is_settled());
+        assert!(sys.check().is_consistent());
+    }
+
+    #[test]
+    fn dummy_registers_add_meta_messages() {
+        // Path 0-1-2; dummy copy of register 0 at replica 2 turns the path
+        // into a triangle-ish metadata graph: replica 2 receives meta-only
+        // updates for register 0.
+        let g = topology::path(3);
+        let mut sys = System::builder(g)
+            .dummy(r(2), x(0))
+            .seed(5)
+            .build();
+        sys.write(r(0), x(0), Value::from(9u64));
+        sys.run_to_quiescence();
+        assert!(sys.is_settled());
+        assert_eq!(sys.metrics().data_messages, 1); // to replica 1
+        assert_eq!(sys.metrics().meta_messages, 1); // to replica 2
+        // Replica 2 does NOT store the value.
+        assert_eq!(sys.read(r(2), x(0)), None);
+        assert!(sys.check().is_consistent());
+    }
+
+    #[test]
+    fn oblivious_replica_loses_consistency() {
+        // Drop e_10 from replica 1's graph (incoming edge): FIFO from r0
+        // is no longer enforced; out-of-order delivery produces a stale
+        // final value or a safety violation.
+        let g = topology::path(2);
+        let e10 = EdgeId::new(r(1), r(0)); // careful: drop the edge r0->r1 = e_01
+        let _ = e10;
+        let e01 = EdgeId::new(r(0), r(1));
+        let mut bad_seen = false;
+        for seed in 0..30 {
+            let mut sys = System::builder(topology::path(2))
+                .drop_edge(r(1), e01)
+                .delay(DelayModel::Uniform { min: 1, max: 100 })
+                .seed(seed)
+                .build();
+            sys.write(r(0), x(0), Value::from(1u64));
+            sys.write(r(0), x(0), Value::from(2u64));
+            sys.run_to_quiescence();
+            let rep = sys.check();
+            // Depending on delivery order this run may or may not violate;
+            // across seeds at least one must.
+            if !rep.is_consistent() || sys.read(r(1), x(0)) != Some(&Value::from(2u64)) {
+                bad_seen = true;
+                break;
+            }
+        }
+        assert!(bad_seen, "oblivious replica never misbehaved");
+        let _ = g;
+    }
+
+    #[test]
+    #[should_panic(expected = "not stored")]
+    fn write_to_wrong_replica_panics() {
+        let mut sys = System::builder(topology::path(3)).build();
+        sys.write(r(0), x(1), Value::from(0u64)); // register 1 lives at 1,2
+    }
+}

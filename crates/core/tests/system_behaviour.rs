@@ -1,0 +1,167 @@
+//! Behavioural tests of the simulated deployment beyond the happy path:
+//! staleness probes, latency distributions, geo placements, and
+//! interactions between builder options.
+
+use prcc_core::{System, TrackerKind, Value};
+use prcc_net::DelayModel;
+use prcc_sharegraph::{topology, LoopConfig, RegisterId, ReplicaId};
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId::new(i)
+}
+fn x(i: u32) -> RegisterId {
+    RegisterId::new(i)
+}
+
+#[test]
+fn staleness_tracks_unpropagated_writes() {
+    let mut sys = System::builder(topology::path(2))
+        .delay(DelayModel::Fixed(50))
+        .seed(0)
+        .build();
+    assert_eq!(sys.read_staleness(r(1), x(0)), 0); // nothing written
+    sys.write(r(0), x(0), Value::from(1u64));
+    sys.write(r(0), x(0), Value::from(2u64));
+    // In flight: replica 1 is two versions behind.
+    assert_eq!(sys.read_staleness(r(1), x(0)), 2);
+    assert_eq!(sys.read_staleness(r(0), x(0)), 0); // writer is fresh
+    sys.run_to_quiescence();
+    assert_eq!(sys.read_staleness(r(1), x(0)), 0);
+}
+
+#[test]
+fn visibility_stats_percentiles_populated() {
+    let mut sys = System::builder(topology::ring(4))
+        .delay(DelayModel::Uniform { min: 5, max: 50 })
+        .seed(9)
+        .build();
+    for round in 0..10u64 {
+        for i in 0..4u32 {
+            sys.write(r(i), x(i), Value::from(round));
+        }
+    }
+    sys.run_to_quiescence();
+    let mut stats = sys.visibility_stats();
+    assert_eq!(stats.len(), 40); // one recipient per write
+    assert!(stats.p50() >= 5);
+    assert!(stats.p99() <= sys.metrics().max_visibility);
+    assert!(stats.mean() > 0.0);
+}
+
+#[test]
+fn geo_placement_full_run() {
+    let g = topology::geo_placement(4, 2, 1, 3);
+    let mut sys = System::builder(g.clone()).seed(3).build();
+    for round in 0..3u64 {
+        for i in g.replicas() {
+            for reg in g.placement().registers_of(i).iter() {
+                // Each DC owner writes each register it stores once per
+                // round; only one DC per register to keep values
+                // deterministic.
+                if g.placement().holders(reg).first() == Some(&i) {
+                    sys.write(i, reg, Value::from(round));
+                }
+            }
+        }
+        sys.run_to_quiescence();
+    }
+    assert!(sys.is_settled());
+    assert!(sys.check().is_consistent());
+    // The global register reached every DC.
+    let global = RegisterId::new((g.placement().num_registers() - 1) as u32);
+    for i in g.replicas() {
+        assert_eq!(sys.read(i, global), Some(&Value::from(2u64)), "{i}");
+    }
+}
+
+#[test]
+fn dummies_ignored_under_vector_clock() {
+    // VC mode already broadcasts metadata; dummy registers must not
+    // change message counts.
+    let g = topology::path(3);
+    let run = |with_dummy: bool| {
+        let mut b = System::builder(topology::path(3))
+            .tracker(TrackerKind::VectorClock)
+            .seed(1);
+        if with_dummy {
+            b = b.dummy(r(2), x(0));
+        }
+        let mut sys = b.build();
+        sys.write(r(0), x(0), Value::from(1u64));
+        sys.run_to_quiescence();
+        (sys.metrics().data_messages, sys.metrics().meta_messages)
+    };
+    assert_eq!(run(false), run(true));
+    let _ = g;
+}
+
+#[test]
+fn truncated_and_exhaustive_agree_on_trees() {
+    // Trees have no loops: any loop bound yields identical timestamp
+    // graphs, so behaviour must match exactly.
+    let g = topology::binary_tree(7);
+    let run = |cfg: LoopConfig| {
+        let mut sys = System::builder(topology::binary_tree(7))
+            .tracker(TrackerKind::EdgeIndexed(cfg))
+            .delay(DelayModel::Fixed(2))
+            .seed(5)
+            .build();
+        for reg in 0..6u32 {
+            let holder = *g.placement().holders(x(reg)).first().unwrap();
+            sys.write(holder, x(reg), Value::from(u64::from(reg)));
+        }
+        sys.run_to_quiescence();
+        assert!(sys.check().is_consistent());
+        (sys.timestamp_counters(), sys.metrics().metadata_bytes)
+    };
+    assert_eq!(run(LoopConfig::EXHAUSTIVE), run(LoopConfig::bounded(3)));
+}
+
+#[test]
+fn hypercube_and_torus_protocol_runs() {
+    for g in [topology::hypercube(3), topology::torus(3, 3)] {
+        let mut sys = System::builder(g.clone())
+            .delay(DelayModel::Uniform { min: 1, max: 15 })
+            .seed(8)
+            .build();
+        for i in g.replicas() {
+            let reg = g.placement().registers_of(i).first().unwrap();
+            sys.write(i, reg, Value::from(i.raw() as u64));
+            sys.step();
+        }
+        sys.run_to_quiescence();
+        assert!(sys.is_settled());
+        assert!(sys.check().is_consistent());
+    }
+}
+
+#[test]
+fn communities_topology_tracks_bridges() {
+    // Bridge edges close a global cycle through all communities: far
+    // edges appear in timestamp graphs; the protocol stays consistent.
+    let g = topology::communities(3, 3);
+    let mut sys = System::builder(g.clone()).seed(2).build();
+    let counters = sys.timestamp_counters();
+    // Dense intra-community sharing: every replica tracks more than its
+    // incident edges.
+    for (i, &c) in counters.iter().enumerate() {
+        let incident = 2 * g.degree(r(i as u32));
+        assert!(c >= incident, "replica {i}: {c} < {incident}");
+    }
+    for i in g.replicas() {
+        let reg = g.placement().registers_of(i).first().unwrap();
+        sys.write(i, reg, Value::from(1u64));
+    }
+    sys.run_to_quiescence();
+    assert!(sys.check().is_consistent());
+}
+
+#[test]
+fn metrics_payload_accounting() {
+    let mut sys = System::builder(topology::path(2)).seed(0).build();
+    sys.write(r(0), x(0), Value::from("hello world")); // 11 bytes
+    sys.run_to_quiescence();
+    assert_eq!(sys.metrics().payload_bytes, 11);
+    assert_eq!(sys.metrics().data_messages, 1);
+    assert!(sys.metrics().metadata_bytes > 0);
+}

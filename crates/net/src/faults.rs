@@ -1,0 +1,134 @@
+//! Fault injection for robustness testing.
+//!
+//! The paper's model assumes reliable, exactly-once channels. The fault
+//! plan deliberately breaks that model so tests can demonstrate (a) the
+//! protocol's inherent duplicate suppression (the predicate `J` admits
+//! each update exactly once) and (b) that the consistency checker catches
+//! the liveness loss caused by genuinely dropped messages.
+
+use prcc_sharegraph::ReplicaId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A fault plan applied at send time.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability a message is duplicated (delivered twice with
+    /// independent delays).
+    pub duplicate_prob: f64,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Directed links that drop everything (a crashed path).
+    pub dead_links: HashSet<(ReplicaId, ReplicaId)>,
+}
+
+/// What the fault plan decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver two copies.
+    Duplicate,
+    /// Never deliver.
+    Drop,
+}
+
+impl FaultPlan {
+    /// A plan that never interferes.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan duplicating each message with probability `p`.
+    pub fn duplicating(p: f64) -> Self {
+        FaultPlan {
+            duplicate_prob: p,
+            ..Default::default()
+        }
+    }
+
+    /// A plan dropping each message with probability `p`.
+    pub fn dropping(p: f64) -> Self {
+        FaultPlan {
+            drop_prob: p,
+            ..Default::default()
+        }
+    }
+
+    /// Kills the directed link `src -> dst`.
+    pub fn kill_link(mut self, src: ReplicaId, dst: ReplicaId) -> Self {
+        self.dead_links.insert((src, dst));
+        self
+    }
+
+    /// True if the plan can never interfere.
+    pub fn is_benign(&self) -> bool {
+        self.duplicate_prob <= 0.0 && self.drop_prob <= 0.0 && self.dead_links.is_empty()
+    }
+
+    /// Decides the fate of one message.
+    pub fn decide(&self, rng: &mut StdRng, src: ReplicaId, dst: ReplicaId) -> FaultAction {
+        if self.dead_links.contains(&(src, dst)) {
+            return FaultAction::Drop;
+        }
+        if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob.clamp(0.0, 1.0)) {
+            return FaultAction::Drop;
+        }
+        if self.duplicate_prob > 0.0 && rng.gen_bool(self.duplicate_prob.clamp(0.0, 1.0)) {
+            return FaultAction::Duplicate;
+        }
+        FaultAction::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn benign_plan_always_delivers() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_benign());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(plan.decide(&mut rng, r(0), r(1)), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn dead_link_always_drops() {
+        let plan = FaultPlan::none().kill_link(r(0), r(1));
+        assert!(!plan.is_benign());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(plan.decide(&mut rng, r(0), r(1)), FaultAction::Drop);
+        assert_eq!(plan.decide(&mut rng, r(1), r(0)), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn probabilities_roughly_respected() {
+        let plan = FaultPlan {
+            duplicate_prob: 0.3,
+            drop_prob: 0.2,
+            dead_links: HashSet::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut dup = 0;
+        let mut drop = 0;
+        for _ in 0..10_000 {
+            match plan.decide(&mut rng, r(0), r(1)) {
+                FaultAction::Duplicate => dup += 1,
+                FaultAction::Drop => drop += 1,
+                FaultAction::Deliver => {}
+            }
+        }
+        assert!((1500..2500).contains(&drop), "drop {drop}");
+        // duplicates decided on the 80% that survive: ~0.3*0.8 = 24%
+        assert!((1900..2900).contains(&dup), "dup {dup}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Network substrates for the PRCC reproduction.
+//!
+//! The paper assumes an asynchronous system of replicas connected by
+//! reliable, point-to-point, **non-FIFO** channels. Two interchangeable
+//! substrates provide that model:
+//!
+//! * [`SimNetwork`] — a deterministic discrete-event network, seeded and
+//!   fully reproducible, with link-hold controls for constructing the
+//!   adversarial executions used in the paper's impossibility proofs;
+//! * [`ThreadNet`] — a real-threads transport (crossbeam channels + a
+//!   delay-scheduling router) for exercising the protocol under genuine
+//!   concurrency.
+//!
+//! Delays come from a shared [`DelayModel`].
+//!
+//! # Examples
+//!
+//! ```
+//! use prcc_net::{SimNetwork, DelayModel};
+//! use prcc_sharegraph::ReplicaId;
+//!
+//! let mut net: SimNetwork<u64> = SimNetwork::new(DelayModel::default(), 1);
+//! net.send(ReplicaId::new(0), ReplicaId::new(1), 99);
+//! let (_, env) = net.next_delivery().unwrap();
+//! assert_eq!(env.msg, 99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod delay;
+pub mod faults;
+pub mod sim_net;
+pub mod thread_net;
+
+pub use delay::DelayModel;
+pub use faults::{FaultAction, FaultPlan};
+pub use sim_net::{Envelope, NetStats, SimNetwork};
+pub use thread_net::{NodeHandle, ThreadNet};

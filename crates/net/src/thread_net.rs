@@ -1,0 +1,306 @@
+//! A real-threads transport with randomized delivery delays.
+//!
+//! [`ThreadNet`] gives each node a handle backed by crossbeam channels and
+//! routes every message through a scheduler thread that imposes a seeded
+//! random delay — the same non-FIFO semantics as
+//! [`SimNetwork`](crate::SimNetwork), but with actual concurrency. The
+//! threaded runtime in `prcc-core` uses it to exercise the protocol under
+//! real interleavings (the "tokio async nodes" role of the reproduction,
+//! built on crossbeam since the offline crate set has no async runtime).
+
+use crate::delay::DelayModel;
+use crate::sim_net::Envelope;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use prcc_sharegraph::ReplicaId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One simulated-delay tick in wall-clock time.
+const TICK: Duration = Duration::from_micros(200);
+
+struct Pending<M> {
+    due: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// A per-node endpoint. Cloneable; sends go through the router thread,
+/// receives read the node's inbox.
+pub struct NodeHandle<M> {
+    id: ReplicaId,
+    to_router: Sender<Envelope<M>>,
+    inbox: Receiver<Envelope<M>>,
+}
+
+impl<M> Clone for NodeHandle<M> {
+    fn clone(&self) -> Self {
+        NodeHandle {
+            id: self.id,
+            to_router: self.to_router.clone(),
+            inbox: self.inbox.clone(),
+        }
+    }
+}
+
+impl<M> fmt::Debug for NodeHandle<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeHandle").field("id", &self.id).finish()
+    }
+}
+
+impl<M> NodeHandle<M> {
+    /// This node's replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Sends `msg` to `dst` (delivered after a randomized delay).
+    /// Returns `false` if the network has shut down.
+    pub fn send(&self, dst: ReplicaId, msg: M) -> bool {
+        self.to_router
+            .send(Envelope {
+                src: self.id,
+                dst,
+                msg,
+            })
+            .is_ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(env) => Some(env),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+}
+
+/// A threaded message bus with seeded random delays.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_net::{ThreadNet, DelayModel};
+/// use prcc_sharegraph::ReplicaId;
+/// use std::time::Duration;
+///
+/// let net: ThreadNet<u32> = ThreadNet::new(2, DelayModel::Fixed(1), 7);
+/// let a = net.handle(ReplicaId::new(0));
+/// let b = net.handle(ReplicaId::new(1));
+/// a.send(ReplicaId::new(1), 42);
+/// let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+/// assert_eq!(env.msg, 42);
+/// ```
+pub struct ThreadNet<M> {
+    /// Node handles (each holds a sender to the router; the router exits
+    /// once all of them are gone).
+    handles: Vec<NodeHandle<M>>,
+    router: Option<JoinHandle<()>>,
+}
+
+impl<M> fmt::Debug for ThreadNet<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadNet")
+            .field("nodes", &self.handles.len())
+            .finish()
+    }
+}
+
+impl<M: Send + 'static> ThreadNet<M> {
+    /// Spawns the router thread for `n` nodes.
+    pub fn new(n: usize, delay: DelayModel, seed: u64) -> Self {
+        let (to_router, from_nodes) = unbounded::<Envelope<M>>();
+        let mut inbox_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = bounded::<Envelope<M>>(4096);
+            inbox_txs.push(tx);
+            handles.push(NodeHandle {
+                id: ReplicaId::new(i as u32),
+                to_router: to_router.clone(),
+                inbox: rx,
+            });
+        }
+        let router = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut heap: BinaryHeap<Reverse<Pending<M>>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut disconnected = false;
+            loop {
+                // Deliver everything due.
+                let now = Instant::now();
+                while heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
+                    let Reverse(p) = heap.pop().unwrap();
+                    let dst = p.env.dst.index();
+                    if dst < inbox_txs.len() {
+                        // A full or closed inbox drops the message; inboxes
+                        // are large and only close at shutdown.
+                        let _ = inbox_txs[dst].send(p.env);
+                    }
+                }
+                if disconnected && heap.is_empty() {
+                    return;
+                }
+                // Wait for the next command or the next deadline.
+                let wait = heap
+                    .peek()
+                    .map(|Reverse(p)| p.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(50));
+                match from_nodes.recv_timeout(wait) {
+                    Ok(env) => {
+                        let ticks = delay.sample(&mut rng, env.src, env.dst);
+                        heap.push(Reverse(Pending {
+                            due: Instant::now() + TICK * ticks as u32,
+                            seq,
+                            env,
+                        }));
+                        seq += 1;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                }
+            }
+        });
+        drop(to_router);
+        ThreadNet {
+            handles,
+            router: Some(router),
+        }
+    }
+
+    /// The handle of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn handle(&self, i: ReplicaId) -> NodeHandle<M> {
+        self.handles[i.index()].clone()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True if the net has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+}
+
+impl<M> Drop for ThreadNet<M> {
+    fn drop(&mut self) {
+        // Drop the node handles' router senders; the router thread then
+        // observes disconnection, drains in-flight messages, and exits —
+        // we detach rather than join so dropping the net never blocks
+        // (C-DTOR-BLOCK).
+        self.handles.clear();
+        self.router.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net: ThreadNet<String> = ThreadNet::new(3, DelayModel::Fixed(1), 0);
+        let a = net.handle(r(0));
+        let c = net.handle(r(2));
+        assert!(a.send(r(2), "ping".into()));
+        let env = c.recv_timeout(Duration::from_secs(2)).expect("delivery");
+        assert_eq!(env.src, r(0));
+        assert_eq!(env.msg, "ping");
+        // Nothing for node 1.
+        let b = net.handle(r(1));
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn many_messages_all_arrive() {
+        let net: ThreadNet<u32> = ThreadNet::new(2, DelayModel::Uniform { min: 0, max: 5 }, 3);
+        let a = net.handle(r(0));
+        let b = net.handle(r(1));
+        for i in 0..100 {
+            a.send(r(1), i);
+        }
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            match b.recv_timeout(Duration::from_secs(2)) {
+                Some(env) => got.push(env.msg),
+                None => panic!("lost messages: got {}", got.len()),
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_senders() {
+        let net: ThreadNet<u32> = ThreadNet::new(3, DelayModel::Fixed(0), 1);
+        let c = net.handle(r(2));
+        let a = net.handle(r(0));
+        let b = net.handle(r(1));
+        let t1 = std::thread::spawn(move || {
+            for i in 0..50 {
+                a.send(r(2), i);
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for i in 50..100 {
+                b.send(r(2), i);
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            match c.recv_timeout(Duration::from_secs(2)) {
+                Some(env) => got.push(env.msg),
+                None => panic!("lost messages: got {}", got.len()),
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handle_accessors() {
+        let net: ThreadNet<u32> = ThreadNet::new(2, DelayModel::Fixed(0), 0);
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+        assert_eq!(net.handle(r(1)).id(), r(1));
+    }
+}

@@ -1,0 +1,164 @@
+//! Structural analysis of timestamp graphs: how much metadata a placement
+//! forces, and how long the loop certificates behind it are.
+//!
+//! The paper's trade-off — replication flexibility vs metadata — is a
+//! statement about graph structure: denser sharing creates more
+//! `(i, e_jk)`-loops, hence more tracked edges. This module quantifies
+//! that (experiment E12) and computes per-edge *certificate lengths*: the
+//! shortest loop forcing an edge to be tracked, which is also the longest
+//! dependency chain the truncated tracker of Appendix D must fear.
+
+use crate::graph::ShareGraph;
+use crate::ids::EdgeId;
+use crate::loops::{exists_loop, LoopConfig};
+use crate::tsgraph::TimestampGraphs;
+use crate::ReplicaId;
+
+/// Aggregate structural metrics of a placement's timestamp graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Mean counters per replica (`|E_i|`).
+    pub avg_counters: f64,
+    /// Max counters over replicas.
+    pub max_counters: usize,
+    /// Mean incident counters (`2·N_i`) — the tree floor.
+    pub avg_incident: f64,
+    /// Fraction of tracked edges that are *far* (loop-certified), over
+    /// all replicas.
+    pub far_edge_fraction: f64,
+    /// Overhead factor: `avg_counters / avg_incident` (1.0 = tree-like,
+    /// grows with loop structure).
+    pub overhead_factor: f64,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn edge_stats(g: &ShareGraph) -> GraphStats {
+    let graphs = TimestampGraphs::build(g, LoopConfig::EXHAUSTIVE);
+    let n = g.num_replicas().max(1);
+    let mut total = 0usize;
+    let mut max_counters = 0usize;
+    let mut incident = 0usize;
+    let mut far = 0usize;
+    for tg in graphs.iter() {
+        total += tg.len();
+        max_counters = max_counters.max(tg.len());
+        let inc = tg
+            .edges()
+            .iter()
+            .filter(|e| e.touches(tg.replica()))
+            .count();
+        incident += inc;
+        far += tg.len() - inc;
+    }
+    let avg_counters = total as f64 / n as f64;
+    let avg_incident = incident as f64 / n as f64;
+    GraphStats {
+        replicas: g.num_replicas(),
+        avg_counters,
+        max_counters,
+        avg_incident,
+        far_edge_fraction: if total == 0 {
+            0.0
+        } else {
+            far as f64 / total as f64
+        },
+        overhead_factor: if avg_incident == 0.0 {
+            1.0
+        } else {
+            avg_counters / avg_incident
+        },
+    }
+}
+
+/// The length (in edges) of the shortest `(i, e)`-loop, if any — the
+/// certificate that forces `i` to track `e`, found by growing the bounded
+/// search cap. Also the minimum `l + 1` at which Appendix D's truncated
+/// tracker keeps this edge.
+pub fn shortest_loop_len(g: &ShareGraph, i: ReplicaId, e: EdgeId) -> Option<usize> {
+    for cap in 3..=g.num_replicas() {
+        if exists_loop(g, i, e, LoopConfig::bounded(cap)) {
+            return Some(cap);
+        }
+    }
+    None
+}
+
+/// Distribution of shortest-certificate lengths over all (replica, far
+/// edge) pairs of `g`: `result[k]` = number of certificates of length `k`
+/// (index 0 and 1 and 2 unused).
+pub fn certificate_length_histogram(g: &ShareGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.num_replicas() + 1];
+    for i in g.replicas() {
+        for &e in g.edges() {
+            if e.touches(i) {
+                continue;
+            }
+            if let Some(len) = shortest_loop_len(g, i, e) {
+                hist[len] += 1;
+            }
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn tree_stats_are_floor() {
+        let g = topology::binary_tree(7);
+        let s = edge_stats(&g);
+        assert_eq!(s.far_edge_fraction, 0.0);
+        assert!((s.overhead_factor - 1.0).abs() < 1e-12);
+        assert!((s.avg_counters - s.avg_incident).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_overhead_grows_with_n() {
+        let s4 = edge_stats(&topology::ring(4));
+        let s8 = edge_stats(&topology::ring(8));
+        // Ring: counters = 2n, incident = 4 ⇒ overhead = n/2.
+        assert!((s4.overhead_factor - 2.0).abs() < 1e-12);
+        assert!((s8.overhead_factor - 4.0).abs() < 1e-12);
+        assert!(s8.far_edge_fraction > s4.far_edge_fraction);
+        assert_eq!(s8.max_counters, 16);
+    }
+
+    #[test]
+    fn certificate_lengths_on_ring() {
+        // Every far edge of a ring has exactly one loop: the full cycle.
+        let n = 6;
+        let g = topology::ring(n);
+        let hist = certificate_length_histogram(&g);
+        // Far directed edges per replica: 2n − 4 = 8; times n replicas.
+        assert_eq!(hist[n], 6 * 8);
+        assert!(hist[..n].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn certificate_lengths_on_triangle() {
+        let g = topology::ring(3);
+        let i = ReplicaId::new(0);
+        let e = crate::edge(1, 2);
+        assert_eq!(shortest_loop_len(&g, i, e), Some(3));
+        // Non-loop edge on a path: no certificate.
+        let p = topology::path(4);
+        assert_eq!(
+            shortest_loop_len(&p, ReplicaId::new(0), crate::edge(2, 3)),
+            None
+        );
+    }
+
+    #[test]
+    fn clique_has_short_certificates() {
+        let g = topology::clique_full(5, 4);
+        let hist = certificate_length_histogram(&g);
+        // Everything certified by triangles.
+        assert!(hist[3] > 0);
+        assert_eq!(hist[4..].iter().sum::<usize>(), 0);
+    }
+}

@@ -1,0 +1,437 @@
+//! The client-server architecture: augmented share graphs, augmented
+//! `(i, e_jk)`-loops, and augmented timestamp graphs (Section 6 and
+//! Appendix E; Definitions 16, 27, 28).
+//!
+//! A client that accesses several replicas propagates causal dependencies
+//! between them even when they share no registers. The augmented share
+//! graph `Ĝ` adds an edge between every pair of replicas co-accessed by
+//! some client; the loop conditions then accept either a register witness
+//! or client co-access for the right-path hops.
+
+use crate::graph::ShareGraph;
+use crate::ids::{ClientId, EdgeId, ReplicaId};
+use crate::regset::RegSet;
+use crate::tsgraph::{TimestampGraph, TimestampGraphs};
+use std::collections::BTreeSet;
+
+/// Static assignment of clients to replica sets (`R_c` in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::{ClientAssignment, ClientId, ReplicaId};
+/// let mut a = ClientAssignment::new(3);
+/// a.assign(ClientId::new(0), [ReplicaId::new(0), ReplicaId::new(2)]);
+/// assert!(a.co_accessed(ReplicaId::new(0), ReplicaId::new(2)));
+/// assert!(!a.co_accessed(ReplicaId::new(0), ReplicaId::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientAssignment {
+    num_replicas: usize,
+    clients: Vec<(ClientId, Vec<ReplicaId>)>,
+    /// Symmetric co-access matrix, row-major `num_replicas × num_replicas`.
+    co_access: Vec<bool>,
+}
+
+impl ClientAssignment {
+    /// Creates an empty assignment over `num_replicas` replicas.
+    pub fn new(num_replicas: usize) -> Self {
+        ClientAssignment {
+            num_replicas,
+            clients: Vec::new(),
+            co_access: vec![false; num_replicas * num_replicas],
+        }
+    }
+
+    /// Registers that client `c` accesses the given replicas (`R_c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any replica id is out of range.
+    pub fn assign<I: IntoIterator<Item = ReplicaId>>(&mut self, c: ClientId, replicas: I) {
+        let set: Vec<ReplicaId> = replicas.into_iter().collect();
+        for &r in &set {
+            assert!(r.index() < self.num_replicas, "replica out of range");
+        }
+        for &a in &set {
+            for &b in &set {
+                if a != b {
+                    self.co_access[a.index() * self.num_replicas + b.index()] = true;
+                }
+            }
+        }
+        self.clients.push((c, set));
+    }
+
+    /// True if some client accesses both `a` and `b`.
+    pub fn co_accessed(&self, a: ReplicaId, b: ReplicaId) -> bool {
+        a != b && self.co_access[a.index() * self.num_replicas + b.index()]
+    }
+
+    /// The clients and their replica sets, in assignment order.
+    pub fn clients(&self) -> &[(ClientId, Vec<ReplicaId>)] {
+        &self.clients
+    }
+
+    /// The replica set `R_c` of client `c`, if assigned.
+    pub fn replicas_of(&self, c: ClientId) -> Option<&[ReplicaId]> {
+        self.clients
+            .iter()
+            .find(|(id, _)| *id == c)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+/// The augmented share graph `Ĝ` (Definition 16): share edges plus client
+/// co-access edges.
+#[derive(Debug, Clone)]
+pub struct AugmentedShareGraph {
+    base: ShareGraph,
+    clients: ClientAssignment,
+    /// Sorted neighbor lists in `Ĝ` (share ∪ co-access).
+    adj: Vec<Vec<ReplicaId>>,
+}
+
+impl AugmentedShareGraph {
+    /// Builds `Ĝ` from a share graph and a client assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment covers a different number of replicas.
+    pub fn new(base: ShareGraph, clients: ClientAssignment) -> Self {
+        assert_eq!(
+            base.num_replicas(),
+            clients.num_replicas,
+            "assignment must cover the same replicas"
+        );
+        let n = base.num_replicas();
+        let mut adj = vec![BTreeSet::new(); n];
+        for &e in base.edges() {
+            adj[e.from.index()].insert(e.to);
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && clients.co_access[a * n + b] {
+                    adj[a].insert(ReplicaId::new(b as u32));
+                }
+            }
+        }
+        AugmentedShareGraph {
+            base,
+            clients,
+            adj: adj.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
+    }
+
+    /// The underlying share graph `G`.
+    pub fn base(&self) -> &ShareGraph {
+        &self.base
+    }
+
+    /// The client assignment.
+    pub fn clients(&self) -> &ClientAssignment {
+        &self.clients
+    }
+
+    /// Neighbors in `Ĝ` (share or co-access).
+    pub fn neighbors(&self, i: ReplicaId) -> &[ReplicaId] {
+        &self.adj[i.index()]
+    }
+
+    /// True if `e ∈ Ê` (share edge or client edge).
+    pub fn has_edge(&self, e: EdgeId) -> bool {
+        self.base.has_edge(e) || self.clients.co_accessed(e.from, e.to)
+    }
+
+    /// True if an *augmented* `(i, e_jk)`-loop exists (Definition 27).
+    pub fn exists_augmented_loop(&self, i: ReplicaId, e: EdgeId) -> bool {
+        let (j, k) = (e.from, e.to);
+        if i == j || i == k || j == k || !self.has_edge(e) {
+            return false;
+        }
+        let mut on_left = vec![false; self.base.num_replicas()];
+        on_left[i.index()] = true;
+        self.aug_left_dfs(i, i, e, &RegSet::new(), &mut on_left)
+    }
+
+    fn aug_left_dfs(
+        &self,
+        anchor: ReplicaId,
+        v: ReplicaId,
+        e: EdgeId,
+        interior_union: &RegSet,
+        on_left: &mut Vec<bool>,
+    ) -> bool {
+        let (j, k) = (e.from, e.to);
+        // Close the left path by stepping to k.
+        if v != k && !on_left[k.index()] && self.adjacent(v, k) {
+            // Condition (i): X_jk − interior ≠ ∅ (register witness only).
+            if self
+                .base
+                .edge_registers(e)
+                .has_element_outside(interior_union)
+            {
+                on_left[k.index()] = true;
+                let mut b_full = interior_union.clone();
+                b_full.union_with(self.base.placement().registers_of(k));
+                let found =
+                    self.aug_right_search(anchor, e, interior_union, &b_full, on_left);
+                on_left[k.index()] = false;
+                if found {
+                    return true;
+                }
+            }
+        }
+        for &w in &self.adj[v.index()].clone() {
+            if w == j || w == k || on_left[w.index()] {
+                continue;
+            }
+            let mut next = interior_union.clone();
+            next.union_with(self.base.placement().registers_of(w));
+            // Monotone prune on condition (i): the interior union only
+            // grows, so a failed register witness never recovers. (The
+            // client-edge alternatives apply to conditions (ii)/(iii)
+            // only, so this prune stays sound in the augmented setting.)
+            if !self
+                .base
+                .edge_registers(e)
+                .has_element_outside(&next)
+            {
+                continue;
+            }
+            on_left[w.index()] = true;
+            let found = self.aug_left_dfs(anchor, w, e, &next, on_left);
+            on_left[w.index()] = false;
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn adjacent(&self, a: ReplicaId, b: ReplicaId) -> bool {
+        self.has_edge(EdgeId::new(a, b))
+    }
+
+    /// A right-path hop `v -> w` is allowed if the shared registers minus
+    /// `sub` are non-empty **or** some client co-accesses `v` and `w`
+    /// (conditions (ii)/(iii) of Definition 27).
+    fn hop_allowed(&self, v: ReplicaId, w: ReplicaId, sub: &RegSet) -> bool {
+        self.clients.co_accessed(v, w)
+            || self
+                .base
+                .edge_registers(EdgeId::new(v, w))
+                .has_element_outside(sub)
+    }
+
+    fn aug_right_search(
+        &self,
+        anchor: ReplicaId,
+        e: EdgeId,
+        b: &RegSet,
+        b_full: &RegSet,
+        on_left: &[bool],
+    ) -> bool {
+        let j = e.from;
+        let mut on_right = vec![false; self.base.num_replicas()];
+        on_right[j.index()] = true;
+        self.aug_right_dfs(anchor, j, true, b, b_full, on_left, &mut on_right)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn aug_right_dfs(
+        &self,
+        anchor: ReplicaId,
+        v: ReplicaId,
+        first_hop: bool,
+        b: &RegSet,
+        b_full: &RegSet,
+        on_left: &[bool],
+        on_right: &mut Vec<bool>,
+    ) -> bool {
+        let sub = if first_hop { b } else { b_full };
+        if self.adjacent(v, anchor) && self.hop_allowed(v, anchor, sub) {
+            return true;
+        }
+        for &w in &self.adj[v.index()] {
+            if w == anchor || on_right[w.index()] || on_left[w.index()] {
+                continue;
+            }
+            if !self.hop_allowed(v, w, sub) {
+                continue;
+            }
+            on_right[w.index()] = true;
+            if self.aug_right_dfs(anchor, w, false, b, b_full, on_left, on_right) {
+                on_right[w.index()] = false;
+                return true;
+            }
+            on_right[w.index()] = false;
+        }
+        false
+    }
+
+    /// Builds the augmented timestamp graph `Ĝ_i` (Definition 28): incident
+    /// edges of `Ĝ` plus augmented-loop edges, **intersected with `E`**
+    /// (only real share edges are tracked).
+    pub fn augmented_timestamp_graph(&self, i: ReplicaId) -> TimestampGraph {
+        let mut edges = BTreeSet::new();
+        for &e in self.base.edges() {
+            if e.touches(i) || self.exists_augmented_loop(i, e) {
+                edges.insert(e);
+            }
+        }
+        TimestampGraph::from_edges(i, edges.into_iter().collect())
+    }
+
+    /// Augmented timestamp graphs for all replicas.
+    pub fn augmented_timestamp_graphs(&self) -> TimestampGraphs {
+        TimestampGraphs::from_graphs(
+            self.base
+                .replicas()
+                .map(|i| self.augmented_timestamp_graph(i))
+                .collect(),
+        )
+    }
+
+    /// The edge set a *client* `c` must track: `∪_{i ∈ R_c} Ê_i`
+    /// (Appendix E.5).
+    pub fn client_edge_set(&self, c: ClientId, graphs: &TimestampGraphs) -> Vec<EdgeId> {
+        let mut set = BTreeSet::new();
+        if let Some(rs) = self.clients.replicas_of(c) {
+            for &r in rs {
+                set.extend(graphs.of(r).edges().iter().copied());
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::edge;
+    use crate::loops::LoopConfig;
+    use crate::placement::Placement;
+    use crate::topology;
+
+    /// Path 0 - 1 - 2 with distinct registers; a client spans 0 and 2.
+    fn path_with_spanning_client() -> AugmentedShareGraph {
+        let g = topology::path(3);
+        let mut clients = ClientAssignment::new(3);
+        clients.assign(
+            ClientId::new(0),
+            [ReplicaId::new(0), ReplicaId::new(2)],
+        );
+        AugmentedShareGraph::new(g, clients)
+    }
+
+    #[test]
+    fn client_edges_extend_adjacency() {
+        let ag = path_with_spanning_client();
+        assert!(ag.has_edge(edge(0, 2)));
+        assert!(!ag.base().has_edge(edge(0, 2)));
+        assert_eq!(ag.neighbors(ReplicaId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn spanning_client_creates_loops_in_tree() {
+        // Without the client, a path has no loops at all. With the client
+        // edge 0—2, replica 1 sits on the cycle 1-0-2 (via client edge):
+        // an augmented (1, e_jk)-loop can exist.
+        let ag = path_with_spanning_client();
+        let r1 = ReplicaId::new(1);
+        // e_02 is a client-only edge: never tracked (X_02 = ∅ fails (i)).
+        assert!(!ag.exists_augmented_loop(r1, edge(0, 2)));
+        // But consider i = 0: loop (0, l_1 = 1? ...). Check e_21 from the
+        // augmented cycle 0-1-2-0: i=0, j=2, k=1: left path 0→1 (share
+        // edge), (i): X_21 ≠ ∅ ✓; right path 2→0 via client co-access ✓.
+        assert!(ag.exists_augmented_loop(ReplicaId::new(0), edge(2, 1)));
+        // Without clients there is no such loop.
+        let g = topology::path(3);
+        assert!(!crate::loops::exists_loop(
+            &g,
+            ReplicaId::new(0),
+            edge(2, 1),
+            LoopConfig::EXHAUSTIVE
+        ));
+    }
+
+    #[test]
+    fn augmented_graph_only_tracks_real_edges() {
+        let ag = path_with_spanning_client();
+        for i in ag.base().replicas() {
+            let tg = ag.augmented_timestamp_graph(i);
+            for &e in tg.edges() {
+                assert!(ag.base().has_edge(e), "{e} is not a share edge");
+            }
+        }
+    }
+
+    #[test]
+    fn no_clients_means_plain_timestamp_graphs() {
+        let g = topology::ring(5);
+        let ag = AugmentedShareGraph::new(g.clone(), ClientAssignment::new(5));
+        let plain = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+        for i in g.replicas() {
+            assert_eq!(
+                ag.augmented_timestamp_graph(i).edges(),
+                plain.of(i).edges(),
+                "replica {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn augmented_is_superset_of_plain() {
+        let g = topology::grid(3, 2);
+        let mut clients = ClientAssignment::new(6);
+        clients.assign(ClientId::new(0), [ReplicaId::new(0), ReplicaId::new(5)]);
+        clients.assign(ClientId::new(1), [ReplicaId::new(2), ReplicaId::new(3)]);
+        let ag = AugmentedShareGraph::new(g.clone(), clients);
+        let plain = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+        for i in g.replicas() {
+            let aug = ag.augmented_timestamp_graph(i);
+            for &e in plain.of(i).edges() {
+                assert!(aug.contains(e), "replica {i} lost plain edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn client_edge_set_unions_replica_graphs() {
+        let ag = path_with_spanning_client();
+        let graphs = ag.augmented_timestamp_graphs();
+        let c = ClientId::new(0);
+        let edges = ag.client_edge_set(c, &graphs);
+        let mut expected = BTreeSet::new();
+        expected.extend(graphs.of(ReplicaId::new(0)).edges().iter().copied());
+        expected.extend(graphs.of(ReplicaId::new(2)).edges().iter().copied());
+        assert_eq!(edges, expected.into_iter().collect::<Vec<_>>());
+        // Unknown client: empty.
+        assert!(ag.client_edge_set(ClientId::new(9), &graphs).is_empty());
+    }
+
+    #[test]
+    fn assignment_validates_range() {
+        let mut a = ClientAssignment::new(2);
+        a.assign(ClientId::new(0), [ReplicaId::new(0), ReplicaId::new(1)]);
+        assert_eq!(
+            a.replicas_of(ClientId::new(0)),
+            Some(&[ReplicaId::new(0), ReplicaId::new(1)][..])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assignment_rejects_bad_replica() {
+        let mut a = ClientAssignment::new(2);
+        a.assign(ClientId::new(0), [ReplicaId::new(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same replicas")]
+    fn augmented_rejects_mismatched_sizes() {
+        let g = Placement::builder(3).share(0, [0, 1]).build();
+        let _ = AugmentedShareGraph::new(ShareGraph::new(g), ClientAssignment::new(2));
+    }
+}

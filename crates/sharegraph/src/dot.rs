@@ -1,0 +1,127 @@
+//! Graphviz (DOT) export of share graphs and timestamp graphs —
+//! for documentation, debugging, and reproducing the paper's figures.
+
+use crate::graph::ShareGraph;
+use crate::tsgraph::TimestampGraph;
+use std::fmt::Write as _;
+
+/// Renders the share graph as an undirected Graphviz graph; edges are
+/// labelled with their shared register sets.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::{topology, dot};
+/// let g = topology::path(2);
+/// let out = dot::share_graph_to_dot(&g);
+/// assert!(out.starts_with("graph share"));
+/// assert!(out.contains("r0 -- r1"));
+/// ```
+pub fn share_graph_to_dot(g: &ShareGraph) -> String {
+    let mut out = String::from("graph share {\n  node [shape=circle];\n");
+    for i in g.replicas() {
+        let _ = writeln!(out, "  r{};", i.raw());
+    }
+    for &e in g.edges() {
+        if e.from < e.to {
+            let regs: Vec<String> = g
+                .edge_registers(e)
+                .iter()
+                .map(|x| x.to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "  r{} -- r{} [label=\"{}\"];",
+                e.from.raw(),
+                e.to.raw(),
+                regs.join(",")
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a replica's timestamp graph as a directed Graphviz graph; the
+/// anchor replica is highlighted and far edges are drawn dashed.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::{paper_examples, dot, TimestampGraph, ReplicaId, LoopConfig};
+/// let g = paper_examples::figure5();
+/// let tg = TimestampGraph::build(&g, ReplicaId::new(0), LoopConfig::EXHAUSTIVE);
+/// let out = dot::timestamp_graph_to_dot(&g, &tg);
+/// assert!(out.contains("r3 -> r2")); // e_43 of the paper
+/// assert!(!out.contains("r2 -> r3")); // e_34 not tracked
+/// ```
+pub fn timestamp_graph_to_dot(g: &ShareGraph, tg: &TimestampGraph) -> String {
+    let me = tg.replica();
+    let mut out = String::from("digraph timestamp {\n  node [shape=circle];\n");
+    let _ = writeln!(
+        out,
+        "  r{} [style=filled, fillcolor=lightblue];",
+        me.raw()
+    );
+    for v in tg.vertices() {
+        if v != me {
+            let _ = writeln!(out, "  r{};", v.raw());
+        }
+    }
+    for &e in tg.edges() {
+        let style = if e.touches(me) { "solid" } else { "dashed" };
+        let regs: Vec<String> = g
+            .edge_registers(e)
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  r{} -> r{} [style={}, label=\"{}\"];",
+            e.from.raw(),
+            e.to.raw(),
+            style,
+            regs.join(",")
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ReplicaId;
+    use crate::loops::LoopConfig;
+    use crate::topology;
+
+    #[test]
+    fn share_graph_dot_structure() {
+        let g = topology::ring(3);
+        let out = share_graph_to_dot(&g);
+        assert!(out.starts_with("graph share {"));
+        assert!(out.trim_end().ends_with('}'));
+        // Undirected: each pair appears once.
+        assert_eq!(out.matches(" -- ").count(), 3);
+        assert!(out.contains("label=\"x0\""));
+    }
+
+    #[test]
+    fn timestamp_dot_marks_anchor_and_far_edges() {
+        let g = topology::ring(4);
+        let tg = TimestampGraph::build(&g, ReplicaId::new(0), LoopConfig::EXHAUSTIVE);
+        let out = timestamp_graph_to_dot(&g, &tg);
+        assert!(out.contains("r0 [style=filled"));
+        assert!(out.contains("style=dashed")); // far edges
+        assert!(out.contains("style=solid")); // incident edges
+        assert_eq!(out.matches(" -> ").count(), tg.len());
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = crate::ShareGraph::new(crate::Placement::builder(1).build());
+        let out = share_graph_to_dot(&g);
+        assert!(out.contains("r0;"));
+        assert!(!out.contains(" -- "));
+    }
+}

@@ -1,0 +1,402 @@
+//! Hoops and minimal hoops — the Hélary–Milani condition the paper corrects
+//! (Section 3.2 and Appendix A; Definitions 9/17, 10/18, and 20).
+//!
+//! An `x`-hoop between two replicas `r_a, r_b ∈ C(x)` is a path whose
+//! interior vertices do not store `x` and whose consecutive pairs share a
+//! register other than `x`. Hélary and Milani claimed a replica must track
+//! register `x` iff it stores `x` or lies on a *minimal* `x`-hoop; the
+//! paper shows this claim is incorrect in both directions. This module
+//! implements both the original and the modified minimality conditions so
+//! the counterexamples (Figures 8a/8b) can be reproduced quantitatively
+//! (experiment E3).
+
+use crate::graph::ShareGraph;
+use crate::ids::{EdgeId, RegisterId, ReplicaId};
+use crate::regset::RegSet;
+
+/// Which minimality condition to use when testing hoops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoopVariant {
+    /// Definition 18 (original Hélary–Milani): every hoop edge can be
+    /// labelled with a *distinct* register, and no label is stored by both
+    /// endpoints `r_a` and `r_b`.
+    Original,
+    /// Definition 20 (the modified version the paper also refutes): every
+    /// hoop edge labelled with a distinct register, and no label is shared
+    /// by **more than two replicas of the hoop**.
+    Modified,
+}
+
+/// A concrete hoop: the path `r_a = h_0, h_1, …, h_k = r_b` together with
+/// the register `x` it is a hoop for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hoop {
+    /// The register the hoop bypasses.
+    pub register: RegisterId,
+    /// Path vertices, endpoints included. Length ≥ 2.
+    pub path: Vec<ReplicaId>,
+}
+
+impl Hoop {
+    /// Number of edges in the hoop path.
+    pub fn num_edges(&self) -> usize {
+        self.path.len() - 1
+    }
+
+    /// True if this is a valid `x`-hoop in `g` (Definition 17): interior
+    /// vertices outside `C(x)`, endpoints in `C(x)`, and each consecutive
+    /// pair sharing some register `≠ x`.
+    pub fn is_valid(&self, g: &ShareGraph) -> bool {
+        if self.path.len() < 2 {
+            return false;
+        }
+        let x = self.register;
+        let p = g.placement();
+        let (a, b) = (self.path[0], *self.path.last().unwrap());
+        if !p.stores(a, x) || !p.stores(b, x) {
+            return false;
+        }
+        for &h in &self.path[1..self.path.len() - 1] {
+            if p.stores(h, x) {
+                return false;
+            }
+        }
+        for w in self.path.windows(2) {
+            let mut shared = g.edge_registers(EdgeId::new(w[0], w[1])).clone();
+            shared.remove(x);
+            if shared.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if the hoop is minimal under `variant`, i.e. there is a system
+    /// of *distinct* representative labels (one register per edge, each
+    /// `≠ x`) satisfying the variant's extra condition.
+    ///
+    /// Finding a distinct-label assignment is a bipartite matching between
+    /// hoop edges and candidate registers; hoops are short, so a simple
+    /// augmenting-path matching suffices.
+    pub fn is_minimal(&self, g: &ShareGraph, variant: HoopVariant) -> bool {
+        if !self.is_valid(g) {
+            return false;
+        }
+        let x = self.register;
+        let p = g.placement();
+        let (a, b) = (self.path[0], *self.path.last().unwrap());
+        // Candidate labels per edge.
+        let mut edge_labels: Vec<Vec<RegisterId>> = Vec::new();
+        for w in self.path.windows(2) {
+            let mut cands = Vec::new();
+            for reg in g.edge_registers(EdgeId::new(w[0], w[1])).iter() {
+                if reg == x {
+                    continue;
+                }
+                let ok = match variant {
+                    HoopVariant::Original => !(p.stores(a, reg) && p.stores(b, reg)),
+                    HoopVariant::Modified => {
+                        // Label not shared by more than two replicas *in the
+                        // hoop*.
+                        let holders_in_hoop = self
+                            .path
+                            .iter()
+                            .filter(|&&h| p.stores(h, reg))
+                            .count();
+                        holders_in_hoop <= 2
+                    }
+                };
+                if ok {
+                    cands.push(reg);
+                }
+            }
+            if cands.is_empty() {
+                return false;
+            }
+            edge_labels.push(cands);
+        }
+        distinct_assignment_exists(&edge_labels)
+    }
+}
+
+/// Bipartite matching: can each edge pick a distinct register from its
+/// candidate list? (Hall's theorem via augmenting paths.)
+fn distinct_assignment_exists(cands: &[Vec<RegisterId>]) -> bool {
+    use std::collections::HashMap;
+    let mut owner: HashMap<RegisterId, usize> = HashMap::new();
+
+    fn try_assign(
+        e: usize,
+        cands: &[Vec<RegisterId>],
+        owner: &mut std::collections::HashMap<RegisterId, usize>,
+        visited: &mut Vec<RegisterId>,
+    ) -> bool {
+        for &reg in &cands[e] {
+            if visited.contains(&reg) {
+                continue;
+            }
+            visited.push(reg);
+            match owner.get(&reg).copied() {
+                None => {
+                    owner.insert(reg, e);
+                    return true;
+                }
+                Some(prev) => {
+                    if try_assign(prev, cands, owner, visited) {
+                        owner.insert(reg, e);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    for e in 0..cands.len() {
+        let mut visited = Vec::new();
+        if !try_assign(e, cands, &mut owner, &mut visited) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates all `x`-hoops between distinct ordered pairs of replicas in
+/// `C(x)` that pass through replica `via`, up to `max_edges` edges.
+/// Endpoints are excluded as `via` (the interesting case is an interior
+/// vertex that does not store `x`).
+pub fn hoops_through(
+    g: &ShareGraph,
+    x: RegisterId,
+    via: ReplicaId,
+    max_edges: usize,
+) -> Vec<Hoop> {
+    let mut out = Vec::new();
+    let holders: Vec<ReplicaId> = g.placement().holders(x).to_vec();
+    for &a in &holders {
+        for &b in &holders {
+            if a == b {
+                continue;
+            }
+            // DFS over simple paths a -> b with interior outside C(x).
+            let mut path = vec![a];
+            let mut used = vec![false; g.num_replicas()];
+            used[a.index()] = true;
+            dfs_hoops(g, x, a, b, via, max_edges, &mut path, &mut used, &mut out);
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_hoops(
+    g: &ShareGraph,
+    x: RegisterId,
+    v: ReplicaId,
+    target: ReplicaId,
+    via: ReplicaId,
+    max_edges: usize,
+    path: &mut Vec<ReplicaId>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Hoop>,
+) {
+    if path.len() > max_edges {
+        return;
+    }
+    for &w in g.neighbors(v) {
+        if used[w.index()] {
+            continue;
+        }
+        // Edge must share a register other than x.
+        let mut labels = g.edge_registers(EdgeId::new(v, w)).clone();
+        labels.remove(x);
+        if labels.is_empty() {
+            continue;
+        }
+        if w == target {
+            path.push(w);
+            let hoop = Hoop {
+                register: x,
+                path: path.clone(),
+            };
+            // Interior must avoid C(x); interior = path[1..len-1].
+            if hoop.is_valid(g) && path[1..path.len() - 1].contains(&via) {
+                out.push(hoop);
+            }
+            path.pop();
+            continue;
+        }
+        if g.placement().stores(w, x) {
+            continue; // interior vertices must not store x
+        }
+        used[w.index()] = true;
+        path.push(w);
+        dfs_hoops(g, x, w, target, via, max_edges, path, used, out);
+        path.pop();
+        used[w.index()] = false;
+    }
+}
+
+/// The set of registers replica `i` must "transmit information about"
+/// according to the Hélary–Milani claim (Lemma 11/19): the registers it
+/// stores plus every register `x` such that `i` lies on a minimal `x`-hoop.
+pub fn helary_milani_tracked_registers(
+    g: &ShareGraph,
+    i: ReplicaId,
+    variant: HoopVariant,
+    max_edges: usize,
+) -> RegSet {
+    let mut out = g.placement().registers_of(i).clone();
+    for x_idx in 0..g.placement().num_registers() as u32 {
+        let x = RegisterId::new(x_idx);
+        if out.contains(x) {
+            continue;
+        }
+        let hoops = hoops_through(g, x, i, max_edges);
+        if hoops.iter().any(|h| h.is_minimal(g, variant)) {
+            out.insert(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+
+    /// Square: 0-1 share x(0) and also 0-2, plus a bypass 0-3-1 labelled
+    /// with distinct registers.
+    fn square_with_bypass() -> ShareGraph {
+        // C(x)= {0,1}: register 0 at replicas 0,1.
+        // bypass 0 - 3 - 1 with registers 1 (0-3) and 2 (3-1).
+        ShareGraph::new(
+            Placement::builder(4)
+                .share(0, [0, 1])
+                .share(1, [0, 3])
+                .share(2, [3, 1])
+                .build(),
+        )
+    }
+
+    #[test]
+    fn finds_simple_hoop() {
+        let g = square_with_bypass();
+        let hoops = hoops_through(&g, RegisterId::new(0), ReplicaId::new(3), 4);
+        assert!(!hoops.is_empty());
+        for h in &hoops {
+            assert!(h.is_valid(&g));
+            assert!(h.is_minimal(&g, HoopVariant::Original), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn hoop_validity_checks() {
+        let g = square_with_bypass();
+        // Endpoint does not store x.
+        let bad = Hoop {
+            register: RegisterId::new(0),
+            path: vec![ReplicaId::new(3), ReplicaId::new(1)],
+        };
+        assert!(!bad.is_valid(&g));
+        // Interior stores x: path 0 -> 1 -> ... can't be: 1 stores x, so a
+        // path through 1 as interior is invalid.
+        let bad2 = Hoop {
+            register: RegisterId::new(0),
+            path: vec![ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(3)],
+        };
+        assert!(!bad2.is_valid(&g));
+        // Too short.
+        let bad3 = Hoop {
+            register: RegisterId::new(0),
+            path: vec![ReplicaId::new(0)],
+        };
+        assert!(!bad3.is_valid(&g));
+    }
+
+    #[test]
+    fn distinct_labels_required_for_minimality() {
+        // Hoop 0-2-1 for x=0 where both edges carry only register 1:
+        // no distinct labelling ⇒ not minimal.
+        let g = ShareGraph::new(
+            Placement::builder(3)
+                .share(0, [0, 1]) // x at 0,1
+                .share(1, [0, 2, 1]) // y at 0,2,1: edges 0-2 and 2-1 both only y
+                .build(),
+        );
+        let hoops = hoops_through(&g, RegisterId::new(0), ReplicaId::new(2), 3);
+        assert!(!hoops.is_empty());
+        for h in &hoops {
+            assert!(!h.is_minimal(&g, HoopVariant::Original));
+        }
+    }
+
+    #[test]
+    fn endpoint_shared_label_blocks_original_minimality() {
+        // Hoop 0-2-1 for x (=r0), edges labelled y (=r1) and z (=r2), but y
+        // is stored by both endpoints 0 and 1 ⇒ y unusable; the 0-2 edge
+        // also carries w (=r3) though, so still minimal.
+        let g = ShareGraph::new(
+            Placement::builder(3)
+                .share(0, [0, 1]) // x at 0,1
+                .share(1, [0, 2, 1]) // y at 0,1,2
+                .share(2, [2, 1]) // z at 2,1
+                .share(3, [0, 2]) // w at 0,2
+                .build(),
+        );
+        let hoops = hoops_through(&g, RegisterId::new(0), ReplicaId::new(2), 3);
+        let minimal: Vec<_> = hoops
+            .iter()
+            .filter(|h| h.is_minimal(&g, HoopVariant::Original))
+            .collect();
+        assert!(!minimal.is_empty());
+        // Remove w and the hoop stops being minimal (0-2 edge can only be
+        // labelled y, which both endpoints store).
+        let g2 = ShareGraph::new(
+            Placement::builder(3)
+                .share(0, [0, 1])
+                .share(1, [0, 2, 1])
+                .share(2, [2, 1])
+                .build(),
+        );
+        let hoops2 = hoops_through(&g2, RegisterId::new(0), ReplicaId::new(2), 3);
+        assert!(hoops2
+            .iter()
+            .all(|h| !h.is_minimal(&g2, HoopVariant::Original)));
+    }
+
+    #[test]
+    fn tracked_registers_includes_own() {
+        let g = square_with_bypass();
+        let tracked = helary_milani_tracked_registers(
+            &g,
+            ReplicaId::new(3),
+            HoopVariant::Original,
+            8,
+        );
+        // Replica 3 stores registers 1, 2 and lies on a minimal x-hoop.
+        assert!(tracked.contains(RegisterId::new(0)));
+        assert!(tracked.contains(RegisterId::new(1)));
+        assert!(tracked.contains(RegisterId::new(2)));
+    }
+
+    #[test]
+    fn matching_handles_contention() {
+        // Three edges each allowing registers {1,2}: no distinct assignment.
+        assert!(!distinct_assignment_exists(&[
+            vec![RegisterId::new(1), RegisterId::new(2)],
+            vec![RegisterId::new(1), RegisterId::new(2)],
+            vec![RegisterId::new(1), RegisterId::new(2)],
+        ]));
+        // Two edges: fine.
+        assert!(distinct_assignment_exists(&[
+            vec![RegisterId::new(1), RegisterId::new(2)],
+            vec![RegisterId::new(1), RegisterId::new(2)],
+        ]));
+        // Forced chain: e0 can only take 1, e1 can take 1 or 2.
+        assert!(distinct_assignment_exists(&[
+            vec![RegisterId::new(1)],
+            vec![RegisterId::new(1), RegisterId::new(2)],
+        ]));
+    }
+}

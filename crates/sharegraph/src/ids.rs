@@ -1,0 +1,266 @@
+//! Identifier newtypes used throughout the workspace.
+//!
+//! Replicas, registers and clients are identified by small integers. The
+//! newtypes below prevent the classic bug of indexing a register table with
+//! a replica id (see C-NEWTYPE in the Rust API guidelines).
+
+use std::fmt;
+
+/// Identifier of a replica (a "peer" in the peer-to-peer architecture, or a
+/// server in the client-server architecture). Replicas are numbered from 0.
+///
+/// Note: the paper numbers replicas `1..=R`; we use `0..R` as is idiomatic
+/// for array indexing. Display output is the raw index.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::ReplicaId;
+/// let r = ReplicaId::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ReplicaId(u32);
+
+impl ReplicaId {
+    /// Creates a replica id from its index.
+    pub const fn new(index: u32) -> Self {
+        ReplicaId(index)
+    }
+
+    /// Raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize`, for indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for ReplicaId {
+    fn from(v: u32) -> Self {
+        ReplicaId(v)
+    }
+}
+
+impl From<ReplicaId> for u32 {
+    fn from(v: ReplicaId) -> Self {
+        v.0
+    }
+}
+
+/// Identifier of a shared read/write register.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::RegisterId;
+/// let x = RegisterId::new(0);
+/// assert_eq!(x.to_string(), "x0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RegisterId(u32);
+
+impl RegisterId {
+    /// Creates a register id from its index.
+    pub const fn new(index: u32) -> Self {
+        RegisterId(index)
+    }
+
+    /// Raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize`, for indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for RegisterId {
+    fn from(v: u32) -> Self {
+        RegisterId(v)
+    }
+}
+
+impl From<RegisterId> for u32 {
+    fn from(v: RegisterId) -> Self {
+        v.0
+    }
+}
+
+/// Identifier of a client in the client-server architecture (Section 6 of
+/// the paper). Clients are numbered from 0.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::ClientId;
+/// assert_eq!(ClientId::new(2).to_string(), "c2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Creates a client id from its index.
+    pub const fn new(index: u32) -> Self {
+        ClientId(index)
+    }
+
+    /// Raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize`, for indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(v: u32) -> Self {
+        ClientId(v)
+    }
+}
+
+/// A *directed* edge `e_jk` of the share graph: from replica `j` to replica
+/// `k`. Directed edges always come in pairs (`e_jk` exists iff `e_kj`
+/// exists), but timestamp graphs track them individually — `e_43` may be
+/// tracked while `e_34` is not (Figure 5 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::{EdgeId, ReplicaId};
+/// let e = EdgeId::new(ReplicaId::new(4), ReplicaId::new(3));
+/// assert_eq!(e.reversed(), EdgeId::new(ReplicaId::new(3), ReplicaId::new(4)));
+/// assert_eq!(e.to_string(), "e(r4->r3)");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId {
+    /// Source replica (the issuer of updates counted on this edge).
+    pub from: ReplicaId,
+    /// Destination replica.
+    pub to: ReplicaId,
+}
+
+impl EdgeId {
+    /// Creates the directed edge `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`; self-loops never occur in share graphs.
+    pub fn new(from: ReplicaId, to: ReplicaId) -> Self {
+        assert_ne!(from, to, "share graphs have no self-loops");
+        EdgeId { from, to }
+    }
+
+    /// The same edge in the opposite direction.
+    pub fn reversed(self) -> Self {
+        EdgeId {
+            from: self.to,
+            to: self.from,
+        }
+    }
+
+    /// True if this edge is incident (in either direction) at `r`.
+    pub fn touches(self, r: ReplicaId) -> bool {
+        self.from == r || self.to == r
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e({}->{})", self.from, self.to)
+    }
+}
+
+/// Convenience constructor for an edge between raw indices.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::edge;
+/// assert_eq!(edge(1, 2).to_string(), "e(r1->r2)");
+/// ```
+pub fn edge(from: u32, to: u32) -> EdgeId {
+    EdgeId::new(ReplicaId::new(from), ReplicaId::new(to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_id_roundtrip() {
+        let r = ReplicaId::new(7);
+        assert_eq!(r.raw(), 7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(u32::from(r), 7);
+        assert_eq!(ReplicaId::from(7u32), r);
+    }
+
+    #[test]
+    fn register_id_roundtrip() {
+        let x = RegisterId::new(11);
+        assert_eq!(x.raw(), 11);
+        assert_eq!(RegisterId::from(11u32), x);
+    }
+
+    #[test]
+    fn client_id_display() {
+        assert_eq!(ClientId::new(0).to_string(), "c0");
+        assert_eq!(ClientId::from(5u32).index(), 5);
+    }
+
+    #[test]
+    fn edge_reverse_is_involution() {
+        let e = edge(1, 2);
+        assert_eq!(e.reversed().reversed(), e);
+        assert_ne!(e.reversed(), e);
+    }
+
+    #[test]
+    fn edge_touches() {
+        let e = edge(1, 2);
+        assert!(e.touches(ReplicaId::new(1)));
+        assert!(e.touches(ReplicaId::new(2)));
+        assert!(!e.touches(ReplicaId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = edge(1, 1);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ReplicaId::new(1) < ReplicaId::new(2));
+        assert!(edge(0, 1) < edge(0, 2));
+        assert!(edge(0, 2) < edge(1, 0));
+    }
+}

@@ -1,0 +1,260 @@
+//! The concrete share graphs from the paper's figures, 0-indexed.
+//!
+//! Paper replica `r_n` becomes `ReplicaId::new(n - 1)` for Figures 3 and 5;
+//! the counterexample figures use named constants (see
+//! [`CounterexampleIds`]). These graphs anchor the reproduction tests: the
+//! edge sets the paper derives by hand are asserted against our loop
+//! machinery (experiments E1 and E3).
+
+use crate::graph::ShareGraph;
+use crate::ids::ReplicaId;
+use crate::placement::Placement;
+
+/// Figure 3: `X_1 = {x}`, `X_2 = {x, y}`, `X_3 = {y, z}`, `X_4 = {z}` — a
+/// path-shaped share graph on 4 replicas.
+///
+/// Register ids: `x = 0`, `y = 1`, `z = 2`.
+pub fn figure3() -> ShareGraph {
+    ShareGraph::new(
+        Placement::builder(4)
+            .store_all(0, [0])
+            .store_all(1, [0, 1])
+            .store_all(2, [1, 2])
+            .store_all(3, [2])
+            .build(),
+    )
+}
+
+/// Figure 5a: `X_1 = {a, y, w}`, `X_2 = {b, x, y}`, `X_3 = {c, x, z}`,
+/// `X_4 = {d, y, z, w}`.
+///
+/// Register ids: `a=0, b=1, c=2, d=3, x=4, y=5, z=6, w=7`. Edge labels:
+/// `X_12 = {y}`, `X_23 = {x}`, `X_34 = {z}`, `X_14 = {y, w}`,
+/// `X_24 = {y}`, `X_13 = ∅`.
+///
+/// The paper's worked example: `(1,2,3,4)` is a `(1, e_43)`-loop, so
+/// `e_43 ∈ G_1`, while no `(1, e_34)`-loop exists, so `e_34 ∉ G_1`.
+pub fn figure5() -> ShareGraph {
+    ShareGraph::new(
+        Placement::builder(4)
+            .store_all(0, [0, 5, 7])
+            .store_all(1, [1, 4, 5])
+            .store_all(2, [2, 4, 6])
+            .store_all(3, [3, 5, 6, 7])
+            .build(),
+    )
+}
+
+/// Replica ids for the counterexample graphs of Figures 6/8 (`figure8a`,
+/// `figure8b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterexampleIds {
+    /// The observing replica `i`.
+    pub i: ReplicaId,
+    /// Interior replica `a_1` (stores `y` [and `z` in 8a]).
+    pub a1: ReplicaId,
+    /// Interior replica `a_2` (stores `z` in 8a).
+    pub a2: ReplicaId,
+    /// Replica `k` (stores `x`).
+    pub k: ReplicaId,
+    /// Replica `j` (stores `x`).
+    pub j: ReplicaId,
+    /// Interior replica `b_1` (stores `y`).
+    pub b1: ReplicaId,
+    /// Interior replica `b_2` (stores `y` [and `z` in 8a]).
+    pub b2: ReplicaId,
+}
+
+/// The replica naming used by [`figure8a`] and [`figure8b`].
+pub const CE: CounterexampleIds = CounterexampleIds {
+    i: ReplicaId::new(0),
+    a1: ReplicaId::new(1),
+    a2: ReplicaId::new(2),
+    k: ReplicaId::new(3),
+    j: ReplicaId::new(4),
+    b1: ReplicaId::new(5),
+    b2: ReplicaId::new(6),
+};
+
+/// Register ids used by the counterexample graphs.
+pub mod ce_regs {
+    use crate::ids::RegisterId;
+    /// Register `x`, shared by `j` and `k`.
+    pub const X: RegisterId = RegisterId::new(0);
+    /// Register `y`, shared by `b_1`, `b_2`, `a_1`.
+    pub const Y: RegisterId = RegisterId::new(1);
+    /// Register `z`, shared by `b_2`, `a_1`, `a_2` (Figure 8a only).
+    pub const Z: RegisterId = RegisterId::new(2);
+}
+
+/// Figure 8a (= Figure 6): the counterexample showing the original
+/// Hélary–Milani minimal-hoop condition **over-tracks**.
+///
+/// Cycle `j — b1 — b2 — i — a1 — a2 — k — j`. `x` shared by `{j, k}`;
+/// `y` by `{b1, b2, a1}`; `z` by `{b2, a1, a2}`; all other cycle edges
+/// carry unique registers (ids 3–6).
+///
+/// The loop is a minimal `x`-hoop through `i` per Definition 18, yet no
+/// `(i, e_jk)`- or `(i, e_kj)`-loop exists: `i` need not track `x` at all.
+pub fn figure8a() -> ShareGraph {
+    let (i, a1, a2, k, j, b1, b2) = (
+        CE.i.raw(),
+        CE.a1.raw(),
+        CE.a2.raw(),
+        CE.k.raw(),
+        CE.j.raw(),
+        CE.b1.raw(),
+        CE.b2.raw(),
+    );
+    ShareGraph::new(
+        Placement::builder(7)
+            .share(0, [j, k]) // x
+            .share(1, [b1, b2, a1]) // y
+            .share(2, [b2, a1, a2]) // z
+            .share(3, [j, b1]) // unique cycle labels
+            .share(4, [b2, i])
+            .share(5, [i, a1])
+            .share(6, [a2, k])
+            .build(),
+    )
+}
+
+/// Figure 8b: the counterexample showing the **modified** minimal-hoop
+/// condition (Definition 20) **under-tracks**.
+///
+/// Same cycle as [`figure8a`] but only `y` is multi-shared
+/// (`{b1, b2, a1}`); the `a1 — a2` edge carries a unique register.
+///
+/// The hoop is *not* minimal under Definition 20 (label `y` is stored by
+/// three hoop replicas), yet `e_kj ∈ E_i` by Theorem 8 — replica `i` must
+/// track updates to `x` issued by `k`.
+pub fn figure8b() -> ShareGraph {
+    let (i, a1, a2, k, j, b1, b2) = (
+        CE.i.raw(),
+        CE.a1.raw(),
+        CE.a2.raw(),
+        CE.k.raw(),
+        CE.j.raw(),
+        CE.b1.raw(),
+        CE.b2.raw(),
+    );
+    ShareGraph::new(
+        Placement::builder(7)
+            .share(0, [j, k]) // x
+            .share(1, [b1, b2, a1]) // y
+            .share(3, [j, b1]) // unique cycle labels
+            .share(4, [b2, i])
+            .share(5, [i, a1])
+            .share(6, [a2, k])
+            .share(7, [a1, a2])
+            .build(),
+    )
+}
+
+/// Figure 13: ring of `n` replicas, one distinct register per adjacent
+/// pair — the topology used for the "breaking the ring" optimization.
+pub fn figure13(n: usize) -> ShareGraph {
+    crate::topology::ring(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{edge, EdgeId};
+    use crate::loops::{exists_loop, LoopConfig};
+    use crate::tsgraph::TimestampGraph;
+
+    #[test]
+    fn figure3_edge_labels() {
+        let g = figure3();
+        assert_eq!(g.num_undirected_edges(), 3);
+        assert_eq!(g.edge_registers(edge(0, 1)).len(), 1);
+        assert_eq!(g.edge_registers(edge(1, 2)).len(), 1);
+        assert_eq!(g.edge_registers(edge(2, 3)).len(), 1);
+        assert!(g.edge_registers(edge(0, 3)).is_empty());
+    }
+
+    #[test]
+    fn figure5_paper_worked_example() {
+        let g = figure5();
+        let r1 = ReplicaId::new(0);
+        // "(1,4,3,2) is not a (1, e_34)-loop since X_21 − X_4 = ∅" and no
+        // other loop exists either:
+        assert!(!exists_loop(&g, r1, edge(2, 3), LoopConfig::EXHAUSTIVE));
+        // "(1,2,3,4) is a (1, e_43)-loop":
+        assert!(exists_loop(&g, r1, edge(3, 2), LoopConfig::EXHAUSTIVE));
+        // "Similarly, (1,2,3,4) is a (1, e_32)-loop":
+        assert!(exists_loop(&g, r1, edge(2, 1), LoopConfig::EXHAUSTIVE));
+        // "(1,4,3,2) is not a (1, e_23)-loop due to a similar reason":
+        assert!(!exists_loop(&g, r1, edge(1, 2), LoopConfig::EXHAUSTIVE));
+    }
+
+    #[test]
+    fn figure5_timestamp_graph_of_replica1() {
+        let g = figure5();
+        let g1 = TimestampGraph::build(&g, ReplicaId::new(0), LoopConfig::EXHAUSTIVE);
+        // Incident edges of replica 1 (0-indexed 0): neighbors 2 (y) and 4
+        // (y, w) — 0-indexed 1 and 3.
+        let expected_incident: Vec<EdgeId> =
+            vec![edge(0, 1), edge(1, 0), edge(0, 3), edge(3, 0)];
+        for e in expected_incident {
+            assert!(g1.contains(e), "missing incident {e}");
+        }
+        // Figure 5b: e_43 tracked, e_34 not.
+        assert!(g1.contains(edge(3, 2)));
+        assert!(!g1.contains(edge(2, 3)));
+        // e_32 tracked, e_23 not.
+        assert!(g1.contains(edge(2, 1)));
+        assert!(!g1.contains(edge(1, 2)));
+    }
+
+    #[test]
+    fn figure8a_no_tracking_of_x_needed() {
+        let g = figure8a();
+        let e_jk = EdgeId::new(CE.j, CE.k);
+        let e_kj = EdgeId::new(CE.k, CE.j);
+        assert!(g.has_edge(e_jk));
+        assert!(!exists_loop(&g, CE.i, e_jk, LoopConfig::EXHAUSTIVE));
+        assert!(!exists_loop(&g, CE.i, e_kj, LoopConfig::EXHAUSTIVE));
+    }
+
+    #[test]
+    fn figure8a_is_a_minimal_hoop_by_original_definition() {
+        use crate::hoops::{Hoop, HoopVariant};
+        let g = figure8a();
+        let hoop = Hoop {
+            register: ce_regs::X,
+            path: vec![CE.j, CE.b1, CE.b2, CE.i, CE.a1, CE.a2, CE.k],
+        };
+        assert!(hoop.is_valid(&g));
+        assert!(hoop.is_minimal(&g, HoopVariant::Original));
+        // ... so original HM would force i to track x: over-tracking.
+    }
+
+    #[test]
+    fn figure8b_modified_hoop_not_minimal_but_tracking_required() {
+        use crate::hoops::{Hoop, HoopVariant};
+        let g = figure8b();
+        let hoop = Hoop {
+            register: ce_regs::X,
+            path: vec![CE.j, CE.b1, CE.b2, CE.i, CE.a1, CE.a2, CE.k],
+        };
+        assert!(hoop.is_valid(&g));
+        // Not minimal under the modified definition (y held by 3 hoop
+        // replicas)...
+        assert!(!hoop.is_minimal(&g, HoopVariant::Modified));
+        // ...but Theorem 8 requires i to track e_kj: under-tracking.
+        let e_kj = EdgeId::new(CE.k, CE.j);
+        assert!(exists_loop(&g, CE.i, e_kj, LoopConfig::EXHAUSTIVE));
+        // (and e_jk is genuinely not needed)
+        let e_jk = EdgeId::new(CE.j, CE.k);
+        assert!(!exists_loop(&g, CE.i, e_jk, LoopConfig::EXHAUSTIVE));
+    }
+
+    #[test]
+    fn figure13_is_ring() {
+        let g = figure13(6);
+        assert_eq!(g.num_replicas(), 6);
+        assert_eq!(g.num_undirected_edges(), 6);
+    }
+}

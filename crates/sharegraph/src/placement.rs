@@ -1,0 +1,267 @@
+//! Register placement: which replica stores which registers.
+//!
+//! A [`Placement`] is the static assignment `X_i` of registers to replicas
+//! (Section 2 of the paper). The share graph, loops, and timestamp graphs
+//! are all derived from it.
+
+use crate::ids::{RegisterId, ReplicaId};
+use crate::regset::RegSet;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Static register placement: for each replica `i`, the set `X_i` of
+/// registers it stores.
+///
+/// Construct one with [`PlacementBuilder`], the topology generators in
+/// [`crate::topology`], or the paper figures in [`crate::paper_examples`].
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::{Placement, ReplicaId, RegisterId};
+/// // The running example of Section 3: X1={x}, X2={x,y}, X3={y,z}, X4={z}
+/// let p = Placement::builder(4)
+///     .store(0, 0) // replica 0 stores register 0 (x)
+///     .store(1, 0)
+///     .store(1, 1)
+///     .store(2, 1)
+///     .store(2, 2)
+///     .store(3, 2)
+///     .build();
+/// let x01 = p.shared(ReplicaId::new(0), ReplicaId::new(1));
+/// assert!(x01.contains(RegisterId::new(0)));
+/// assert!(p.shared(ReplicaId::new(0), ReplicaId::new(3)).is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `stores[i]` = X_i.
+    stores: Vec<RegSet>,
+    /// Number of distinct registers (max id + 1 over all X_i).
+    num_registers: usize,
+    /// `holders[x]` = replicas storing register x, sorted.
+    holders: Vec<Vec<ReplicaId>>,
+}
+
+impl Placement {
+    /// Starts building a placement over `replicas` replicas.
+    pub fn builder(replicas: usize) -> PlacementBuilder {
+        PlacementBuilder {
+            stores: vec![RegSet::new(); replicas],
+        }
+    }
+
+    /// Builds a placement directly from per-replica register sets.
+    pub fn from_sets(stores: Vec<RegSet>) -> Self {
+        let num_registers = stores
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|x| x.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut holders = vec![Vec::new(); num_registers];
+        for (i, s) in stores.iter().enumerate() {
+            for x in s.iter() {
+                holders[x.index()].push(ReplicaId::new(i as u32));
+            }
+        }
+        Placement {
+            stores,
+            num_registers,
+            holders,
+        }
+    }
+
+    /// Number of replicas `R`.
+    pub fn num_replicas(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Number of distinct registers in the system.
+    pub fn num_registers(&self) -> usize {
+        self.num_registers
+    }
+
+    /// All replica ids, `0..R`.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.stores.len() as u32).map(ReplicaId::new)
+    }
+
+    /// The set `X_i` of registers stored at replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn registers_of(&self, i: ReplicaId) -> &RegSet {
+        &self.stores[i.index()]
+    }
+
+    /// The set `X_ij = X_i ∩ X_j` of registers stored at both replicas.
+    pub fn shared(&self, i: ReplicaId, j: ReplicaId) -> RegSet {
+        self.stores[i.index()].intersection(&self.stores[j.index()])
+    }
+
+    /// True if replicas `i` and `j` share at least one register, i.e. the
+    /// share graph has edges `e_ij` and `e_ji`.
+    pub fn shares(&self, i: ReplicaId, j: ReplicaId) -> bool {
+        i != j && self.stores[i.index()].intersects(&self.stores[j.index()])
+    }
+
+    /// True if replica `i` stores register `x`.
+    pub fn stores(&self, i: ReplicaId, x: RegisterId) -> bool {
+        self.stores[i.index()].contains(x)
+    }
+
+    /// The set `C(x)` of replicas storing register `x` (sorted ascending).
+    /// Empty for unknown registers.
+    pub fn holders(&self, x: RegisterId) -> &[ReplicaId] {
+        self.holders
+            .get(x.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of (replica, register) storage pairs — the storage
+    /// footprint that partial replication reduces.
+    pub fn storage_cells(&self) -> usize {
+        self.stores.iter().map(RegSet::len).sum()
+    }
+
+    /// True if every replica stores every register (full replication).
+    pub fn is_full_replication(&self) -> bool {
+        self.stores
+            .iter()
+            .all(|s| s.len() == self.num_registers)
+    }
+}
+
+impl fmt::Debug for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = BTreeMap::new();
+        for (i, s) in self.stores.iter().enumerate() {
+            m.insert(ReplicaId::new(i as u32), s);
+        }
+        f.debug_struct("Placement").field("stores", &m).finish()
+    }
+}
+
+/// Incremental builder for [`Placement`] (see C-BUILDER).
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::Placement;
+/// let p = Placement::builder(2).store_all(0, [0, 1]).store(1, 1).build();
+/// assert_eq!(p.num_registers(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementBuilder {
+    stores: Vec<RegSet>,
+}
+
+impl PlacementBuilder {
+    /// Records that replica `replica` stores register `register`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn store(mut self, replica: u32, register: u32) -> Self {
+        self.stores[replica as usize].insert(RegisterId::new(register));
+        self
+    }
+
+    /// Records that `replica` stores every register in `registers`.
+    pub fn store_all<I: IntoIterator<Item = u32>>(mut self, replica: u32, registers: I) -> Self {
+        for x in registers {
+            self.stores[replica as usize].insert(RegisterId::new(x));
+        }
+        self
+    }
+
+    /// Records that register `register` is shared by all `replicas`.
+    pub fn share<I: IntoIterator<Item = u32>>(mut self, register: u32, replicas: I) -> Self {
+        for r in replicas {
+            self.stores[r as usize].insert(RegisterId::new(register));
+        }
+        self
+    }
+
+    /// Finalizes the placement.
+    pub fn build(self) -> Placement {
+        Placement::from_sets(self.stores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line4() -> Placement {
+        // X0={0}, X1={0,1}, X2={1,2}, X3={2}
+        Placement::builder(4)
+            .store(0, 0)
+            .store_all(1, [0, 1])
+            .store_all(2, [1, 2])
+            .store(3, 2)
+            .build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let p = line4();
+        assert_eq!(p.num_replicas(), 4);
+        assert_eq!(p.num_registers(), 3);
+        assert_eq!(p.registers_of(ReplicaId::new(1)).len(), 2);
+        assert!(p.stores(ReplicaId::new(2), RegisterId::new(2)));
+        assert!(!p.stores(ReplicaId::new(0), RegisterId::new(2)));
+    }
+
+    #[test]
+    fn sharing() {
+        let p = line4();
+        assert!(p.shares(ReplicaId::new(0), ReplicaId::new(1)));
+        assert!(!p.shares(ReplicaId::new(0), ReplicaId::new(2)));
+        assert!(!p.shares(ReplicaId::new(1), ReplicaId::new(1)));
+        assert_eq!(
+            p.shared(ReplicaId::new(1), ReplicaId::new(2)),
+            RegSet::from_indices([1])
+        );
+    }
+
+    #[test]
+    fn holders_sorted() {
+        let p = line4();
+        assert_eq!(
+            p.holders(RegisterId::new(1)),
+            &[ReplicaId::new(1), ReplicaId::new(2)]
+        );
+        assert!(p.holders(RegisterId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn storage_and_full_replication() {
+        let p = line4();
+        assert_eq!(p.storage_cells(), 6);
+        assert!(!p.is_full_replication());
+
+        let full = Placement::builder(2)
+            .store_all(0, [0, 1])
+            .store_all(1, [0, 1])
+            .build();
+        assert!(full.is_full_replication());
+    }
+
+    #[test]
+    fn share_builder() {
+        let p = Placement::builder(3).share(0, [0, 1, 2]).build();
+        assert_eq!(p.holders(RegisterId::new(0)).len(), 3);
+        assert!(p.shares(ReplicaId::new(0), ReplicaId::new(2)));
+    }
+
+    #[test]
+    fn empty_placement() {
+        let p = Placement::builder(3).build();
+        assert_eq!(p.num_registers(), 0);
+        assert_eq!(p.storage_cells(), 0);
+        assert!(p.is_full_replication()); // vacuously: 0 registers everywhere
+    }
+}

@@ -1,0 +1,347 @@
+//! A compact bit-set over [`RegisterId`]s.
+//!
+//! Share-graph computations are dominated by set algebra on register sets
+//! (`X_i`, `X_ij = X_i ∩ X_j`, and differences such as
+//! `X_jk − ∪ X_{l_p}` from Definition 4). A word-packed bit-set makes these
+//! O(registers / 64).
+
+use crate::ids::RegisterId;
+use std::fmt;
+
+/// A set of registers, stored as a packed bit vector.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::{RegSet, RegisterId};
+/// let mut a = RegSet::new();
+/// a.insert(RegisterId::new(1));
+/// a.insert(RegisterId::new(130));
+/// let mut b = RegSet::new();
+/// b.insert(RegisterId::new(130));
+/// assert!(a.intersects(&b));
+/// assert_eq!(a.intersection(&b).len(), 1);
+/// assert!(!a.difference(&b).is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RegSet { words: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for registers `0..n`.
+    pub fn with_capacity(n: usize) -> Self {
+        RegSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Builds a set from an iterator of raw register indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use prcc_sharegraph::RegSet;
+    /// let s = RegSet::from_indices([0, 2, 4]);
+    /// assert_eq!(s.len(), 3);
+    /// ```
+    pub fn from_indices<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = RegSet::new();
+        for i in iter {
+            s.insert(RegisterId::new(i));
+        }
+        s
+    }
+
+    fn grow_for(&mut self, bit: usize) {
+        let need = bit / 64 + 1;
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Inserts a register. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, x: RegisterId) -> bool {
+        let bit = x.index();
+        self.grow_for(bit);
+        let word = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes a register. Returns `true` if it was present.
+    pub fn remove(&mut self, x: RegisterId) -> bool {
+        let bit = x.index();
+        if bit / 64 >= self.words.len() {
+            return false;
+        }
+        let word = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// True if the register is in the set.
+    pub fn contains(&self, x: RegisterId) -> bool {
+        let bit = x.index();
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if `self` and `other` share at least one register.
+    pub fn intersects(&self, other: &RegSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every register of `self` is in `other`.
+    pub fn is_subset(&self, other: &RegSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, a)| a & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &RegSet) -> RegSet {
+        let n = self.words.len().min(other.words.len());
+        RegSet {
+            words: (0..n).map(|i| self.words[i] & other.words[i]).collect(),
+        }
+    }
+
+    /// `self ∪ other` as a new set.
+    pub fn union(&self, other: &RegSet) -> RegSet {
+        let n = self.words.len().max(other.words.len());
+        RegSet {
+            words: (0..n)
+                .map(|i| {
+                    self.words.get(i).copied().unwrap_or(0)
+                        | other.words.get(i).copied().unwrap_or(0)
+                })
+                .collect(),
+        }
+    }
+
+    /// `self − other` as a new set.
+    pub fn difference(&self, other: &RegSet) -> RegSet {
+        RegSet {
+            words: self
+                .words
+                .iter()
+                .enumerate()
+                .map(|(i, a)| a & !other.words.get(i).copied().unwrap_or(0))
+                .collect(),
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &RegSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (i, w) in other.words.iter().enumerate() {
+            self.words[i] |= w;
+        }
+    }
+
+    /// True if `self − other` is non-empty — the test at the heart of
+    /// Definition 4's conditions, done without allocating.
+    pub fn has_element_outside(&self, other: &RegSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .any(|(i, a)| a & !other.words.get(i).copied().unwrap_or(0) != 0)
+    }
+
+    /// Iterates over the registers in increasing id order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest register in the set, if any.
+    pub fn first(&self) -> Option<RegisterId> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct D(RegisterId);
+        impl fmt::Debug for D {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+        f.debug_set().entries(self.iter().map(D)).finish()
+    }
+}
+
+impl FromIterator<RegisterId> for RegSet {
+    fn from_iter<I: IntoIterator<Item = RegisterId>>(iter: I) -> Self {
+        let mut s = RegSet::new();
+        for x in iter {
+            s.insert(x);
+        }
+        s
+    }
+}
+
+impl Extend<RegisterId> for RegSet {
+    fn extend<I: IntoIterator<Item = RegisterId>>(&mut self, iter: I) {
+        for x in iter {
+            self.insert(x);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a RegSet {
+    type Item = RegisterId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the registers of a [`RegSet`] in increasing order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a RegSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = RegisterId;
+
+    fn next(&mut self) -> Option<RegisterId> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                return Some(RegisterId::new((self.word * 64) as u32 + tz));
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(v: &[u32]) -> RegSet {
+        RegSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = RegSet::new();
+        assert!(s.insert(RegisterId::new(5)));
+        assert!(!s.insert(RegisterId::new(5)));
+        assert!(s.contains(RegisterId::new(5)));
+        assert!(!s.contains(RegisterId::new(6)));
+        assert!(s.remove(RegisterId::new(5)));
+        assert!(!s.remove(RegisterId::new(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_beyond_capacity_is_noop() {
+        let mut s = rs(&[1]);
+        assert!(!s.remove(RegisterId::new(1000)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = rs(&[0, 1, 2, 64, 65]);
+        let b = rs(&[1, 65, 200]);
+        assert_eq!(a.intersection(&b), rs(&[1, 65]));
+        assert_eq!(a.union(&b), rs(&[0, 1, 2, 64, 65, 200]));
+        assert_eq!(a.difference(&b), rs(&[0, 2, 64]));
+        assert_eq!(b.difference(&a), rs(&[200]));
+        assert!(a.intersects(&b));
+        assert!(!rs(&[3]).intersects(&b));
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(rs(&[1, 2]).is_subset(&rs(&[0, 1, 2, 3])));
+        assert!(!rs(&[1, 200]).is_subset(&rs(&[0, 1, 2, 3])));
+        assert!(RegSet::new().is_subset(&rs(&[])));
+    }
+
+    #[test]
+    fn has_element_outside_matches_difference() {
+        let a = rs(&[0, 100]);
+        let b = rs(&[0]);
+        assert!(a.has_element_outside(&b));
+        assert!(!b.has_element_outside(&a));
+        assert_eq!(
+            a.has_element_outside(&b),
+            !a.difference(&b).is_empty()
+        );
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = rs(&[130, 2, 64]);
+        let v: Vec<u32> = s.iter().map(|x| x.raw()).collect();
+        assert_eq!(v, vec![2, 64, 130]);
+        assert_eq!(s.first(), Some(RegisterId::new(2)));
+    }
+
+    #[test]
+    fn union_with_grows() {
+        let mut a = rs(&[0]);
+        a.union_with(&rs(&[500]));
+        assert!(a.contains(RegisterId::new(500)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn from_and_extend() {
+        let mut s: RegSet = [RegisterId::new(1), RegisterId::new(3)]
+            .into_iter()
+            .collect();
+        s.extend([RegisterId::new(5)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", RegSet::new()), "{}");
+        assert!(format!("{:?}", rs(&[1])).contains("x1"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Rooted spanning trees of share graphs — the scaffolding of the
+//! paper's `Propagation` / `CreateExecution` procedures (Appendix C).
+
+use crate::graph::ShareGraph;
+use crate::ids::ReplicaId;
+use std::collections::VecDeque;
+
+/// A rooted spanning tree over the replicas of a connected share graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    root: ReplicaId,
+    /// `parent[v]` — `None` for the root.
+    parent: Vec<Option<ReplicaId>>,
+    /// Children lists, sorted.
+    children: Vec<Vec<ReplicaId>>,
+}
+
+impl SpanningTree {
+    /// BFS spanning tree rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share graph is not connected (every vertex must be
+    /// reachable from `root`).
+    pub fn bfs(g: &ShareGraph, root: ReplicaId) -> Self {
+        let n = g.num_replicas();
+        let mut parent = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[root.index()] = true;
+        let mut q = VecDeque::from([root]);
+        while let Some(v) = q.pop_front() {
+            for &w in g.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    parent[w.index()] = Some(v);
+                    q.push_back(w);
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "share graph must be connected for a spanning tree"
+        );
+        let mut children = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = parent[v] {
+                children[p.index()].push(ReplicaId::new(v as u32));
+            }
+        }
+        SpanningTree {
+            root,
+            parent,
+            children,
+        }
+    }
+
+    /// The root replica.
+    pub fn root(&self) -> ReplicaId {
+        self.root
+    }
+
+    /// Parent of `v` (`None` at the root).
+    pub fn parent(&self, v: ReplicaId) -> Option<ReplicaId> {
+        self.parent[v.index()]
+    }
+
+    /// Children of `v`, sorted.
+    pub fn children(&self, v: ReplicaId) -> &[ReplicaId] {
+        &self.children[v.index()]
+    }
+
+    /// The ancestors of `v` from its parent up to the root (exclusive of
+    /// `v` itself).
+    pub fn ancestors(&self, v: ReplicaId) -> Vec<ReplicaId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(v);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// True if `a` is an ancestor of `v` (or `a == v`).
+    pub fn is_ancestor_or_self(&self, a: ReplicaId, v: ReplicaId) -> bool {
+        if a == v {
+            return true;
+        }
+        self.ancestors(v).contains(&a)
+    }
+
+    /// Vertices in post-order (children before parents, root last).
+    pub fn post_order(&self) -> Vec<ReplicaId> {
+        let mut out = Vec::new();
+        self.post_order_rec(self.root, &mut out);
+        out
+    }
+
+    fn post_order_rec(&self, v: ReplicaId, out: &mut Vec<ReplicaId>) {
+        for &c in self.children(v) {
+            self.post_order_rec(c, out);
+        }
+        out.push(v);
+    }
+
+    /// The subtree rooted at `v`, in post-order.
+    pub fn subtree(&self, v: ReplicaId) -> Vec<ReplicaId> {
+        let mut out = Vec::new();
+        self.post_order_rec(v, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn bfs_tree_on_ring() {
+        let g = topology::ring(5);
+        let t = SpanningTree::bfs(&g, r(0));
+        assert_eq!(t.root(), r(0));
+        assert_eq!(t.parent(r(0)), None);
+        // Ring neighbors of 0 are 1 and 4; depth-2 vertices hang off them.
+        assert_eq!(t.parent(r(1)), Some(r(0)));
+        assert_eq!(t.parent(r(4)), Some(r(0)));
+        assert_eq!(t.parent(r(2)), Some(r(1)));
+        assert_eq!(t.parent(r(3)), Some(r(4)));
+    }
+
+    #[test]
+    fn post_order_ends_at_root() {
+        let g = topology::binary_tree(7);
+        let t = SpanningTree::bfs(&g, r(0));
+        let order = t.post_order();
+        assert_eq!(order.len(), 7);
+        assert_eq!(*order.last().unwrap(), r(0));
+        // Children precede parents.
+        for v in g.replicas() {
+            if let Some(p) = t.parent(v) {
+                let vi = order.iter().position(|&x| x == v).unwrap();
+                let pi = order.iter().position(|&x| x == p).unwrap();
+                assert!(vi < pi, "{v} must precede {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let g = topology::path(4);
+        let t = SpanningTree::bfs(&g, r(0));
+        assert_eq!(t.ancestors(r(3)), vec![r(2), r(1), r(0)]);
+        assert!(t.ancestors(r(0)).is_empty());
+        assert!(t.is_ancestor_or_self(r(1), r(3)));
+        assert!(t.is_ancestor_or_self(r(2), r(2)));
+        assert!(!t.is_ancestor_or_self(r(3), r(1)));
+    }
+
+    #[test]
+    fn subtree_contents() {
+        let g = topology::path(4);
+        let t = SpanningTree::bfs(&g, r(0));
+        assert_eq!(t.subtree(r(2)), vec![r(3), r(2)]);
+        assert_eq!(t.subtree(r(0)).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        let g = crate::ShareGraph::new(
+            crate::Placement::builder(3).share(0, [0, 1]).build(),
+        );
+        let _ = SpanningTree::bfs(&g, r(0));
+    }
+}

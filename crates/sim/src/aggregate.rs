@@ -1,0 +1,148 @@
+//! Multi-seed aggregation: run the same scenario across seeds and report
+//! mean / min / max of the headline metrics — the defensible form of
+//! every experimental claim.
+
+use crate::scenario::{run_scenario, RunReport, ScenarioConfig};
+use prcc_sharegraph::ShareGraph;
+use std::fmt;
+
+/// Mean / min / max of one metric across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spread {
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Minimum across seeds.
+    pub min: f64,
+    /// Maximum across seeds.
+    pub max: f64,
+}
+
+impl Spread {
+    fn of(values: &[f64]) -> Spread {
+        let n = values.len().max(1) as f64;
+        Spread {
+            mean: values.iter().sum::<f64>() / n,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl fmt::Display for Spread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} [{:.1}, {:.1}]", self.mean, self.min, self.max)
+    }
+}
+
+/// Aggregated results over several seeds of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateReport {
+    /// Number of seeds run.
+    pub runs: usize,
+    /// Seeds on which the checker found violations.
+    pub inconsistent_runs: usize,
+    /// Total messages (data + meta).
+    pub messages: Spread,
+    /// Metadata bytes.
+    pub metadata_bytes: Spread,
+    /// Mean visibility latency.
+    pub mean_visibility: Spread,
+    /// p99 visibility latency.
+    pub p99_visibility: Spread,
+    /// Mean staleness.
+    pub mean_staleness: Spread,
+    /// The individual reports.
+    pub reports: Vec<RunReport>,
+}
+
+impl AggregateReport {
+    /// True if every seed was causally consistent.
+    pub fn all_consistent(&self) -> bool {
+        self.inconsistent_runs == 0
+    }
+}
+
+impl fmt::Display for AggregateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs ({} inconsistent): msgs {}, meta bytes {}, vis {} / p99 {}",
+            self.runs,
+            self.inconsistent_runs,
+            self.messages,
+            self.metadata_bytes,
+            self.mean_visibility,
+            self.p99_visibility
+        )
+    }
+}
+
+/// Runs `cfg` over `g` once per seed, varying both workload and network
+/// seeds together.
+pub fn run_many<I: IntoIterator<Item = u64>>(
+    g: &ShareGraph,
+    cfg: &ScenarioConfig,
+    seeds: I,
+) -> AggregateReport {
+    let mut reports = Vec::new();
+    for seed in seeds {
+        let mut c = cfg.clone();
+        c.workload.seed = seed;
+        c.net_seed = seed;
+        reports.push(run_scenario(g, &c));
+    }
+    let f = |sel: fn(&RunReport) -> f64| -> Spread {
+        Spread::of(&reports.iter().map(sel).collect::<Vec<_>>())
+    };
+    AggregateReport {
+        runs: reports.len(),
+        inconsistent_runs: reports.iter().filter(|r| !r.consistent).count(),
+        messages: f(|r| (r.data_messages + r.meta_messages) as f64),
+        metadata_bytes: f(|r| r.metadata_bytes as f64),
+        mean_visibility: f(|r| r.mean_visibility),
+        p99_visibility: f(|r| r.p99_visibility as f64),
+        mean_staleness: f(|r| r.mean_staleness),
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadConfig;
+    use prcc_sharegraph::topology;
+
+    #[test]
+    fn aggregates_across_seeds() {
+        let g = topology::ring(4);
+        let agg = run_many(
+            &g,
+            &ScenarioConfig {
+                workload: WorkloadConfig {
+                    writes_per_replica: 10,
+                    zipf_theta: 0.5,
+                    seed: 0,
+                },
+                ..Default::default()
+            },
+            0..5,
+        );
+        assert_eq!(agg.runs, 5);
+        assert!(agg.all_consistent(), "{agg}");
+        assert!(agg.messages.mean > 0.0);
+        assert!(agg.messages.min <= agg.messages.mean);
+        assert!(agg.messages.mean <= agg.messages.max);
+        assert_eq!(agg.reports.len(), 5);
+        // Different seeds give different visibilities (spread non-trivial).
+        assert!(agg.mean_visibility.max >= agg.mean_visibility.min);
+    }
+
+    #[test]
+    fn spread_math() {
+        let s = Spread::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.to_string().contains("[1.0, 3.0]"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Client-server scenario runner (experiment E9's engine): drive client
+//! sessions over a [`ClientServerSystem`] and measure request service,
+//! client metadata sizes, and consistency.
+
+use prcc_core::client_server::ClientServerSystem;
+use prcc_core::Value;
+use prcc_net::DelayModel;
+use prcc_sharegraph::{
+    AugmentedShareGraph, ClientAssignment, ClientId, RegisterId, ReplicaId, ShareGraph,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Configuration of a client-server scenario.
+#[derive(Debug, Clone)]
+pub struct ClientScenarioConfig {
+    /// Operations per client.
+    pub ops_per_client: usize,
+    /// Fraction of operations that are writes (rest are reads).
+    pub write_ratio: f64,
+    /// Network delay model.
+    pub delay: DelayModel,
+    /// RNG / network seed.
+    pub seed: u64,
+}
+
+impl Default for ClientScenarioConfig {
+    fn default() -> Self {
+        ClientScenarioConfig {
+            ops_per_client: 20,
+            write_ratio: 0.5,
+            delay: DelayModel::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Measured outcome of a client-server run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientRunReport {
+    /// Total writes served.
+    pub writes: usize,
+    /// Total reads served.
+    pub reads: usize,
+    /// Requests still blocked at the end (should be 0).
+    pub blocked: usize,
+    /// Max client-timestamp counters across clients.
+    pub client_counters_max: usize,
+    /// Causal-consistency verdict of the server-side trace.
+    pub consistent: bool,
+}
+
+impl fmt::Display for ClientRunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} writes, {} reads, {} blocked, client counters ≤ {}, consistent={}",
+            self.writes, self.reads, self.blocked, self.client_counters_max, self.consistent
+        )
+    }
+}
+
+/// Runs a randomized session workload: each client repeatedly picks one
+/// of its replicas and a register stored there, and reads or writes it.
+///
+/// # Panics
+///
+/// Panics if a client has no replica with registers.
+pub fn run_client_scenario(
+    graph: &ShareGraph,
+    clients: &ClientAssignment,
+    cfg: &ClientScenarioConfig,
+) -> ClientRunReport {
+    let aug = AugmentedShareGraph::new(graph.clone(), clients.clone());
+    let mut sys = ClientServerSystem::new(aug, cfg.delay.clone(), cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Per-client menu: (replica, registers).
+    let menus: Vec<(ClientId, Vec<(ReplicaId, Vec<RegisterId>)>)> = clients
+        .clients()
+        .iter()
+        .map(|(c, rs)| {
+            let menu = rs
+                .iter()
+                .map(|&r| {
+                    let regs: Vec<RegisterId> =
+                        graph.placement().registers_of(r).iter().collect();
+                    (r, regs)
+                })
+                .filter(|(_, regs)| !regs.is_empty())
+                .collect::<Vec<_>>();
+            (*c, menu)
+        })
+        .collect();
+
+    let mut writes = 0;
+    let mut reads = 0;
+    let mut value = 0u64;
+    for round in 0..cfg.ops_per_client {
+        for (c, menu) in &menus {
+            assert!(!menu.is_empty(), "client {c} has no usable replicas");
+            let (replica, regs) = menu.choose(&mut rng).expect("non-empty menu");
+            let reg = *regs.choose(&mut rng).expect("non-empty registers");
+            if rng.gen_bool(cfg.write_ratio.clamp(0.0, 1.0)) {
+                sys.write(*c, *replica, reg, Value::from(value));
+                value += 1;
+                writes += 1;
+            } else {
+                sys.read(*c, *replica, reg);
+                reads += 1;
+            }
+        }
+        // Let the network make progress between rounds.
+        if round % 2 == 0 {
+            sys.step();
+        }
+    }
+    sys.run_to_quiescence();
+
+    let client_counters_max = clients
+        .clients()
+        .iter()
+        .map(|(c, _)| sys.client_timestamp(*c).num_counters())
+        .max()
+        .unwrap_or(0);
+    ClientRunReport {
+        writes,
+        reads,
+        blocked: sys.blocked_requests(),
+        client_counters_max,
+        consistent: sys.check().is_consistent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::topology;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    #[test]
+    fn spanning_clients_stay_consistent() {
+        let g = topology::path(5);
+        let mut clients = ClientAssignment::new(5);
+        clients.assign(c(0), [r(0), r(4)]);
+        clients.assign(c(1), [r(1), r(3)]);
+        clients.assign(c(2), [r(2)]);
+        let report = run_client_scenario(
+            &g,
+            &clients,
+            &ClientScenarioConfig {
+                ops_per_client: 15,
+                write_ratio: 0.6,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        assert!(report.consistent, "{report}");
+        assert_eq!(report.blocked, 0);
+        assert!(report.writes > 0 && report.reads > 0);
+    }
+
+    #[test]
+    fn many_seeds_never_violate() {
+        let g = topology::ring(4);
+        let mut clients = ClientAssignment::new(4);
+        clients.assign(c(0), [r(0), r(2)]);
+        clients.assign(c(1), [r(1), r(3)]);
+        for seed in 0..8 {
+            let report = run_client_scenario(
+                &g,
+                &clients,
+                &ClientScenarioConfig {
+                    ops_per_client: 10,
+                    write_ratio: 0.7,
+                    delay: DelayModel::Uniform { min: 1, max: 30 },
+                    seed,
+                },
+            );
+            assert!(report.consistent, "seed {seed}: {report}");
+            assert_eq!(report.blocked, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn read_only_clients_make_no_updates() {
+        let g = topology::path(3);
+        let mut clients = ClientAssignment::new(3);
+        clients.assign(c(0), [r(0)]);
+        let report = run_client_scenario(
+            &g,
+            &clients,
+            &ClientScenarioConfig {
+                ops_per_client: 5,
+                write_ratio: 0.0,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.writes, 0);
+        assert_eq!(report.reads, 5);
+        assert!(report.consistent);
+    }
+}

@@ -1,0 +1,385 @@
+//! Scenario runner: workload × system configuration → measured report.
+//!
+//! This is the engine behind experiments E6–E10: build a [`System`] for a
+//! share graph, drive a [`Workload`] through it with interleaved delivery
+//! (so causal chains actually form), then report message counts, metadata
+//! bytes, latencies, timestamp sizes, and the consistency verdict.
+
+use crate::workload::{Workload, WorkloadConfig};
+use prcc_core::{System, TrackerKind, Value};
+use prcc_net::DelayModel;
+use prcc_sharegraph::{RegisterId, ReplicaId, ShareGraph};
+use std::fmt;
+
+/// Configuration of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The causality tracker to deploy.
+    pub tracker: TrackerKind,
+    /// The workload to drive.
+    pub workload: WorkloadConfig,
+    /// Network delay model.
+    pub delay: DelayModel,
+    /// Network RNG seed.
+    pub net_seed: u64,
+    /// Network deliveries attempted between consecutive client writes
+    /// (higher = tighter causal coupling between replicas).
+    pub steps_between_ops: usize,
+    /// Dummy-register copies to install (Appendix D).
+    pub dummies: Vec<(ReplicaId, RegisterId)>,
+    /// Staleness probes per replica performed right before quiescence
+    /// (each probes one locally stored register).
+    pub staleness_probes: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            tracker: TrackerKind::EdgeIndexed(prcc_sharegraph::LoopConfig::EXHAUSTIVE),
+            workload: WorkloadConfig::default(),
+            delay: DelayModel::default(),
+            net_seed: 0,
+            steps_between_ops: 2,
+            dummies: Vec::new(),
+            staleness_probes: 4,
+        }
+    }
+}
+
+/// The measured outcome of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Human-readable tracker label.
+    pub tracker: String,
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Number of registers.
+    pub registers: usize,
+    /// Data storage cells (replica, register) pairs.
+    pub storage_cells: usize,
+    /// Client writes issued.
+    pub writes: usize,
+    /// Messages with payloads.
+    pub data_messages: usize,
+    /// Metadata-only messages.
+    pub meta_messages: usize,
+    /// Total metadata bytes.
+    pub metadata_bytes: usize,
+    /// Total payload bytes.
+    pub payload_bytes: usize,
+    /// Mean issue→apply latency in ticks.
+    pub mean_visibility: f64,
+    /// Median issue→apply latency in ticks.
+    pub p50_visibility: u64,
+    /// 99th-percentile issue→apply latency in ticks.
+    pub p99_visibility: u64,
+    /// Max issue→apply latency in ticks.
+    pub max_visibility: u64,
+    /// Mean read staleness (versions behind) over the probes, taken
+    /// mid-run before the final drain.
+    pub mean_staleness: f64,
+    /// Max observed staleness over the probes.
+    pub max_staleness: u64,
+    /// Mean arrival→apply wait in ticks (buffering cost / false deps).
+    pub mean_pending_wait: f64,
+    /// Max arrival→apply wait.
+    pub max_pending_wait: u64,
+    /// Total timestamp counters across replicas.
+    pub counters_total: usize,
+    /// Largest per-replica timestamp (counters).
+    pub counters_max: usize,
+    /// Causal consistency verdict from the checker.
+    pub consistent: bool,
+    /// Number of safety violations.
+    pub safety_violations: usize,
+    /// Number of liveness violations.
+    pub liveness_violations: usize,
+    /// Updates still stuck in pending buffers after quiescence.
+    pub stuck_pending: usize,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} writes, {} data + {} meta msgs, {} meta bytes, vis {:.1}/{} ticks, \
+             counters {}/{} (max/total), consistent={}",
+            self.tracker,
+            self.writes,
+            self.data_messages,
+            self.meta_messages,
+            self.metadata_bytes,
+            self.mean_visibility,
+            self.max_visibility,
+            self.counters_max,
+            self.counters_total,
+            self.consistent
+        )
+    }
+}
+
+/// Label for a tracker kind.
+fn tracker_label(kind: TrackerKind) -> String {
+    match kind {
+        TrackerKind::EdgeIndexed(cfg) => match cfg.max_loop_edges {
+            None => "edge-indexed".to_owned(),
+            Some(l) => format!("edge-indexed(≤{l})"),
+        },
+        TrackerKind::VectorClock => "vector-clock".to_owned(),
+        TrackerKind::FullDeps => "full-deps".to_owned(),
+    }
+}
+
+/// Runs one scenario to quiescence and reports.
+pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
+    let workload = Workload::generate(g, cfg.workload);
+    let mut builder = System::builder(g.clone())
+        .tracker(cfg.tracker)
+        .delay(cfg.delay.clone())
+        .seed(cfg.net_seed);
+    for (r, x) in &cfg.dummies {
+        builder = builder.dummy(*r, *x);
+    }
+    let mut sys = builder.build();
+
+    let mut value = 0u64;
+    let mut staleness: Vec<u64> = Vec::new();
+    let probe_every = (workload.len() / cfg.staleness_probes.max(1)).max(1);
+    for (n, op) in workload.ops().iter().enumerate() {
+        sys.write(op.replica, op.register, Value::from(value));
+        value += 1;
+        for _ in 0..cfg.steps_between_ops {
+            if !sys.step() {
+                break;
+            }
+        }
+        if cfg.staleness_probes > 0 && n % probe_every == 0 {
+            // Probe each replica's worst-case lag across its registers.
+            for i in g.replicas() {
+                let worst = g
+                    .placement()
+                    .registers_of(i)
+                    .iter()
+                    .map(|reg| sys.read_staleness(i, reg))
+                    .max();
+                if let Some(w) = worst {
+                    staleness.push(w);
+                }
+            }
+        }
+    }
+    sys.run_to_quiescence();
+
+    let check = sys.check();
+    let counters = sys.timestamp_counters();
+    let m = *sys.metrics();
+    let mut vis = sys.visibility_stats();
+    RunReport {
+        tracker: tracker_label(cfg.tracker),
+        replicas: g.num_replicas(),
+        registers: g.placement().num_registers(),
+        storage_cells: g.placement().storage_cells(),
+        writes: workload.len(),
+        data_messages: m.data_messages,
+        meta_messages: m.meta_messages,
+        metadata_bytes: m.metadata_bytes,
+        payload_bytes: m.payload_bytes,
+        mean_visibility: m.mean_visibility(),
+        p50_visibility: vis.p50(),
+        p99_visibility: vis.p99(),
+        max_visibility: m.max_visibility,
+        mean_staleness: if staleness.is_empty() {
+            0.0
+        } else {
+            staleness.iter().sum::<u64>() as f64 / staleness.len() as f64
+        },
+        max_staleness: staleness.iter().copied().max().unwrap_or(0),
+        mean_pending_wait: m.mean_pending_wait(),
+        max_pending_wait: m.max_pending_wait,
+        counters_total: counters.iter().sum(),
+        counters_max: counters.iter().copied().max().unwrap_or(0),
+        consistent: check.is_consistent(),
+        safety_violations: check.safety_violations().count(),
+        liveness_violations: check.liveness_violations().count(),
+        stuck_pending: sys.stuck_pending(),
+    }
+}
+
+/// Convenience: run the same workload under the edge-indexed tracker and
+/// the vector-clock (full-metadata) baseline, returning both reports —
+/// the head-to-head of experiment E10.
+pub fn run_head_to_head(g: &ShareGraph, cfg: &ScenarioConfig) -> (RunReport, RunReport) {
+    let edge = run_scenario(
+        g,
+        &ScenarioConfig {
+            tracker: TrackerKind::EdgeIndexed(prcc_sharegraph::LoopConfig::EXHAUSTIVE),
+            ..cfg.clone()
+        },
+    );
+    let vc = run_scenario(
+        g,
+        &ScenarioConfig {
+            tracker: TrackerKind::VectorClock,
+            ..cfg.clone()
+        },
+    );
+    (edge, vc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::topology;
+
+    #[test]
+    fn ring_scenario_is_consistent() {
+        let g = topology::ring(5);
+        let report = run_scenario(
+            &g,
+            &ScenarioConfig {
+                workload: WorkloadConfig {
+                    writes_per_replica: 20,
+                    zipf_theta: 0.5,
+                    seed: 7,
+                },
+                net_seed: 7,
+                ..Default::default()
+            },
+        );
+        assert!(report.consistent, "{report}");
+        assert_eq!(report.writes, 100);
+        assert_eq!(report.stuck_pending, 0);
+        assert!(report.data_messages > 0);
+        assert_eq!(report.counters_max, 10); // 2n in a ring
+    }
+
+    #[test]
+    fn head_to_head_shapes() {
+        // Partial replication must send fewer total messages; the VC
+        // baseline must carry R counters per message while the ring's
+        // edge-indexed carries 2n — for a ring, VC metadata per replica is
+        // smaller (n vs 2n counters), which is exactly the trade-off the
+        // paper describes (partial replication pays metadata for fewer
+        // messages/storage).
+        let g = topology::ring(6);
+        let cfg = ScenarioConfig {
+            workload: WorkloadConfig {
+                writes_per_replica: 10,
+                zipf_theta: 0.0,
+                seed: 3,
+            },
+            net_seed: 3,
+            ..Default::default()
+        };
+        let (edge, vc) = run_head_to_head(&g, &cfg);
+        assert!(edge.consistent && vc.consistent);
+        assert!(edge.data_messages + edge.meta_messages < vc.data_messages + vc.meta_messages);
+        assert_eq!(edge.counters_max, 12);
+        // Baseline's timestamp is R = 6 counters.
+        assert!(vc.metadata_bytes > 0);
+    }
+
+    /// Drives the adversarial execution of Appendix D around a ring of 6:
+    /// hold the direct link r1 → r0, build a causal chain the long way
+    /// around, deliver the chain's last update to r0 first.
+    fn ring6_adversarial(tracker: TrackerKind) -> bool {
+        use prcc_core::System;
+        let g = topology::ring(6);
+        let mut sys = System::builder(g)
+            .tracker(tracker)
+            .delay(DelayModel::Fixed(1))
+            .seed(0)
+            .build();
+        let r = |i: u32| ReplicaId::new(i);
+        let x = |i: u32| RegisterId::new(i);
+        // u1: r1 writes register 0 (shared r0, r1); its message to r0 is
+        // held in the channel.
+        sys.hold_link(r(1), r(0));
+        sys.write(r(1), x(0), Value::from(1u64));
+        // Chain the long way: r1 writes reg1 → r2 applies, writes reg2 →
+        // r3 … → r5 writes reg5 (shared r5, r0), delivered to r0.
+        for i in 1..=5u32 {
+            sys.write(r(i), x(i), Value::from(u64::from(i) + 1));
+            sys.run_to_quiescence();
+        }
+        // Now release the held first update.
+        sys.release_link(r(1), r(0));
+        sys.run_to_quiescence();
+        sys.check().is_consistent()
+    }
+
+    #[test]
+    fn truncated_tracking_violates_on_adversarial_reordering() {
+        // l-hop truncation (Appendix D): ring loops have 6 edges, so a
+        // 4-edge cap drops every far edge — r0 cannot tell that the update
+        // arriving from r5 depends on the held update from r1.
+        assert!(!ring6_adversarial(TrackerKind::EdgeIndexed(
+            prcc_sharegraph::LoopConfig::bounded(4)
+        )));
+        // The exact algorithm blocks the chain's last update until the
+        // held dependency arrives: consistent.
+        assert!(ring6_adversarial(TrackerKind::EdgeIndexed(
+            prcc_sharegraph::LoopConfig::EXHAUSTIVE
+        )));
+        // The vector-clock baseline (full metadata broadcast) also
+        // survives the reordering.
+        assert!(ring6_adversarial(TrackerKind::VectorClock));
+    }
+
+    #[test]
+    fn truncated_tracking_safe_under_tight_delays() {
+        // With fixed delays single-hop messages always beat multi-hop
+        // chains — the "loosely synchronous" regime where truncation is
+        // sound (Appendix D).
+        let g = topology::ring(6);
+        let tight = run_scenario(
+            &g,
+            &ScenarioConfig {
+                tracker: TrackerKind::EdgeIndexed(prcc_sharegraph::LoopConfig::bounded(4)),
+                delay: DelayModel::Fixed(1),
+                ..Default::default()
+            },
+        );
+        assert!(tight.consistent, "{tight}");
+    }
+
+    #[test]
+    fn dummy_registers_trade_messages_for_metadata() {
+        // Path of 4 with dummies of everything everywhere ≈ full
+        // replication metadata: more messages, but smaller timestamp
+        // graphs are NOT expected here (path is already a tree) — instead
+        // verify message counts rise and consistency holds.
+        let g = topology::path(4);
+        let mut dummies = Vec::new();
+        for r in 0..4u32 {
+            for x in 0..3u32 {
+                if !g.placement().stores(ReplicaId::new(r), RegisterId::new(x)) {
+                    dummies.push((ReplicaId::new(r), RegisterId::new(x)));
+                }
+            }
+        }
+        let plain = run_scenario(&g, &ScenarioConfig::default());
+        let dummy = run_scenario(
+            &g,
+            &ScenarioConfig {
+                dummies,
+                ..Default::default()
+            },
+        );
+        assert!(dummy.consistent && plain.consistent);
+        assert!(dummy.meta_messages > plain.meta_messages);
+        assert!(
+            dummy.data_messages + dummy.meta_messages
+                > plain.data_messages + plain.meta_messages
+        );
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let g = topology::path(3);
+        let r = run_scenario(&g, &ScenarioConfig::default());
+        let s = r.to_string();
+        assert!(s.contains("edge-indexed"));
+        assert!(s.contains("consistent=true"));
+    }
+}

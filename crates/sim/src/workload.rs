@@ -1,0 +1,201 @@
+//! Workload generation for the experiment harness.
+//!
+//! The paper's model has each client writing registers stored at its local
+//! replica, so a workload is a schedule of `(replica, register)` writes.
+//! Register choice within a replica follows a Zipf distribution (skew is
+//! the norm in the geo-replication systems the paper cites — COPS,
+//! Orbe, GentleRain all evaluate under Zipf).
+
+use crate::zipf::Zipf;
+use prcc_sharegraph::{RegisterId, ReplicaId, ShareGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One scheduled client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// The replica whose client performs the write.
+    pub replica: ReplicaId,
+    /// The register written (always stored at `replica`).
+    pub register: RegisterId,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Writes issued per replica.
+    pub writes_per_replica: usize,
+    /// Zipf exponent for register selection within a replica
+    /// (0 = uniform).
+    pub zipf_theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            writes_per_replica: 50,
+            zipf_theta: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated schedule of writes, interleaved round-robin across
+/// replicas (so causal chains form naturally as updates propagate).
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sim::workload::{Workload, WorkloadConfig};
+/// use prcc_sharegraph::topology;
+///
+/// let g = topology::ring(4);
+/// let w = Workload::generate(&g, WorkloadConfig { writes_per_replica: 3, ..Default::default() });
+/// assert_eq!(w.ops().len(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    ops: Vec<Op>,
+}
+
+impl Workload {
+    /// Generates a schedule for `g` under `cfg`. Replicas that store no
+    /// registers are skipped.
+    pub fn generate(g: &ShareGraph, cfg: WorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Per-replica register menus and samplers.
+        let menus: Vec<Vec<RegisterId>> = g
+            .replicas()
+            .map(|i| g.placement().registers_of(i).iter().collect())
+            .collect();
+        let samplers: Vec<Option<Zipf>> = menus
+            .iter()
+            .map(|m| {
+                if m.is_empty() {
+                    None
+                } else {
+                    Some(Zipf::new(m.len(), cfg.zipf_theta))
+                }
+            })
+            .collect();
+        let mut ops = Vec::new();
+        for _ in 0..cfg.writes_per_replica {
+            // Randomized round order per round: fair but not lock-step.
+            let mut order: Vec<usize> = (0..g.num_replicas()).collect();
+            order.shuffle(&mut rng);
+            for r in order {
+                let Some(z) = &samplers[r] else { continue };
+                let reg = menus[r][z.sample(&mut rng)];
+                ops.push(Op {
+                    replica: ReplicaId::new(r as u32),
+                    register: reg,
+                });
+            }
+        }
+        Workload { ops }
+    }
+
+    /// The scheduled operations, in issue order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::topology;
+
+    #[test]
+    fn all_ops_are_local_writes() {
+        let g = topology::grid(3, 3);
+        let w = Workload::generate(
+            &g,
+            WorkloadConfig {
+                writes_per_replica: 10,
+                zipf_theta: 1.0,
+                seed: 5,
+            },
+        );
+        for op in w.ops() {
+            assert!(g.placement().stores(op.replica, op.register));
+        }
+        assert_eq!(w.len(), 9 * 10);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let g = topology::ring(5);
+        let cfg = WorkloadConfig {
+            writes_per_replica: 20,
+            zipf_theta: 0.9,
+            seed: 42,
+        };
+        let a = Workload::generate(&g, cfg);
+        let b = Workload::generate(&g, cfg);
+        assert_eq!(a.ops(), b.ops());
+        let c = Workload::generate(
+            &g,
+            WorkloadConfig {
+                seed: 43,
+                ..cfg
+            },
+        );
+        assert_ne!(a.ops(), c.ops());
+    }
+
+    #[test]
+    fn replicas_without_registers_skipped() {
+        let g = prcc_sharegraph::ShareGraph::new(
+            prcc_sharegraph::Placement::builder(3).share(0, [0, 1]).build(),
+        );
+        let w = Workload::generate(
+            &g,
+            WorkloadConfig {
+                writes_per_replica: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(w.len(), 8); // replica 2 stores nothing
+        assert!(!w.is_empty());
+        assert!(w.ops().iter().all(|op| op.replica.index() < 2));
+    }
+
+    #[test]
+    fn zipf_skews_register_choice() {
+        // Star hub stores many registers; with high theta the first menu
+        // entry dominates.
+        let g = topology::star(8);
+        let w = Workload::generate(
+            &g,
+            WorkloadConfig {
+                writes_per_replica: 200,
+                zipf_theta: 1.5,
+                seed: 1,
+            },
+        );
+        let hub_ops: Vec<_> = w
+            .ops()
+            .iter()
+            .filter(|o| o.replica == ReplicaId::new(0))
+            .collect();
+        let first_reg = hub_ops
+            .iter()
+            .filter(|o| o.register == RegisterId::new(0))
+            .count();
+        assert!(first_reg * 2 > hub_ops.len() / 2, "{first_reg}/{}", hub_ops.len());
+    }
+}

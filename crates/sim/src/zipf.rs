@@ -1,0 +1,117 @@
+//! A small Zipf-distributed sampler (no external distribution crates in
+//! the offline set, so we build the CDF directly).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples indices `0..n` with probability `∝ 1/(k+1)^theta`.
+///
+/// `theta = 0` degenerates to the uniform distribution; typical skewed
+/// workloads use `theta ∈ [0.9, 1.2]`.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sim::zipf::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(10, 1.0);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let i = z.sample(&mut rng);
+/// assert!(i < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler over `n` items with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there are no items (never: `new` requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_positive() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4] && counts[4] > counts[9], "{counts:?}");
+        assert!(counts[0] as f64 / counts[9] as f64 > 5.0);
+    }
+
+    #[test]
+    fn single_item() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

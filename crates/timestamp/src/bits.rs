@@ -1,0 +1,97 @@
+//! Timestamp sizes in bits and the paper's closed-form lower bounds
+//! (Section 4, "Implication").
+//!
+//! The lower-bound theorem (Theorem 15) bounds the *timestamp space size*
+//! `σ^i(m)` by the chromatic number of a conflict graph; in special
+//! topologies the bound has closed form and matches the algorithm's
+//! timestamp exactly:
+//!
+//! * share graph a **tree**: `2·N_i·log m` bits for replica `i` with `N_i`
+//!   neighbors;
+//! * share graph a **cycle** of `n` replicas: `2n·log m` bits each;
+//! * **full replication** (clique, identical edges): space `m^R`, i.e.
+//!   `R·log m` bits — a classic vector clock.
+
+/// Bits needed per counter when each replica issues at most `m` updates:
+/// `⌈log₂(m + 1)⌉` (counters range over `0..=m`).
+pub fn bits_per_counter(m: u64) -> u32 {
+    64 - m.leading_zeros()
+}
+
+/// Size in bits of a timestamp with `counters` counters under update bound
+/// `m`.
+pub fn timestamp_bits(counters: usize, m: u64) -> u64 {
+    counters as u64 * u64::from(bits_per_counter(m))
+}
+
+/// Lower bound for replica `i` when the share graph is a **tree**:
+/// `2·N_i` counters of `log m` bits (Section 4).
+pub fn tree_lower_bound_bits(neighbors: usize, m: u64) -> u64 {
+    timestamp_bits(2 * neighbors, m)
+}
+
+/// Lower bound per replica when the share graph is a **cycle** of `n`
+/// replicas: `2n` counters of `log m` bits (Section 4).
+pub fn cycle_lower_bound_bits(n: usize, m: u64) -> u64 {
+    timestamp_bits(2 * n, m)
+}
+
+/// Lower bound per replica under **full replication** with `r` replicas:
+/// timestamp space `m^r` ⇒ `r·log m` bits (Section 4) — met by a vector
+/// clock.
+pub fn full_replication_lower_bound_bits(r: usize, m: u64) -> u64 {
+    timestamp_bits(r, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_counter_boundaries() {
+        assert_eq!(bits_per_counter(0), 0);
+        assert_eq!(bits_per_counter(1), 1);
+        assert_eq!(bits_per_counter(2), 2);
+        assert_eq!(bits_per_counter(3), 2);
+        assert_eq!(bits_per_counter(4), 3);
+        assert_eq!(bits_per_counter(255), 8);
+        assert_eq!(bits_per_counter(256), 9);
+    }
+
+    #[test]
+    fn timestamp_bits_scales_linearly() {
+        assert_eq!(timestamp_bits(10, 255), 80);
+        assert_eq!(timestamp_bits(0, 1000), 0);
+    }
+
+    #[test]
+    fn closed_forms() {
+        // Tree with N_i = 3, m = 15: 2*3*4 = 24 bits.
+        assert_eq!(tree_lower_bound_bits(3, 15), 24);
+        // Cycle of 5, m = 15: 2*5*4 = 40 bits.
+        assert_eq!(cycle_lower_bound_bits(5, 15), 40);
+        // Full replication R = 4, m = 15: 4*4 = 16 bits.
+        assert_eq!(full_replication_lower_bound_bits(4, 15), 16);
+    }
+
+    #[test]
+    fn algorithm_matches_tree_and_cycle_bounds() {
+        use prcc_sharegraph::{topology, LoopConfig, TimestampGraphs};
+        let m = 100;
+        // Tree (star): hub has N_0 leaves; our timestamp has 2·N_0 counters
+        // — tight.
+        let g = topology::star(4);
+        let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+        let hub = graphs.of(prcc_sharegraph::ReplicaId::new(0));
+        assert_eq!(
+            timestamp_bits(hub.len(), m),
+            tree_lower_bound_bits(4, m)
+        );
+        // Cycle: 2n counters — tight.
+        let g = topology::ring(6);
+        let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+        for tg in graphs.iter() {
+            assert_eq!(timestamp_bits(tg.len(), m), cycle_lower_bound_bits(6, m));
+        }
+    }
+}

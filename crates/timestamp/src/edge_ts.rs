@@ -1,0 +1,425 @@
+//! Edge-indexed vector timestamps — the algorithm of Section 3.3.
+//!
+//! Replica `i` keeps one integer counter per edge of its timestamp graph
+//! `E_i`. The three operations are exactly the paper's:
+//!
+//! * `advance(i, τ_i, x)` — on a local write to `x`, increment `τ_i[e_ik]`
+//!   for every outgoing edge `e_ik ∈ E_i` with `x ∈ X_ik`;
+//! * `merge(i, τ_i, k, T)` — take the pointwise max over `E_i ∩ E_k`;
+//! * predicate `J(i, τ_i, k, T)` — deliver an update from `k` iff
+//!   `τ_i[e_ki] = T[e_ki] − 1` and `τ_i[e_ji] ≥ T[e_ji]` for every other
+//!   common incoming edge `e_ji ∈ E_i ∩ E_k`.
+//!
+//! A [`TsRegistry`] precomputes, per ordered replica pair, the index maps
+//! these operations need, so each operation is a linear scan over short
+//! arrays.
+
+use prcc_sharegraph::{EdgeId, RegSet, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The edge-indexed timestamp of one replica: counters aligned with the
+/// sorted edge list of that replica's timestamp graph.
+#[derive(Clone, PartialEq, Eq)]
+pub struct EdgeTimestamp {
+    replica: ReplicaId,
+    values: Vec<u64>,
+}
+
+impl EdgeTimestamp {
+    /// The replica this timestamp belongs to.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Counter values, aligned with `E_i`'s sorted edge order.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of counters (`|E_i|`).
+    pub fn num_counters(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Wire size in bytes when the receiver knows the sender's edge order
+    /// (fixed layout: one varint-free u64 per counter).
+    pub fn wire_size_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+
+    /// Largest counter value — determines the bits-per-counter needed.
+    pub fn max_counter(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Crate-internal counter mutation (used by the client-server
+    /// `advance`, which must write through positions computed against a
+    /// client index).
+    pub(crate) fn set_value_internal(&mut self, pos: usize, value: u64) {
+        self.values[pos] = value;
+    }
+}
+
+impl fmt::Debug for EdgeTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EdgeTimestamp")
+            .field("replica", &self.replica)
+            .field("values", &self.values)
+            .finish()
+    }
+}
+
+/// Per-replica index: outgoing edges with their register sets (for
+/// `advance`).
+#[derive(Debug)]
+struct ReplicaOps {
+    /// `(counter position, registers shared on that edge)` for each
+    /// outgoing edge `e_ik ∈ E_i`.
+    outgoing: Vec<(usize, RegSet)>,
+}
+
+/// Precomputed maps for the ordered pair `(receiver i, sender k)`.
+#[derive(Debug)]
+struct PairOps {
+    /// Positions `(in E_i, in E_k)` of every common edge `E_i ∩ E_k`.
+    common: Vec<(usize, usize)>,
+    /// Positions of `e_ki` in both graphs, if common.
+    e_ki: Option<(usize, usize)>,
+    /// Positions of common incoming edges `e_ji` with `j ≠ k`.
+    incoming_other: Vec<(usize, usize)>,
+}
+
+/// Factory and operation table for edge-indexed timestamps over a fixed
+/// set of timestamp graphs.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_sharegraph::{topology, TimestampGraphs, LoopConfig, ReplicaId, RegisterId};
+/// use prcc_timestamp::TsRegistry;
+///
+/// let g = topology::ring(4);
+/// let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+/// let reg = TsRegistry::new(&g, graphs);
+///
+/// let r0 = ReplicaId::new(0);
+/// let r1 = ReplicaId::new(1);
+/// let mut t0 = reg.new_timestamp(r0);
+/// // Replica 0 writes register 0, shared with replica 1.
+/// reg.advance(&mut t0, RegisterId::new(0));
+/// // Replica 1 can deliver it immediately…
+/// let t1 = reg.new_timestamp(r1);
+/// assert!(reg.ready(&t1, r0, &t0));
+/// ```
+pub struct TsRegistry {
+    graphs: Arc<TimestampGraphs>,
+    replica_ops: Vec<ReplicaOps>,
+    pair_ops: HashMap<(ReplicaId, ReplicaId), PairOps>,
+}
+
+impl fmt::Debug for TsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TsRegistry")
+            .field("replicas", &self.replica_ops.len())
+            .field("pairs", &self.pair_ops.len())
+            .finish()
+    }
+}
+
+impl TsRegistry {
+    /// Builds the registry for `graphs` over share graph `g`.
+    ///
+    /// Pair maps are precomputed for every ordered pair of replicas
+    /// adjacent in `g` (the only pairs that exchange update messages in
+    /// the peer-to-peer protocol). [`TsRegistry::ready`] and
+    /// [`TsRegistry::merge`] fall back to an on-the-fly computation for
+    /// other pairs (needed by the client-server protocol, where a client
+    /// may relay timestamps between non-adjacent replicas).
+    pub fn new(g: &ShareGraph, graphs: TimestampGraphs) -> Self {
+        let graphs = Arc::new(graphs);
+        let mut replica_ops = Vec::with_capacity(graphs.len());
+        for tg in graphs.iter() {
+            let outgoing = tg
+                .outgoing()
+                .map(|e| {
+                    let pos = tg.position(e).expect("edge from own graph");
+                    (pos, g.edge_registers(e).clone())
+                })
+                .collect();
+            replica_ops.push(ReplicaOps { outgoing });
+        }
+        let mut pair_ops = HashMap::new();
+        for i in g.replicas() {
+            for &k in g.neighbors(i) {
+                pair_ops.insert((i, k), Self::build_pair(&graphs, i, k));
+            }
+        }
+        TsRegistry {
+            graphs,
+            replica_ops,
+            pair_ops,
+        }
+    }
+
+    fn build_pair(graphs: &TimestampGraphs, i: ReplicaId, k: ReplicaId) -> PairOps {
+        let gi = graphs.of(i);
+        let gk = graphs.of(k);
+        let mut common = Vec::new();
+        let mut e_ki = None;
+        let mut incoming_other = Vec::new();
+        for e in gi.intersection(gk) {
+            let pi = gi.position(e).unwrap();
+            let pk = gk.position(e).unwrap();
+            common.push((pi, pk));
+            if e == EdgeId::new(k, i) {
+                e_ki = Some((pi, pk));
+            } else if e.to == i {
+                incoming_other.push((pi, pk));
+            }
+        }
+        PairOps {
+            common,
+            e_ki,
+            incoming_other,
+        }
+    }
+
+    /// The timestamp graphs the registry serves.
+    pub fn graphs(&self) -> &TimestampGraphs {
+        &self.graphs
+    }
+
+    /// A zero-initialized timestamp for replica `i`.
+    pub fn new_timestamp(&self, i: ReplicaId) -> EdgeTimestamp {
+        EdgeTimestamp {
+            replica: i,
+            values: vec![0; self.graphs.of(i).len()],
+        }
+    }
+
+    /// `advance` (Section 3.3): applied when replica `ts.replica()` writes
+    /// register `x`. Increments counters of outgoing edges whose shared
+    /// set contains `x`. Returns the number of counters incremented.
+    pub fn advance(&self, ts: &mut EdgeTimestamp, x: RegisterId) -> usize {
+        let mut bumped = 0;
+        for (pos, regs) in &self.replica_ops[ts.replica.index()].outgoing {
+            if regs.contains(x) {
+                ts.values[*pos] += 1;
+                bumped += 1;
+            }
+        }
+        bumped
+    }
+
+    /// `merge` (Section 3.3): pointwise max over `E_i ∩ E_k`, leaving
+    /// other counters unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `incoming` does not belong to `sender`'s graph shape.
+    pub fn merge(&self, ts: &mut EdgeTimestamp, sender: ReplicaId, incoming: &EdgeTimestamp) {
+        assert_eq!(incoming.replica, sender, "timestamp/sender mismatch");
+        assert_eq!(
+            incoming.values.len(),
+            self.graphs.of(sender).len(),
+            "timestamp shape mismatch"
+        );
+        if let Some(pair) = self.pair_ops.get(&(ts.replica, sender)) {
+            for &(pi, pk) in &pair.common {
+                ts.values[pi] = ts.values[pi].max(incoming.values[pk]);
+            }
+        } else {
+            let pair = Self::build_pair(&self.graphs, ts.replica, sender);
+            for &(pi, pk) in &pair.common {
+                ts.values[pi] = ts.values[pi].max(incoming.values[pk]);
+            }
+        }
+    }
+
+    /// Predicate `J(i, τ_i, k, T)` (Section 3.3): `true` iff the update
+    /// carrying `incoming` (sent by `sender`) may be applied at `ts`'s
+    /// replica now.
+    pub fn ready(&self, ts: &EdgeTimestamp, sender: ReplicaId, incoming: &EdgeTimestamp) -> bool {
+        let check = |pair: &PairOps| -> bool {
+            // τ_i[e_ki] = T[e_ki] − 1 …
+            match pair.e_ki {
+                Some((pi, pk)) => {
+                    if ts.values[pi] + 1 != incoming.values[pk] {
+                        return false;
+                    }
+                }
+                None => {
+                    // e_ki not tracked in common: sender shares no register
+                    // with us — the peer-to-peer protocol never sends such
+                    // updates; be conservative.
+                    return false;
+                }
+            }
+            // … and τ_i[e_ji] ≥ T[e_ji] for each common e_ji, j ≠ k.
+            pair.incoming_other
+                .iter()
+                .all(|&(pi, pk)| ts.values[pi] >= incoming.values[pk])
+        };
+        match self.pair_ops.get(&(ts.replica, sender)) {
+            Some(pair) => check(pair),
+            None => check(&Self::build_pair(&self.graphs, ts.replica, sender)),
+        }
+    }
+
+    /// The counter value for edge `e` in `ts`, if tracked.
+    pub fn counter(&self, ts: &EdgeTimestamp, e: EdgeId) -> Option<u64> {
+        self.graphs
+            .of(ts.replica)
+            .position(e)
+            .map(|p| ts.values[p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::{topology, LoopConfig};
+
+    fn registry(g: &ShareGraph) -> TsRegistry {
+        TsRegistry::new(g, TimestampGraphs::build(g, LoopConfig::EXHAUSTIVE))
+    }
+
+    #[test]
+    fn advance_bumps_only_matching_outgoing_edges() {
+        let g = topology::ring(4);
+        let reg = registry(&g);
+        let r0 = ReplicaId::new(0);
+        let mut t = reg.new_timestamp(r0);
+        // Register 0 is shared by replicas 0 and 1 only.
+        let bumped = reg.advance(&mut t, RegisterId::new(0));
+        assert_eq!(bumped, 1);
+        assert_eq!(
+            reg.counter(&t, EdgeId::new(r0, ReplicaId::new(1))),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter(&t, EdgeId::new(r0, ReplicaId::new(3))),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn advance_multi_recipient_register() {
+        // Register 0 shared by replicas 0,1,2 (triangle).
+        let g = ShareGraph::new(
+            prcc_sharegraph::Placement::builder(3)
+                .share(0, [0, 1, 2])
+                .build(),
+        );
+        let reg = registry(&g);
+        let mut t = reg.new_timestamp(ReplicaId::new(0));
+        assert_eq!(reg.advance(&mut t, RegisterId::new(0)), 2);
+    }
+
+    #[test]
+    fn fifo_predicate_from_single_sender() {
+        let g = topology::path(2);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let mut t0 = reg.new_timestamp(r0);
+        let t1 = reg.new_timestamp(r1);
+
+        reg.advance(&mut t0, RegisterId::new(0));
+        let first = t0.clone();
+        reg.advance(&mut t0, RegisterId::new(0));
+        let second = t0.clone();
+
+        // Second update not deliverable before first.
+        assert!(!reg.ready(&t1, r0, &second));
+        assert!(reg.ready(&t1, r0, &first));
+
+        let mut t1m = t1.clone();
+        reg.merge(&mut t1m, r0, &first);
+        assert!(reg.ready(&t1m, r0, &second));
+        // Re-delivery of the first is rejected after merge.
+        assert!(!reg.ready(&t1m, r0, &first));
+    }
+
+    #[test]
+    fn transitive_dependency_blocks_delivery() {
+        // Triangle sharing one register: classic causal-broadcast scenario.
+        // r0 writes u1 -> r1 applies it, writes u2. r2 must apply u1
+        // before u2.
+        let g = ShareGraph::new(
+            prcc_sharegraph::Placement::builder(3)
+                .share(0, [0, 1, 2])
+                .build(),
+        );
+        let reg = registry(&g);
+        let (r0, r1, r2) = (ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2));
+        let mut t0 = reg.new_timestamp(r0);
+        let mut t1 = reg.new_timestamp(r1);
+        let t2 = reg.new_timestamp(r2);
+
+        reg.advance(&mut t0, RegisterId::new(0));
+        let u1 = t0.clone();
+
+        assert!(reg.ready(&t1, r0, &u1));
+        reg.merge(&mut t1, r0, &u1);
+        reg.advance(&mut t1, RegisterId::new(0));
+        let u2 = t1.clone();
+
+        // At r2: u2 before u1 must be blocked.
+        assert!(!reg.ready(&t2, r1, &u2));
+        assert!(reg.ready(&t2, r0, &u1));
+        let mut t2m = t2.clone();
+        reg.merge(&mut t2m, r0, &u1);
+        assert!(reg.ready(&t2m, r1, &u2));
+    }
+
+    #[test]
+    fn merge_ignores_uncommon_edges() {
+        let g = topology::path(3);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let mut t1 = reg.new_timestamp(r1);
+        // Bump r1's counter toward r2 — r0 does not track e_12 (path has no
+        // loops), so merging t1 into t0 must not disturb t0's counters for
+        // its own edges.
+        reg.advance(&mut t1, RegisterId::new(1)); // register 1 shared r1-r2
+        let mut t0 = reg.new_timestamp(r0);
+        reg.merge(&mut t0, r1, &t1);
+        assert!(t0.values().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn ready_requires_exactly_next_from_sender() {
+        let g = topology::path(2);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let mut t0 = reg.new_timestamp(r0);
+        for _ in 0..3 {
+            reg.advance(&mut t0, RegisterId::new(0));
+        }
+        let third = t0.clone();
+        let t1 = reg.new_timestamp(r1);
+        assert!(!reg.ready(&t1, r0, &third)); // gap of 2
+    }
+
+    #[test]
+    fn wire_size_matches_counters() {
+        let g = topology::ring(5);
+        let reg = registry(&g);
+        let t = reg.new_timestamp(ReplicaId::new(0));
+        assert_eq!(t.num_counters(), 10); // 2n counters in a ring
+        assert_eq!(t.wire_size_bytes(), 80);
+        assert_eq!(t.max_counter(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn merge_validates_sender() {
+        let g = topology::ring(4);
+        let reg = registry(&g);
+        let mut t0 = reg.new_timestamp(ReplicaId::new(0));
+        let t1 = reg.new_timestamp(ReplicaId::new(1));
+        reg.merge(&mut t0, ReplicaId::new(2), &t1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Classic length-`R` vector clocks — the full-replication baseline.
+//!
+//! Lazy Replication (Ladin et al.) and classic causal broadcast track causality with
+//! one counter per replica. Under *full* replication (or the dummy-register
+//! emulation of Appendix D) this is both correct and optimal; under partial
+//! replication it is what our edge-indexed timestamps are compared against
+//! in experiments E4 and E10.
+
+use prcc_sharegraph::ReplicaId;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock with one counter per replica.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_timestamp::VectorClock;
+/// use prcc_sharegraph::ReplicaId;
+///
+/// let mut a = VectorClock::new(3);
+/// a.increment(ReplicaId::new(0));
+/// let mut b = VectorClock::new(3);
+/// b.merge(&a);
+/// assert_eq!(b.get(ReplicaId::new(0)), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock {
+    values: Vec<u64>,
+}
+
+impl VectorClock {
+    /// A zero clock over `replicas` replicas.
+    pub fn new(replicas: usize) -> Self {
+        VectorClock {
+            values: vec![0; replicas],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the clock has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The counter of replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: ReplicaId) -> u64 {
+        self.values[i.index()]
+    }
+
+    /// Increments replica `i`'s own counter, returning the new value.
+    pub fn increment(&mut self, i: ReplicaId) -> u64 {
+        self.values[i.index()] += 1;
+        self.values[i.index()]
+    }
+
+    /// Pointwise max with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.values.len(), other.values.len(), "length mismatch");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// The causal-broadcast delivery predicate: a message stamped `msg`
+    /// from `sender` is deliverable at a replica whose clock is `self` iff
+    /// `msg[sender] = self[sender] + 1` and `msg[j] ≤ self[j]` for all
+    /// `j ≠ sender`.
+    pub fn deliverable(&self, sender: ReplicaId, msg: &VectorClock) -> bool {
+        assert_eq!(self.values.len(), msg.values.len(), "length mismatch");
+        self.values.iter().enumerate().all(|(j, &mine)| {
+            if j == sender.index() {
+                msg.values[j] == mine + 1
+            } else {
+                msg.values[j] <= mine
+            }
+        })
+    }
+
+    /// Partial order on clocks: `Some(Less)` if `self` happened strictly
+    /// before `other`, `Some(Equal)` if identical, `None` if concurrent.
+    pub fn partial_cmp_causal(&self, other: &VectorClock) -> Option<Ordering> {
+        assert_eq!(self.values.len(), other.values.len(), "length mismatch");
+        let mut le = true;
+        let mut ge = true;
+        for (a, b) in self.values.iter().zip(&other.values) {
+            if a < b {
+                ge = false;
+            }
+            if a > b {
+                le = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Raw counter slice.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Wire size in bytes (8 per counter, fixed layout).
+    pub fn wire_size_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+
+    /// Largest counter value.
+    pub fn max_counter(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VectorClock{:?}", self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut vc = VectorClock::new(3);
+        assert_eq!(vc.increment(r(1)), 1);
+        assert_eq!(vc.increment(r(1)), 2);
+        assert_eq!(vc.get(r(1)), 2);
+        assert_eq!(vc.get(r(0)), 0);
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a = VectorClock::new(3);
+        a.increment(r(0));
+        a.increment(r(0));
+        let mut b = VectorClock::new(3);
+        b.increment(r(2));
+        a.merge(&b);
+        assert_eq!(a.values(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn delivery_predicate() {
+        // r0 sends m1 (clock [1,0]) then m2 (clock [2,0]).
+        let mut sender = VectorClock::new(2);
+        sender.increment(r(0));
+        let m1 = sender.clone();
+        sender.increment(r(0));
+        let m2 = sender.clone();
+
+        let mut receiver = VectorClock::new(2);
+        assert!(receiver.deliverable(r(0), &m1));
+        assert!(!receiver.deliverable(r(0), &m2));
+        receiver.merge(&m1);
+        assert!(receiver.deliverable(r(0), &m2));
+        assert!(!receiver.deliverable(r(0), &m1)); // duplicate rejected
+    }
+
+    #[test]
+    fn transitive_dependency() {
+        // r0 -> u1; r1 applies u1, issues u2; r2 must get u1 first.
+        let mut c0 = VectorClock::new(3);
+        c0.increment(r(0));
+        let u1 = c0.clone();
+        let mut c1 = VectorClock::new(3);
+        c1.merge(&u1);
+        c1.increment(r(1));
+        let u2 = c1.clone();
+
+        let c2 = VectorClock::new(3);
+        assert!(!c2.deliverable(r(1), &u2));
+        let mut c2b = c2.clone();
+        c2b.merge(&u1);
+        assert!(c2b.deliverable(r(1), &u2));
+    }
+
+    #[test]
+    fn causal_partial_order() {
+        let mut a = VectorClock::new(2);
+        a.increment(r(0));
+        let mut b = a.clone();
+        b.increment(r(1));
+        assert_eq!(a.partial_cmp_causal(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_causal(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_causal(&a.clone()), Some(Ordering::Equal));
+        let mut c = VectorClock::new(2);
+        c.increment(r(1));
+        assert_eq!(a.partial_cmp_causal(&c), None);
+    }
+
+    #[test]
+    fn sizes() {
+        let vc = VectorClock::new(7);
+        assert_eq!(vc.wire_size_bytes(), 56);
+        assert_eq!(vc.max_counter(), 0);
+        assert!(!vc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn merge_validates_length() {
+        let mut a = VectorClock::new(2);
+        a.merge(&VectorClock::new(3));
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the timestamp operations: the predicate `J` must
+//! admit exactly the causal delivery orders.
+//!
+//! Oracle: a brute-force scheduler replays a batch of updates in a random
+//! order, delivering each when `J` allows; the resulting apply order at
+//! every replica must linearize the (known) causal order of the batch,
+//! and all updates must eventually apply.
+
+use proptest::prelude::*;
+use prcc_sharegraph::{topology, LoopConfig, RegisterId, ReplicaId, TimestampGraphs};
+use prcc_timestamp::{EdgeTimestamp, TsRegistry};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One update in the generated batch.
+#[derive(Debug, Clone)]
+struct Upd {
+    issuer: ReplicaId,
+    register: RegisterId,
+    stamp: EdgeTimestamp,
+    /// Batch indices known to causally precede this update.
+    preds: Vec<usize>,
+}
+
+/// Builds a causal chain batch on a ring: each replica applies the
+/// previous update before issuing its own.
+fn build_chain(reg: &TsRegistry, n: usize, rounds: usize) -> Vec<Upd> {
+    let mut states: Vec<EdgeTimestamp> = (0..n)
+        .map(|i| reg.new_timestamp(ReplicaId::new(i as u32)))
+        .collect();
+    let mut batch: Vec<Upd> = Vec::new();
+    let mut prev: Option<usize> = None;
+    for round in 0..rounds {
+        for i in 0..n {
+            let issuer = ReplicaId::new(i as u32);
+            // Apply the previous update locally first (if it involves us —
+            // on a ring, consecutive issuers share a register).
+            if let Some(p) = prev {
+                let pu = batch[p].clone();
+                if reg.ready(&states[i], pu.issuer, &pu.stamp) {
+                    reg.merge(&mut states[i], pu.issuer, &pu.stamp);
+                }
+            }
+            let register = RegisterId::new(((i + round) % n) as u32);
+            // Only write registers the issuer holds: ring register k is
+            // held by k and k+1; issuer i holds registers i and i-1.
+            let register = if register.index() == i || (register.index() + 1) % n == i {
+                register
+            } else {
+                RegisterId::new(i as u32)
+            };
+            reg.advance(&mut states[i], register);
+            let preds: Vec<usize> = prev.into_iter().collect();
+            batch.push(Upd {
+                issuer,
+                register,
+                stamp: states[i].clone(),
+                preds,
+            });
+            prev = Some(batch.len() - 1);
+        }
+    }
+    batch
+}
+
+proptest! {
+    /// Random delivery orders through `J` always (a) deliver everything,
+    /// (b) respect the chain's causal order at every receiver.
+    #[test]
+    fn predicate_admits_exactly_causal_orders(seed in 0u64..150, n in 3usize..6) {
+        let g = topology::ring(n);
+        let reg = TsRegistry::new(&g, TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE));
+        let batch = build_chain(&reg, n, 2);
+
+        // For each replica, the inbox = every update on a register it
+        // stores, issued by someone else.
+        for i in 0..n {
+            let me = ReplicaId::new(i as u32);
+            let mut inbox: Vec<usize> = (0..batch.len())
+                .filter(|&k| {
+                    batch[k].issuer != me
+                        && g.placement().stores(me, batch[k].register)
+                })
+                .collect();
+            let mut rng = StdRng::seed_from_u64(seed * 100 + i as u64);
+            inbox.shuffle(&mut rng);
+
+            let mut state = reg.new_timestamp(me);
+            // The receiver also *issues* its own batch updates in order;
+            // interleave them at their natural chain position.
+            let mut own: Vec<usize> = (0..batch.len())
+                .filter(|&k| batch[k].issuer == me)
+                .collect();
+            own.reverse(); // pop from the back in chain order
+
+            let mut applied: Vec<usize> = Vec::new();
+            let mut progress = true;
+            while progress {
+                progress = false;
+                // Issue own next update when all its preds are in.
+                if let Some(&k) = own.last() {
+                    let ready = batch[k].preds.iter().all(|p| {
+                        applied.contains(p) || batch[*p].issuer == me
+                    });
+                    if ready {
+                        // Own issue: local state advances to the stamp.
+                        state = batch[k].stamp.clone();
+                        own.pop();
+                        progress = true;
+                        continue;
+                    }
+                }
+                // Deliver any admissible inbox update.
+                if let Some(pos) = inbox.iter().position(|&k| {
+                    reg.ready(&state, batch[k].issuer, &batch[k].stamp)
+                }) {
+                    let k = inbox.remove(pos);
+                    reg.merge(&mut state, batch[k].issuer, &batch[k].stamp);
+                    applied.push(k);
+                    progress = true;
+                }
+            }
+            // (a) Everything delivered and issued.
+            prop_assert!(inbox.is_empty(), "replica {me}: stuck inbox {inbox:?}");
+            prop_assert!(own.is_empty(), "replica {me}: unissued {own:?}");
+            // (b) Chain order respected among applied updates.
+            for (pos, &k) in applied.iter().enumerate() {
+                for &p in &batch[k].preds {
+                    if batch[p].issuer == me
+                        || !g.placement().stores(me, batch[p].register)
+                    {
+                        continue;
+                    }
+                    let ppos = applied.iter().position(|&a| a == p);
+                    prop_assert!(
+                        matches!(ppos, Some(pp) if pp < pos),
+                        "replica {me}: {k} applied before its pred {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Merge is monotone and idempotent on edge timestamps.
+    #[test]
+    fn merge_monotone_idempotent(seed in 0u64..100) {
+        let g = topology::ring(4);
+        let reg = TsRegistry::new(&g, TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r0 = ReplicaId::new(0);
+        let r1 = ReplicaId::new(1);
+        let mut a = reg.new_timestamp(r0);
+        let mut b = reg.new_timestamp(r1);
+        let mut regs0: Vec<RegisterId> =
+            g.placement().registers_of(r0).iter().collect();
+        regs0.shuffle(&mut rng);
+        let mut regs1: Vec<RegisterId> =
+            g.placement().registers_of(r1).iter().collect();
+        regs1.shuffle(&mut rng);
+        for x in regs0 {
+            reg.advance(&mut a, x);
+        }
+        for x in regs1 {
+            reg.advance(&mut b, x);
+        }
+        let before = b.clone();
+        reg.merge(&mut b, r0, &a);
+        // Monotone: no counter decreased.
+        for (x, y) in before.values().iter().zip(b.values()) {
+            prop_assert!(y >= x);
+        }
+        // Idempotent: merging again changes nothing.
+        let once = b.clone();
+        reg.merge(&mut b, r0, &a);
+        prop_assert_eq!(once, b);
+    }
+}

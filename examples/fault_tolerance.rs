@@ -1,0 +1,64 @@
+//! Fault injection: what the paper's channel assumptions buy.
+//!
+//! The model assumes reliable, exactly-once channels. This example shows
+//! (a) that *at-least-once* is actually enough — duplicate deliveries are
+//! suppressed by the delivery predicate `J` — and (b) that genuine loss
+//! breaks liveness in a way the trace checker pinpoints.
+//!
+//! ```text
+//! cargo run --example fault_tolerance
+//! ```
+
+use prcc::core::{System, Value};
+use prcc::net::{DelayModel, FaultPlan};
+use prcc::sharegraph::{topology, RegisterId, ReplicaId};
+
+fn main() {
+    let r = ReplicaId::new;
+    let x = RegisterId::new;
+
+    // --- Duplication: harmless ---
+    let mut sys = System::builder(topology::ring(5))
+        .faults(FaultPlan::duplicating(0.4))
+        .delay(DelayModel::Uniform { min: 1, max: 20 })
+        .seed(7)
+        .build();
+    for round in 0..10u64 {
+        for i in 0..5u32 {
+            sys.write(r(i), x(i), Value::from(round));
+        }
+        sys.run_to_quiescence();
+    }
+    let stats = sys.net_stats();
+    let rep = sys.check();
+    println!("duplication run:");
+    println!("  messages sent:        {}", stats.sent);
+    println!("  duplicates injected:  {}", stats.duplicated);
+    println!("  updates applied:      {} (exactly once each)", sys.metrics().applies);
+    println!("  duplicate copies left in pending (never admissible): {}", sys.stuck_pending());
+    println!("  causally consistent:  {}", rep.is_consistent());
+    assert!(rep.is_consistent());
+    assert_eq!(sys.metrics().applies, 50);
+
+    // --- Loss: liveness breaks, and the checker says where ---
+    let mut lossy = System::builder(topology::path(3))
+        .faults(FaultPlan::none().kill_link(r(0), r(1)))
+        .delay(DelayModel::Fixed(1))
+        .seed(0)
+        .build();
+    lossy.write(r(0), x(0), Value::from(1u64));
+    lossy.write(r(1), x(1), Value::from(2u64));
+    lossy.run_to_quiescence();
+    let rep = lossy.check();
+    println!("\ndead-link run (r0 → r1 severed):");
+    for v in &rep.violations {
+        println!("  checker: {v}");
+    }
+    println!("  r2 still received the unaffected update: {:?}", lossy.read(r(2), x(1)));
+    assert!(!rep.is_consistent());
+    assert_eq!(rep.liveness_violations().count(), 1);
+
+    println!("\nThe predicate J admits each update exactly once (at-least-once");
+    println!("channels suffice); genuine loss surfaces as a checkable liveness");
+    println!("violation rather than silent divergence.");
+}

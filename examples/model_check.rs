@@ -1,0 +1,57 @@
+//! Small-scope model checking: exhaustively verify the algorithm over
+//! EVERY delivery interleaving of a causal-chain scenario, then show the
+//! explorer automatically finding the counterexample interleaving for a
+//! truncated (under-tracking) configuration.
+//!
+//! ```text
+//! cargo run --example model_check
+//! ```
+
+use prcc::core::{Scenario, TrackerKind};
+use prcc::sharegraph::{topology, LoopConfig, RegisterId, ReplicaId};
+
+fn main() {
+    let r = ReplicaId::new;
+    let x = RegisterId::new;
+
+    // Scenario: a causal chain around a ring of 5 — each write fires only
+    // after its predecessor has been applied at the issuer.
+    println!("scenario: causal chain around ring(5), all interleavings\n");
+
+    let mut exact = Scenario::new(topology::ring(5));
+    let u0 = exact.write(r(1), x(0)); // register 0 is shared with r0
+    let u1 = exact.write_after(r(1), x(1), [u0]);
+    let u2 = exact.write_after(r(2), x(2), [u1]);
+    let u3 = exact.write_after(r(3), x(3), [u2]);
+    exact.write_after(r(4), x(4), [u3]); // register 4 is shared with r0
+
+    let res = exact.explore();
+    println!("exact edge-indexed tracker:  {res}");
+    assert!(res.verified());
+
+    let mut truncated = Scenario::new(topology::ring(5))
+        .tracker(TrackerKind::EdgeIndexed(LoopConfig::bounded(4)));
+    let v0 = truncated.write(r(1), x(0));
+    let v1 = truncated.write_after(r(1), x(1), [v0]);
+    let v2 = truncated.write_after(r(2), x(2), [v1]);
+    let v3 = truncated.write_after(r(3), x(3), [v2]);
+    truncated.write_after(r(4), x(4), [v3]);
+
+    let res_t = truncated.explore();
+    println!("loop-cap-4 (under-tracking): {res_t}");
+    assert!(res_t.violations > 0);
+
+    let mut vc = Scenario::new(topology::ring(5)).tracker(TrackerKind::VectorClock);
+    let w0 = vc.write(r(1), x(0));
+    let w1 = vc.write_after(r(1), x(1), [w0]);
+    let w2 = vc.write_after(r(2), x(2), [w1]);
+    let w3 = vc.write_after(r(3), x(3), [w2]);
+    vc.write_after(r(4), x(4), [w3]);
+    let res_vc = vc.explore();
+    println!("vector-clock baseline:       {res_vc}");
+    assert!(res_vc.verified());
+
+    println!("\nThe exact algorithm is safe in EVERY interleaving; the truncated");
+    println!("variant has a concrete violating schedule the explorer found — the");
+    println!("executable form of Theorem 8's necessity argument.");
+}

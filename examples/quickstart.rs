@@ -1,0 +1,61 @@
+//! Quickstart: a 4-replica partially replicated store.
+//!
+//! Replicas form a ring; each adjacent pair shares one register. We write
+//! at several replicas, let the (non-FIFO, randomly delayed) network
+//! drain, read the values back, and verify replica-centric causal
+//! consistency with the trace checker.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use prcc::core::{System, Value};
+use prcc::net::DelayModel;
+use prcc::sharegraph::{topology, RegisterId, ReplicaId};
+
+fn main() {
+    let r = ReplicaId::new;
+    let x = RegisterId::new;
+
+    // Ring of 4: register i is shared by replicas i and i+1 (mod 4).
+    let graph = topology::ring(4);
+    println!("share graph: {} replicas, {} undirected edges", graph.num_replicas(), graph.num_undirected_edges());
+
+    let mut sys = System::builder(graph)
+        .delay(DelayModel::Uniform { min: 1, max: 20 }) // non-FIFO
+        .seed(42)
+        .build();
+    println!("timestamp counters per replica: {:?}", sys.timestamp_counters());
+
+    // Causally chained writes: replica 1 sees replica 0's write before
+    // issuing its own.
+    sys.write(r(0), x(0), Value::from("hello"));
+    sys.run_to_quiescence();
+    sys.write(r(1), x(1), Value::from("world"));
+    sys.run_to_quiescence();
+
+    // Concurrent writes from opposite sides of the ring.
+    sys.write(r(2), x(2), Value::from(1u64));
+    sys.write(r(3), x(3), Value::from(2u64));
+    sys.run_to_quiescence();
+
+    println!("replica 1 reads x0 = {:?}", sys.read(r(1), x(0)));
+    println!("replica 2 reads x1 = {:?}", sys.read(r(2), x(1)));
+    println!("replica 3 reads x2 = {:?}", sys.read(r(3), x(2)));
+    println!("replica 0 reads x3 = {:?}", sys.read(r(0), x(3)));
+
+    let report = sys.check();
+    println!(
+        "checker: {} applies verified, consistent = {}",
+        report.applies_checked,
+        report.is_consistent()
+    );
+    let m = sys.metrics();
+    println!(
+        "traffic: {} data msgs, {} metadata bytes, mean visibility {:.1} ticks",
+        m.data_messages,
+        m.metadata_bytes,
+        m.mean_visibility()
+    );
+    assert!(report.is_consistent());
+}

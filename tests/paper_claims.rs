@@ -1,0 +1,174 @@
+//! End-to-end assertions of the paper's headline claims, exercised
+//! through the public facade API.
+
+use prcc::core::{System, TrackerKind, Value};
+use prcc::net::DelayModel;
+use prcc::sharegraph::{
+    edge, paper_examples, topology, LoopConfig, RegisterId, ReplicaId, TimestampGraphs,
+};
+use prcc::timestamp::bits::{cycle_lower_bound_bits, timestamp_bits, tree_lower_bound_bits};
+use prcc::timestamp::compress_replica;
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId::new(i)
+}
+fn x(i: u32) -> RegisterId {
+    RegisterId::new(i)
+}
+
+/// Figure 5 worked example: the exact asymmetric edge set of G_1.
+#[test]
+fn figure5_timestamp_graph_asymmetry() {
+    let g = paper_examples::figure5();
+    let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+    let g1 = graphs.of(r(0));
+    assert!(g1.contains(edge(3, 2)) && !g1.contains(edge(2, 3)));
+    assert!(g1.contains(edge(2, 1)) && !g1.contains(edge(1, 2)));
+}
+
+/// Section 4: the algorithm is *tight* on trees and cycles — its
+/// timestamp bits equal the closed-form lower bounds.
+#[test]
+fn algorithm_meets_lower_bounds_on_trees_and_cycles() {
+    let m = 500;
+    for leaves in [2usize, 4, 8] {
+        let g = topology::star(leaves);
+        let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+        for i in g.replicas() {
+            assert_eq!(
+                timestamp_bits(graphs.of(i).len(), m),
+                tree_lower_bound_bits(g.degree(i), m),
+                "star({leaves}) replica {i}"
+            );
+        }
+    }
+    for n in [3usize, 5, 9] {
+        let g = topology::ring(n);
+        let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+        for i in g.replicas() {
+            assert_eq!(
+                timestamp_bits(graphs.of(i).len(), m),
+                cycle_lower_bound_bits(n, m),
+                "ring({n}) replica {i}"
+            );
+        }
+    }
+}
+
+/// Section 5: in the full-replication special case, compression recovers
+/// exactly the classic vector clock (R counters).
+#[test]
+fn full_replication_compresses_to_vector_clock() {
+    for n in [3usize, 5, 7] {
+        let g = topology::clique_full(n, 2 * n);
+        let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+        for i in g.replicas() {
+            assert_eq!(compress_replica(&g, graphs.of(i)).rank_compressed, n);
+        }
+    }
+}
+
+/// The protocol as a whole: every topology in the generator zoo stays
+/// causally consistent under randomized non-FIFO delays.
+#[test]
+fn protocol_consistent_across_topology_zoo() {
+    let graphs = vec![
+        ("path4", topology::path(4)),
+        ("ring5", topology::ring(5)),
+        ("star4", topology::star(4)),
+        ("tree7", topology::binary_tree(7)),
+        ("grid3x2", topology::grid(3, 2)),
+        ("clique4", topology::clique_full(4, 6)),
+        ("fig3", paper_examples::figure3()),
+        ("fig5", paper_examples::figure5()),
+        ("fig8a", paper_examples::figure8a()),
+        ("fig8b", paper_examples::figure8b()),
+    ];
+    for (name, g) in graphs {
+        for seed in 0..3 {
+            let mut sys = System::builder(g.clone())
+                .delay(DelayModel::Uniform { min: 1, max: 30 })
+                .seed(seed)
+                .build();
+            for round in 0..3u64 {
+                for reg in 0..g.placement().num_registers() as u32 {
+                    for &h in g.placement().holders(x(reg)) {
+                        sys.write(h, x(reg), Value::from(round));
+                    }
+                    sys.step();
+                    sys.step();
+                }
+            }
+            sys.run_to_quiescence();
+            assert!(sys.is_settled(), "{name} seed {seed} stuck");
+            let rep = sys.check();
+            assert!(
+                rep.is_consistent(),
+                "{name} seed {seed}: {:?}",
+                rep.violations
+            );
+        }
+    }
+}
+
+/// Theorem 8, end to end: dropping any single tracked far edge of some
+/// replica admits an execution that violates consistency, while the full
+/// edge set never does (spot-checked on the ring-6 construction).
+#[test]
+fn theorem8_far_edge_necessity() {
+    let build = |drop: bool| {
+        let mut b = System::builder(topology::ring(6))
+            .delay(DelayModel::Fixed(1))
+            .seed(0);
+        if drop {
+            b = b.drop_edge(r(0), edge(2, 1));
+        }
+        b.build()
+    };
+    for drop in [false, true] {
+        let mut sys = build(drop);
+        sys.hold_link(r(2), r(1));
+        sys.write(r(2), x(1), Value::from(1u64));
+        for i in 2..6u32 {
+            sys.write(r(i), x(i), Value::from(2u64));
+            sys.run_to_quiescence();
+        }
+        sys.write(r(0), x(0), Value::from(3u64));
+        sys.run_to_quiescence();
+        sys.release_link(r(2), r(1));
+        sys.run_to_quiescence();
+        let consistent = sys.check().is_consistent();
+        assert_eq!(consistent, !drop, "drop={drop}");
+    }
+}
+
+/// The vector-clock baseline agrees with the edge-indexed algorithm on
+/// final register state for a deterministic workload.
+#[test]
+fn baselines_agree_on_final_state() {
+    let g = topology::ring(5);
+    let run = |kind: TrackerKind| {
+        let mut sys = System::builder(g.clone())
+            .tracker(kind)
+            .delay(DelayModel::Fixed(3))
+            .seed(9)
+            .build();
+        for round in 0..4u64 {
+            for i in 0..5u32 {
+                sys.write(r(i), x(i), Value::from(round * 10 + u64::from(i)));
+            }
+            sys.run_to_quiescence();
+        }
+        let mut state = Vec::new();
+        for reg in 0..5u32 {
+            for &h in g.placement().holders(x(reg)) {
+                state.push(sys.read(h, x(reg)).cloned());
+            }
+        }
+        assert!(sys.check().is_consistent());
+        state
+    };
+    let a = run(TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE));
+    let b = run(TrackerKind::VectorClock);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! protocol's invariants.
+
+use proptest::prelude::*;
+use prcc::checker::HbGraph;
+use prcc::core::{System, Value};
+use prcc::net::DelayModel;
+use prcc::sharegraph::{
+    topology::{self, RandomPlacementConfig},
+    LoopConfig, RegSet, RegisterId, ReplicaId, TimestampGraph, TimestampGraphs,
+};
+use prcc::timestamp::VectorClock;
+
+proptest! {
+    /// RegSet obeys basic set-algebra laws.
+    #[test]
+    fn regset_algebra_laws(a in proptest::collection::vec(0u32..200, 0..40),
+                           b in proptest::collection::vec(0u32..200, 0..40)) {
+        let sa = RegSet::from_indices(a.iter().copied());
+        let sb = RegSet::from_indices(b.iter().copied());
+        // Commutativity.
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.intersection(&sb), sb.intersection(&sa));
+        // |A ∪ B| = |A| + |B| − |A ∩ B|.
+        prop_assert_eq!(
+            sa.union(&sb).len() + sa.intersection(&sb).len(),
+            sa.len() + sb.len()
+        );
+        // A − B ⊆ A and disjoint from B.
+        let diff = sa.difference(&sb);
+        prop_assert!(diff.is_subset(&sa));
+        prop_assert!(!diff.intersects(&sb));
+        // has_element_outside agrees with difference.
+        prop_assert_eq!(sa.has_element_outside(&sb), !diff.is_empty());
+    }
+
+    /// Vector-clock merge is commutative, associative, idempotent, and
+    /// monotone.
+    #[test]
+    fn vector_clock_merge_laws(a in proptest::collection::vec(0u64..50, 4),
+                               b in proptest::collection::vec(0u64..50, 4),
+                               c in proptest::collection::vec(0u64..50, 4)) {
+        let mk = |v: &[u64]| {
+            let mut vc = VectorClock::new(v.len());
+            for (i, &n) in v.iter().enumerate() {
+                for _ in 0..n {
+                    vc.increment(ReplicaId::new(i as u32));
+                }
+            }
+            vc
+        };
+        let (va, vb, vc_) = (mk(&a), mk(&b), mk(&c));
+        // Commutative.
+        let mut ab = va.clone(); ab.merge(&vb);
+        let mut ba = vb.clone(); ba.merge(&va);
+        prop_assert_eq!(&ab, &ba);
+        // Associative.
+        let mut ab_c = ab.clone(); ab_c.merge(&vc_);
+        let mut bc = vb.clone(); bc.merge(&vc_);
+        let mut a_bc = va.clone(); a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Idempotent.
+        let mut aa = va.clone(); aa.merge(&va);
+        prop_assert_eq!(&aa, &va);
+        // Monotone: a ≤ merge(a, b).
+        use std::cmp::Ordering;
+        let ord = va.partial_cmp_causal(&ab);
+        prop_assert!(matches!(ord, Some(Ordering::Less) | Some(Ordering::Equal)));
+    }
+
+    /// Timestamp graphs always contain all incident edges, are subsets of
+    /// the share graph's edges, and truncation is monotone in the cap.
+    #[test]
+    fn timestamp_graph_structural_invariants(seed in 0u64..50) {
+        let g = topology::random_connected_placement(RandomPlacementConfig {
+            replicas: 6,
+            registers: 8,
+            replication_factor: 2,
+            seed,
+        });
+        for i in g.replicas() {
+            let exact = TimestampGraph::build(&g, i, LoopConfig::EXHAUSTIVE);
+            for &e in g.edges() {
+                if e.touches(i) {
+                    prop_assert!(exact.contains(e), "incident {e} missing at {i}");
+                }
+            }
+            for &e in exact.edges() {
+                prop_assert!(g.has_edge(e), "{e} not a share edge");
+            }
+            let mut prev = TimestampGraph::build(&g, i, LoopConfig::bounded(3));
+            for cap in 4..=6 {
+                let cur = TimestampGraph::build(&g, i, LoopConfig::bounded(cap));
+                for &e in prev.edges() {
+                    prop_assert!(cur.contains(e), "cap {cap} lost edge {e}");
+                }
+                prev = cur;
+            }
+            for &e in prev.edges() {
+                prop_assert!(exact.contains(e));
+            }
+        }
+    }
+
+    /// The protocol is causally consistent on random connected placements
+    /// under random delays — the paper's sufficiency claim (Section 3.3),
+    /// fuzzed.
+    #[test]
+    fn protocol_consistent_on_random_placements(seed in 0u64..40) {
+        let g = topology::random_connected_placement(RandomPlacementConfig {
+            replicas: 5,
+            registers: 6,
+            replication_factor: 2,
+            seed,
+        });
+        let mut sys = System::builder(g.clone())
+            .delay(DelayModel::Uniform { min: 1, max: 25 })
+            .seed(seed)
+            .build();
+        let mut v = 0u64;
+        for _round in 0..3 {
+            for i in g.replicas() {
+                if let Some(reg) = g.placement().registers_of(i).first() {
+                    sys.write(i, reg, Value::from(v));
+                    v += 1;
+                }
+                sys.step();
+            }
+        }
+        sys.run_to_quiescence();
+        prop_assert!(sys.is_settled());
+        let rep = sys.check();
+        prop_assert!(rep.is_consistent(), "{:?}", rep.violations);
+    }
+
+    /// Happened-before is a strict partial order on every generated trace.
+    #[test]
+    fn happened_before_is_strict_partial_order(seed in 0u64..30) {
+        let g = topology::ring(4);
+        let mut sys = System::builder(g.clone())
+            .delay(DelayModel::Uniform { min: 1, max: 15 })
+            .seed(seed)
+            .build();
+        for round in 0..3u64 {
+            for i in 0..4u32 {
+                sys.write(ReplicaId::new(i), RegisterId::new(i), Value::from(round));
+                sys.step();
+            }
+        }
+        sys.run_to_quiescence();
+        let hb = HbGraph::build(sys.trace());
+        let updates = hb.updates().to_vec();
+        for &u in &updates {
+            prop_assert!(!hb.happened_before(u, u), "irreflexive");
+        }
+        for &u in &updates {
+            for &v in &updates {
+                if hb.happened_before(u, v) {
+                    prop_assert!(!hb.happened_before(v, u), "antisymmetric");
+                }
+                for &w in &updates {
+                    if hb.happened_before(u, v) && hb.happened_before(v, w) {
+                        prop_assert!(hb.happened_before(u, w), "transitive");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Non-proptest invariant: TimestampGraphs totals are stable across
+/// rebuilds (construction is deterministic).
+#[test]
+fn timestamp_graph_construction_deterministic() {
+    let g = topology::grid(3, 3);
+    let a = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+    let b = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
+    assert_eq!(a.total_counters(), b.total_counters());
+    for i in g.replicas() {
+        assert_eq!(a.of(i).edges(), b.of(i).edges());
+    }
+}

@@ -1,0 +1,110 @@
+//! Heavy stress tests — run with `cargo test -- --ignored` (they take
+//! tens of seconds in debug builds; the regular suite stays fast).
+
+use prcc::core::runtime::ThreadedCluster;
+use prcc::core::{System, TrackerKind, Value};
+use prcc::net::DelayModel;
+use prcc::sharegraph::{
+    topology::{self, RandomPlacementConfig},
+    LoopConfig, RegisterId, ReplicaId,
+};
+
+/// 20 replicas, 60 registers, thousands of writes, several seeds. (Exact
+/// timestamp-graph construction stays tractable here thanks to the
+/// monotone condition-(i)/(ii) prunes in the loop search.)
+#[test]
+#[ignore = "heavy: ~30s debug"]
+fn large_random_systems_stay_consistent() {
+    for seed in 0..3 {
+        let g = topology::random_connected_placement(RandomPlacementConfig {
+            replicas: 20,
+            registers: 60,
+            replication_factor: 3,
+            seed,
+        });
+        let mut sys = System::builder(g.clone())
+            .delay(DelayModel::Uniform { min: 1, max: 50 })
+            .seed(seed)
+            .build();
+        let mut v = 0u64;
+        for _round in 0..20 {
+            for i in g.replicas() {
+                if let Some(reg) = g.placement().registers_of(i).first() {
+                    sys.write(i, reg, Value::from(v));
+                    v += 1;
+                }
+                sys.step();
+                sys.step();
+            }
+        }
+        sys.run_to_quiescence();
+        assert!(sys.is_settled(), "seed {seed}");
+        let rep = sys.check();
+        assert!(rep.is_consistent(), "seed {seed}: {:?}", rep.violations);
+    }
+}
+
+/// Big clique under the vector-clock baseline.
+#[test]
+#[ignore = "heavy: ~20s debug"]
+fn big_clique_vector_clock_baseline() {
+    let g = topology::clique_full(12, 24);
+    let mut sys = System::builder(g.clone())
+        .tracker(TrackerKind::VectorClock)
+        .delay(DelayModel::Uniform { min: 1, max: 30 })
+        .seed(1)
+        .build();
+    for round in 0..15u64 {
+        for i in g.replicas() {
+            sys.write(i, RegisterId::new((round % 24) as u32), Value::from(round));
+            sys.step();
+            sys.step();
+            sys.step();
+        }
+    }
+    sys.run_to_quiescence();
+    assert!(sys.is_settled());
+    assert!(sys.check().is_consistent());
+}
+
+/// Threaded cluster hammered by concurrent writers for a while.
+#[test]
+#[ignore = "heavy: wall-clock bound"]
+fn threaded_cluster_long_run() {
+    let g = topology::grid(3, 3);
+    let cluster = ThreadedCluster::new(g.clone(), DelayModel::Uniform { min: 0, max: 3 }, 42);
+    std::thread::scope(|s| {
+        for i in g.replicas() {
+            let c = &cluster;
+            let menu: Vec<RegisterId> = g.placement().registers_of(i).iter().collect();
+            s.spawn(move || {
+                for round in 0..50u64 {
+                    for &reg in &menu {
+                        c.write(i, reg, Value::from(round));
+                    }
+                }
+            });
+        }
+    });
+    cluster.settle();
+    let rep = cluster.check();
+    assert!(rep.is_consistent(), "{} violations", rep.violations.len());
+}
+
+/// Exhaustive exploration of a wider concurrent scenario: four fully
+/// concurrent writers on a shared register plus one dependent write.
+#[test]
+#[ignore = "heavy: large state space"]
+fn explorer_wide_concurrency() {
+    use prcc::core::Scenario;
+    let g = topology::clique_full(4, 1);
+    let mut s = Scenario::new(g).tracker(TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE));
+    let mut last = 0;
+    for i in 0..4u32 {
+        last = s.write(ReplicaId::new(i), RegisterId::new(0));
+    }
+    s.write_after(ReplicaId::new(0), RegisterId::new(0), [last]);
+    let res = s.explore();
+    assert!(res.verified(), "{res}");
+    assert!(res.states > 5_000, "{res}");
+}

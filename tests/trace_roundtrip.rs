@@ -1,0 +1,88 @@
+//! Cross-crate round trip: run a real protocol execution, serialize its
+//! trace, replay it through the checker offline — verdicts must match.
+
+use prcc::checker::{check, from_text, to_text};
+use prcc::core::{System, TrackerKind, Value};
+use prcc::net::DelayModel;
+use prcc::sharegraph::{edge, topology, RegisterId, ReplicaId};
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId::new(i)
+}
+fn x(i: u32) -> RegisterId {
+    RegisterId::new(i)
+}
+
+#[test]
+fn consistent_run_survives_serialization() {
+    let g = topology::grid(3, 2);
+    let mut sys = System::builder(g.clone())
+        .delay(DelayModel::Uniform { min: 1, max: 20 })
+        .seed(5)
+        .build();
+    for round in 0..4u64 {
+        for i in g.replicas() {
+            for reg in g.placement().registers_of(i).iter() {
+                if g.placement().holders(reg).first() == Some(&i) {
+                    sys.write(i, reg, Value::from(round));
+                }
+            }
+            sys.step();
+        }
+    }
+    sys.run_to_quiescence();
+
+    let text = to_text(sys.trace());
+    assert!(text.lines().count() > 20);
+    let replayed = from_text(&text).expect("parse");
+    let direct = check(sys.trace(), g.placement());
+    let offline = check(&replayed, g.placement());
+    assert_eq!(direct.violations, offline.violations);
+    assert!(offline.is_consistent());
+    assert_eq!(direct.applies_checked, offline.applies_checked);
+}
+
+#[test]
+fn violating_run_survives_serialization() {
+    // The oblivious far-edge execution produces a safety violation; the
+    // serialized trace must reproduce it exactly offline.
+    let mut sys = System::builder(topology::ring(6))
+        .drop_edge(r(0), edge(2, 1))
+        .delay(DelayModel::Fixed(1))
+        .seed(0)
+        .build();
+    sys.hold_link(r(2), r(1));
+    sys.write(r(2), x(1), Value::from(1u64));
+    for i in 2..6u32 {
+        sys.write(r(i), x(i), Value::from(2u64));
+        sys.run_to_quiescence();
+    }
+    sys.write(r(0), x(0), Value::from(3u64));
+    sys.run_to_quiescence();
+    sys.release_link(r(2), r(1));
+    sys.run_to_quiescence();
+
+    let placement = sys.data_placement().clone();
+    let direct = sys.check();
+    assert!(!direct.is_consistent());
+
+    let replayed = from_text(&to_text(sys.trace())).expect("parse");
+    let offline = check(&replayed, &placement);
+    assert_eq!(direct.violations, offline.violations);
+}
+
+#[test]
+fn vc_run_roundtrip_matches() {
+    let g = topology::clique_full(4, 4);
+    let mut sys = System::builder(g.clone())
+        .tracker(TrackerKind::VectorClock)
+        .seed(2)
+        .build();
+    for i in 0..4u32 {
+        sys.write(r(i), x(i), Value::from(u64::from(i)));
+    }
+    sys.run_to_quiescence();
+    let replayed = from_text(&to_text(sys.trace())).expect("parse");
+    assert_eq!(replayed.num_updates(), 4);
+    assert!(check(&replayed, g.placement()).is_consistent());
+}
