@@ -2,10 +2,10 @@
 //! computation over edge register-set matrices.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use prcc_sharegraph::{topology, LoopConfig, ReplicaId, TimestampGraphs};
-use prcc_timestamp::compress_replica;
-use prcc_timestamp::compress::{atoms, rank};
 use prcc_sharegraph::RegSet;
+use prcc_sharegraph::{topology, LoopConfig, ReplicaId, TimestampGraphs};
+use prcc_timestamp::compress::{atoms, rank};
+use prcc_timestamp::compress_replica;
 
 fn bench_rank(c: &mut Criterion) {
     let mut g = c.benchmark_group("compression_rank");

@@ -1,15 +1,16 @@
 //! Bench: pending-buffer drain — the replica's step-4 loop under
-//! out-of-order bursts (ablation: delivery reordering cost).
+//! out-of-order bursts, scan vs dependency-counting wakeup (DESIGN §6
+//! "pending-set scheduling" ablation).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use prcc_core::{CausalityTracker, EdgeTracker, Replica, Value};
+use prcc_core::{CausalityTracker, EdgeTracker, PendingMode, Replica, Value};
 use prcc_sharegraph::{topology, LoopConfig, RegisterId, ReplicaId, TimestampGraphs};
 use prcc_timestamp::TsRegistry;
 use std::sync::Arc;
 
 /// Builds `n` updates from replica 0 to replica 1 and returns them
 /// reversed (worst-case ordering for the scan-based drain).
-fn make_burst(n: usize) -> (Replica, Vec<prcc_core::UpdateMsg>) {
+fn make_burst(n: usize, mode: PendingMode) -> (Replica, Vec<prcc_core::UpdateMsg>) {
     let g = topology::path(2);
     let reg = Arc::new(TsRegistry::new(
         &g,
@@ -30,10 +31,11 @@ fn make_burst(n: usize) -> (Replica, Vec<prcc_core::UpdateMsg>) {
         msgs.push(m);
     }
     msgs.reverse();
-    let receiver = Replica::new(
+    let receiver = Replica::new_with_mode(
         r1,
         g.placement().registers_of(r1).clone(),
         Box::new(EdgeTracker::new(reg, r1)) as Box<dyn CausalityTracker>,
+        mode,
     );
     (receiver, msgs)
 }
@@ -41,20 +43,26 @@ fn make_burst(n: usize) -> (Replica, Vec<prcc_core::UpdateMsg>) {
 fn bench_drain(c: &mut Criterion) {
     let mut g = c.benchmark_group("pending_drain");
     g.sample_size(20);
-    for n in [16usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("reversed_burst", n), &n, |b, &n| {
-            b.iter_batched(
-                || make_burst(n),
-                |(mut receiver, msgs)| {
-                    let mut applied = 0;
-                    for m in msgs {
-                        applied += receiver.receive(black_box(m)).len();
-                    }
-                    assert_eq!(applied, n);
+    for (label, mode) in [("scan", PendingMode::Scan), ("wakeup", PendingMode::Wakeup)] {
+        for n in [16usize, 64, 256] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("reversed_burst/{label}"), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || make_burst(n, mode),
+                        |(mut receiver, msgs)| {
+                            let mut applied = 0;
+                            for m in msgs {
+                                applied += receiver.receive(black_box(m)).len();
+                            }
+                            assert_eq!(applied, n);
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
                 },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+            );
+        }
     }
     g.finish();
 }

@@ -28,6 +28,12 @@ fn bench_edge_ops(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("ready", n), &n, |b, _| {
             b.iter(|| reg.ready(black_box(&t1), r0, black_box(&incoming)))
         });
+        // Ablation (DESIGN §6 "predicate J indexing"): re-intersect
+        // E_i ∩ E_k on every evaluation instead of using the precomputed
+        // all-pairs position maps.
+        g.bench_with_input(BenchmarkId::new("ready_scan", n), &n, |b, _| {
+            b.iter(|| reg.ready_scan(black_box(&t1), r0, black_box(&incoming)))
+        });
         g.bench_with_input(BenchmarkId::new("merge", n), &n, |b, _| {
             let mut t = reg.new_timestamp(r1);
             b.iter(|| reg.merge(black_box(&mut t), r0, black_box(&incoming)))

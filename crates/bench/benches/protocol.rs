@@ -36,9 +36,11 @@ fn bench_protocol(c: &mut Criterion) {
             tracker: TrackerKind::VectorClock,
             ..cfg_base.clone()
         };
-        g.bench_with_input(BenchmarkId::new("vector_clock", name), &graph, |b, graph| {
-            b.iter(|| run_scenario(black_box(graph), &vc_cfg))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("vector_clock", name),
+            &graph,
+            |b, graph| b.iter(|| run_scenario(black_box(graph), &vc_cfg)),
+        );
     }
     g.finish();
 }

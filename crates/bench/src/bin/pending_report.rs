@@ -1,0 +1,139 @@
+//! Generates `BENCH_pending.json`: the scan vs wakeup pending-drain
+//! comparison (predicate-evaluation counts and wall-clock) plus the
+//! indexed vs re-intersecting predicate `J` micro-benchmark.
+//!
+//! Usage: `cargo run --release -p prcc-bench --bin pending_report > BENCH_pending.json`
+
+use prcc_core::{CausalityTracker, EdgeTracker, PendingMode, Replica, Value};
+use prcc_sharegraph::{topology, LoopConfig, RegisterId, ReplicaId, TimestampGraphs};
+use prcc_timestamp::TsRegistry;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn make_burst(n: usize, mode: PendingMode) -> (Replica, Vec<prcc_core::UpdateMsg>) {
+    let g = topology::path(2);
+    let reg = Arc::new(TsRegistry::new(
+        &g,
+        TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE),
+    ));
+    let r0 = ReplicaId::new(0);
+    let r1 = ReplicaId::new(1);
+    let mut sender = Replica::new(
+        r0,
+        g.placement().registers_of(r0).clone(),
+        Box::new(EdgeTracker::new(reg.clone(), r0)) as Box<dyn CausalityTracker>,
+    );
+    let mut msgs = Vec::with_capacity(n);
+    for i in 0..n {
+        let (m, _) = sender
+            .write(RegisterId::new(0), Value::from(i as u64), vec![r1])
+            .unwrap();
+        msgs.push(m);
+    }
+    msgs.reverse();
+    let receiver = Replica::new_with_mode(
+        r1,
+        g.placement().registers_of(r1).clone(),
+        Box::new(EdgeTracker::new(reg, r1)) as Box<dyn CausalityTracker>,
+        mode,
+    );
+    (receiver, msgs)
+}
+
+/// One drain of a reversed burst: returns (elapsed ns, predicate evals).
+fn drain_once(n: usize, mode: PendingMode) -> (u128, u64) {
+    let (mut receiver, msgs) = make_burst(n, mode);
+    let start = Instant::now();
+    let mut applied = 0;
+    for m in msgs {
+        applied += receiver.receive(m).len();
+    }
+    let elapsed = start.elapsed().as_nanos();
+    assert_eq!(applied, n);
+    (elapsed, receiver.predicate_evals())
+}
+
+/// Median wall-clock over `reps` drains plus the (deterministic)
+/// predicate-evaluation count.
+fn measure(n: usize, mode: PendingMode, reps: usize) -> (u128, u64) {
+    let mut times: Vec<u128> = Vec::with_capacity(reps);
+    let mut evals = 0;
+    for _ in 0..reps {
+        let (t, e) = drain_once(n, mode);
+        times.push(t);
+        evals = e;
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], evals)
+}
+
+/// Times one predicate evaluation path (ns/op over `iters` calls).
+fn predicate_ns_per_op(indexed: bool, ring: usize, iters: u64) -> f64 {
+    let graph = topology::ring(ring);
+    let reg = TsRegistry::new(
+        &graph,
+        TimestampGraphs::build(&graph, LoopConfig::EXHAUSTIVE),
+    );
+    let r0 = ReplicaId::new(0);
+    let r1 = ReplicaId::new(1);
+    let mut t0 = reg.new_timestamp(r0);
+    reg.advance(&mut t0, RegisterId::new(0));
+    let incoming = t0.clone();
+    let t1 = reg.new_timestamp(r1);
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        let ok = if indexed {
+            reg.ready(
+                std::hint::black_box(&t1),
+                r0,
+                std::hint::black_box(&incoming),
+            )
+        } else {
+            reg.ready_scan(
+                std::hint::black_box(&t1),
+                r0,
+                std::hint::black_box(&incoming),
+            )
+        };
+        acc += ok as u64;
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    assert_eq!(acc, iters, "the probe update must always be ready");
+    elapsed / iters as f64
+}
+
+fn main() {
+    let reps = 25;
+    let mut rows = Vec::new();
+    for n in [16usize, 64, 256] {
+        let (scan_ns, scan_evals) = measure(n, PendingMode::Scan, reps);
+        let (wake_ns, wake_evals) = measure(n, PendingMode::Wakeup, reps);
+        rows.push(format!(
+            "    {{\"bench\":\"pending_drain/reversed_burst\",\"n\":{n},\
+\"scan_predicate_evals\":{scan_evals},\"wakeup_predicate_evals\":{wake_evals},\
+\"eval_ratio\":{:.2},\"scan_median_ns\":{scan_ns},\"wakeup_median_ns\":{wake_ns},\
+\"speedup\":{:.2}}}",
+            scan_evals as f64 / wake_evals as f64,
+            scan_ns as f64 / wake_ns as f64,
+        ));
+    }
+    let iters = 2_000_000u64;
+    for ring in [6usize, 12, 24] {
+        let indexed = predicate_ns_per_op(true, ring, iters);
+        let scan = predicate_ns_per_op(false, ring, iters);
+        rows.push(format!(
+            "    {{\"bench\":\"predicate_eval/ring\",\"n\":{ring},\
+\"indexed_ns_per_op\":{indexed:.2},\"scan_ns_per_op\":{scan:.2},\
+\"speedup\":{:.2}}}",
+            scan / indexed,
+        ));
+    }
+    println!("{{");
+    println!("  \"description\": \"scan vs dependency-counting wakeup pending drain (reversed FIFO burst, path(2)); indexed vs re-intersecting predicate J (ring)\",");
+    println!("  \"command\": \"cargo run --release -p prcc-bench --bin pending_report\",");
+    println!("  \"results\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

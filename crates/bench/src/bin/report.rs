@@ -13,10 +13,7 @@ use prcc_bench::{run_all, run_one, Experiment};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let ids: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     let experiments: Vec<Experiment> = if ids.is_empty() || ids.iter().any(|a| *a == "all") {
         run_all()
@@ -35,10 +32,7 @@ fn main() {
     };
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&experiments).expect("serializable")
-        );
+        println!("{}", prcc_bench::experiments_to_json(&experiments));
     } else {
         let mut all_ok = true;
         for e in &experiments {

@@ -42,7 +42,9 @@ fn sweep_ring() {
 }
 
 fn sweep_rf() {
-    println!("rf,edge_msgs,vc_msgs,edge_meta_bytes,vc_meta_bytes,edge_bytes_per_msg,vc_bytes_per_msg");
+    println!(
+        "rf,edge_msgs,vc_msgs,edge_meta_bytes,vc_meta_bytes,edge_bytes_per_msg,vc_bytes_per_msg"
+    );
     for rf in [2usize, 3, 4, 5, 7, 10] {
         let g = topology::random_connected_placement(RandomPlacementConfig {
             replicas: 10,

@@ -10,8 +10,8 @@
 
 use crate::table::Experiment;
 use prcc_core::TrackerKind;
-use prcc_sim::{run_head_to_head, run_scenario, ScenarioConfig, WorkloadConfig};
 use prcc_sharegraph::topology::{self, RandomPlacementConfig};
+use prcc_sim::{run_head_to_head, run_scenario, ScenarioConfig, WorkloadConfig};
 
 /// Runs E10.
 pub fn run() -> Experiment {
@@ -102,7 +102,10 @@ pub fn run() -> Experiment {
     let g_dep = topology::ring(8);
     let dep_short = run_scenario(&g_dep, &dep_cfg(10));
     let dep_long = run_scenario(&g_dep, &dep_cfg(40));
-    for (label, r) in [("ring8 (80 writes)", &dep_short), ("ring8 (320 writes)", &dep_long)] {
+    for (label, r) in [
+        ("ring8 (80 writes)", &dep_short),
+        ("ring8 (320 writes)", &dep_long),
+    ] {
         let msgs = r.data_messages + r.meta_messages;
         e.row([
             label.to_owned(),
@@ -120,8 +123,8 @@ pub fn run() -> Experiment {
         dep_short.consistent && dep_long.consistent,
         "full-deps baseline is causally consistent (it carries the whole closure)",
     );
-    let short_bpm =
-        dep_short.metadata_bytes as f64 / (dep_short.data_messages + dep_short.meta_messages) as f64;
+    let short_bpm = dep_short.metadata_bytes as f64
+        / (dep_short.data_messages + dep_short.meta_messages) as f64;
     let long_bpm =
         dep_long.metadata_bytes as f64 / (dep_long.data_messages + dep_long.meta_messages) as f64;
     e.check(
@@ -134,8 +137,8 @@ pub fn run() -> Experiment {
         partial_fewer_msgs,
         "partial replication sends fewer messages at every replication factor",
     );
-    let edge_bpm = edge_t.metadata_bytes as f64
-        / (edge_t.data_messages + edge_t.meta_messages).max(1) as f64;
+    let edge_bpm =
+        edge_t.metadata_bytes as f64 / (edge_t.data_messages + edge_t.meta_messages).max(1) as f64;
     let vc_bpm =
         vc_t.metadata_bytes as f64 / (vc_t.data_messages + vc_t.meta_messages).max(1) as f64;
     e.check(

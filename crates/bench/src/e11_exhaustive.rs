@@ -51,7 +51,14 @@ pub fn run() -> Experiment {
         "The exact algorithm is consistent in EVERY delivery interleaving \
          of each scenario; oblivious/truncated configurations have \
          machine-found counterexample schedules.",
-        &["scenario", "tracker", "states", "terminal runs", "violating", "verified"],
+        &[
+            "scenario",
+            "tracker",
+            "states",
+            "terminal runs",
+            "violating",
+            "verified",
+        ],
     );
 
     let add = |name: &str, s: &Scenario, expect_ok: bool, exp: &mut Experiment| {
@@ -71,7 +78,11 @@ pub fn run() -> Experiment {
             res.verified() == expect_ok,
             format!(
                 "{name}: expected {}",
-                if expect_ok { "verified" } else { "counterexample" }
+                if expect_ok {
+                    "verified"
+                } else {
+                    "counterexample"
+                }
             ),
         );
     };
@@ -143,8 +154,10 @@ pub fn run() -> Experiment {
         );
     }
 
-    e.note("States are deduplicated by per-replica apply-order fingerprints; \
-            'terminal runs' counts distinct quiescent outcomes.");
+    e.note(
+        "States are deduplicated by per-replica apply-order fingerprints; \
+            'terminal runs' counts distinct quiescent outcomes.",
+    );
     e
 }
 

@@ -82,8 +82,16 @@ pub fn run() -> Experiment {
         "clique: overhead well above the tree floor",
     );
     // Random placements: rf=5 at least as dense as rf=2.
-    let rf2 = overheads.iter().find(|(n, _)| n == "random rf=2").unwrap().1;
-    let rf5 = overheads.iter().find(|(n, _)| n == "random rf=5").unwrap().1;
+    let rf2 = overheads
+        .iter()
+        .find(|(n, _)| n == "random rf=2")
+        .unwrap()
+        .1;
+    let rf5 = overheads
+        .iter()
+        .find(|(n, _)| n == "random rf=5")
+        .unwrap()
+        .1;
     e.check(
         rf5 >= rf2,
         "denser random sharing ⇒ overhead factor does not decrease",

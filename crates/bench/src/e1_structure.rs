@@ -62,8 +62,14 @@ pub fn run() -> Experiment {
         ]);
     }
     let g1 = graphs5.of(ReplicaId::new(0));
-    e.check(g1.contains(edge(3, 2)), "e_43 ∈ G_1 (paper: (1,2,3,4) is a (1,e_43)-loop)");
-    e.check(!g1.contains(edge(2, 3)), "e_34 ∉ G_1 (paper: (1,4,3,2) is not a (1,e_34)-loop)");
+    e.check(
+        g1.contains(edge(3, 2)),
+        "e_43 ∈ G_1 (paper: (1,2,3,4) is a (1,e_43)-loop)",
+    );
+    e.check(
+        !g1.contains(edge(2, 3)),
+        "e_34 ∉ G_1 (paper: (1,4,3,2) is not a (1,e_34)-loop)",
+    );
     e.check(g1.contains(edge(2, 1)), "e_32 ∈ G_1");
     e.check(!g1.contains(edge(1, 2)), "e_23 ∉ G_1");
     e.note("Directionality: timestamp edges are not necessarily bidirectional.");

@@ -96,7 +96,13 @@ pub fn run() -> Experiment {
         "Each edge class of E_i is necessary: dropping an incident edge \
          (Cases 1–2) or a loop-certified far edge (Case 3) produces a \
          safety or liveness violation; the full algorithm never does.",
-        &["case", "dropped edge", "safety viol.", "liveness viol.", "stuck pending"],
+        &[
+            "case",
+            "dropped edge",
+            "safety viol.",
+            "liveness viol.",
+            "stuck pending",
+        ],
     );
 
     let full_inc = incident_case(false);

@@ -24,9 +24,7 @@ fn fig8b_adversarial(drop_ekj_at_i: bool) -> (usize, usize) {
     // Unique cycle-edge register ids from the constructor:
     // x=0 (j,k), y=1 (b1,b2,a1), 3 (j,b1), 4 (b2,i), 5 (i,a1), 6 (a2,k),
     // 7 (a1,a2).
-    let mut b = System::builder(g)
-        .delay(DelayModel::Fixed(1))
-        .seed(0);
+    let mut b = System::builder(g).delay(DelayModel::Fixed(1)).seed(0);
     if drop_ekj_at_i {
         b = b.drop_edge(CE.i, EdgeId::new(CE.k, CE.j));
     }
@@ -62,7 +60,13 @@ pub fn run() -> Experiment {
         "Original Def. 18 over-tracks (Fig 8a: minimal hoop but no loop); \
          modified Def. 20 under-tracks (Fig 8b: no minimal hoop but \
          Theorem 8 requires e_kj, and dropping it breaks safety).",
-        &["figure", "criterion", "says i tracks x?", "loop machinery", "simulated outcome"],
+        &[
+            "figure",
+            "criterion",
+            "says i tracks x?",
+            "loop machinery",
+            "simulated outcome",
+        ],
     );
 
     // --- Figure 8a ---
@@ -109,8 +113,14 @@ pub fn run() -> Experiment {
             "inconsistent"
         },
     ]);
-    e.check(hm_orig_says_track, "Fig 8a loop is a minimal x-hoop per Def 18");
-    e.check(!loop_jk && !loop_kj, "no (i, e_jk)- or (i, e_kj)-loop exists");
+    e.check(
+        hm_orig_says_track,
+        "Fig 8a loop is a minimal x-hoop per Def 18",
+    );
+    e.check(
+        !loop_jk && !loop_kj,
+        "no (i, e_jk)- or (i, e_kj)-loop exists",
+    );
     e.check(
         consistent_8a,
         "simulation: i never tracks x, yet every run is causally consistent ⇒ Def 18 over-tracks",
@@ -137,7 +147,10 @@ pub fn run() -> Experiment {
             "no violation"
         },
     ]);
-    e.check(!hm_mod_says_track, "Fig 8b hoop is NOT minimal per Def 20 (y held by 3 hoop replicas)");
+    e.check(
+        !hm_mod_says_track,
+        "Fig 8b hoop is NOT minimal per Def 20 (y held by 3 hoop replicas)",
+    );
     e.check(loop_kj_b, "but Theorem 8 requires e_kj ∈ E_i");
     e.check(
         safety_full + live_full == 0,

@@ -120,7 +120,8 @@ pub fn run() -> Experiment {
     let star = topology::star(5);
     let sg = TimestampGraphs::build(&star, LoopConfig::EXHAUSTIVE);
     e.check(
-        star.replicas().all(|i| sg.of(i).len() == 2 * star.degree(i)),
+        star.replicas()
+            .all(|i| sg.of(i).len() == 2 * star.degree(i)),
         "tree: counters = 2·N_i for every replica (matches the tight bound)",
     );
     let ring = topology::ring(8);

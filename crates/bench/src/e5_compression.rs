@@ -2,9 +2,7 @@
 //! placements with linearly dependent edge counters.
 
 use crate::table::Experiment;
-use prcc_sharegraph::{
-    topology, LoopConfig, Placement, ReplicaId, ShareGraph, TimestampGraphs,
-};
+use prcc_sharegraph::{topology, LoopConfig, Placement, ReplicaId, ShareGraph, TimestampGraphs};
 use prcc_timestamp::compress_replica;
 
 /// The Appendix D worked example as seen from a replica that tracks all

@@ -9,9 +9,9 @@
 //! replication).
 
 use crate::table::Experiment;
-use prcc_sim::{run_scenario, ScenarioConfig, WorkloadConfig};
-use prcc_sharegraph::{topology, Placement, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
 use prcc_sharegraph::LoopConfig;
+use prcc_sharegraph::{topology, Placement, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
+use prcc_sim::{run_scenario, ScenarioConfig, WorkloadConfig};
 use prcc_timestamp::compress_replica;
 
 /// Builds the dummy list for "fraction" of the missing (replica,
@@ -105,7 +105,10 @@ pub fn run() -> Experiment {
     }
     let (r0, _c0) = first.expect("sweep ran");
     let (rf, cf) = last.expect("sweep ran");
-    e.check(r0.consistent && rf.consistent, "all sweep points causally consistent");
+    e.check(
+        r0.consistent && rf.consistent,
+        "all sweep points causally consistent",
+    );
     e.check(
         rf.meta_messages > r0.meta_messages,
         "dummy copies add metadata-only messages",

@@ -7,10 +7,13 @@ use prcc_core::{RoutedRing, System, TrackerKind, Value};
 use prcc_net::DelayModel;
 use prcc_sharegraph::{topology, LoopConfig, RegisterId, ReplicaId};
 
+/// Per-deployment sample: (max counters, mean visibility, max visibility,
+/// consistent).
+type DeploymentSample = (usize, f64, u64, bool);
+
 /// Drives the same per-register write load through a plain ring and a
-/// broken ring, returning (max counters, mean visibility, max visibility,
-/// consistent) per deployment.
-fn measure(n: usize, seed: u64) -> ((usize, f64, u64, bool), (usize, f64, u64, bool)) {
+/// broken ring, returning one [`DeploymentSample`] per deployment.
+fn measure(n: usize, seed: u64) -> (DeploymentSample, DeploymentSample) {
     let writes_per_reg = 5u64;
 
     // Plain ring.

@@ -50,7 +50,12 @@ pub fn run() -> Experiment {
          as the loop cap shrinks; the adversarial reordering violates \
          safety for every cap below the ring's loop length n, and never \
          for the exact algorithm.",
-        &["loop cap (edges)", "counters/replica", "safety violations", "consistent"],
+        &[
+            "loop cap (edges)",
+            "counters/replica",
+            "safety violations",
+            "consistent",
+        ],
     );
 
     let g = topology::ring(N);
@@ -81,7 +86,10 @@ pub fn run() -> Experiment {
             truncated_all_violate &= !ok && counters < 2 * N;
         }
     }
-    e.check(exact_ok, "exact tracking: 2n counters, adversarial run consistent");
+    e.check(
+        exact_ok,
+        "exact tracking: 2n counters, adversarial run consistent",
+    );
     e.check(
         truncated_all_violate,
         "every truncated cap < n: fewer counters but safety violated under reordering",

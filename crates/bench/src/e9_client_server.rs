@@ -8,8 +8,8 @@ use prcc_core::client_server::ClientServerSystem;
 use prcc_core::Value;
 use prcc_net::DelayModel;
 use prcc_sharegraph::{
-    topology, AugmentedShareGraph, ClientAssignment, ClientId, LoopConfig, RegisterId,
-    ReplicaId, TimestampGraphs,
+    topology, AugmentedShareGraph, ClientAssignment, ClientId, LoopConfig, RegisterId, ReplicaId,
+    TimestampGraphs,
 };
 
 fn r(i: u32) -> ReplicaId {
@@ -28,7 +28,12 @@ pub fn run() -> Experiment {
          must track edges no peer-to-peer loop requires; client vectors \
          index ∪ Ê_i over R_c; cross-replica sessions remain causally \
          consistent.",
-        &["configuration", "replica/client", "tracked counters", "note"],
+        &[
+            "configuration",
+            "replica/client",
+            "tracked counters",
+            "note",
+        ],
     );
 
     // Path of 5 replicas; client 0 spans the endpoints.
@@ -66,7 +71,10 @@ pub fn run() -> Experiment {
             "indexes ∪ Ê_i over R_c".to_owned(),
         ]);
     }
-    e.check(grew, "the spanning client grows at least one replica's edge set");
+    e.check(
+        grew,
+        "the spanning client grows at least one replica's edge set",
+    );
     e.check(
         reg.client_edges(c(0)).len() >= reg.client_edges(c(1)).len(),
         "the spanning client's vector covers at least the single-replica client's",

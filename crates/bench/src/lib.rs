@@ -18,7 +18,7 @@ pub mod e8_truncation;
 pub mod e9_client_server;
 pub mod table;
 
-pub use table::Experiment;
+pub use table::{experiments_to_json, Experiment};
 
 /// Runs every experiment in order.
 pub fn run_all() -> Vec<Experiment> {

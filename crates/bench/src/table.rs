@@ -1,10 +1,9 @@
 //! Plain-text experiment tables, printable and JSON-serializable.
 
-use serde::Serialize;
 use std::fmt;
 
 /// One experiment's output: a titled table plus free-form notes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Experiment {
     /// Short id, e.g. `"E4"`.
     pub id: String,
@@ -24,12 +23,7 @@ pub struct Experiment {
 
 impl Experiment {
     /// Starts an experiment table.
-    pub fn new(
-        id: &str,
-        title: &str,
-        claim: &str,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(id: &str, title: &str, claim: &str, headers: &[&str]) -> Self {
         Experiment {
             id: id.to_owned(),
             title: title.to_owned(),
@@ -67,6 +61,60 @@ impl Experiment {
             self.verdict = false;
         }
     }
+
+    /// Serializes to a JSON object (hand-rolled — the offline build has
+    /// no serde; field layout matches the former derive output).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json_field(&mut out, "id", &json_string(&self.id));
+        json_field(&mut out, "title", &json_string(&self.title));
+        json_field(&mut out, "claim", &json_string(&self.claim));
+        json_field(&mut out, "headers", &json_string_array(&self.headers));
+        let rows: Vec<String> = self.rows.iter().map(|r| json_string_array(r)).collect();
+        json_field(&mut out, "rows", &format!("[{}]", rows.join(",")));
+        json_field(&mut out, "notes", &json_string_array(&self.notes));
+        out.push_str(&format!("\"verdict\":{}", self.verdict));
+        out.push('}');
+        out
+    }
+}
+
+fn json_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("\"{key}\":{value},"));
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let parts: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Escapes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes a slice of experiments to a pretty-printed JSON array (one
+/// experiment object per line).
+pub fn experiments_to_json(experiments: &[Experiment]) -> String {
+    let parts: Vec<String> = experiments
+        .iter()
+        .map(|e| format!("  {}", e.to_json()))
+        .collect();
+    format!("[\n{}\n]", parts.join(",\n"))
 }
 
 impl fmt::Display for Experiment {
@@ -99,7 +147,11 @@ impl fmt::Display for Experiment {
         writeln!(
             f,
             "verdict: {}",
-            if self.verdict { "MATCHES PAPER" } else { "MISMATCH" }
+            if self.verdict {
+                "MATCHES PAPER"
+            } else {
+                "MISMATCH"
+            }
         )
     }
 }
@@ -142,7 +194,17 @@ mod tests {
     fn json_serializable() {
         let mut e = Experiment::new("E1", "t", "c", &["h"]);
         e.row(["v"]);
-        let js = serde_json::to_string(&e).unwrap();
+        let js = e.to_json();
         assert!(js.contains("\"id\":\"E1\""));
+        assert!(js.contains("\"rows\":[[\"v\"]]"));
+        assert!(js.contains("\"verdict\":true"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let arr = experiments_to_json(&[Experiment::new("E1", "t", "c", &[])]);
+        assert!(arr.starts_with("[\n"));
+        assert!(arr.ends_with("\n]"));
     }
 }

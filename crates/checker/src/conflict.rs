@@ -107,12 +107,7 @@ pub fn conflicts(g: &ShareGraph, i: ReplicaId, s1: &CausalPast, s2: &CausalPast)
 }
 
 /// Symmetric conflict: [`conflicts`] in either argument order.
-pub fn conflicts_symmetric(
-    g: &ShareGraph,
-    i: ReplicaId,
-    s1: &CausalPast,
-    s2: &CausalPast,
-) -> bool {
+pub fn conflicts_symmetric(g: &ShareGraph, i: ReplicaId, s1: &CausalPast, s2: &CausalPast) -> bool {
     conflicts(g, i, s1, s2) || conflicts(g, i, s2, s1)
 }
 
@@ -245,9 +240,11 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert!(r.contains(&u(0, 0)));
         // Missing edge ⇒ empty restriction.
-        assert!(past
-            .restrict(&g, EdgeId::new(ReplicaId::new(0), ReplicaId::new(2)))
-            .len() == 1); // 0-2 IS an edge in ring(3) (reg 2)
+        assert!(
+            past.restrict(&g, EdgeId::new(ReplicaId::new(0), ReplicaId::new(2)))
+                .len()
+                == 1
+        ); // 0-2 IS an edge in ring(3) (reg 2)
     }
 
     #[test]
@@ -305,7 +302,7 @@ mod tests {
         let s1 = base_past(&g);
         let mut s2 = s1.clone();
         s2.insert(u(2, 9), x(2)); // reg 2 shared r2-r3: far edge e_23
-        assert!(conflicts(&g, i, &s1, &s2) == false);
+        assert!(!conflicts(&g, i, &s1, &s2));
         // But a difference on r0's own edge does conflict.
         let mut s3 = s1.clone();
         s3.insert(u(1, 9), x(0)); // e_10, incident at r0

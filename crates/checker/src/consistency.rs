@@ -215,12 +215,7 @@ mod tests {
         t.record_apply(u1, r(2));
         t.record_apply(u2, r(0));
         let rep = check(&t, &p);
-        assert_eq!(
-            rep.safety_violations().count(),
-            1,
-            "{:?}",
-            rep.violations
-        );
+        assert_eq!(rep.safety_violations().count(), 1, "{:?}", rep.violations);
         match &rep.violations[0] {
             Violation::Safety {
                 update,

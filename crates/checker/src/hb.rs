@@ -200,11 +200,7 @@ impl HbGraph {
                     c != a && c != b && self.preds[b].contains(c) && self.preds[c].contains(a)
                 });
                 if !covered {
-                    let _ = writeln!(
-                        out,
-                        "  \"{}\" -> \"{}\";",
-                        self.updates[a], self.updates[b]
-                    );
+                    let _ = writeln!(out, "  \"{}\" -> \"{}\";", self.updates[a], self.updates[b]);
                 }
             }
         }

@@ -91,10 +91,7 @@ pub fn verify_prefix_clique(
     }
     let i: ReplicaId = tg.replica();
     let vectors = count_vectors(varied.len(), m);
-    let pasts: Vec<CausalPast> = vectors
-        .iter()
-        .map(|v| prefix_past(g, varied, v))
-        .collect();
+    let pasts: Vec<CausalPast> = vectors.iter().map(|v| prefix_past(g, varied, v)).collect();
     for a in 0..pasts.len() {
         for b in (a + 1)..pasts.len() {
             if !conflicts_symmetric(g, i, &pasts[a], &pasts[b]) {
@@ -205,9 +202,7 @@ mod tests {
         let g = topology::star(2);
         let hub = ReplicaId::new(0);
         let varied = [EdgeId::new(hub, ReplicaId::new(1))];
-        let pasts: Vec<CausalPast> = (1..=3)
-            .map(|c| prefix_past(&g, &varied, &[c]))
-            .collect();
+        let pasts: Vec<CausalPast> = (1..=3).map(|c| prefix_past(&g, &varied, &[c])).collect();
         assert_eq!(greedy_coloring(&g, hub, &pasts), 3);
         // Non-conflicting pasts (identical) need 1 color.
         let same = vec![pasts[0].clone(), pasts[0].clone()];

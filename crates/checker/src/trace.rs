@@ -79,10 +79,7 @@ impl Trace {
     /// next sequence number. Returns the new update's id.
     pub fn record_issue(&mut self, issuer: ReplicaId, register: RegisterId) -> UpdateId {
         let seq = self.next_seq.entry(issuer).or_insert(0);
-        let update = UpdateId {
-            issuer,
-            seq: *seq,
-        };
+        let update = UpdateId { issuer, seq: *seq };
         *seq += 1;
         self.registers.insert(update, register);
         self.events.push(Event::Issue { update, register });

@@ -27,13 +27,7 @@ pub fn to_text(trace: &Trace) -> String {
                 );
             }
             Event::Apply { update, at } => {
-                let _ = writeln!(
-                    out,
-                    "A {} {} {}",
-                    update.issuer.raw(),
-                    update.seq,
-                    at.raw()
-                );
+                let _ = writeln!(out, "A {} {} {}", update.issuer.raw(), update.seq, at.raw());
             }
         }
     }
@@ -143,7 +137,10 @@ mod tests {
         assert!(from_text("Z 1 2 3").is_err());
         assert!(from_text("I 1 2").is_err());
         assert!(from_text("I a b c").is_err());
-        assert!(from_text("A 0 0 1").unwrap_err().message.contains("before issue"));
+        assert!(from_text("A 0 0 1")
+            .unwrap_err()
+            .message
+            .contains("before issue"));
         let dup = "I 0 0 1\nI 0 0 2";
         assert!(from_text(dup).unwrap_err().message.contains("duplicate"));
         let e = from_text("I 1 2").unwrap_err();

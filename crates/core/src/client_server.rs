@@ -12,9 +12,7 @@ use crate::message::{Metadata, UpdateMsg};
 use crate::value::Value;
 use prcc_checker::{check, CheckReport, Trace, UpdateId};
 use prcc_net::{DelayModel, SimNetwork};
-use prcc_sharegraph::{
-    AugmentedShareGraph, ClientId, RegisterId, ReplicaId,
-};
+use prcc_sharegraph::{AugmentedShareGraph, ClientId, RegisterId, ReplicaId};
 use prcc_timestamp::{ClientTimestamp, ClientTsRegistry, EdgeTimestamp};
 use std::collections::HashMap;
 use std::fmt;
@@ -290,7 +288,9 @@ impl ClientServerSystem {
                         issuer: replica,
                         seq,
                     };
-                    self.servers[replica.index()].store_src.insert(register, uid);
+                    self.servers[replica.index()]
+                        .store_src
+                        .insert(register, uid);
                     self.sessions.push(SessionEvent::Write {
                         client,
                         update: uid,
@@ -541,14 +541,8 @@ mod tests {
         // write after the x0 write (safety) — checker verifies.
         let rep = sys.check();
         assert!(rep.is_consistent(), "{:?}", rep.violations);
-        assert_eq!(
-            sys.servers[1].store.get(&x(0)),
-            Some(&Value::from(1u64))
-        );
-        assert_eq!(
-            sys.servers[1].store.get(&x(1)),
-            Some(&Value::from(2u64))
-        );
+        assert_eq!(sys.servers[1].store.get(&x(0)), Some(&Value::from(1u64)));
+        assert_eq!(sys.servers[1].store.get(&x(1)), Some(&Value::from(2u64)));
     }
 
     #[test]
@@ -627,7 +621,7 @@ mod tests {
 
     #[test]
     fn unserved_read_returns_none() {
-        let mut sys = spanning_setup();
+        let sys = spanning_setup();
         let bogus = RequestId(99);
         assert!(sys.read_result(bogus).is_none());
         assert!(!sys.is_write_done(bogus));

@@ -57,17 +57,11 @@ pub fn propagate(sys: &mut System, tree: &SpanningTree, plan: &WritePlan) -> Vec
         }
         // Issue: non-parent registers first, parent-shared last.
         let parent = tree.parent(v);
-        let (mut non_parent, mut parent_regs): (Vec<RegisterId>, Vec<RegisterId>) = (
-            Vec::new(),
-            Vec::new(),
-        );
+        let (mut non_parent, mut parent_regs): (Vec<RegisterId>, Vec<RegisterId>) =
+            (Vec::new(), Vec::new());
         for &x in regs {
-            let shared_with_parent = parent.is_some_and(|p| {
-                sys.effective_graph()
-                    .placement()
-                    .shared(v, p)
-                    .contains(x)
-            });
+            let shared_with_parent =
+                parent.is_some_and(|p| sys.effective_graph().placement().shared(v, p).contains(x));
             if shared_with_parent {
                 parent_regs.push(x);
             } else {
@@ -120,7 +114,10 @@ mod tests {
     fn root_accumulates_everything() {
         let g = topology::path(4);
         let tree = SpanningTree::bfs(&g, r(0));
-        let mut sys = System::builder(g).delay(DelayModel::Fixed(1)).seed(0).build();
+        let mut sys = System::builder(g)
+            .delay(DelayModel::Fixed(1))
+            .seed(0)
+            .build();
         let mut plan = WritePlan::new();
         plan.insert(r(1), vec![x(0)]); // shared with parent 0
         plan.insert(r(2), vec![x(1)]); // shared with parent 1
@@ -144,7 +141,10 @@ mod tests {
     fn post_order_creates_hb_chain() {
         let g = topology::path(3);
         let tree = SpanningTree::bfs(&g, r(0));
-        let mut sys = System::builder(g).delay(DelayModel::Fixed(1)).seed(1).build();
+        let mut sys = System::builder(g)
+            .delay(DelayModel::Fixed(1))
+            .seed(1)
+            .build();
         let mut plan = WritePlan::new();
         plan.insert(r(2), vec![x(1)]);
         plan.insert(r(1), vec![x(0)]);

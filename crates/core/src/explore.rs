@@ -16,8 +16,8 @@
 
 use crate::message::UpdateMsg;
 use crate::replica::Replica;
-use crate::tracker::{CausalityTracker, EdgeTracker, VcTracker};
 use crate::system::TrackerKind;
+use crate::tracker::{CausalityTracker, EdgeTracker, VcTracker};
 use crate::value::Value;
 use prcc_checker::{check, Trace, UpdateId};
 use prcc_sharegraph::{RegisterId, ReplicaId, ShareGraph, TimestampGraph, TimestampGraphs};
@@ -252,10 +252,7 @@ impl<'a> Explorer<'a> {
                         .collect();
                     graphs[i.index()] = TimestampGraph::from_edges(*i, edges);
                 }
-                let registry = Arc::new(TsRegistry::new(
-                    g,
-                    TimestampGraphs::from_graphs(graphs),
-                ));
+                let registry = Arc::new(TsRegistry::new(g, TimestampGraphs::from_graphs(graphs)));
                 for i in g.replicas() {
                     replicas.push(Replica::new(
                         i,
@@ -321,9 +318,10 @@ impl<'a> Explorer<'a> {
                 if st.fired[idx].is_some() {
                     continue;
                 }
-                let ok = w.after_applied.iter().all(|&pre| {
-                    st.fired[pre].is_some() && st.applied[w.replica.index()][pre]
-                });
+                let ok = w
+                    .after_applied
+                    .iter()
+                    .all(|&pre| st.fired[pre].is_some() && st.applied[w.replica.index()][pre]);
                 if !ok {
                     continue;
                 }
@@ -335,9 +333,7 @@ impl<'a> Explorer<'a> {
                         .copied()
                         .filter(|&h| h != w.replica)
                         .collect(),
-                    TrackerKind::VectorClock => {
-                        g.replicas().filter(|&h| h != w.replica).collect()
-                    }
+                    TrackerKind::VectorClock => g.replicas().filter(|&h| h != w.replica).collect(),
                 };
                 let data_holders: Vec<ReplicaId> = g
                     .placement()
@@ -412,11 +408,7 @@ impl<'a> Explorer<'a> {
                 next.trace.record_apply(uid, dst);
                 next.apply_order[dst.index()].push(uid);
                 // Mark script progress.
-                if let Some(idx) = next
-                    .fired
-                    .iter()
-                    .position(|f| *f == Some(uid))
-                {
+                if let Some(idx) = next.fired.iter().position(|f| *f == Some(uid)) {
                     next.applied[dst.index()][idx] = true;
                 }
             }
@@ -455,7 +447,9 @@ mod tests {
         // r0 → u0; r1 writes after applying u0; r2 must always see them in
         // order — over ALL interleavings.
         let g = prcc_sharegraph::ShareGraph::new(
-            prcc_sharegraph::Placement::builder(3).share(0, [0, 1, 2]).build(),
+            prcc_sharegraph::Placement::builder(3)
+                .share(0, [0, 1, 2])
+                .build(),
         );
         let mut s = Scenario::new(g);
         let u0 = s.write(r(0), x(0));

@@ -223,10 +223,7 @@ impl CsExplorer<'_> {
                 }
                 let op = &ops[k];
                 // Session order: previous op by the same client served.
-                if let Some(prev) = (0..k)
-                    .rev()
-                    .find(|&p| ops[p].client == op.client)
-                {
+                if let Some(prev) = (0..k).rev().find(|&p| ops[p].client == op.client) {
                     if !st.served[prev] {
                         return false;
                     }

@@ -147,10 +147,7 @@ mod tests {
         assert_eq!(msg.size_bytes(), 16 + 16 + 8);
         assert!(!msg.is_metadata_only());
 
-        let meta_only = UpdateMsg {
-            value: None,
-            ..msg
-        };
+        let meta_only = UpdateMsg { value: None, ..msg };
         assert!(meta_only.is_metadata_only());
         assert_eq!(meta_only.size_bytes(), 16 + 16);
         assert!(meta_only.to_string().contains("<meta>"));

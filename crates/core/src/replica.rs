@@ -5,12 +5,32 @@
 //! updates. It is transport-agnostic: `write` returns the update messages
 //! to send, `receive` ingests one and returns every update that became
 //! applicable (step 4 loops until the predicate admits nothing more).
+//!
+//! # Pending-delivery scheduling
+//!
+//! Both scheduling modes implement the same specification — *repeatedly
+//! apply the earliest-arrived pending update whose predicate `J` holds* —
+//! so they produce identical apply orders:
+//!
+//! * [`PendingMode::Scan`] re-evaluates `J` over the whole buffer, in
+//!   arrival order, after every apply (the obvious implementation;
+//!   quadratic predicate evaluations on a reversed burst);
+//! * [`PendingMode::Wakeup`] (default) evaluates `J` once on arrival and,
+//!   if the update is blocked, parks it under the first unsatisfied
+//!   `(counter slot, needed value)` requirement its tracker reports. A
+//!   parked update is woken — re-evaluated — iff one of its blocking
+//!   counters advanced during a merge, so a reversed burst of `n` updates
+//!   costs `O(n)` predicate evaluations instead of `O(n²)`.
+//!
+//! [`Replica::predicate_evals`] counts evaluations in both modes; the
+//! `pending_drain` bench in `prcc-bench` measures the gap.
 
 use crate::message::UpdateMsg;
-use crate::tracker::CausalityTracker;
+use crate::tracker::{CausalityTracker, ReadyCheck};
 use crate::value::Value;
 use prcc_sharegraph::{RegisterId, ReplicaId};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 /// Errors returned by replica operations.
@@ -45,6 +65,43 @@ pub struct Applied {
     pub msg: UpdateMsg,
 }
 
+/// How a [`Replica`] schedules its pending buffer (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PendingMode {
+    /// Re-scan the whole buffer after every apply (ablation oracle).
+    Scan,
+    /// Dependency-counting wakeup index (default).
+    #[default]
+    Wakeup,
+}
+
+/// One buffered update plus its arrival order.
+#[derive(Debug, Clone)]
+struct Parked {
+    arrival: u64,
+    msg: UpdateMsg,
+}
+
+/// The wakeup index over parked updates. All maps key messages by their
+/// arrival sequence number; `msgs` owns the messages themselves.
+///
+/// Invariant: a parked message is woken (re-evaluated) iff one of its
+/// blocking counters advanced. Each parked message is in exactly one
+/// place: `waiting[slot]` (tracker reported `BlockedOn{slot, ..}`),
+/// `unknown` (tracker cannot localize the block; re-woken after every
+/// apply), or `dead` (never deliverable; kept only for accounting, like
+/// the scan mode's perpetually-unready messages).
+#[derive(Debug, Clone, Default)]
+struct WakeupIndex {
+    msgs: HashMap<u64, Parked>,
+    /// Per counter slot: `(needed value, arrival)` of blocked messages.
+    waiting: HashMap<usize, Vec<(u64, u64)>>,
+    /// Arrivals blocked for non-localizable reasons.
+    unknown: Vec<u64>,
+    /// Arrivals that can never become deliverable.
+    dead: Vec<u64>,
+}
+
 /// The replica prototype: local store + tracker + pending buffer.
 ///
 /// # Examples
@@ -77,7 +134,15 @@ pub struct Replica {
     stores: prcc_sharegraph::RegSet,
     tracker: Box<dyn CausalityTracker>,
     store: HashMap<RegisterId, Value>,
-    pending: Vec<UpdateMsg>,
+    mode: PendingMode,
+    /// Scan mode: buffered updates in arrival order.
+    pending: Vec<Parked>,
+    /// Wakeup mode: the dependency-counting index.
+    wakeup: WakeupIndex,
+    /// Monotone arrival stamp shared by both modes.
+    next_arrival: u64,
+    /// Predicate-`J` evaluations performed so far (both modes).
+    predicate_evals: u64,
     next_seq: u64,
     applied_count: u64,
 }
@@ -86,7 +151,8 @@ impl fmt::Debug for Replica {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Replica")
             .field("id", &self.id)
-            .field("pending", &self.pending.len())
+            .field("mode", &self.mode)
+            .field("pending", &self.pending_count())
             .field("applied", &self.applied_count)
             .field("tracker", &self.tracker)
             .finish()
@@ -95,18 +161,34 @@ impl fmt::Debug for Replica {
 
 impl Replica {
     /// Creates a replica storing `stores`, tracking causality with
-    /// `tracker`.
+    /// `tracker`, scheduling pending delivery with the default
+    /// [`PendingMode::Wakeup`] index.
     pub fn new(
         id: ReplicaId,
         stores: prcc_sharegraph::RegSet,
         tracker: Box<dyn CausalityTracker>,
+    ) -> Self {
+        Self::new_with_mode(id, stores, tracker, PendingMode::default())
+    }
+
+    /// [`Replica::new`] with an explicit [`PendingMode`] — `Scan` is the
+    /// differential-testing oracle and ablation baseline.
+    pub fn new_with_mode(
+        id: ReplicaId,
+        stores: prcc_sharegraph::RegSet,
+        tracker: Box<dyn CausalityTracker>,
+        mode: PendingMode,
     ) -> Self {
         Replica {
             id,
             stores,
             tracker,
             store: HashMap::new(),
+            mode,
             pending: Vec::new(),
+            wakeup: WakeupIndex::default(),
+            next_arrival: 0,
+            predicate_evals: 0,
             next_seq: 0,
             applied_count: 0,
         }
@@ -182,32 +264,115 @@ impl Replica {
     /// Steps 3–4: ingest one update message, then drain the pending buffer
     /// until the predicate admits nothing further. Returns all updates
     /// applied by this call, in application order.
+    ///
+    /// Both modes apply the same deterministic order: the earliest-arrived
+    /// ready update first, re-deciding after every apply.
     pub fn receive(&mut self, msg: UpdateMsg) -> Vec<Applied> {
-        self.pending.push(msg);
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        let parked = Parked { arrival, msg };
+        match self.mode {
+            PendingMode::Scan => self.drain_scan(parked),
+            PendingMode::Wakeup => self.drain_wakeup(parked),
+        }
+    }
+
+    /// Scan mode: after every apply, re-evaluate `J` over the whole buffer
+    /// from the front (arrival order) and apply the first ready update.
+    fn drain_scan(&mut self, parked: Parked) -> Vec<Applied> {
+        self.pending.push(parked);
         let mut applied = Vec::new();
         loop {
-            let Some(pos) = self
-                .pending
-                .iter()
-                .position(|m| self.tracker.ready(m))
-            else {
-                break;
-            };
-            let m = self.pending.swap_remove(pos);
-            self.apply(&m);
-            applied.push(Applied { msg: m });
+            let mut found = None;
+            for (pos, p) in self.pending.iter().enumerate() {
+                self.predicate_evals += 1;
+                if self.tracker.ready(&p.msg) {
+                    found = Some(pos);
+                    break;
+                }
+            }
+            let Some(pos) = found else { break };
+            // Stable removal keeps the remaining buffer in arrival order.
+            let p = self.pending.remove(pos);
+            self.apply(&p.msg);
+            applied.push(Applied { msg: p.msg });
+        }
+        applied
+    }
+
+    /// Wakeup mode: evaluate `J` once per wake, parking blocked updates
+    /// under their first unsatisfied counter requirement. An apply's merge
+    /// reports which counters advanced; only their waiters (plus the
+    /// non-localizable `unknown` bucket) are woken. Woken candidates are
+    /// processed in arrival order via a min-heap, which reproduces the
+    /// scan order exactly: every ready update is always in the heap, so
+    /// the earliest-arrived ready update is applied first.
+    fn drain_wakeup(&mut self, parked: Parked) -> Vec<Applied> {
+        let mut candidates: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        candidates.push(Reverse(parked.arrival));
+        self.wakeup.msgs.insert(parked.arrival, parked);
+
+        let mut applied = Vec::new();
+        let mut advanced: Vec<(usize, u64)> = Vec::new();
+        while let Some(Reverse(arrival)) = candidates.pop() {
+            let p = &self.wakeup.msgs[&arrival];
+            self.predicate_evals += 1;
+            match self.tracker.ready_check(&p.msg) {
+                ReadyCheck::Ready => {
+                    let p = self.wakeup.msgs.remove(&arrival).expect("candidate parked");
+                    advanced.clear();
+                    self.apply_report(&p.msg, &mut advanced);
+                    applied.push(Applied { msg: p.msg });
+                    // Wake the waiters of every advanced counter…
+                    for &(slot, new_value) in &advanced {
+                        if let Some(waiters) = self.wakeup.waiting.get_mut(&slot) {
+                            waiters.retain(|&(needs, a)| {
+                                if needs <= new_value {
+                                    candidates.push(Reverse(a));
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
+                        }
+                    }
+                    // …and everything blocked for unlocalized reasons.
+                    for a in self.wakeup.unknown.drain(..) {
+                        candidates.push(Reverse(a));
+                    }
+                }
+                ReadyCheck::BlockedOn { slot, needs } => {
+                    self.wakeup
+                        .waiting
+                        .entry(slot)
+                        .or_default()
+                        .push((needs, arrival));
+                }
+                ReadyCheck::BlockedUnknown => self.wakeup.unknown.push(arrival),
+                ReadyCheck::Dead => self.wakeup.dead.push(arrival),
+            }
         }
         applied
     }
 
     fn apply(&mut self, m: &UpdateMsg) {
+        self.apply_store(m);
+        self.tracker.on_apply(m);
+        self.applied_count += 1;
+    }
+
+    fn apply_report(&mut self, m: &UpdateMsg, advanced: &mut Vec<(usize, u64)>) {
+        self.apply_store(m);
+        self.tracker.on_apply_report(m, advanced);
+        self.applied_count += 1;
+    }
+
+    fn apply_store(&mut self, m: &UpdateMsg) {
         if let Some(v) = &m.value {
             if self.stores.contains(m.register) {
                 self.store.insert(m.register, v.clone());
             }
         }
-        self.tracker.on_apply(m);
-        self.applied_count += 1;
     }
 
     /// Writes `v` into the local copy of `x` without protocol actions —
@@ -223,14 +388,33 @@ impl Replica {
         self.applied_count
     }
 
-    /// Updates currently buffered (predicate not yet satisfied).
-    pub fn pending_count(&self) -> usize {
-        self.pending.len()
+    /// Number of predicate-`J` evaluations performed so far (both modes
+    /// count; the `pending_drain` bench reports the scan/wakeup ratio).
+    pub fn predicate_evals(&self) -> u64 {
+        self.predicate_evals
     }
 
-    /// The pending messages (for diagnostics).
-    pub fn pending(&self) -> &[UpdateMsg] {
-        &self.pending
+    /// The scheduling mode in use.
+    pub fn pending_mode(&self) -> PendingMode {
+        self.mode
+    }
+
+    /// Updates currently buffered (predicate not yet satisfied).
+    pub fn pending_count(&self) -> usize {
+        match self.mode {
+            PendingMode::Scan => self.pending.len(),
+            PendingMode::Wakeup => self.wakeup.msgs.len(),
+        }
+    }
+
+    /// The pending messages in arrival order (for diagnostics).
+    pub fn pending(&self) -> Vec<&UpdateMsg> {
+        let mut parked: Vec<&Parked> = match self.mode {
+            PendingMode::Scan => self.pending.iter().collect(),
+            PendingMode::Wakeup => self.wakeup.msgs.values().collect(),
+        };
+        parked.sort_by_key(|p| p.arrival);
+        parked.into_iter().map(|p| &p.msg).collect()
     }
 
     /// The tracker (for size accounting and inspection).
@@ -355,9 +539,7 @@ mod tests {
     fn seq_numbers_increase() {
         let (mut a, _) = pair();
         for i in 0..3 {
-            let (m, _) = a
-                .write(RegisterId::new(0), Value::from(i as u64), vec![])
-                .unwrap();
+            let (m, _) = a.write(RegisterId::new(0), Value::from(i), vec![]).unwrap();
             assert_eq!(m.seq, i);
         }
         let virt = a.issue_virtual(RegisterId::new(0), None);
@@ -369,5 +551,152 @@ mod tests {
         let (a, _) = pair();
         let s = format!("{a:?}");
         assert!(s.contains("Replica"));
+    }
+
+    /// Builds replicas over one register shared by all 5 replicas, in the
+    /// given pending mode.
+    fn all_shared_five(mode: PendingMode) -> Vec<Replica> {
+        let g = prcc_sharegraph::ShareGraph::new(
+            prcc_sharegraph::Placement::builder(5)
+                .share(0, [0, 1, 2, 3, 4])
+                .build(),
+        );
+        let reg = Arc::new(TsRegistry::new(
+            &g,
+            TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE),
+        ));
+        (0..5u32)
+            .map(|i| {
+                let id = ReplicaId::new(i);
+                Replica::new_with_mode(
+                    id,
+                    g.placement().registers_of(id).clone(),
+                    Box::new(EdgeTracker::new(reg.clone(), id)) as Box<dyn CausalityTracker>,
+                    mode,
+                )
+            })
+            .collect()
+    }
+
+    /// Three updates `p`, `a`, `b` from distinct senders, all blocked on
+    /// one update `y`, delivered before `y`: the drain must apply them in
+    /// arrival order (`y`, `p`, `a`, `b`), in BOTH modes. (The former
+    /// `swap_remove`-based scan applied `b` before `a` here.)
+    #[test]
+    fn apply_order_is_earliest_arrival_first_in_both_modes() {
+        let x0 = RegisterId::new(0);
+        let mut orders = Vec::new();
+        for mode in [PendingMode::Scan, PendingMode::Wakeup] {
+            let mut rs = all_shared_five(mode);
+            let (y, _) = rs[0].write(x0, Value::from(0u64), vec![]).unwrap();
+            let mut deps = Vec::new();
+            for (i, r) in rs.iter_mut().enumerate().take(4).skip(1) {
+                assert_eq!(r.receive(y.clone()).len(), 1);
+                let (m, _) = r.write(x0, Value::from(i as u64), vec![]).unwrap();
+                deps.push(m);
+            }
+            // Receiver 4: the three dependents first, then y.
+            for m in &deps {
+                assert!(rs[4].receive(m.clone()).is_empty());
+            }
+            assert_eq!(rs[4].pending_count(), 3);
+            let applied = rs[4].receive(y.clone());
+            let order: Vec<ReplicaId> = applied.iter().map(|a| a.msg.issuer).collect();
+            assert_eq!(
+                order,
+                vec![
+                    ReplicaId::new(0),
+                    ReplicaId::new(1),
+                    ReplicaId::new(2),
+                    ReplicaId::new(3)
+                ],
+                "{mode:?} must apply in arrival order"
+            );
+            assert_eq!(rs[4].pending_count(), 0);
+            orders.push(applied);
+        }
+        assert_eq!(orders[0], orders[1], "scan and wakeup orders must agree");
+    }
+
+    /// A reversed FIFO burst of n updates: scan re-evaluates the whole
+    /// buffer after every apply (Θ(n²) predicate evaluations) while the
+    /// wakeup index evaluates each message O(1) times amortized.
+    #[test]
+    fn wakeup_slashes_predicate_evaluations_on_reversed_burst() {
+        let n = 64u64;
+        let (mut w, _) = pair();
+        let mut msgs = Vec::new();
+        for i in 0..n {
+            let (m, _) = w.write(RegisterId::new(0), Value::from(i), vec![]).unwrap();
+            msgs.push(m);
+        }
+        let mut evals = Vec::new();
+        for mode in [PendingMode::Scan, PendingMode::Wakeup] {
+            let g = topology::path(2);
+            let reg = Arc::new(TsRegistry::new(
+                &g,
+                TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE),
+            ));
+            let id = ReplicaId::new(1);
+            let mut b = Replica::new_with_mode(
+                id,
+                g.placement().registers_of(id).clone(),
+                Box::new(EdgeTracker::new(reg, id)) as Box<dyn CausalityTracker>,
+                mode,
+            );
+            let mut applied = Vec::new();
+            for m in msgs.iter().rev() {
+                applied.extend(b.receive(m.clone()));
+            }
+            assert_eq!(applied.len(), n as usize);
+            // FIFO order restored regardless of mode.
+            assert!(applied.windows(2).all(|w| w[0].msg.seq + 1 == w[1].msg.seq));
+            assert_eq!(b.pending_count(), 0);
+            evals.push(b.predicate_evals());
+        }
+        let (scan, wakeup) = (evals[0], evals[1]);
+        assert!(
+            wakeup * 5 <= scan,
+            "expected ≥5× fewer evaluations (scan={scan}, wakeup={wakeup})"
+        );
+        // Wakeup is linear: at most a small constant per message.
+        assert!(wakeup <= 3 * n, "wakeup evals not linear: {wakeup}");
+    }
+
+    /// Messages that can never become deliverable (duplicates) stay
+    /// parked in both modes and never block fresh traffic.
+    #[test]
+    fn duplicates_stay_pending_in_both_modes() {
+        for mode in [PendingMode::Scan, PendingMode::Wakeup] {
+            let g = topology::path(2);
+            let reg = Arc::new(TsRegistry::new(
+                &g,
+                TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE),
+            ));
+            let mk = |i: u32| {
+                let id = ReplicaId::new(i);
+                Replica::new_with_mode(
+                    id,
+                    g.placement().registers_of(id).clone(),
+                    Box::new(EdgeTracker::new(reg.clone(), id)) as Box<dyn CausalityTracker>,
+                    mode,
+                )
+            };
+            let (mut a, mut b) = (mk(0), mk(1));
+            let (m1, _) = a
+                .write(RegisterId::new(0), Value::from(1u64), vec![])
+                .unwrap();
+            let (m2, _) = a
+                .write(RegisterId::new(0), Value::from(2u64), vec![])
+                .unwrap();
+            assert_eq!(b.receive(m1.clone()).len(), 1);
+            // Duplicate of m1: parked forever.
+            assert!(b.receive(m1.clone()).is_empty());
+            assert_eq!(b.pending_count(), 1);
+            // Fresh traffic still flows.
+            assert_eq!(b.receive(m2).len(), 1);
+            assert_eq!(b.pending_count(), 1, "{mode:?}");
+            assert_eq!(b.read(RegisterId::new(0)), Some(&Value::from(2u64)));
+        }
     }
 }

@@ -106,8 +106,7 @@ impl RoutedRing {
                 Replica::new(
                     i,
                     effective.placement().registers_of(i).clone(),
-                    Box::new(EdgeTracker::new(registry.clone(), i))
-                        as Box<dyn CausalityTracker>,
+                    Box::new(EdgeTracker::new(registry.clone(), i)) as Box<dyn CausalityTracker>,
                 )
             })
             .collect();
@@ -423,11 +422,7 @@ mod tests {
         // edge; run with adversarial delays across seeds.
         let n = 5;
         for seed in 0..10 {
-            let mut ring = RoutedRing::new(
-                n,
-                DelayModel::Uniform { min: 1, max: 60 },
-                seed,
-            );
+            let mut ring = RoutedRing::new(n, DelayModel::Uniform { min: 1, max: 60 }, seed);
             for round in 0..3u64 {
                 for i in 0..n as u32 {
                     // Each replica writes one register it logically holds.

@@ -145,8 +145,7 @@ impl RoutedSystem {
         let residual = ShareGraph::new(Placement::from_sets(sets.clone()));
         let mut virtuals: HashMap<(ReplicaId, ReplicaId), RegisterId> = HashMap::new();
         for (x, a, b) in pending_routes {
-            let route =
-                bfs_path(&residual, a, b).ok_or(RoutedError::NoResidualPath(a, b))?;
+            let route = bfs_path(&residual, a, b).ok_or(RoutedError::NoResidualPath(a, b))?;
             for w in route.windows(2) {
                 let key = (w[0].min(w[1]), w[0].max(w[1]));
                 let vreg = *virtuals.entry(key).or_insert_with(|| {
@@ -172,8 +171,7 @@ impl RoutedSystem {
                 Replica::new(
                     i,
                     effective.placement().registers_of(i).clone(),
-                    Box::new(EdgeTracker::new(registry.clone(), i))
-                        as Box<dyn CausalityTracker>,
+                    Box::new(EdgeTracker::new(registry.clone(), i)) as Box<dyn CausalityTracker>,
                 )
             })
             .collect();
@@ -342,8 +340,7 @@ impl RoutedSystem {
                         let vis = t.saturating_sub(issued);
                         self.metrics.total_visibility += vis;
                         self.metrics.visibility_samples += 1;
-                        self.metrics.max_visibility =
-                            self.metrics.max_visibility.max(vis);
+                        self.metrics.max_visibility = self.metrics.max_visibility.max(vis);
                     }
                 } else {
                     self.send_transit_hop(dst, transit);
@@ -427,8 +424,10 @@ mod tests {
         let plain = crate::System::builder(g.clone()).build();
         let plain_counters = plain.timestamp_counters();
         let routed_counters = sys.timestamp_counters();
-        assert!(routed_counters.iter().sum::<usize>() <= plain_counters.iter().sum::<usize>() + 8,
-            "virtual edges may add counters but the broken direct edge is gone");
+        assert!(
+            routed_counters.iter().sum::<usize>() <= plain_counters.iter().sum::<usize>() + 8,
+            "virtual edges may add counters but the broken direct edge is gone"
+        );
         // Writes to the broken register still converge.
         sys.write(r(0), x(0), Value::from(11u64));
         sys.run_to_quiescence();
@@ -449,8 +448,7 @@ mod tests {
         let shared01 = g.placement().shared(r(0), r(1));
         assert!(!shared01.is_empty());
         let e2 = (r(4), r(5));
-        let mut sys = RoutedSystem::new(&g, &[e1, e2], DelayModel::Fixed(2), 3)
-            .expect("routable");
+        let mut sys = RoutedSystem::new(&g, &[e1, e2], DelayModel::Fixed(2), 3).expect("routable");
         // Drive writes on every logical register at one holder each.
         let logical_regs = g.placement().num_registers() as u32;
         for reg in 0..logical_regs {
@@ -475,13 +473,8 @@ mod tests {
         // Breaking ring edge (n−1, 0) reproduces RoutedRing's counters.
         let n = 6;
         let g = topology::ring(n);
-        let sys = RoutedSystem::new(
-            &g,
-            &[(r((n - 1) as u32), r(0))],
-            DelayModel::Fixed(1),
-            0,
-        )
-        .expect("routable");
+        let sys = RoutedSystem::new(&g, &[(r((n - 1) as u32), r(0))], DelayModel::Fixed(1), 0)
+            .expect("routable");
         let ring = crate::RoutedRing::new(n, DelayModel::Fixed(1), 0);
         assert_eq!(sys.timestamp_counters(), ring.timestamp_counters());
     }

@@ -108,7 +108,9 @@ impl ThreadedCluster {
             let pending = pending.clone();
             let sent = sent.clone();
             threads.push(std::thread::spawn(move || {
-                replica_main(i, graph, registry, handle, rx, trace, applied, pending, sent)
+                replica_main(
+                    i, graph, registry, handle, rx, trace, applied, pending, sent,
+                )
             }));
         }
         ThreadedCluster {
@@ -144,10 +146,7 @@ impl ThreadedCluster {
     pub fn read(&self, r: ReplicaId, x: RegisterId) -> Option<Value> {
         let (reply, rx) = unbounded();
         self.cmd_txs[r.index()]
-            .send(Cmd::Read {
-                register: x,
-                reply,
-            })
+            .send(Cmd::Read { register: x, reply })
             .expect("cluster alive");
         rx.recv().expect("replica thread alive")
     }
@@ -319,11 +318,8 @@ mod tests {
 
     #[test]
     fn concurrent_writers_converge_consistently() {
-        let cluster = ThreadedCluster::new(
-            topology::ring(4),
-            DelayModel::Uniform { min: 0, max: 5 },
-            3,
-        );
+        let cluster =
+            ThreadedCluster::new(topology::ring(4), DelayModel::Uniform { min: 0, max: 5 }, 3);
         // Writers on all replicas concurrently (via the blocking API from
         // multiple driver threads).
         std::thread::scope(|s| {
@@ -340,7 +336,7 @@ mod tests {
         let rep = cluster.check();
         assert!(rep.is_consistent(), "{:?}", rep.violations);
         assert_eq!(cluster.total_applied(), 4 * 10); // each write has 1 recipient
-        // Final values visible on both holders.
+                                                     // Final values visible on both holders.
         assert_eq!(cluster.read(r(1), x(0)), Some(Value::from(9u64)));
         let trace = cluster.shutdown();
         assert_eq!(trace.num_updates(), 40);
@@ -348,11 +344,8 @@ mod tests {
 
     #[test]
     fn causal_chain_across_threads() {
-        let cluster = ThreadedCluster::new(
-            topology::path(3),
-            DelayModel::Uniform { min: 0, max: 3 },
-            9,
-        );
+        let cluster =
+            ThreadedCluster::new(topology::path(3), DelayModel::Uniform { min: 0, max: 3 }, 9);
         cluster.write(r(0), x(0), Value::from(1u64));
         cluster.settle();
         // Replica 1 saw the write; its next write is causally after.

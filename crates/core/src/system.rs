@@ -15,7 +15,7 @@
 //!   reproducing Theorem 8's impossibility executions (experiment E2).
 
 use crate::message::UpdateMsg;
-use crate::replica::Replica;
+use crate::replica::{PendingMode, Replica};
 use crate::stats::LatencyStats;
 use crate::tracker::{CausalityTracker, EdgeTracker, FullDepsTracker, VcTracker};
 use crate::value::Value;
@@ -95,6 +95,7 @@ impl SystemMetrics {
 pub struct SystemBuilder {
     graph: ShareGraph,
     tracker: TrackerKind,
+    pending_mode: PendingMode,
     dummies: Vec<(ReplicaId, RegisterId)>,
     delay: DelayModel,
     seed: u64,
@@ -108,6 +109,7 @@ impl SystemBuilder {
         SystemBuilder {
             graph,
             tracker: TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE),
+            pending_mode: PendingMode::default(),
             dummies: Vec::new(),
             delay: DelayModel::default(),
             seed: 0,
@@ -119,6 +121,14 @@ impl SystemBuilder {
     /// Selects the tracker (default: exact edge-indexed).
     pub fn tracker(mut self, kind: TrackerKind) -> Self {
         self.tracker = kind;
+        self
+    }
+
+    /// Selects how replicas schedule their pending buffers (default:
+    /// [`PendingMode::Wakeup`]; `Scan` is the differential-testing
+    /// oracle).
+    pub fn pending_mode(mut self, mode: PendingMode) -> Self {
+        self.pending_mode = mode;
         self
     }
 
@@ -166,7 +176,11 @@ impl SystemBuilder {
             self.graph.clone()
         } else {
             let mut sets: Vec<prcc_sharegraph::RegSet> = (0..data_placement.num_replicas())
-                .map(|i| data_placement.registers_of(ReplicaId::new(i as u32)).clone())
+                .map(|i| {
+                    data_placement
+                        .registers_of(ReplicaId::new(i as u32))
+                        .clone()
+                })
                 .collect();
             for (r, x) in &self.dummies {
                 sets[r.index()].insert(*x);
@@ -193,32 +207,35 @@ impl SystemBuilder {
                     TimestampGraphs::from_graphs(graphs),
                 ));
                 for i in effective_graph.replicas() {
-                    replicas.push(Replica::new(
+                    replicas.push(Replica::new_with_mode(
                         i,
                         data_placement.registers_of(i).clone(),
                         Box::new(EdgeTracker::new(registry.clone(), i))
                             as Box<dyn CausalityTracker>,
+                        self.pending_mode,
                     ));
                 }
             }
             TrackerKind::VectorClock => {
                 for i in effective_graph.replicas() {
-                    replicas.push(Replica::new(
+                    replicas.push(Replica::new_with_mode(
                         i,
                         data_placement.registers_of(i).clone(),
                         Box::new(VcTracker::new(i, n)) as Box<dyn CausalityTracker>,
+                        self.pending_mode,
                     ));
                 }
             }
             TrackerKind::FullDeps => {
                 for i in effective_graph.replicas() {
-                    replicas.push(Replica::new(
+                    replicas.push(Replica::new_with_mode(
                         i,
                         data_placement.registers_of(i).clone(),
                         Box::new(FullDepsTracker::new(
                             i,
                             data_placement.registers_of(i).clone(),
                         )) as Box<dyn CausalityTracker>,
+                        self.pending_mode,
                     ));
                 }
             }
@@ -470,7 +487,10 @@ impl System {
 
     /// Per-replica timestamp sizes in counters.
     pub fn timestamp_counters(&self) -> Vec<usize> {
-        self.replicas.iter().map(|r| r.tracker().num_counters()).collect()
+        self.replicas
+            .iter()
+            .map(|r| r.tracker().num_counters())
+            .collect()
     }
 
     /// Direct access to a replica (diagnostics, tests).
@@ -593,9 +613,7 @@ mod tests {
     #[test]
     fn causal_chain_respected_under_adversarial_delays() {
         // Triangle sharing one register; wide delays to force reordering.
-        let g = ShareGraph::new(
-            Placement::builder(3).share(0, [0, 1, 2]).build(),
-        );
+        let g = ShareGraph::new(Placement::builder(3).share(0, [0, 1, 2]).build());
         for seed in 0..10 {
             let mut sys = System::builder(g.clone())
                 .delay(DelayModel::Uniform { min: 1, max: 200 })
@@ -637,30 +655,26 @@ mod tests {
         // into a triangle-ish metadata graph: replica 2 receives meta-only
         // updates for register 0.
         let g = topology::path(3);
-        let mut sys = System::builder(g)
-            .dummy(r(2), x(0))
-            .seed(5)
-            .build();
+        let mut sys = System::builder(g).dummy(r(2), x(0)).seed(5).build();
         sys.write(r(0), x(0), Value::from(9u64));
         sys.run_to_quiescence();
         assert!(sys.is_settled());
         assert_eq!(sys.metrics().data_messages, 1); // to replica 1
         assert_eq!(sys.metrics().meta_messages, 1); // to replica 2
-        // Replica 2 does NOT store the value.
+                                                    // Replica 2 does NOT store the value.
         assert_eq!(sys.read(r(2), x(0)), None);
         assert!(sys.check().is_consistent());
     }
 
     #[test]
     fn oblivious_replica_loses_consistency() {
-        // Drop e_10 from replica 1's graph (incoming edge): FIFO from r0
-        // is no longer enforced; out-of-order delivery produces a stale
-        // final value or a safety violation.
-        let g = topology::path(2);
-        let e10 = EdgeId::new(r(1), r(0)); // careful: drop the edge r0->r1 = e_01
-        let _ = e10;
+        // Drop the incoming edge e_01 from replica 1's timestamp graph:
+        // replica 1 becomes oblivious to updates from r0 (Theorem 8's
+        // incident-edge case). The conservative predicate then refuses
+        // every update from r0 — the violation class is LIVENESS (both
+        // updates stuck pending forever, reads stale), never a safety
+        // inversion, for every delivery schedule.
         let e01 = EdgeId::new(r(0), r(1));
-        let mut bad_seen = false;
         for seed in 0..30 {
             let mut sys = System::builder(topology::path(2))
                 .drop_edge(r(1), e01)
@@ -671,15 +685,23 @@ mod tests {
             sys.write(r(0), x(0), Value::from(2u64));
             sys.run_to_quiescence();
             let rep = sys.check();
-            // Depending on delivery order this run may or may not violate;
-            // across seeds at least one must.
-            if !rep.is_consistent() || sys.read(r(1), x(0)) != Some(&Value::from(2u64)) {
-                bad_seen = true;
-                break;
-            }
+            assert_eq!(
+                rep.liveness_violations().count(),
+                2,
+                "seed {seed}: both updates must be stuck at the oblivious replica"
+            );
+            assert_eq!(
+                rep.safety_violations().count(),
+                0,
+                "seed {seed}: the conservative predicate never misorders applies"
+            );
+            assert_eq!(sys.stuck_pending(), 2, "seed {seed}");
+            assert_eq!(
+                sys.read(r(1), x(0)),
+                None,
+                "seed {seed}: replica 1 never learns the value"
+            );
         }
-        assert!(bad_seen, "oblivious replica never misbehaved");
-        let _ = g;
     }
 
     #[test]

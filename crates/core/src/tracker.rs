@@ -13,9 +13,35 @@
 
 use crate::message::{Metadata, UpdateMsg};
 use prcc_sharegraph::{RegisterId, ReplicaId};
-use prcc_timestamp::{TsRegistry, VectorClock};
+use prcc_timestamp::{JVerdict, TsRegistry, VectorClock};
 use std::fmt;
 use std::sync::Arc;
+
+/// Outcome of [`CausalityTracker::ready_check`]: the boolean predicate
+/// `J`, enriched — when the tracker supports it — with the cause of a
+/// block, so the replica's pending index can park the message under a
+/// counter slot instead of re-scanning it after every apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyCheck {
+    /// The update may be applied now.
+    Ready,
+    /// Blocked until local counter `slot` (a tracker-defined index)
+    /// reaches `needs`; the tracker guarantees the predicate cannot turn
+    /// true before that counter advances to at least `needs`.
+    BlockedOn {
+        /// Tracker-defined counter index that must advance.
+        slot: usize,
+        /// Value the counter must reach before re-evaluating.
+        needs: u64,
+    },
+    /// Blocked for a reason the tracker cannot localize to one counter —
+    /// the caller must re-evaluate after every apply (scan semantics).
+    BlockedUnknown,
+    /// Never deliverable (duplicate / foreign metadata); parking it
+    /// forever is safe and matches the scan path, where `ready` stays
+    /// false for such messages.
+    Dead,
+}
 
 /// The timestamp side of a replica: `advance`, `merge`, and predicate `J`.
 pub trait CausalityTracker: Send + fmt::Debug {
@@ -26,9 +52,31 @@ pub trait CausalityTracker: Send + fmt::Debug {
     /// Predicate `J`: may the update carried by `msg` be applied now?
     fn ready(&self, msg: &UpdateMsg) -> bool;
 
+    /// Predicate `J` with blocking diagnosis, for the wakeup pending
+    /// index. The default delegates to [`CausalityTracker::ready`] and
+    /// reports [`ReadyCheck::BlockedUnknown`] on failure, which keeps
+    /// every existing tracker correct (blocked-unknown messages are
+    /// re-scanned after each apply, exactly the old behavior).
+    fn ready_check(&self, msg: &UpdateMsg) -> ReadyCheck {
+        if self.ready(msg) {
+            ReadyCheck::Ready
+        } else {
+            ReadyCheck::BlockedUnknown
+        }
+    }
+
     /// Step 4(ii): merge the applied update's metadata into the local
     /// timestamp.
     fn on_apply(&mut self, msg: &UpdateMsg);
+
+    /// [`CausalityTracker::on_apply`] that additionally appends
+    /// `(slot, new_value)` for every local counter the merge advanced —
+    /// the wakeup signal. The default performs the apply and reports
+    /// nothing, which pairs with the `BlockedUnknown` default above.
+    fn on_apply_report(&mut self, msg: &UpdateMsg, advanced: &mut Vec<(usize, u64)>) {
+        let _ = &*advanced;
+        self.on_apply(msg);
+    }
 
     /// Current size of the local timestamp in bytes.
     fn timestamp_bytes(&self) -> usize;
@@ -86,9 +134,28 @@ impl CausalityTracker for EdgeTracker {
         }
     }
 
+    fn ready_check(&self, msg: &UpdateMsg) -> ReadyCheck {
+        match &msg.meta {
+            Metadata::Edge(t) => match self.registry.ready_check(&self.ts, msg.issuer, t) {
+                JVerdict::Ready => ReadyCheck::Ready,
+                JVerdict::Blocked { slot, needs } => ReadyCheck::BlockedOn { slot, needs },
+                JVerdict::Dead => ReadyCheck::Dead,
+            },
+            // Foreign metadata can never become deliverable here.
+            _ => ReadyCheck::Dead,
+        }
+    }
+
     fn on_apply(&mut self, msg: &UpdateMsg) {
         if let Metadata::Edge(t) = &msg.meta {
             self.registry.merge(&mut self.ts, msg.issuer, t);
+        }
+    }
+
+    fn on_apply_report(&mut self, msg: &UpdateMsg, advanced: &mut Vec<(usize, u64)>) {
+        if let Metadata::Edge(t) = &msg.meta {
+            self.registry
+                .merge_report(&mut self.ts, msg.issuer, t, advanced);
         }
     }
 
@@ -168,6 +235,118 @@ impl CausalityTracker for VcTracker {
 
     fn clone_box(&self) -> Box<dyn CausalityTracker> {
         Box::new(self.clone())
+    }
+}
+
+/// Explicit dependency tracking: every update carries its **entire
+/// transitive causal past** as a list of `(issuer, seq, register)`
+/// entries — the Full-Track-style baseline from the paper's related work
+/// (Shen et al.). Correct under partial replication because a recipient
+/// gates only on dependencies whose register it stores (the full closure
+/// is present, so transitivity never leaks); hopeless in metadata cost,
+/// which is exactly the point the paper's fixed-size timestamps make.
+pub struct FullDepsTracker {
+    me: ReplicaId,
+    stores: prcc_sharegraph::RegSet,
+    next_seq: u64,
+    /// Everything in this replica's causal past (applied or issued).
+    past: std::collections::BTreeSet<crate::message::DepEntry>,
+    /// Fast membership: (issuer, seq) pairs applied/issued here.
+    applied: std::collections::HashSet<(ReplicaId, u64)>,
+}
+
+impl FullDepsTracker {
+    /// Creates the tracker for replica `me`, which stores `stores`.
+    pub fn new(me: ReplicaId, stores: prcc_sharegraph::RegSet) -> Self {
+        FullDepsTracker {
+            me,
+            stores,
+            next_seq: 0,
+            past: std::collections::BTreeSet::new(),
+            applied: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl fmt::Debug for FullDepsTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FullDepsTracker")
+            .field("me", &self.me)
+            .field("past", &self.past.len())
+            .finish()
+    }
+}
+
+impl Clone for FullDepsTracker {
+    fn clone(&self) -> Self {
+        FullDepsTracker {
+            me: self.me,
+            stores: self.stores.clone(),
+            next_seq: self.next_seq,
+            past: self.past.clone(),
+            applied: self.applied.clone(),
+        }
+    }
+}
+
+impl CausalityTracker for FullDepsTracker {
+    fn on_local_write(&mut self, x: RegisterId) -> Metadata {
+        // The attached metadata is the past *before* this write (its
+        // dependencies); then the write joins the past.
+        let deps: Vec<crate::message::DepEntry> = self.past.iter().copied().collect();
+        let entry = crate::message::DepEntry {
+            issuer: self.me,
+            seq: self.next_seq,
+            register: x,
+        };
+        self.next_seq += 1;
+        self.past.insert(entry);
+        self.applied.insert((entry.issuer, entry.seq));
+        Metadata::Deps(deps)
+    }
+
+    fn ready(&self, msg: &UpdateMsg) -> bool {
+        match &msg.meta {
+            Metadata::Deps(deps) => deps.iter().all(|d| {
+                !self.stores.contains(d.register) || self.applied.contains(&(d.issuer, d.seq))
+            }),
+            _ => false,
+        }
+    }
+
+    fn on_apply(&mut self, msg: &UpdateMsg) {
+        if let Metadata::Deps(deps) = &msg.meta {
+            for &d in deps {
+                self.past.insert(d);
+            }
+            self.note_applied(crate::message::DepEntry {
+                issuer: msg.issuer,
+                seq: msg.seq,
+                register: msg.register,
+            });
+        }
+    }
+
+    fn timestamp_bytes(&self) -> usize {
+        self.past.len() * 16
+    }
+
+    fn num_counters(&self) -> usize {
+        self.past.len()
+    }
+
+    fn clone_box(&self) -> Box<dyn CausalityTracker> {
+        Box::new(self.clone())
+    }
+}
+
+impl FullDepsTracker {
+    /// Records the identity of an applied update (called by the replica
+    /// layer, which knows the update's id and register — `on_apply` only
+    /// sees the metadata).
+    pub fn note_applied(&mut self, entry: crate::message::DepEntry) {
+        self.past.insert(entry);
+        self.applied.insert((entry.issuer, entry.seq));
     }
 }
 
@@ -286,123 +465,48 @@ mod tests {
     }
 
     #[test]
+    fn edge_tracker_ready_check_localizes_blocks() {
+        let (mut a, mut b) = edge_tracker_pair();
+        let m1 = msg(0, 0, 0, a.on_local_write(RegisterId::new(0)));
+        let m2 = msg(0, 1, 0, a.on_local_write(RegisterId::new(0)));
+        assert_eq!(b.ready_check(&m1), ReadyCheck::Ready);
+        let ReadyCheck::BlockedOn { slot, needs } = b.ready_check(&m2) else {
+            panic!("expected BlockedOn, got {:?}", b.ready_check(&m2));
+        };
+        assert_eq!(needs, 1);
+        // Applying m1 must advance exactly the blocking slot to `needs`.
+        let mut advanced = Vec::new();
+        b.on_apply_report(&m1, &mut advanced);
+        assert!(advanced.contains(&(slot, needs)), "advanced: {advanced:?}");
+        assert_eq!(b.ready_check(&m2), ReadyCheck::Ready);
+        // Duplicate delivery of m1 is Dead, as is foreign metadata.
+        assert_eq!(b.ready_check(&m1), ReadyCheck::Dead);
+        let foreign = msg(0, 7, 0, Metadata::Vector(VectorClock::new(2)));
+        assert_eq!(b.ready_check(&foreign), ReadyCheck::Dead);
+    }
+
+    #[test]
+    fn default_ready_check_reports_unknown() {
+        // VcTracker uses the trait defaults: blocked ⇒ BlockedUnknown,
+        // on_apply_report ⇒ no slot info.
+        let mut a = VcTracker::new(ReplicaId::new(0), 2);
+        let b = VcTracker::new(ReplicaId::new(1), 2);
+        let m1 = msg(0, 0, 0, a.on_local_write(RegisterId::new(0)));
+        let m2 = msg(0, 1, 0, a.on_local_write(RegisterId::new(0)));
+        assert_eq!(b.ready_check(&m1), ReadyCheck::Ready);
+        assert_eq!(b.ready_check(&m2), ReadyCheck::BlockedUnknown);
+        let mut advanced = Vec::new();
+        let mut b2 = b.clone();
+        b2.on_apply_report(&m1, &mut advanced);
+        assert!(advanced.is_empty());
+        assert_eq!(b2.ready_check(&m2), ReadyCheck::Ready);
+    }
+
+    #[test]
     fn trackers_are_debuggable() {
         let (a, _) = edge_tracker_pair();
         assert!(format!("{a:?}").contains("EdgeTracker"));
         let v = VcTracker::new(ReplicaId::new(0), 2);
         assert!(format!("{v:?}").contains("VcTracker"));
-    }
-}
-
-/// Explicit dependency tracking: every update carries its **entire
-/// transitive causal past** as a list of `(issuer, seq, register)`
-/// entries — the Full-Track-style baseline from the paper's related work
-/// (Shen et al.). Correct under partial replication because a recipient
-/// gates only on dependencies whose register it stores (the full closure
-/// is present, so transitivity never leaks); hopeless in metadata cost,
-/// which is exactly the point the paper's fixed-size timestamps make.
-pub struct FullDepsTracker {
-    me: ReplicaId,
-    stores: prcc_sharegraph::RegSet,
-    next_seq: u64,
-    /// Everything in this replica's causal past (applied or issued).
-    past: std::collections::BTreeSet<crate::message::DepEntry>,
-    /// Fast membership: (issuer, seq) pairs applied/issued here.
-    applied: std::collections::HashSet<(ReplicaId, u64)>,
-}
-
-impl FullDepsTracker {
-    /// Creates the tracker for replica `me`, which stores `stores`.
-    pub fn new(me: ReplicaId, stores: prcc_sharegraph::RegSet) -> Self {
-        FullDepsTracker {
-            me,
-            stores,
-            next_seq: 0,
-            past: std::collections::BTreeSet::new(),
-            applied: std::collections::HashSet::new(),
-        }
-    }
-}
-
-impl fmt::Debug for FullDepsTracker {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FullDepsTracker")
-            .field("me", &self.me)
-            .field("past", &self.past.len())
-            .finish()
-    }
-}
-
-impl Clone for FullDepsTracker {
-    fn clone(&self) -> Self {
-        FullDepsTracker {
-            me: self.me,
-            stores: self.stores.clone(),
-            next_seq: self.next_seq,
-            past: self.past.clone(),
-            applied: self.applied.clone(),
-        }
-    }
-}
-
-impl CausalityTracker for FullDepsTracker {
-    fn on_local_write(&mut self, x: RegisterId) -> Metadata {
-        // The attached metadata is the past *before* this write (its
-        // dependencies); then the write joins the past.
-        let deps: Vec<crate::message::DepEntry> = self.past.iter().copied().collect();
-        let entry = crate::message::DepEntry {
-            issuer: self.me,
-            seq: self.next_seq,
-            register: x,
-        };
-        self.next_seq += 1;
-        self.past.insert(entry);
-        self.applied.insert((entry.issuer, entry.seq));
-        Metadata::Deps(deps)
-    }
-
-    fn ready(&self, msg: &UpdateMsg) -> bool {
-        match &msg.meta {
-            Metadata::Deps(deps) => deps.iter().all(|d| {
-                !self.stores.contains(d.register)
-                    || self.applied.contains(&(d.issuer, d.seq))
-            }),
-            _ => false,
-        }
-    }
-
-    fn on_apply(&mut self, msg: &UpdateMsg) {
-        if let Metadata::Deps(deps) = &msg.meta {
-            for &d in deps {
-                self.past.insert(d);
-            }
-            self.note_applied(crate::message::DepEntry {
-                issuer: msg.issuer,
-                seq: msg.seq,
-                register: msg.register,
-            });
-        }
-    }
-
-    fn timestamp_bytes(&self) -> usize {
-        self.past.len() * 16
-    }
-
-    fn num_counters(&self) -> usize {
-        self.past.len()
-    }
-
-    fn clone_box(&self) -> Box<dyn CausalityTracker> {
-        Box::new(self.clone())
-    }
-}
-
-impl FullDepsTracker {
-    /// Records the identity of an applied update (called by the replica
-    /// layer, which knows the update's id and register — `on_apply` only
-    /// sees the metadata).
-    pub fn note_applied(&mut self, entry: crate::message::DepEntry) {
-        self.past.insert(entry);
-        self.applied.insert((entry.issuer, entry.seq));
     }
 }

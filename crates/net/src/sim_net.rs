@@ -281,8 +281,7 @@ mod tests {
 
     #[test]
     fn time_is_monotonic() {
-        let mut net: SimNetwork<u32> =
-            SimNetwork::new(DelayModel::Uniform { min: 1, max: 100 }, 9);
+        let mut net: SimNetwork<u32> = SimNetwork::new(DelayModel::Uniform { min: 1, max: 100 }, 9);
         for i in 0..50 {
             net.send(r(0), r(1), i);
         }

@@ -77,12 +77,7 @@ pub fn edge_stats(g: &ShareGraph) -> GraphStats {
 /// search cap. Also the minimum `l + 1` at which Appendix D's truncated
 /// tracker keeps this edge.
 pub fn shortest_loop_len(g: &ShareGraph, i: ReplicaId, e: EdgeId) -> Option<usize> {
-    for cap in 3..=g.num_replicas() {
-        if exists_loop(g, i, e, LoopConfig::bounded(cap)) {
-            return Some(cap);
-        }
-    }
-    None
+    (3..=g.num_replicas()).find(|&cap| exists_loop(g, i, e, LoopConfig::bounded(cap)))
 }
 
 /// Distribution of shortest-certificate lengths over all (replica, far

@@ -109,10 +109,10 @@ impl AugmentedShareGraph {
         for &e in base.edges() {
             adj[e.from.index()].insert(e.to);
         }
-        for a in 0..n {
+        for (a, row) in adj.iter_mut().enumerate() {
             for b in 0..n {
                 if a != b && clients.co_access[a * n + b] {
-                    adj[a].insert(ReplicaId::new(b as u32));
+                    row.insert(ReplicaId::new(b as u32));
                 }
             }
         }
@@ -174,8 +174,7 @@ impl AugmentedShareGraph {
                 on_left[k.index()] = true;
                 let mut b_full = interior_union.clone();
                 b_full.union_with(self.base.placement().registers_of(k));
-                let found =
-                    self.aug_right_search(anchor, e, interior_union, &b_full, on_left);
+                let found = self.aug_right_search(anchor, e, interior_union, &b_full, on_left);
                 on_left[k.index()] = false;
                 if found {
                     return true;
@@ -192,11 +191,7 @@ impl AugmentedShareGraph {
             // grows, so a failed register witness never recovers. (The
             // client-edge alternatives apply to conditions (ii)/(iii)
             // only, so this prune stays sound in the augmented setting.)
-            if !self
-                .base
-                .edge_registers(e)
-                .has_element_outside(&next)
-            {
+            if !self.base.edge_registers(e).has_element_outside(&next) {
                 continue;
             }
             on_left[w.index()] = true;
@@ -318,10 +313,7 @@ mod tests {
     fn path_with_spanning_client() -> AugmentedShareGraph {
         let g = topology::path(3);
         let mut clients = ClientAssignment::new(3);
-        clients.assign(
-            ClientId::new(0),
-            [ReplicaId::new(0), ReplicaId::new(2)],
-        );
+        clients.assign(ClientId::new(0), [ReplicaId::new(0), ReplicaId::new(2)]);
         AugmentedShareGraph::new(g, clients)
     }
 

@@ -24,11 +24,7 @@ pub fn share_graph_to_dot(g: &ShareGraph) -> String {
     }
     for &e in g.edges() {
         if e.from < e.to {
-            let regs: Vec<String> = g
-                .edge_registers(e)
-                .iter()
-                .map(|x| x.to_string())
-                .collect();
+            let regs: Vec<String> = g.edge_registers(e).iter().map(|x| x.to_string()).collect();
             let _ = writeln!(
                 out,
                 "  r{} -- r{} [label=\"{}\"];",
@@ -58,11 +54,7 @@ pub fn share_graph_to_dot(g: &ShareGraph) -> String {
 pub fn timestamp_graph_to_dot(g: &ShareGraph, tg: &TimestampGraph) -> String {
     let me = tg.replica();
     let mut out = String::from("digraph timestamp {\n  node [shape=circle];\n");
-    let _ = writeln!(
-        out,
-        "  r{} [style=filled, fillcolor=lightblue];",
-        me.raw()
-    );
+    let _ = writeln!(out, "  r{} [style=filled, fillcolor=lightblue];", me.raw());
     for v in tg.vertices() {
         if v != me {
             let _ = writeln!(out, "  r{};", v.raw());
@@ -70,11 +62,7 @@ pub fn timestamp_graph_to_dot(g: &ShareGraph, tg: &TimestampGraph) -> String {
     }
     for &e in tg.edges() {
         let style = if e.touches(me) { "solid" } else { "dashed" };
-        let regs: Vec<String> = g
-            .edge_registers(e)
-            .iter()
-            .map(|x| x.to_string())
-            .collect();
+        let regs: Vec<String> = g.edge_registers(e).iter().map(|x| x.to_string()).collect();
         let _ = writeln!(
             out,
             "  r{} -> r{} [style={}, label=\"{}\"];",

@@ -98,11 +98,8 @@ impl Hoop {
                     HoopVariant::Modified => {
                         // Label not shared by more than two replicas *in the
                         // hoop*.
-                        let holders_in_hoop = self
-                            .path
-                            .iter()
-                            .filter(|&&h| p.stores(h, reg))
-                            .count();
+                        let holders_in_hoop =
+                            self.path.iter().filter(|&&h| p.stores(h, reg)).count();
                         holders_in_hoop <= 2
                     }
                 };
@@ -165,12 +162,7 @@ fn distinct_assignment_exists(cands: &[Vec<RegisterId>]) -> bool {
 /// `C(x)` that pass through replica `via`, up to `max_edges` edges.
 /// Endpoints are excluded as `via` (the interesting case is an interior
 /// vertex that does not store `x`).
-pub fn hoops_through(
-    g: &ShareGraph,
-    x: RegisterId,
-    via: ReplicaId,
-    max_edges: usize,
-) -> Vec<Hoop> {
+pub fn hoops_through(g: &ShareGraph, x: RegisterId, via: ReplicaId, max_edges: usize) -> Vec<Hoop> {
     let mut out = Vec::new();
     let holders: Vec<ReplicaId> = g.placement().holders(x).to_vec();
     for &a in &holders {
@@ -368,12 +360,8 @@ mod tests {
     #[test]
     fn tracked_registers_includes_own() {
         let g = square_with_bypass();
-        let tracked = helary_milani_tracked_registers(
-            &g,
-            ReplicaId::new(3),
-            HoopVariant::Original,
-            8,
-        );
+        let tracked =
+            helary_milani_tracked_registers(&g, ReplicaId::new(3), HoopVariant::Original, 8);
         // Replica 3 stores registers 1, 2 and lies on a minimal x-hoop.
         assert!(tracked.contains(RegisterId::new(0)));
         assert!(tracked.contains(RegisterId::new(1)));

@@ -120,10 +120,7 @@ impl LoopWitness {
         }
         // (ii): r_2 is right[1] if t >= 2 else i.
         let r2 = self.right.get(1).copied().unwrap_or(i);
-        if !g
-            .edge_registers(EdgeId::new(j, r2))
-            .has_element_outside(&b)
-        {
+        if !g.edge_registers(EdgeId::new(j, r2)).has_element_outside(&b) {
             return false;
         }
         // (iii): edges r_q — r_{q+1} for q = 2..=t, with r_{t+1} = i.
@@ -222,8 +219,7 @@ impl Search<'_> {
     /// `k`, the union over `l_1..l_{s-1}` is exactly `interior_union`.
     fn left_dfs(&mut self, v: ReplicaId, interior_union: &RegSet) -> Option<LoopWitness> {
         // Try closing: step v -> k (if adjacent and k not already used).
-        if v != self.k && self.g.has_edge(EdgeId::new(v, self.k)) && !self.on_left[self.k.index()]
-        {
+        if v != self.k && self.g.has_edge(EdgeId::new(v, self.k)) && !self.on_left[self.k.index()] {
             // Condition (i): X_jk − interior_union ≠ ∅.
             if self
                 .g
@@ -305,7 +301,15 @@ impl Search<'_> {
         let mut on_right = vec![false; self.g.num_replicas()];
         on_right[self.j.index()] = true;
         let mut right_path = vec![self.j];
-        self.right_dfs(self.j, true, b, b_full, t_budget, &mut on_right, &mut right_path)
+        self.right_dfs(
+            self.j,
+            true,
+            b,
+            b_full,
+            t_budget,
+            &mut on_right,
+            &mut right_path,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -354,8 +358,7 @@ impl Search<'_> {
             }
             on_right[w.index()] = true;
             right_path.push(w);
-            if let Some(found) =
-                self.right_dfs(w, false, b, b_full, t_budget, on_right, right_path)
+            if let Some(found) = self.right_dfs(w, false, b, b_full, t_budget, on_right, right_path)
             {
                 right_path.pop();
                 on_right[w.index()] = false;
@@ -438,9 +441,24 @@ mod tests {
     fn degenerate_inputs_rejected() {
         let g = ring(4);
         // i on the edge, or edge not in E.
-        assert!(!exists_loop(&g, ReplicaId::new(1), edge(1, 2), LoopConfig::EXHAUSTIVE));
-        assert!(!exists_loop(&g, ReplicaId::new(2), edge(1, 2), LoopConfig::EXHAUSTIVE));
-        assert!(!exists_loop(&g, ReplicaId::new(0), edge(1, 3), LoopConfig::EXHAUSTIVE));
+        assert!(!exists_loop(
+            &g,
+            ReplicaId::new(1),
+            edge(1, 2),
+            LoopConfig::EXHAUSTIVE
+        ));
+        assert!(!exists_loop(
+            &g,
+            ReplicaId::new(2),
+            edge(1, 2),
+            LoopConfig::EXHAUSTIVE
+        ));
+        assert!(!exists_loop(
+            &g,
+            ReplicaId::new(0),
+            edge(1, 3),
+            LoopConfig::EXHAUSTIVE
+        ));
     }
 
     #[test]
@@ -469,12 +487,22 @@ mod tests {
             .build();
         let g = ShareGraph::new(p);
         assert!(g.has_edge(edge(1, 2)));
-        assert!(!exists_loop(&g, ReplicaId::new(0), edge(1, 2), LoopConfig::EXHAUSTIVE));
+        assert!(!exists_loop(
+            &g,
+            ReplicaId::new(0),
+            edge(1, 2),
+            LoopConfig::EXHAUSTIVE
+        ));
         // But e_21 (j=2, k=1): left path (0,1): interior ∅;
         // (i): X_21 − ∅ = {y} ≠ ∅; right path (2,3,0):
         // (ii): X_23 − ∅ = {b} ≠ ∅; (iii): X_30 − X_1 = {d}−{a,y,b... wait
         // X_1 = {a,y}; {d} − {a,y} ≠ ∅. Loop exists.
-        assert!(exists_loop(&g, ReplicaId::new(0), edge(2, 1), LoopConfig::EXHAUSTIVE));
+        assert!(exists_loop(
+            &g,
+            ReplicaId::new(0),
+            edge(2, 1),
+            LoopConfig::EXHAUSTIVE
+        ));
     }
 
     #[test]

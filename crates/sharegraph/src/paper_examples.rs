@@ -195,8 +195,7 @@ mod tests {
         let g1 = TimestampGraph::build(&g, ReplicaId::new(0), LoopConfig::EXHAUSTIVE);
         // Incident edges of replica 1 (0-indexed 0): neighbors 2 (y) and 4
         // (y, w) — 0-indexed 1 and 3.
-        let expected_incident: Vec<EdgeId> =
-            vec![edge(0, 1), edge(1, 0), edge(0, 3), edge(3, 0)];
+        let expected_incident: Vec<EdgeId> = vec![edge(0, 1), edge(1, 0), edge(0, 3), edge(3, 0)];
         for e in expected_incident {
             assert!(g1.contains(e), "missing incident {e}");
         }

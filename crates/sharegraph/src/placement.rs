@@ -128,9 +128,7 @@ impl Placement {
 
     /// True if every replica stores every register (full replication).
     pub fn is_full_replication(&self) -> bool {
-        self.stores
-            .iter()
-            .all(|s| s.len() == self.num_registers)
+        self.stores.iter().all(|s| s.len() == self.num_registers)
     }
 }
 

@@ -109,10 +109,7 @@ impl RegSet {
 
     /// True if `self` and `other` share at least one register.
     pub fn intersects(&self, other: &RegSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// True if every register of `self` is in `other`.
@@ -308,10 +305,7 @@ mod tests {
         let b = rs(&[0]);
         assert!(a.has_element_outside(&b));
         assert!(!b.has_element_outside(&a));
-        assert_eq!(
-            a.has_element_outside(&b),
-            !a.difference(&b).is_empty()
-        );
+        assert_eq!(a.has_element_outside(&b), !a.difference(&b).is_empty());
     }
 
     #[test]

@@ -42,8 +42,8 @@ impl SpanningTree {
             "share graph must be connected for a spanning tree"
         );
         let mut children = vec![Vec::new(); n];
-        for v in 0..n {
-            if let Some(p) = parent[v] {
+        for (v, &slot) in parent.iter().enumerate() {
+            if let Some(p) = slot {
                 children[p.index()].push(ReplicaId::new(v as u32));
             }
         }
@@ -172,9 +172,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "connected")]
     fn disconnected_rejected() {
-        let g = crate::ShareGraph::new(
-            crate::Placement::builder(3).share(0, [0, 1]).build(),
-        );
+        let g = crate::ShareGraph::new(crate::Placement::builder(3).share(0, [0, 1]).build());
         let _ = SpanningTree::bfs(&g, r(0));
     }
 }

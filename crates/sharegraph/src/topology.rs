@@ -174,10 +174,8 @@ pub fn random_connected_placement(cfg: RandomPlacementConfig) -> ShareGraph {
     let mut order: Vec<u32> = (0..cfg.replicas as u32).collect();
     order.shuffle(&mut rng);
     let mut b = Placement::builder(cfg.replicas);
-    let mut next_reg = cfg.registers as u32;
-    for w in order.windows(2) {
+    for (next_reg, w) in (cfg.registers as u32..).zip(order.windows(2)) {
         b = b.share(next_reg, [w[0], w[1]]);
-        next_reg += 1;
     }
     let all: Vec<u32> = (0..cfg.replicas as u32).collect();
     for x in 0..cfg.registers as u32 {
@@ -451,4 +449,3 @@ mod tests {
         assert_eq!(g.placement().num_registers(), 4 + 8 + 1);
     }
 }
-

@@ -93,11 +93,7 @@ impl TimestampGraph {
 
     /// The vertices `V_i` mentioned by `E_i`, sorted.
     pub fn vertices(&self) -> Vec<ReplicaId> {
-        let mut v: Vec<ReplicaId> = self
-            .edges
-            .iter()
-            .flat_map(|e| [e.from, e.to])
-            .collect();
+        let mut v: Vec<ReplicaId> = self.edges.iter().flat_map(|e| [e.from, e.to]).collect();
         v.sort();
         v.dedup();
         v
@@ -165,7 +161,11 @@ impl TimestampGraphs {
     /// Wraps pre-built graphs (must be indexed by replica).
     pub fn from_graphs(graphs: Vec<TimestampGraph>) -> Self {
         for (idx, tg) in graphs.iter().enumerate() {
-            assert_eq!(tg.replica().index(), idx, "graphs must be ordered by replica");
+            assert_eq!(
+                tg.replica().index(),
+                idx,
+                "graphs must be ordered by replica"
+            );
         }
         TimestampGraphs { graphs }
     }
@@ -231,7 +231,12 @@ mod tests {
             let g = ring(n);
             let all = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
             for tg in all.iter() {
-                assert_eq!(tg.len(), 2 * n as usize, "ring({n}), replica {}", tg.replica());
+                assert_eq!(
+                    tg.len(),
+                    2 * n as usize,
+                    "ring({n}), replica {}",
+                    tg.replica()
+                );
             }
         }
     }
@@ -309,10 +314,8 @@ mod tests {
 
     #[test]
     fn from_edges_dedups_and_sorts() {
-        let tg = TimestampGraph::from_edges(
-            ReplicaId::new(0),
-            vec![edge(1, 0), edge(0, 1), edge(1, 0)],
-        );
+        let tg =
+            TimestampGraph::from_edges(ReplicaId::new(0), vec![edge(1, 0), edge(0, 1), edge(1, 0)]);
         assert_eq!(tg.edges(), &[edge(0, 1), edge(1, 0)]);
     }
 

@@ -1,11 +1,11 @@
 //! Property-based tests for the share-graph machinery.
 
-use proptest::prelude::*;
 use prcc_sharegraph::{
     exists_loop, find_loop,
     topology::{self, RandomPlacementConfig},
     LoopConfig, Placement, RegSet, ShareGraph, TimestampGraph,
 };
+use proptest::prelude::*;
 
 fn random_graph(seed: u64, replicas: usize, registers: usize, rf: usize) -> ShareGraph {
     topology::random_placement(RandomPlacementConfig {

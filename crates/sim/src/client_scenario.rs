@@ -67,6 +67,9 @@ impl fmt::Display for ClientRunReport {
 ///
 /// # Panics
 ///
+/// A client's attachment menu: each reachable replica with its registers.
+type ReplicaMenu = Vec<(ReplicaId, Vec<RegisterId>)>;
+
 /// Panics if a client has no replica with registers.
 pub fn run_client_scenario(
     graph: &ShareGraph,
@@ -78,15 +81,14 @@ pub fn run_client_scenario(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Per-client menu: (replica, registers).
-    let menus: Vec<(ClientId, Vec<(ReplicaId, Vec<RegisterId>)>)> = clients
+    let menus: Vec<(ClientId, ReplicaMenu)> = clients
         .clients()
         .iter()
         .map(|(c, rs)| {
             let menu = rs
                 .iter()
                 .map(|&r| {
-                    let regs: Vec<RegisterId> =
-                        graph.placement().registers_of(r).iter().collect();
+                    let regs: Vec<RegisterId> = graph.placement().registers_of(r).iter().collect();
                     (r, regs)
                 })
                 .filter(|(_, regs)| !regs.is_empty())

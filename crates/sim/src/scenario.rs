@@ -142,12 +142,10 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
     }
     let mut sys = builder.build();
 
-    let mut value = 0u64;
     let mut staleness: Vec<u64> = Vec::new();
     let probe_every = (workload.len() / cfg.staleness_probes.max(1)).max(1);
     for (n, op) in workload.ops().iter().enumerate() {
-        sys.write(op.replica, op.register, Value::from(value));
-        value += 1;
+        sys.write(op.replica, op.register, Value::from(n as u64));
         for _ in 0..cfg.steps_between_ops {
             if !sys.step() {
                 break;
@@ -369,8 +367,7 @@ mod tests {
         assert!(dummy.consistent && plain.consistent);
         assert!(dummy.meta_messages > plain.meta_messages);
         assert!(
-            dummy.data_messages + dummy.meta_messages
-                > plain.data_messages + plain.meta_messages
+            dummy.data_messages + dummy.meta_messages > plain.data_messages + plain.meta_messages
         );
     }
 

@@ -147,20 +147,16 @@ mod tests {
         let a = Workload::generate(&g, cfg);
         let b = Workload::generate(&g, cfg);
         assert_eq!(a.ops(), b.ops());
-        let c = Workload::generate(
-            &g,
-            WorkloadConfig {
-                seed: 43,
-                ..cfg
-            },
-        );
+        let c = Workload::generate(&g, WorkloadConfig { seed: 43, ..cfg });
         assert_ne!(a.ops(), c.ops());
     }
 
     #[test]
     fn replicas_without_registers_skipped() {
         let g = prcc_sharegraph::ShareGraph::new(
-            prcc_sharegraph::Placement::builder(3).share(0, [0, 1]).build(),
+            prcc_sharegraph::Placement::builder(3)
+                .share(0, [0, 1])
+                .build(),
         );
         let w = Workload::generate(
             &g,
@@ -196,6 +192,10 @@ mod tests {
             .iter()
             .filter(|o| o.register == RegisterId::new(0))
             .count();
-        assert!(first_reg * 2 > hub_ops.len() / 2, "{first_reg}/{}", hub_ops.len());
+        assert!(
+            first_reg * 2 > hub_ops.len() / 2,
+            "{first_reg}/{}",
+            hub_ops.len()
+        );
     }
 }

@@ -83,10 +83,7 @@ mod tests {
         let g = topology::star(4);
         let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
         let hub = graphs.of(prcc_sharegraph::ReplicaId::new(0));
-        assert_eq!(
-            timestamp_bits(hub.len(), m),
-            tree_lower_bound_bits(4, m)
-        );
+        assert_eq!(timestamp_bits(hub.len(), m), tree_lower_bound_bits(4, m));
         // Cycle: 2n counters — tight.
         let g = topology::ring(6);
         let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);

@@ -352,7 +352,7 @@ mod tests {
         assert_eq!(basis.num_edges(), 4);
         let mut counts = vec![0u64; 3];
         // Simulate writes and compare against direct per-edge counting.
-        let mut direct = vec![0u64; 4];
+        let mut direct = [0u64; 4];
         let writes = [0u32, 1, 0, 2, 2, 2, 1];
         for &w in &writes {
             assert!(basis.record_write(RegisterId::new(w), &mut counts));
@@ -362,8 +362,8 @@ mod tests {
                 }
             }
         }
-        for e in 0..4 {
-            assert_eq!(basis.edge_count(e, &counts), direct[e], "edge {e}");
+        for (e, &d) in direct.iter().enumerate() {
+            assert_eq!(basis.edge_count(e, &counts), d, "edge {e}");
         }
     }
 
@@ -401,4 +401,3 @@ mod tests {
         assert_eq!(rep.ratio(), 0.0);
     }
 }
-

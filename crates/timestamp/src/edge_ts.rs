@@ -15,9 +15,33 @@
 //! arrays.
 
 use prcc_sharegraph::{EdgeId, RegSet, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// Verdict of the indexed delivery predicate `J`, with blocking cause.
+///
+/// Beyond the boolean `J`, the evaluation reports *why* an update is not
+/// deliverable: the first unsatisfied requirement, as the local counter
+/// slot (position in the receiver's `E_i` order) that must advance and
+/// the value it must reach. The replica's dependency-counting wakeup
+/// index parks blocked messages under that slot and re-examines them only
+/// when a `merge` advances it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JVerdict {
+    /// The update may be applied now.
+    Ready,
+    /// Blocked: deliverable once local counter `slot` reaches `needs`.
+    Blocked {
+        /// Position in the receiver's `E_i` edge order.
+        slot: usize,
+        /// Counter value that slot must reach before re-evaluating.
+        needs: u64,
+    },
+    /// Never deliverable: the exactness condition `τ_i[e_ki] = T[e_ki]−1`
+    /// has already been overshot (a duplicate of an applied update), or
+    /// the sender shares no tracked edge with the receiver.
+    Dead,
+}
 
 /// The edge-indexed timestamp of one replica: counters aligned with the
 /// sorted edge list of that replica's timestamp graph.
@@ -116,14 +140,23 @@ struct PairOps {
 pub struct TsRegistry {
     graphs: Arc<TimestampGraphs>,
     replica_ops: Vec<ReplicaOps>,
-    pair_ops: HashMap<(ReplicaId, ReplicaId), PairOps>,
+    /// Dense ordered-pair index: entry `i * n + k` holds the maps for
+    /// `(receiver i, sender k)`. Every ordered pair is precomputed, so
+    /// predicate and merge evaluation never re-intersects `E_i ∩ E_k` —
+    /// including the non-adjacent pairs the client-server protocol
+    /// relays between (formerly an on-the-fly rebuild per call).
+    pair_ops: Vec<Option<PairOps>>,
+    num_replicas: usize,
 }
 
 impl fmt::Debug for TsRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TsRegistry")
             .field("replicas", &self.replica_ops.len())
-            .field("pairs", &self.pair_ops.len())
+            .field(
+                "pairs",
+                &self.pair_ops.iter().filter(|p| p.is_some()).count(),
+            )
             .finish()
     }
 }
@@ -131,12 +164,12 @@ impl fmt::Debug for TsRegistry {
 impl TsRegistry {
     /// Builds the registry for `graphs` over share graph `g`.
     ///
-    /// Pair maps are precomputed for every ordered pair of replicas
-    /// adjacent in `g` (the only pairs that exchange update messages in
-    /// the peer-to-peer protocol). [`TsRegistry::ready`] and
-    /// [`TsRegistry::merge`] fall back to an on-the-fly computation for
-    /// other pairs (needed by the client-server protocol, where a client
-    /// may relay timestamps between non-adjacent replicas).
+    /// Pair maps are precomputed for **every** ordered pair of replicas
+    /// (DESIGN §6's "predicate `J` indexing"): each [`TsRegistry::ready`]
+    /// / [`TsRegistry::merge`] call walks a fixed precomputed slice of
+    /// counter positions. The scan-based alternative that re-intersects
+    /// `E_i ∩ E_k` per evaluation survives as [`TsRegistry::ready_scan`],
+    /// the ablation oracle.
     pub fn new(g: &ShareGraph, graphs: TimestampGraphs) -> Self {
         let graphs = Arc::new(graphs);
         let mut replica_ops = Vec::with_capacity(graphs.len());
@@ -150,17 +183,38 @@ impl TsRegistry {
                 .collect();
             replica_ops.push(ReplicaOps { outgoing });
         }
-        let mut pair_ops = HashMap::new();
-        for i in g.replicas() {
-            for &k in g.neighbors(i) {
-                pair_ops.insert((i, k), Self::build_pair(&graphs, i, k));
+        let n = graphs.len();
+        let mut pair_ops = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for k in 0..n {
+                if i == k {
+                    pair_ops.push(None);
+                } else {
+                    pair_ops.push(Some(Self::build_pair(
+                        &graphs,
+                        ReplicaId::new(i as u32),
+                        ReplicaId::new(k as u32),
+                    )));
+                }
             }
         }
         TsRegistry {
             graphs,
             replica_ops,
             pair_ops,
+            num_replicas: n,
         }
+    }
+
+    /// The precomputed maps for `(receiver, sender)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver == sender` or either id is out of range.
+    fn pair(&self, receiver: ReplicaId, sender: ReplicaId) -> &PairOps {
+        self.pair_ops[receiver.index() * self.num_replicas + sender.index()]
+            .as_ref()
+            .expect("sender must differ from receiver")
     }
 
     fn build_pair(graphs: &TimestampGraphs, i: ReplicaId, k: ReplicaId) -> PairOps {
@@ -220,20 +274,37 @@ impl TsRegistry {
     ///
     /// Panics if `incoming` does not belong to `sender`'s graph shape.
     pub fn merge(&self, ts: &mut EdgeTimestamp, sender: ReplicaId, incoming: &EdgeTimestamp) {
+        let mut advanced = Vec::new();
+        self.merge_report(ts, sender, incoming, &mut advanced);
+    }
+
+    /// `merge` that additionally reports which local counters advanced:
+    /// appends `(slot, new_value)` for every position of `E_i` whose
+    /// counter strictly increased. This is the signal the
+    /// dependency-counting wakeup index consumes — a parked message is
+    /// woken iff one of its blocking counters advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `incoming` does not belong to `sender`'s graph shape.
+    pub fn merge_report(
+        &self,
+        ts: &mut EdgeTimestamp,
+        sender: ReplicaId,
+        incoming: &EdgeTimestamp,
+        advanced: &mut Vec<(usize, u64)>,
+    ) {
         assert_eq!(incoming.replica, sender, "timestamp/sender mismatch");
         assert_eq!(
             incoming.values.len(),
             self.graphs.of(sender).len(),
             "timestamp shape mismatch"
         );
-        if let Some(pair) = self.pair_ops.get(&(ts.replica, sender)) {
-            for &(pi, pk) in &pair.common {
-                ts.values[pi] = ts.values[pi].max(incoming.values[pk]);
-            }
-        } else {
-            let pair = Self::build_pair(&self.graphs, ts.replica, sender);
-            for &(pi, pk) in &pair.common {
-                ts.values[pi] = ts.values[pi].max(incoming.values[pk]);
+        for &(pi, pk) in &self.pair(ts.replica, sender).common {
+            let new = incoming.values[pk];
+            if new > ts.values[pi] {
+                ts.values[pi] = new;
+                advanced.push((pi, new));
             }
         }
     }
@@ -242,38 +313,90 @@ impl TsRegistry {
     /// carrying `incoming` (sent by `sender`) may be applied at `ts`'s
     /// replica now.
     pub fn ready(&self, ts: &EdgeTimestamp, sender: ReplicaId, incoming: &EdgeTimestamp) -> bool {
-        let check = |pair: &PairOps| -> bool {
-            // τ_i[e_ki] = T[e_ki] − 1 …
-            match pair.e_ki {
-                Some((pi, pk)) => {
-                    if ts.values[pi] + 1 != incoming.values[pk] {
-                        return false;
-                    }
+        self.ready_check(ts, sender, incoming) == JVerdict::Ready
+    }
+
+    /// Indexed predicate `J` with blocking diagnosis: evaluates the same
+    /// conditions as [`TsRegistry::ready`], and on failure reports the
+    /// *first* unsatisfied requirement as the local counter slot and the
+    /// value it must reach (or [`JVerdict::Dead`] when no future merge
+    /// can satisfy the predicate).
+    pub fn ready_check(
+        &self,
+        ts: &EdgeTimestamp,
+        sender: ReplicaId,
+        incoming: &EdgeTimestamp,
+    ) -> JVerdict {
+        let pair = self.pair(ts.replica, sender);
+        // τ_i[e_ki] = T[e_ki] − 1 …
+        match pair.e_ki {
+            Some((pi, pk)) => {
+                if incoming.values[pk] == 0 {
+                    // A zero-count stamp on e_ki can never satisfy the
+                    // exactness condition (τ_i counters never go negative).
+                    return JVerdict::Dead;
                 }
-                None => {
-                    // e_ki not tracked in common: sender shares no register
-                    // with us — the peer-to-peer protocol never sends such
-                    // updates; be conservative.
+                let needed = incoming.values[pk] - 1;
+                if ts.values[pi] < needed {
+                    return JVerdict::Blocked {
+                        slot: pi,
+                        needs: needed,
+                    };
+                }
+                if ts.values[pi] > needed {
+                    // Already past the update's slot: a duplicate of an
+                    // applied update can never satisfy the exactness
+                    // condition again.
+                    return JVerdict::Dead;
+                }
+            }
+            None => {
+                // e_ki not tracked in common: sender shares no register
+                // with us — the peer-to-peer protocol never sends such
+                // updates; be conservative.
+                return JVerdict::Dead;
+            }
+        }
+        // … and τ_i[e_ji] ≥ T[e_ji] for each common e_ji, j ≠ k.
+        for &(pi, pk) in &pair.incoming_other {
+            if ts.values[pi] < incoming.values[pk] {
+                return JVerdict::Blocked {
+                    slot: pi,
+                    needs: incoming.values[pk],
+                };
+            }
+        }
+        JVerdict::Ready
+    }
+
+    /// The scan-based predicate `J` (ablation oracle): recomputes the
+    /// `E_i ∩ E_k` intersection and both position maps on every call,
+    /// exactly what evaluation cost before the registry indexed all
+    /// ordered pairs. Kept for differential testing and the
+    /// `predicate_eval` criterion bench; never used on the hot path.
+    pub fn ready_scan(
+        &self,
+        ts: &EdgeTimestamp,
+        sender: ReplicaId,
+        incoming: &EdgeTimestamp,
+    ) -> bool {
+        let pair = Self::build_pair(&self.graphs, ts.replica, sender);
+        match pair.e_ki {
+            Some((pi, pk)) => {
+                if ts.values[pi] + 1 != incoming.values[pk] {
                     return false;
                 }
             }
-            // … and τ_i[e_ji] ≥ T[e_ji] for each common e_ji, j ≠ k.
-            pair.incoming_other
-                .iter()
-                .all(|&(pi, pk)| ts.values[pi] >= incoming.values[pk])
-        };
-        match self.pair_ops.get(&(ts.replica, sender)) {
-            Some(pair) => check(pair),
-            None => check(&Self::build_pair(&self.graphs, ts.replica, sender)),
+            None => return false,
         }
+        pair.incoming_other
+            .iter()
+            .all(|&(pi, pk)| ts.values[pi] >= incoming.values[pk])
     }
 
     /// The counter value for edge `e` in `ts`, if tracked.
     pub fn counter(&self, ts: &EdgeTimestamp, e: EdgeId) -> Option<u64> {
-        self.graphs
-            .of(ts.replica)
-            .position(e)
-            .map(|p| ts.values[p])
+        self.graphs.of(ts.replica).position(e).map(|p| ts.values[p])
     }
 }
 
@@ -295,14 +418,8 @@ mod tests {
         // Register 0 is shared by replicas 0 and 1 only.
         let bumped = reg.advance(&mut t, RegisterId::new(0));
         assert_eq!(bumped, 1);
-        assert_eq!(
-            reg.counter(&t, EdgeId::new(r0, ReplicaId::new(1))),
-            Some(1)
-        );
-        assert_eq!(
-            reg.counter(&t, EdgeId::new(r0, ReplicaId::new(3))),
-            Some(0)
-        );
+        assert_eq!(reg.counter(&t, EdgeId::new(r0, ReplicaId::new(1))), Some(1));
+        assert_eq!(reg.counter(&t, EdgeId::new(r0, ReplicaId::new(3))), Some(0));
     }
 
     #[test]
@@ -421,5 +538,105 @@ mod tests {
         let mut t0 = reg.new_timestamp(ReplicaId::new(0));
         let t1 = reg.new_timestamp(ReplicaId::new(1));
         reg.merge(&mut t0, ReplicaId::new(2), &t1);
+    }
+
+    #[test]
+    fn ready_check_reports_blocking_slot() {
+        let g = topology::path(2);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let mut t0 = reg.new_timestamp(r0);
+        reg.advance(&mut t0, RegisterId::new(0));
+        let first = t0.clone();
+        reg.advance(&mut t0, RegisterId::new(0));
+        let second = t0.clone();
+        let t1 = reg.new_timestamp(r1);
+
+        assert_eq!(reg.ready_check(&t1, r0, &first), JVerdict::Ready);
+        // Second blocked: needs local e_01 counter to reach 1.
+        let slot_e01 = reg.graphs().of(r1).position(EdgeId::new(r0, r1)).unwrap();
+        assert_eq!(
+            reg.ready_check(&t1, r0, &second),
+            JVerdict::Blocked {
+                slot: slot_e01,
+                needs: 1
+            }
+        );
+        // After merging the first, the counter has advanced to `needs`
+        // and re-evaluation succeeds; re-delivery of the first is Dead.
+        let mut t1m = t1.clone();
+        reg.merge(&mut t1m, r0, &first);
+        assert_eq!(reg.ready_check(&t1m, r0, &second), JVerdict::Ready);
+        assert_eq!(reg.ready_check(&t1m, r0, &first), JVerdict::Dead);
+    }
+
+    #[test]
+    fn ready_check_dead_on_zero_stamp() {
+        let g = topology::path(2);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let zero = reg.new_timestamp(r0);
+        let t1 = reg.new_timestamp(r1);
+        assert_eq!(reg.ready_check(&t1, r0, &zero), JVerdict::Dead);
+    }
+
+    #[test]
+    fn merge_report_lists_advanced_slots_only() {
+        let g = topology::path(2);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let mut t0 = reg.new_timestamp(r0);
+        reg.advance(&mut t0, RegisterId::new(0));
+        let mut t1 = reg.new_timestamp(r1);
+        let mut advanced = Vec::new();
+        reg.merge_report(&mut t1, r0, &t0, &mut advanced);
+        let slot_e01 = reg.graphs().of(r1).position(EdgeId::new(r0, r1)).unwrap();
+        assert_eq!(advanced, vec![(slot_e01, 1)]);
+        // Merging the same stamp again advances nothing.
+        advanced.clear();
+        reg.merge_report(&mut t1, r0, &t0, &mut advanced);
+        assert!(advanced.is_empty());
+    }
+
+    #[test]
+    fn ready_scan_matches_indexed_ready() {
+        // Exercise adjacent and (via EXHAUSTIVE loops) richly connected
+        // pairs across several topologies and update histories.
+        for g in [
+            topology::ring(5),
+            topology::clique_full(4, 2),
+            topology::star(4),
+        ] {
+            let reg = registry(&g);
+            let n = g.num_replicas();
+            let mut stamps: Vec<EdgeTimestamp> = (0..n)
+                .map(|i| reg.new_timestamp(ReplicaId::new(i as u32)))
+                .collect();
+            let mut updates = Vec::new();
+            for round in 0..3u64 {
+                for (i, local) in stamps.iter_mut().enumerate() {
+                    let ri = ReplicaId::new(i as u32);
+                    for x in g.placement().registers_of(ri) {
+                        if (x.index() as u64 + round).is_multiple_of(2) {
+                            reg.advance(local, x);
+                            updates.push((ri, local.clone()));
+                        }
+                    }
+                }
+            }
+            for (sender, stamp) in &updates {
+                for (i, local) in stamps.iter().enumerate() {
+                    let ri = ReplicaId::new(i as u32);
+                    if ri == *sender {
+                        continue;
+                    }
+                    assert_eq!(
+                        reg.ready(local, *sender, stamp),
+                        reg.ready_scan(local, *sender, stamp),
+                        "indexed vs scan J disagree for sender {sender:?} at {ri:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -41,5 +41,5 @@ pub mod vector_clock;
 
 pub use client_ts::{ClientTimestamp, ClientTsRegistry};
 pub use compress::{compress_replica, AtomBasis, CompressionReport};
-pub use edge_ts::{EdgeTimestamp, TsRegistry};
+pub use edge_ts::{EdgeTimestamp, JVerdict, TsRegistry};
 pub use vector_clock::VectorClock;

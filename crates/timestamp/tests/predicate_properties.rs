@@ -6,9 +6,9 @@
 //! every replica must linearize the (known) causal order of the batch,
 //! and all updates must eventually apply.
 
-use proptest::prelude::*;
 use prcc_sharegraph::{topology, LoopConfig, RegisterId, ReplicaId, TimestampGraphs};
 use prcc_timestamp::{EdgeTimestamp, TsRegistry};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -32,14 +32,14 @@ fn build_chain(reg: &TsRegistry, n: usize, rounds: usize) -> Vec<Upd> {
     let mut batch: Vec<Upd> = Vec::new();
     let mut prev: Option<usize> = None;
     for round in 0..rounds {
-        for i in 0..n {
+        for (i, state) in states.iter_mut().enumerate() {
             let issuer = ReplicaId::new(i as u32);
             // Apply the previous update locally first (if it involves us —
             // on a ring, consecutive issuers share a register).
             if let Some(p) = prev {
                 let pu = batch[p].clone();
-                if reg.ready(&states[i], pu.issuer, &pu.stamp) {
-                    reg.merge(&mut states[i], pu.issuer, &pu.stamp);
+                if reg.ready(state, pu.issuer, &pu.stamp) {
+                    reg.merge(state, pu.issuer, &pu.stamp);
                 }
             }
             let register = RegisterId::new(((i + round) % n) as u32);
@@ -50,12 +50,12 @@ fn build_chain(reg: &TsRegistry, n: usize, rounds: usize) -> Vec<Upd> {
             } else {
                 RegisterId::new(i as u32)
             };
-            reg.advance(&mut states[i], register);
+            reg.advance(state, register);
             let preds: Vec<usize> = prev.into_iter().collect();
             batch.push(Upd {
                 issuer,
                 register,
-                stamp: states[i].clone(),
+                stamp: state.clone(),
                 preds,
             });
             prev = Some(batch.len() - 1);

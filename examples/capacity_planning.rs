@@ -26,13 +26,18 @@ fn main() {
     let g = topology::geo_placement(6, 3, 1, 9);
     let m = 10_000; // expected updates per replica before rotation
 
-    println!("proposed placement: {} replicas, {} registers, {} storage cells\n",
+    println!(
+        "proposed placement: {} replicas, {} registers, {} storage cells\n",
         g.num_replicas(),
         g.placement().num_registers(),
-        g.placement().storage_cells());
+        g.placement().storage_cells()
+    );
 
     let graphs = TimestampGraphs::build(&g, LoopConfig::EXHAUSTIVE);
-    println!("{:<9} {:>9} {:>11} {:>12} {:>12}", "replica", "counters", "compressed", "bits@10k", "VC bits");
+    println!(
+        "{:<9} {:>9} {:>11} {:>12} {:>12}",
+        "replica", "counters", "compressed", "bits@10k", "VC bits"
+    );
     for tg in graphs.iter() {
         let comp = compress_replica(&g, tg);
         println!(
@@ -74,9 +79,15 @@ fn main() {
         },
     );
     println!("\nprojected from simulation (50 writes/replica, zipf 0.9):");
-    println!("  messages:        {} data + {} meta", report.data_messages, report.meta_messages);
+    println!(
+        "  messages:        {} data + {} meta",
+        report.data_messages, report.meta_messages
+    );
     println!("  metadata bytes:  {}", report.metadata_bytes);
-    println!("  visibility:      p50 {} / p99 {} / max {} ticks", report.p50_visibility, report.p99_visibility, report.max_visibility);
+    println!(
+        "  visibility:      p50 {} / p99 {} / max {} ticks",
+        report.p50_visibility, report.p99_visibility, report.max_visibility
+    );
     println!("  worst staleness: {} versions", report.max_staleness);
     println!("  consistent:      {}", report.consistent);
     assert!(report.consistent);

@@ -44,14 +44,21 @@ fn main() {
     let w1 = sys.write(c(0), r(0), x(0), Value::from("post: departing SFO"));
     let w2 = sys.write(c(0), r(4), x(3), Value::from("post: landed in NRT"));
     sys.run_to_quiescence();
-    println!("\nmobile client session: write1 done={}, write2 done={}", sys.is_write_done(w1), sys.is_write_done(w2));
+    println!(
+        "\nmobile client session: write1 done={}, write2 done={}",
+        sys.is_write_done(w1),
+        sys.is_write_done(w2)
+    );
 
     // The local client at server 2 reads both registers; causal order
     // guarantees it can never see the follow-up's effects without the
     // original (both propagate through servers 1–3).
     let rd0 = sys.read(c(1), r(2), x(1));
     sys.run_to_quiescence();
-    println!("local client read x1 at server 2: {:?}", sys.read_result(rd0));
+    println!(
+        "local client read x1 at server 2: {:?}",
+        sys.read_result(rd0)
+    );
 
     // More session traffic to exercise the predicates.
     for round in 0..5u64 {

@@ -34,8 +34,14 @@ fn main() {
     println!("duplication run:");
     println!("  messages sent:        {}", stats.sent);
     println!("  duplicates injected:  {}", stats.duplicated);
-    println!("  updates applied:      {} (exactly once each)", sys.metrics().applies);
-    println!("  duplicate copies left in pending (never admissible): {}", sys.stuck_pending());
+    println!(
+        "  updates applied:      {} (exactly once each)",
+        sys.metrics().applies
+    );
+    println!(
+        "  duplicate copies left in pending (never admissible): {}",
+        sys.stuck_pending()
+    );
     println!("  causally consistent:  {}", rep.is_consistent());
     assert!(rep.is_consistent());
     assert_eq!(sys.metrics().applies, 50);
@@ -54,7 +60,10 @@ fn main() {
     for v in &rep.violations {
         println!("  checker: {v}");
     }
-    println!("  r2 still received the unaffected update: {:?}", lossy.read(r(2), x(1)));
+    println!(
+        "  r2 still received the unaffected update: {:?}",
+        lossy.read(r(2), x(1))
+    );
     assert!(!rep.is_consistent());
     assert_eq!(rep.liveness_violations().count(), 1);
 

@@ -64,10 +64,7 @@ fn main() {
         "  mean visibility:{:.1} vs {:.1} ticks",
         edge.mean_visibility, vc.mean_visibility
     );
-    println!(
-        "  consistent:     {} / {}",
-        edge.consistent, vc.consistent
-    );
+    println!("  consistent:     {} / {}", edge.consistent, vc.consistent);
     assert!(edge.consistent && vc.consistent);
     assert!(edge_msgs < vc_msgs);
 }

@@ -29,8 +29,8 @@ fn main() {
     println!("exact edge-indexed tracker:  {res}");
     assert!(res.verified());
 
-    let mut truncated = Scenario::new(topology::ring(5))
-        .tracker(TrackerKind::EdgeIndexed(LoopConfig::bounded(4)));
+    let mut truncated =
+        Scenario::new(topology::ring(5)).tracker(TrackerKind::EdgeIndexed(LoopConfig::bounded(4)));
     let v0 = truncated.write(r(1), x(0));
     let v1 = truncated.write_after(r(1), x(1), [v0]);
     let v2 = truncated.write_after(r(2), x(2), [v1]);

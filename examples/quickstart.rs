@@ -19,13 +19,20 @@ fn main() {
 
     // Ring of 4: register i is shared by replicas i and i+1 (mod 4).
     let graph = topology::ring(4);
-    println!("share graph: {} replicas, {} undirected edges", graph.num_replicas(), graph.num_undirected_edges());
+    println!(
+        "share graph: {} replicas, {} undirected edges",
+        graph.num_replicas(),
+        graph.num_undirected_edges()
+    );
 
     let mut sys = System::builder(graph)
         .delay(DelayModel::Uniform { min: 1, max: 20 }) // non-FIFO
         .seed(42)
         .build();
-    println!("timestamp counters per replica: {:?}", sys.timestamp_counters());
+    println!(
+        "timestamp counters per replica: {:?}",
+        sys.timestamp_counters()
+    );
 
     // Causally chained writes: replica 1 sees replica 0's write before
     // issuing its own.

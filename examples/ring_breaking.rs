@@ -21,12 +21,18 @@ fn main() {
         .delay(DelayModel::Fixed(5))
         .seed(1)
         .build();
-    println!("plain ring(n={n}):   counters per replica = {:?}", plain.timestamp_counters());
+    println!(
+        "plain ring(n={n}):   counters per replica = {:?}",
+        plain.timestamp_counters()
+    );
 
     // Broken ring: the edge between r7 and r0 is severed; writes to their
     // shared register ride virtual registers the long way around.
     let mut routed = RoutedRing::new(n, DelayModel::Fixed(5), 1);
-    println!("broken ring(n={n}):  counters per replica = {:?}", routed.timestamp_counters());
+    println!(
+        "broken ring(n={n}):  counters per replica = {:?}",
+        routed.timestamp_counters()
+    );
 
     // Same write load on both.
     for round in 0..5u64 {
@@ -41,10 +47,24 @@ fn main() {
     let pm = plain.metrics();
     let rm = routed.metrics();
     println!("\n                       plain      broken");
-    println!("metadata bytes:   {:>10} {:>10}", pm.metadata_bytes, rm.metadata_bytes);
-    println!("messages:         {:>10} {:>10}", pm.data_messages + pm.meta_messages, rm.data_messages + rm.meta_messages);
-    println!("max visibility:   {:>10} {:>10}", pm.max_visibility, rm.max_visibility);
-    println!("mean visibility:  {:>10.1} {:>10.1}", pm.mean_visibility(), rm.mean_visibility());
+    println!(
+        "metadata bytes:   {:>10} {:>10}",
+        pm.metadata_bytes, rm.metadata_bytes
+    );
+    println!(
+        "messages:         {:>10} {:>10}",
+        pm.data_messages + pm.meta_messages,
+        rm.data_messages + rm.meta_messages
+    );
+    println!(
+        "max visibility:   {:>10} {:>10}",
+        pm.max_visibility, rm.max_visibility
+    );
+    println!(
+        "mean visibility:  {:>10.1} {:>10.1}",
+        pm.mean_visibility(),
+        rm.mean_visibility()
+    );
     println!(
         "consistent:       {:>10} {:>10}",
         plain.check().is_consistent(),

@@ -9,9 +9,7 @@
 use prcc::checker::HbGraph;
 use prcc::core::{Metadata, System, Value};
 use prcc::net::DelayModel;
-use prcc::sharegraph::{
-    topology, EdgeId, LoopConfig, RegisterId, ReplicaId, TimestampGraphs,
-};
+use prcc::sharegraph::{topology, EdgeId, LoopConfig, RegisterId, ReplicaId, TimestampGraphs};
 
 /// Runs a randomized workload and checks Lemma 22 on every applicable
 /// update pair.
@@ -58,10 +56,9 @@ fn check_lemma22(g: prcc::sharegraph::ShareGraph, seed: u64) {
                 }
                 let e_ki = EdgeId::new(k, i);
                 // Both issuers must track e_ki for the counters to exist.
-                let (Some(pj), Some(pk)) = (
-                    graphs.of(j).position(e_ki),
-                    graphs.of(k).position(e_ki),
-                ) else {
+                let (Some(pj), Some(pk)) =
+                    (graphs.of(j).position(e_ki), graphs.of(k).position(e_ki))
+                else {
                     continue;
                 };
                 let (Some(Metadata::Edge(t_u)), Some(Metadata::Edge(t_up))) =
@@ -119,7 +116,10 @@ fn lemma21_counter_counts_applied_updates() {
     let r0 = ReplicaId::new(0);
     let r1 = ReplicaId::new(1);
     let x0 = RegisterId::new(0);
-    let mut sys = System::builder(g).delay(DelayModel::Fixed(1)).seed(0).build();
+    let mut sys = System::builder(g)
+        .delay(DelayModel::Fixed(1))
+        .seed(0)
+        .build();
     for n in 1..=5u64 {
         sys.write(r0, x0, Value::from(n));
         sys.run_to_quiescence();

@@ -1,7 +1,6 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! protocol's invariants.
 
-use proptest::prelude::*;
 use prcc::checker::HbGraph;
 use prcc::core::{System, Value};
 use prcc::net::DelayModel;
@@ -10,6 +9,7 @@ use prcc::sharegraph::{
     LoopConfig, RegSet, RegisterId, ReplicaId, TimestampGraph, TimestampGraphs,
 };
 use prcc::timestamp::VectorClock;
+use proptest::prelude::*;
 
 proptest! {
     /// RegSet obeys basic set-algebra laws.

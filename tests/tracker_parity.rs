@@ -55,8 +55,7 @@ fn all_trackers_agree_on_ring() {
 #[test]
 fn all_trackers_agree_on_figure5() {
     let g = prcc::sharegraph::paper_examples::figure5();
-    let (s_edge, ok_e, _) =
-        final_state(&g, TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE), 9);
+    let (s_edge, ok_e, _) = final_state(&g, TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE), 9);
     let (s_vc, ok_v, _) = final_state(&g, TrackerKind::VectorClock, 9);
     let (s_dep, ok_d, _) = final_state(&g, TrackerKind::FullDeps, 9);
     assert!(ok_e && ok_v && ok_d);

@@ -1,0 +1,275 @@
+//! Offline vendored subset of the `proptest` crate API.
+//!
+//! Supports the forms this workspace uses: the [`proptest!`] item macro
+//! (`fn name(arg in strategy, ...) { body }`), integer-range strategies,
+//! [`collection::vec`] and [`collection::btree_set`], and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * **No shrinking.** A failing case panics immediately; the runner
+//!   prints the case number and the generated inputs (`Debug`) so the
+//!   failure is reproducible — every generator is deterministic, keyed by
+//!   `(test name, case index)`.
+//! * **Fixed case count.** Each property runs `PROPTEST_CASES` cases
+//!   (environment variable, default 100) instead of upstream's adaptive
+//!   256.
+
+pub use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u32, u64, usize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+
+    /// Strategy producing a `Vec` of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy producing a `BTreeSet` of `element` values with a target
+    /// size drawn from `size` (possibly smaller when duplicates collide,
+    /// matching upstream's best-effort semantics for narrow domains).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + std::fmt::Debug,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = std::collections::BTreeSet::new();
+            // Bounded attempts: narrow element domains may not have
+            // `target` distinct values.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// A collection-length specification (`usize` or `Range<usize>`).
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        use rand::Rng;
+        if self.lo + 1 >= self.hi_exclusive {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi_exclusive)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: r.end() + 1,
+        }
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 100).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}
+
+/// Deterministic per-case RNG: seeded from an FNV-1a hash of the test
+/// name mixed with the case index.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __dbg = format!(
+                        concat!($("    ", stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg),+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(e) = __outcome {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed with inputs:\n{}",
+                            __case + 1, __cases, stringify!($name), __dbg
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-importable surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds and the runner is deterministic.
+        #[test]
+        fn range_strategies_in_bounds(a in 3u64..9, b in 1usize..=4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u32..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn btree_set_strategy_bounded(s in crate::collection::btree_set(0u32..30, 0..10)) {
+            prop_assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        let strat = crate::collection::vec(0u64..50, 4);
+        let mut rng = crate::case_rng("fixed", 0);
+        assert_eq!(strat.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let s = 0u64..1000;
+        let a = s.generate(&mut crate::case_rng("t", 3));
+        let b = s.generate(&mut crate::case_rng("t", 3));
+        assert_eq!(a, b);
+    }
+}
