@@ -23,6 +23,7 @@ fn bench_protocol(c: &mut Criterion) {
         dummies: vec![],
         staleness_probes: 0,
         tracker: TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE),
+        wire_mode: prcc_core::WireMode::default(),
     };
     for (name, graph) in [
         ("ring8", topology::ring(8)),

@@ -1,0 +1,194 @@
+//! Generates `BENCH_wire.json`: metadata bytes-per-update and send /
+//! receive wall-clock for the three wire modes (raw, projected,
+//! compressed) across ring / binary-tree / clique share graphs.
+//!
+//! Usage:
+//!   cargo run --release -p prcc-bench --bin wire_report > BENCH_wire.json
+//!
+//! Flags:
+//!   --quick   small sweep (CI smoke: ring/tree/clique at n = 12 only)
+//!   --check   exit non-zero unless compressed bytes-per-update beats raw
+//!             on ring(12) (the wire codec's headline case)
+
+use prcc_core::{System, Value, WireMode};
+use prcc_net::DelayModel;
+use prcc_sharegraph::{topology, ShareGraph};
+use std::time::Instant;
+
+struct Row {
+    topology: &'static str,
+    n: usize,
+    mode: &'static str,
+    writes: usize,
+    messages: usize,
+    metadata_bytes: usize,
+    bytes_per_update: f64,
+    ns_per_send: f64,
+    ns_per_receive: f64,
+}
+
+fn build(topology: &str, n: usize) -> ShareGraph {
+    match topology {
+        "ring" => topology::ring(n),
+        "tree" => topology::binary_tree(n),
+        "clique" => topology::clique_full(n, 2),
+        _ => unreachable!(),
+    }
+}
+
+/// One measured run: every replica writes one of its registers,
+/// `rounds` times, with the network drained after the write phase.
+fn run_once(g: &ShareGraph, mode: WireMode, rounds: usize) -> (usize, usize, u128, u128, usize) {
+    let mut sys = System::builder(g.clone())
+        .wire_mode(mode)
+        .delay(DelayModel::Fixed(1))
+        .seed(42)
+        .build();
+    let per_replica: Vec<_> = g
+        .replicas()
+        .map(|i| {
+            (
+                i,
+                g.placement()
+                    .registers_of(i)
+                    .iter()
+                    .next()
+                    .expect("every replica stores a register"),
+            )
+        })
+        .collect();
+
+    let mut send_ns = 0u128;
+    let mut recv_ns = 0u128;
+    let mut writes = 0usize;
+    for round in 0..rounds {
+        for &(i, x) in &per_replica {
+            let t = Instant::now();
+            sys.write(i, x, Value::from(round as u64));
+            send_ns += t.elapsed().as_nanos();
+            writes += 1;
+        }
+        // Interleaved drain so timestamps accumulate causal structure
+        // (and delta frames see realistic counter movement).
+        let t = Instant::now();
+        for _ in 0..per_replica.len() {
+            sys.step();
+        }
+        recv_ns += t.elapsed().as_nanos();
+    }
+    let t = Instant::now();
+    sys.run_to_quiescence();
+    recv_ns += t.elapsed().as_nanos();
+
+    assert!(
+        sys.check().is_consistent(),
+        "bench run must stay consistent"
+    );
+    let m = sys.metrics();
+    let messages = m.data_messages + m.meta_messages;
+    (writes, messages, send_ns, recv_ns, m.metadata_bytes)
+}
+
+fn measure(topology: &'static str, n: usize, mode: WireMode, rounds: usize, reps: usize) -> Row {
+    let g = build(topology, n);
+    let mut send_times = Vec::new();
+    let mut recv_times = Vec::new();
+    let (mut writes, mut messages, mut bytes) = (0, 0, 0);
+    for _ in 0..reps {
+        let (w, msg, s, r, b) = run_once(&g, mode, rounds);
+        writes = w;
+        messages = msg;
+        bytes = b;
+        send_times.push(s);
+        recv_times.push(r);
+    }
+    send_times.sort_unstable();
+    recv_times.sort_unstable();
+    let mode_name = match mode {
+        WireMode::Raw => "raw",
+        WireMode::Projected => "projected",
+        WireMode::Compressed => "compressed",
+    };
+    Row {
+        topology,
+        n,
+        mode: mode_name,
+        writes,
+        messages,
+        metadata_bytes: bytes,
+        bytes_per_update: bytes as f64 / messages.max(1) as f64,
+        ns_per_send: send_times[send_times.len() / 2] as f64 / writes.max(1) as f64,
+        ns_per_receive: recv_times[recv_times.len() / 2] as f64 / messages.max(1) as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    let sizes: &[usize] = if quick { &[12] } else { &[6, 12, 24] };
+    let (rounds, reps) = if quick { (10, 3) } else { (40, 5) };
+
+    let mut rows = Vec::new();
+    for &topology in &["ring", "tree", "clique"] {
+        for &n in sizes {
+            for mode in [WireMode::Raw, WireMode::Projected, WireMode::Compressed] {
+                rows.push(measure(topology, n, mode, rounds, reps));
+            }
+        }
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"bench\":\"wire/{}\",\"n\":{},\"mode\":\"{}\",\"writes\":{},\
+\"messages\":{},\"metadata_bytes\":{},\"bytes_per_update\":{:.2},\
+\"ns_per_send\":{:.0},\"ns_per_receive\":{:.0}}}",
+                r.topology,
+                r.n,
+                r.mode,
+                r.writes,
+                r.messages,
+                r.metadata_bytes,
+                r.bytes_per_update,
+                r.ns_per_send,
+                r.ns_per_receive
+            )
+        })
+        .collect();
+
+    println!("{{");
+    println!(
+        "  \"description\": \"metadata wire cost per update under raw / projected / compressed \
+framing; ns/send covers advance+encode+enqueue per write, ns/receive covers \
+delivery+J+merge+apply per message\","
+    );
+    println!("  \"command\": \"cargo run --release -p prcc-bench --bin wire_report\",");
+    println!("  \"results\": [");
+    println!("{}", json_rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+
+    if check {
+        let find = |mode: &str| {
+            rows.iter()
+                .find(|r| r.topology == "ring" && r.n == 12 && r.mode == mode)
+                .unwrap_or_else(|| {
+                    eprintln!("check: ring(12) {mode} row missing");
+                    std::process::exit(1);
+                })
+        };
+        let raw = find("raw").bytes_per_update;
+        let compressed = find("compressed").bytes_per_update;
+        if compressed >= raw {
+            eprintln!("check FAILED: ring(12) compressed {compressed:.2} B/update >= raw {raw:.2}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check ok: ring(12) compressed {compressed:.2} B/update vs raw {raw:.2} ({:.1}x)",
+            raw / compressed
+        );
+    }
+}

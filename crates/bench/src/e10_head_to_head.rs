@@ -9,7 +9,7 @@
 //! baseline.
 
 use crate::table::Experiment;
-use prcc_core::TrackerKind;
+use prcc_core::{TrackerKind, WireMode};
 use prcc_sharegraph::topology::{self, RandomPlacementConfig};
 use prcc_sim::{run_head_to_head, run_scenario, ScenarioConfig, WorkloadConfig};
 
@@ -84,6 +84,50 @@ pub fn run() -> Experiment {
     let tree = topology::binary_tree(replicas);
     let (edge_t, vc_t) = run_case("binary tree", &tree);
     all_consistent &= edge_t.consistent && vc_t.consistent;
+
+    // Wire-codec ablation on the tree: the same edge-indexed run under
+    // raw, projected, and compressed metadata framing. `meta bytes` is
+    // what each mode actually put on the wire.
+    let mut wire_bytes = std::collections::HashMap::new();
+    for (label, mode) in [
+        ("tree [wire=raw]", WireMode::Raw),
+        ("tree [wire=projected]", WireMode::Projected),
+        ("tree [wire=compressed]", WireMode::Compressed),
+    ] {
+        let r = run_scenario(
+            &tree,
+            &ScenarioConfig {
+                workload: WorkloadConfig {
+                    writes_per_replica: 20,
+                    zipf_theta: 0.9,
+                    seed: 11,
+                },
+                net_seed: 11,
+                steps_between_ops: 3,
+                wire_mode: mode,
+                ..Default::default()
+            },
+        );
+        let msgs = r.data_messages + r.meta_messages;
+        e.row([
+            label.to_owned(),
+            r.tracker.clone(),
+            r.storage_cells.to_string(),
+            msgs.to_string(),
+            r.metadata_bytes.to_string(),
+            format!("{:.0}", r.metadata_bytes as f64 / msgs.max(1) as f64),
+            format!("{}/{}", r.p50_visibility, r.p99_visibility),
+            format!("{:.2}", r.mean_staleness),
+            r.consistent.to_string(),
+        ]);
+        all_consistent &= r.consistent;
+        wire_bytes.insert(mode, r.metadata_bytes);
+    }
+    e.check(
+        wire_bytes[&WireMode::Projected] <= wire_bytes[&WireMode::Raw]
+            && wire_bytes[&WireMode::Compressed] < wire_bytes[&WireMode::Projected],
+        "wire codec: compressed < projected ≤ raw metadata bytes on the tree",
+    );
 
     // Third comparator: Full-Track-style explicit dependency lists at two
     // workload lengths — metadata grows with history, unlike both

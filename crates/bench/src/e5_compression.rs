@@ -3,7 +3,8 @@
 
 use crate::table::Experiment;
 use prcc_sharegraph::{topology, LoopConfig, Placement, ReplicaId, ShareGraph, TimestampGraphs};
-use prcc_timestamp::compress_replica;
+use prcc_timestamp::{compress_replica, TsRegistry};
+use std::sync::Arc;
 
 /// The Appendix D worked example as seen from a replica that tracks all
 /// four of `j`'s outgoing edges: `X_j1={x}, X_j2={y}, X_j3={z},
@@ -44,11 +45,39 @@ pub fn run() -> Experiment {
             "rank-compressed",
             "atom-compressed",
             "ratio",
+            "wire expl/common",
         ],
     );
 
+    // Mean explicit vs common counters over all incoming wire layouts of
+    // replica `i` — what the wire codec actually ships after dropping
+    // derived rows (the dynamic counterpart of the static rank analysis).
+    let wire_cols = |g: &ShareGraph, reg: &TsRegistry, i: u32| -> String {
+        let i = ReplicaId::new(i);
+        let (mut expl, mut common, mut pairs) = (0usize, 0usize, 0usize);
+        for k in g.replicas().filter(|&k| k != i) {
+            let l = reg.wire_layout(i, k);
+            if l.common_len() == 0 {
+                continue;
+            }
+            expl += l.num_explicit();
+            common += l.common_len();
+            pairs += 1;
+        }
+        if pairs == 0 {
+            "-".to_owned()
+        } else {
+            format!(
+                "{:.1}/{:.1}",
+                expl as f64 / pairs as f64,
+                common as f64 / pairs as f64
+            )
+        }
+    };
+
     let mut add_case = |name: &str, g: &ShareGraph, replicas: &[u32]| {
         let graphs = TimestampGraphs::build(g, LoopConfig::EXHAUSTIVE);
+        let reg = Arc::new(TsRegistry::new(g, graphs.clone()));
         for &i in replicas {
             let tg = graphs.of(ReplicaId::new(i));
             let c = compress_replica(g, tg);
@@ -59,6 +88,7 @@ pub fn run() -> Experiment {
                 c.rank_compressed.to_string(),
                 c.atom_compressed.to_string(),
                 format!("{:.2}", c.ratio()),
+                wire_cols(g, &reg, i),
             ]);
         }
     };
@@ -90,6 +120,24 @@ pub fn run() -> Experiment {
     e.check(
         c_ring.rank_compressed == c_ring.uncompressed,
         "independent-register ring: no compression possible",
+    );
+
+    // The wire codec reaches the same conclusions per pair: a clique
+    // sender's derived rows collapse, a ring sender's never do.
+    let creg = TsRegistry::new(
+        &clique,
+        TimestampGraphs::build(&clique, LoopConfig::EXHAUSTIVE),
+    );
+    let cl = creg.wire_layout(ReplicaId::new(0), ReplicaId::new(1));
+    e.check(
+        cl.num_explicit() < cl.common_len(),
+        "clique wire layout drops linearly derived counters",
+    );
+    let rreg = TsRegistry::new(&ring, TimestampGraphs::build(&ring, LoopConfig::EXHAUSTIVE));
+    let rl = rreg.wire_layout(ReplicaId::new(0), ReplicaId::new(1));
+    e.check(
+        rl.num_explicit() == rl.common_len(),
+        "ring wire layout keeps every counter explicit",
     );
     e
 }

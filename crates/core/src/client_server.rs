@@ -302,7 +302,7 @@ impl ClientServerSystem {
                         seq,
                         register,
                         value: Some(value),
-                        meta: Metadata::Edge(tau.clone()),
+                        meta: std::sync::Arc::new(Metadata::Edge(tau.clone())),
                         transit: None,
                     };
                     for &h in g.placement().holders(register) {
@@ -330,14 +330,14 @@ impl ClientServerSystem {
         // Drain pending per J₃.
         loop {
             let srv = &self.servers[dst.index()];
-            let Some(pos) = srv.pending_updates.iter().position(|m| match &m.meta {
+            let Some(pos) = srv.pending_updates.iter().position(|m| match &*m.meta {
                 Metadata::Edge(t) => self.reg.peer().ready(&srv.tau, m.issuer, t),
                 _ => false,
             }) else {
                 break;
             };
             let m = self.servers[dst.index()].pending_updates.remove(pos);
-            if let Metadata::Edge(t) = &m.meta {
+            if let Metadata::Edge(t) = &*m.meta {
                 let srv = &mut self.servers[dst.index()];
                 self.reg.peer().merge(&mut srv.tau, m.issuer, t);
                 if let Some(v) = &m.value {

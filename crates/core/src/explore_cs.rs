@@ -258,7 +258,7 @@ impl CsExplorer<'_> {
             seq,
             register: op.register,
             value: Some(Value::from(k as u64)),
-            meta: Metadata::Edge(srv.tau.clone()),
+            meta: std::sync::Arc::new(Metadata::Edge(srv.tau.clone())),
             transit: None,
         };
         let tau = srv.tau.clone();
@@ -281,14 +281,14 @@ impl CsExplorer<'_> {
         st.servers[dst.index()].pending.push(msg);
         loop {
             let srv = &st.servers[dst.index()];
-            let Some(pos) = srv.pending.iter().position(|m| match &m.meta {
+            let Some(pos) = srv.pending.iter().position(|m| match &*m.meta {
                 Metadata::Edge(t) => reg.peer().ready(&srv.tau, m.issuer, t),
                 _ => false,
             }) else {
                 break;
             };
             let m = st.servers[dst.index()].pending.remove(pos);
-            if let Metadata::Edge(t) = &m.meta {
+            if let Metadata::Edge(t) = &*m.meta {
                 let srv = &mut st.servers[dst.index()];
                 reg.peer().merge(&mut srv.tau, m.issuer, t);
             }

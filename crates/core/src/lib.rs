@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client_server;
+pub mod codec;
 pub mod construct;
 pub mod explore;
 pub mod explore_cs;
@@ -48,6 +49,7 @@ pub mod tracker;
 pub mod value;
 
 pub use client_server::{ClientServerSystem, RequestId, SessionEvent};
+pub use codec::{WireCodec, WireMode};
 pub use construct::{propagate, release_all, WritePlan};
 pub use explore::{ExplorationResult, Scenario, ScriptedWrite};
 pub use explore_cs::{CsOp, CsScenario};

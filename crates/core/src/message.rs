@@ -4,6 +4,7 @@ use crate::value::Value;
 use prcc_sharegraph::{RegisterId, ReplicaId};
 use prcc_timestamp::{EdgeTimestamp, VectorClock};
 use std::fmt;
+use std::sync::Arc;
 
 /// One entry of an explicit dependency list: an update identified by
 /// `(issuer, seq)`, writing `register`. Carrying the register lets a
@@ -29,16 +30,31 @@ pub enum Metadata {
     /// baseline (Shen et al., cited in the paper's related work). Sorted,
     /// deduplicated.
     Deps(Vec<DepEntry>),
+    /// An edge timestamp projected to the receiver's common-edge slice
+    /// `E_i ∩ E_k` by the wire codec (`WireMode::{Projected, Compressed}`).
+    /// `values` are the decoded counters in pair-slice order — exactly
+    /// what the receiver's `merge`/`J` read; `encoded_len` is the number
+    /// of bytes the frame occupied on the wire, so
+    /// [`Metadata::size_bytes`] reports the real transmitted cost.
+    Projected {
+        /// Decoded common-slice counters, in the registry's pair order.
+        values: Vec<u64>,
+        /// Actual on-wire frame length in bytes.
+        encoded_len: usize,
+    },
 }
 
 impl Metadata {
-    /// Serialized size of the metadata in bytes.
+    /// Serialized size of the metadata in bytes — the size of what the
+    /// active wire mode actually transmitted (raw fixed layout for
+    /// `Edge`/`Vector`/`Deps`, the real frame length for `Projected`).
     pub fn size_bytes(&self) -> usize {
         match self {
             Metadata::Edge(t) => t.wire_size_bytes(),
             Metadata::Vector(v) => v.wire_size_bytes(),
             // issuer (4) + seq (8) + register (4) per entry.
             Metadata::Deps(d) => d.len() * 16,
+            Metadata::Projected { encoded_len, .. } => *encoded_len,
         }
     }
 
@@ -48,6 +64,7 @@ impl Metadata {
             Metadata::Edge(t) => t.num_counters(),
             Metadata::Vector(v) => v.len(),
             Metadata::Deps(d) => d.len(),
+            Metadata::Projected { values, .. } => values.len(),
         }
     }
 }
@@ -81,8 +98,11 @@ pub struct UpdateMsg {
     /// The new value; `None` for metadata-only deliveries (dummy-register
     /// recipients, Appendix D).
     pub value: Option<Value>,
-    /// The issuer's timestamp after `advance`.
-    pub meta: Metadata,
+    /// The issuer's timestamp after `advance`. Shared immutably: a
+    /// broadcast clones the `Arc`, never the counters, and the wire codec
+    /// swaps in a per-pair [`Metadata::Projected`] payload when a mode
+    /// other than raw is active.
+    pub meta: Arc<Metadata>,
     /// Routed-protocol piggyback, if any.
     pub transit: Option<TransitInfo>,
 }
@@ -135,13 +155,23 @@ mod tests {
     }
 
     #[test]
+    fn projected_metadata_reports_wire_frame_size() {
+        let m = Metadata::Projected {
+            values: vec![3, 5, 8],
+            encoded_len: 4,
+        };
+        assert_eq!(m.size_bytes(), 4);
+        assert_eq!(m.num_counters(), 3);
+    }
+
+    #[test]
     fn message_size_accounting() {
         let msg = UpdateMsg {
             issuer: ReplicaId::new(0),
             seq: 0,
             register: RegisterId::new(1),
             value: Some(Value::U64(5)),
-            meta: Metadata::Vector(VectorClock::new(2)),
+            meta: Arc::new(Metadata::Vector(VectorClock::new(2))),
             transit: None,
         };
         assert_eq!(msg.size_bytes(), 16 + 16 + 8);

@@ -230,7 +230,7 @@ impl Replica {
             });
         }
         self.store.insert(x, v.clone());
-        let meta = self.tracker.on_local_write(x);
+        let meta = std::sync::Arc::new(self.tracker.on_local_write(x));
         let msg = UpdateMsg {
             issuer: self.id,
             seq: self.next_seq,
@@ -248,7 +248,7 @@ impl Replica {
     /// the routed protocol, Appendix D). The register must still be part
     /// of the tracker's share graph.
     pub fn issue_virtual(&mut self, x: RegisterId, v: Option<Value>) -> UpdateMsg {
-        let meta = self.tracker.on_local_write(x);
+        let meta = std::sync::Arc::new(self.tracker.on_local_write(x));
         let msg = UpdateMsg {
             issuer: self.id,
             seq: self.next_seq,

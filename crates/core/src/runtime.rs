@@ -8,6 +8,7 @@
 //! so real threads + crossbeam channels play that role). All protocol
 //! events still flow into a shared [`Trace`] for offline checking.
 
+use crate::codec::{WireCodec, WireMode};
 use crate::message::UpdateMsg;
 use crate::replica::Replica;
 use crate::tracker::{CausalityTracker, EdgeTracker};
@@ -67,6 +68,8 @@ pub struct ThreadedCluster {
     pending: Arc<AtomicUsize>,
     /// Total update messages sent.
     sent: Arc<AtomicUsize>,
+    /// Total metadata bytes put on the wire (post-codec frame sizes).
+    wire_bytes: Arc<AtomicUsize>,
     /// Keep the net alive for the cluster's lifetime.
     _net: ThreadNet<UpdateMsg>,
 }
@@ -82,8 +85,15 @@ impl fmt::Debug for ThreadedCluster {
 
 impl ThreadedCluster {
     /// Spawns one thread per replica of `graph`, all using the exact
-    /// edge-indexed tracker.
+    /// edge-indexed tracker and the default wire mode
+    /// ([`WireMode::Compressed`]).
     pub fn new(graph: ShareGraph, delay: DelayModel, seed: u64) -> Self {
+        Self::new_with_wire(graph, delay, seed, WireMode::default())
+    }
+
+    /// Like [`ThreadedCluster::new`], with an explicit wire mode for the
+    /// per-recipient metadata codec.
+    pub fn new_with_wire(graph: ShareGraph, delay: DelayModel, seed: u64, wire: WireMode) -> Self {
         let graph = Arc::new(graph);
         let registry = Arc::new(TsRegistry::new(
             &graph,
@@ -94,6 +104,7 @@ impl ThreadedCluster {
         let applied = Arc::new(AtomicUsize::new(0));
         let pending = Arc::new(AtomicUsize::new(0));
         let sent = Arc::new(AtomicUsize::new(0));
+        let wire_bytes = Arc::new(AtomicUsize::new(0));
 
         let mut cmd_txs = Vec::new();
         let mut threads = Vec::new();
@@ -107,9 +118,10 @@ impl ThreadedCluster {
             let applied = applied.clone();
             let pending = pending.clone();
             let sent = sent.clone();
+            let wire_bytes = wire_bytes.clone();
             threads.push(std::thread::spawn(move || {
                 replica_main(
-                    i, graph, registry, handle, rx, trace, applied, pending, sent,
+                    i, graph, registry, wire, handle, rx, trace, applied, pending, sent, wire_bytes,
                 )
             }));
         }
@@ -121,6 +133,7 @@ impl ThreadedCluster {
             applied,
             pending,
             sent,
+            wire_bytes,
             _net: net,
         }
     }
@@ -189,6 +202,11 @@ impl ThreadedCluster {
         self.applied.load(Ordering::SeqCst)
     }
 
+    /// Total metadata bytes sent so far, as framed by the wire codec.
+    pub fn total_wire_bytes(&self) -> usize {
+        self.wire_bytes.load(Ordering::SeqCst)
+    }
+
     /// Shuts the cluster down, joining all replica threads.
     pub fn shutdown(mut self) -> Trace {
         for tx in &self.cmd_txs {
@@ -218,13 +236,18 @@ fn replica_main(
     id: ReplicaId,
     graph: Arc<ShareGraph>,
     registry: Arc<TsRegistry>,
+    wire: WireMode,
     net: prcc_net::NodeHandle<UpdateMsg>,
     cmds: Receiver<Cmd>,
     trace: Arc<Mutex<Trace>>,
     applied_ctr: Arc<AtomicUsize>,
     pending_ctr: Arc<AtomicUsize>,
     sent_ctr: Arc<AtomicUsize>,
+    wire_bytes_ctr: Arc<AtomicUsize>,
 ) {
+    // Each sender thread owns the codec for its outgoing pair streams —
+    // per-pair delta state never crosses threads.
+    let mut codec = WireCodec::new(wire, Some(registry.clone()));
     let mut replica = Replica::new(
         id,
         graph.placement().registers_of(id).clone(),
@@ -260,7 +283,14 @@ fn replica_main(
                 trace.lock().record_issue_with_id(uid, register);
                 for dst in recipients {
                     sent_ctr.fetch_add(1, Ordering::SeqCst);
-                    net.send(dst, msg.clone());
+                    // Zero-copy fan-out: the metadata `Arc` (or its
+                    // per-pair projected frame) is shared, not cloned.
+                    let m = UpdateMsg {
+                        meta: codec.encode(id, dst, &msg.meta),
+                        ..msg.clone()
+                    };
+                    wire_bytes_ctr.fetch_add(m.meta.size_bytes(), Ordering::SeqCst);
+                    net.send(dst, m);
                 }
                 let _ = reply.send(uid);
             }

@@ -14,6 +14,7 @@
 //! * dropped timestamp-graph edges — deliberate *oblivious* replicas for
 //!   reproducing Theorem 8's impossibility executions (experiment E2).
 
+use crate::codec::{WireCodec, WireMode};
 use crate::message::UpdateMsg;
 use crate::replica::{PendingMode, Replica};
 use crate::stats::LatencyStats;
@@ -101,6 +102,7 @@ pub struct SystemBuilder {
     seed: u64,
     dropped_edges: Vec<(ReplicaId, EdgeId)>,
     faults: FaultPlan,
+    wire_mode: WireMode,
 }
 
 impl SystemBuilder {
@@ -115,6 +117,7 @@ impl SystemBuilder {
             seed: 0,
             dropped_edges: Vec::new(),
             faults: FaultPlan::none(),
+            wire_mode: WireMode::default(),
         }
     }
 
@@ -168,6 +171,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects how outgoing update metadata is encoded per recipient
+    /// (default: [`WireMode::Compressed`]; `Raw` is the differential
+    /// oracle). Only meaningful for the edge-indexed tracker — the
+    /// baselines always ship their metadata raw.
+    pub fn wire_mode(mut self, mode: WireMode) -> Self {
+        self.wire_mode = mode;
+        self
+    }
+
     /// Builds the system.
     pub fn build(self) -> System {
         let data_placement = self.graph.placement().clone();
@@ -190,6 +202,7 @@ impl SystemBuilder {
         let n = effective_graph.num_replicas();
 
         let mut replicas = Vec::with_capacity(n);
+        let mut codec_registry = None;
         match self.tracker {
             TrackerKind::EdgeIndexed(loops) => {
                 let mut graphs: Vec<TimestampGraph> = effective_graph
@@ -206,6 +219,7 @@ impl SystemBuilder {
                     &effective_graph,
                     TimestampGraphs::from_graphs(graphs),
                 ));
+                codec_registry = Some(registry.clone());
                 for i in effective_graph.replicas() {
                     replicas.push(Replica::new_with_mode(
                         i,
@@ -244,6 +258,7 @@ impl SystemBuilder {
         let mut net = SimNetwork::new(self.delay, self.seed);
         net.set_faults(self.faults);
         System {
+            codec: WireCodec::new(self.wire_mode, codec_registry),
             data_placement,
             effective_graph: Arc::new(effective_graph),
             tracker_kind: self.tracker,
@@ -285,8 +300,11 @@ pub struct System {
     /// Highest version applied per (replica, register).
     visible_version: HashMap<(ReplicaId, RegisterId), u64>,
     /// Metadata attached to each issued update (for invariant checking,
-    /// e.g. the Lemma 22 monotonicity property of Appendix B).
-    meta_log: HashMap<UpdateId, crate::Metadata>,
+    /// e.g. the Lemma 22 monotonicity property of Appendix B). Shares the
+    /// issuing message's `Arc` — logging an update never copies counters.
+    meta_log: HashMap<UpdateId, Arc<crate::Metadata>>,
+    /// Per-recipient wire encoder (projection / compression / raw).
+    codec: WireCodec,
 }
 
 impl fmt::Debug for System {
@@ -367,14 +385,26 @@ impl System {
         let version = *version;
         self.update_version.insert(id, version);
         self.visible_version.insert((r, x), version);
-        self.meta_log.insert(id, msg.meta.clone());
+        self.meta_log.insert(id, Arc::clone(&msg.meta));
         for dst in recipients {
-            let mut m = msg.clone();
-            if !data_holders.contains(&dst) {
-                m.value = None; // metadata-only recipient
-            }
+            // Zero-copy fan-out: recipients share the issuer's metadata
+            // `Arc` (raw mode) or get a per-pair projected frame; the
+            // counters themselves are never duplicated per destination.
+            let m = UpdateMsg {
+                issuer: msg.issuer,
+                seq: msg.seq,
+                register: msg.register,
+                value: if data_holders.contains(&dst) {
+                    msg.value.clone()
+                } else {
+                    None // metadata-only recipient
+                },
+                meta: self.codec.encode(r, dst, &msg.meta),
+                transit: msg.transit.clone(),
+            };
             self.account_send(&m);
-            self.net.send(r, dst, m);
+            let bytes = m.size_bytes();
+            self.net.send_sized(r, dst, m, bytes);
         }
         id
     }
@@ -528,7 +558,7 @@ impl System {
     /// The metadata (timestamp) that was attached to update `id` when it
     /// was issued, if known.
     pub fn metadata_of(&self, id: UpdateId) -> Option<&crate::Metadata> {
-        self.meta_log.get(&id)
+        self.meta_log.get(&id).map(Arc::as_ref)
     }
 
     /// Read staleness probe: how many globally issued versions of `x` the

@@ -128,34 +128,52 @@ impl CausalityTracker for EdgeTracker {
     }
 
     fn ready(&self, msg: &UpdateMsg) -> bool {
-        match &msg.meta {
+        match &*msg.meta {
             Metadata::Edge(t) => self.registry.ready(&self.ts, msg.issuer, t),
+            Metadata::Projected { values, .. } => {
+                self.registry.ready_projected(&self.ts, msg.issuer, values)
+            }
             _ => false,
         }
     }
 
     fn ready_check(&self, msg: &UpdateMsg) -> ReadyCheck {
-        match &msg.meta {
-            Metadata::Edge(t) => match self.registry.ready_check(&self.ts, msg.issuer, t) {
-                JVerdict::Ready => ReadyCheck::Ready,
-                JVerdict::Blocked { slot, needs } => ReadyCheck::BlockedOn { slot, needs },
-                JVerdict::Dead => ReadyCheck::Dead,
-            },
+        let verdict = match &*msg.meta {
+            Metadata::Edge(t) => self.registry.ready_check(&self.ts, msg.issuer, t),
+            Metadata::Projected { values, .. } => self
+                .registry
+                .ready_check_projected(&self.ts, msg.issuer, values),
             // Foreign metadata can never become deliverable here.
-            _ => ReadyCheck::Dead,
+            _ => return ReadyCheck::Dead,
+        };
+        match verdict {
+            JVerdict::Ready => ReadyCheck::Ready,
+            JVerdict::Blocked { slot, needs } => ReadyCheck::BlockedOn { slot, needs },
+            JVerdict::Dead => ReadyCheck::Dead,
         }
     }
 
     fn on_apply(&mut self, msg: &UpdateMsg) {
-        if let Metadata::Edge(t) = &msg.meta {
-            self.registry.merge(&mut self.ts, msg.issuer, t);
+        match &*msg.meta {
+            Metadata::Edge(t) => self.registry.merge(&mut self.ts, msg.issuer, t),
+            Metadata::Projected { values, .. } => {
+                self.registry
+                    .merge_projected(&mut self.ts, msg.issuer, values)
+            }
+            _ => {}
         }
     }
 
     fn on_apply_report(&mut self, msg: &UpdateMsg, advanced: &mut Vec<(usize, u64)>) {
-        if let Metadata::Edge(t) = &msg.meta {
-            self.registry
-                .merge_report(&mut self.ts, msg.issuer, t, advanced);
+        match &*msg.meta {
+            Metadata::Edge(t) => self
+                .registry
+                .merge_report(&mut self.ts, msg.issuer, t, advanced),
+            Metadata::Projected { values, .. } => {
+                self.registry
+                    .merge_projected_report(&mut self.ts, msg.issuer, values, advanced)
+            }
+            _ => {}
         }
     }
 
@@ -213,14 +231,14 @@ impl CausalityTracker for VcTracker {
     }
 
     fn ready(&self, msg: &UpdateMsg) -> bool {
-        match &msg.meta {
+        match &*msg.meta {
             Metadata::Vector(v) => self.vc.deliverable(msg.issuer, v),
             _ => false,
         }
     }
 
     fn on_apply(&mut self, msg: &UpdateMsg) {
-        if let Metadata::Vector(v) = &msg.meta {
+        if let Metadata::Vector(v) = &*msg.meta {
             self.vc.merge(v);
         }
     }
@@ -306,7 +324,7 @@ impl CausalityTracker for FullDepsTracker {
     }
 
     fn ready(&self, msg: &UpdateMsg) -> bool {
-        match &msg.meta {
+        match &*msg.meta {
             Metadata::Deps(deps) => deps.iter().all(|d| {
                 !self.stores.contains(d.register) || self.applied.contains(&(d.issuer, d.seq))
             }),
@@ -315,7 +333,7 @@ impl CausalityTracker for FullDepsTracker {
     }
 
     fn on_apply(&mut self, msg: &UpdateMsg) {
-        if let Metadata::Deps(deps) = &msg.meta {
+        if let Metadata::Deps(deps) = &*msg.meta {
             for &d in deps {
                 self.past.insert(d);
             }
@@ -362,7 +380,7 @@ mod tests {
             seq,
             register: RegisterId::new(reg),
             value: Some(crate::value::Value::from(0u64)),
-            meta,
+            meta: Arc::new(meta),
             transit: None,
         }
     }

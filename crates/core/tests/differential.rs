@@ -1,4 +1,5 @@
-//! Differential testing of the pending-delivery schedulers.
+//! Differential testing of the pending-delivery schedulers and the wire
+//! codec.
 //!
 //! [`PendingMode::Scan`] (the obvious re-scan implementation) is the
 //! oracle; [`PendingMode::Wakeup`] (the dependency-counting index) must be
@@ -6,11 +7,17 @@
 //! event sequence, same final stores, same checker verdict, same stuck
 //! count — while evaluating the predicate at most as often.
 //!
+//! Analogously, [`WireMode::Raw`] (full timestamps on the wire) is the
+//! oracle for [`WireMode::Projected`] and [`WireMode::Compressed`]: the
+//! per-pair projected/derived/delta-framed metadata must produce the same
+//! traces, stores, and checker verdicts while never putting more metadata
+//! bytes on the wire.
+//!
 //! Each property runs 100 deterministic cases by default
 //! (`PROPTEST_CASES` overrides) over ring / binary-tree / clique share
 //! graphs with adversarial `Uniform{1,200}` delivery delays.
 
-use prcc_core::{PendingMode, System, TrackerKind, Value};
+use prcc_core::{PendingMode, System, TrackerKind, Value, WireMode};
 use prcc_net::DelayModel;
 use prcc_sharegraph::{topology, RegisterId, ReplicaId, ShareGraph};
 use proptest::prelude::*;
@@ -28,9 +35,21 @@ fn build_topology(sel: usize, n: usize) -> ShareGraph {
 /// One deterministic run: a seeded write/step interleaving over `g`.
 /// Returns (system, total predicate evaluations).
 fn run(g: &ShareGraph, tracker: TrackerKind, mode: PendingMode, seed: u64) -> (System, u64) {
+    run_wire(g, tracker, mode, WireMode::default(), seed)
+}
+
+/// [`run`] with an explicit wire mode.
+fn run_wire(
+    g: &ShareGraph,
+    tracker: TrackerKind,
+    mode: PendingMode,
+    wire: WireMode,
+    seed: u64,
+) -> (System, u64) {
     let mut sys = System::builder(g.clone())
         .tracker(tracker)
         .pending_mode(mode)
+        .wire_mode(wire)
         .delay(DelayModel::Uniform { min: 1, max: 200 })
         .seed(seed)
         .build();
@@ -95,6 +114,61 @@ fn assert_equivalent(g: &ShareGraph, tracker: TrackerKind, seed: u64) {
     );
 }
 
+/// Asserts that every wire mode yields the same observable execution, and
+/// that the compressed mode's wire bytes never exceed raw's.
+fn assert_wire_equivalent(g: &ShareGraph, tracker: TrackerKind, seed: u64) {
+    let (raw, _) = run_wire(g, tracker, PendingMode::default(), WireMode::Raw, seed);
+    let (proj, _) = run_wire(
+        g,
+        tracker,
+        PendingMode::default(),
+        WireMode::Projected,
+        seed,
+    );
+    let (comp, _) = run_wire(
+        g,
+        tracker,
+        PendingMode::default(),
+        WireMode::Compressed,
+        seed,
+    );
+
+    for other in [&proj, &comp] {
+        // Identical event (issue + apply) sequences.
+        prop_assert_eq!(raw.trace().events(), other.trace().events());
+        // Identical stores and pending buffers at every replica.
+        for i in g.replicas() {
+            for x in g.placement().registers_of(i).iter() {
+                prop_assert_eq!(
+                    raw.read(i, x),
+                    other.read(i, x),
+                    "store mismatch at {:?} register {:?}",
+                    i,
+                    x
+                );
+            }
+            prop_assert_eq!(
+                raw.replica(i).pending_count(),
+                other.replica(i).pending_count()
+            );
+        }
+        // Identical checker verdicts.
+        let (rr, or) = (raw.check(), other.check());
+        prop_assert_eq!(rr.violations, or.violations);
+        prop_assert_eq!(raw.stuck_pending(), other.stuck_pending());
+    }
+
+    // Projection can only shrink metadata; compression can only shrink it
+    // further (derived rows dropped, deltas varint-framed).
+    let (rb, pb, cb) = (
+        raw.metrics().metadata_bytes,
+        proj.metrics().metadata_bytes,
+        comp.metrics().metadata_bytes,
+    );
+    prop_assert!(pb <= rb, "projected {} > raw {}", pb, rb);
+    prop_assert!(cb <= pb, "compressed {} > projected {}", cb, pb);
+}
+
 proptest! {
     /// Edge-indexed tracker across ring / tree / clique topologies.
     #[test]
@@ -127,5 +201,51 @@ proptest! {
     ) {
         let g = build_topology(topo, n);
         assert_equivalent(&g, TrackerKind::FullDeps, seed);
+    }
+
+    /// Wire-codec differential, edge-indexed tracker: raw vs projected vs
+    /// compressed agree on every observable, across topologies.
+    #[test]
+    fn wire_modes_agree_edge_indexed(
+        topo in 0usize..3,
+        n in 3usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = build_topology(topo, n);
+        assert_wire_equivalent(&g, TrackerKind::EdgeIndexed(prcc_sharegraph::LoopConfig::EXHAUSTIVE), seed);
+    }
+
+    /// Wire-codec differential under the baselines: the codec must be a
+    /// pure pass-through (their metadata is not edge-indexed), so all
+    /// modes trivially agree — byte counts included.
+    #[test]
+    fn wire_modes_agree_baselines(
+        topo in 0usize..3,
+        n in 3usize..6,
+        vc in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = build_topology(topo, n);
+        let tracker = if vc == 0 { TrackerKind::VectorClock } else { TrackerKind::FullDeps };
+        assert_wire_equivalent(&g, tracker, seed);
+    }
+
+    /// Both axes at once: the wakeup pending index must stay equivalent to
+    /// the scan oracle when messages carry projected/compressed frames.
+    #[test]
+    fn scan_and_wakeup_agree_under_compression(
+        topo in 0usize..3,
+        n in 3usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = build_topology(topo, n);
+        let tracker = TrackerKind::EdgeIndexed(prcc_sharegraph::LoopConfig::EXHAUSTIVE);
+        let (scan, scan_evals) = run_wire(&g, tracker, PendingMode::Scan, WireMode::Compressed, seed);
+        let (wake, wake_evals) = run_wire(&g, tracker, PendingMode::Wakeup, WireMode::Compressed, seed);
+        prop_assert_eq!(scan.trace().events(), wake.trace().events());
+        let (sr, wr) = (scan.check(), wake.check());
+        prop_assert_eq!(sr.violations, wr.violations);
+        prop_assert_eq!(scan.stuck_pending(), wake.stuck_pending());
+        prop_assert!(wake_evals <= scan_evals);
     }
 }

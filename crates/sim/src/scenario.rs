@@ -6,7 +6,7 @@
 //! bytes, latencies, timestamp sizes, and the consistency verdict.
 
 use crate::workload::{Workload, WorkloadConfig};
-use prcc_core::{System, TrackerKind, Value};
+use prcc_core::{System, TrackerKind, Value, WireMode};
 use prcc_net::DelayModel;
 use prcc_sharegraph::{RegisterId, ReplicaId, ShareGraph};
 use std::fmt;
@@ -30,6 +30,9 @@ pub struct ScenarioConfig {
     /// Staleness probes per replica performed right before quiescence
     /// (each probes one locally stored register).
     pub staleness_probes: usize,
+    /// How outgoing update metadata is encoded per recipient
+    /// (default: [`WireMode::Compressed`]).
+    pub wire_mode: WireMode,
 }
 
 impl Default for ScenarioConfig {
@@ -42,6 +45,7 @@ impl Default for ScenarioConfig {
             steps_between_ops: 2,
             dummies: Vec::new(),
             staleness_probes: 4,
+            wire_mode: WireMode::default(),
         }
     }
 }
@@ -136,7 +140,8 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
     let mut builder = System::builder(g.clone())
         .tracker(cfg.tracker)
         .delay(cfg.delay.clone())
-        .seed(cfg.net_seed);
+        .seed(cfg.net_seed)
+        .wire_mode(cfg.wire_mode);
     for (r, x) in &cfg.dummies {
         builder = builder.dummy(*r, *x);
     }

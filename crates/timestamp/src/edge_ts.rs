@@ -14,6 +14,7 @@
 //! these operations need, so each operation is a linear scan over short
 //! arrays.
 
+use crate::wire::{varint_len, PairLayout};
 use prcc_sharegraph::{EdgeId, RegSet, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
 use std::fmt;
 use std::sync::Arc;
@@ -67,10 +68,20 @@ impl EdgeTimestamp {
         self.values.len()
     }
 
-    /// Wire size in bytes when the receiver knows the sender's edge order
-    /// (fixed layout: one varint-free u64 per counter).
+    /// Wire size in bytes when the full timestamp is shipped in the fixed
+    /// raw layout: one varint-free u64 per counter. This is what
+    /// `WireMode::Raw` actually puts on the wire; the projected and
+    /// compressed modes account their own (smaller) encoded sizes.
     pub fn wire_size_bytes(&self) -> usize {
         self.values.len() * 8
+    }
+
+    /// Wire size in bytes if the full timestamp were shipped as plain
+    /// varints (no projection, no deltas) — the honest lower bound for a
+    /// stateless raw encoding, reported alongside the fixed layout in the
+    /// compression tables.
+    pub fn encoded_size_bytes(&self) -> usize {
+        self.values.iter().map(|&v| varint_len(v)).sum()
     }
 
     /// Largest counter value — determines the bits-per-counter needed.
@@ -113,6 +124,10 @@ struct PairOps {
     e_ki: Option<(usize, usize)>,
     /// Positions of common incoming edges `e_ji` with `j ≠ k`.
     incoming_other: Vec<(usize, usize)>,
+    /// Index of `e_ki` into the common slice (wire projection order).
+    e_ki_slice: Option<usize>,
+    /// Indices of the `incoming_other` edges into the common slice.
+    incoming_other_slice: Vec<usize>,
 }
 
 /// Factory and operation table for edge-indexed timestamps over a fixed
@@ -146,6 +161,11 @@ pub struct TsRegistry {
     /// including the non-adjacent pairs the client-server protocol
     /// relays between (formerly an on-the-fly rebuild per call).
     pair_ops: Vec<Option<PairOps>>,
+    /// Dense ordered-pair index of negotiated wire layouts: entry
+    /// `i * n + k` is the layout the sender `k` uses toward receiver `i`
+    /// (projection to `E_i ∩ E_k` plus the derived-row compression of
+    /// Section 5). Built eagerly so the hot send path only clones `Arc`s.
+    wire_layouts: Vec<Option<Arc<PairLayout>>>,
     num_replicas: usize,
 }
 
@@ -185,16 +205,16 @@ impl TsRegistry {
         }
         let n = graphs.len();
         let mut pair_ops = Vec::with_capacity(n * n);
+        let mut wire_layouts = Vec::with_capacity(n * n);
         for i in 0..n {
             for k in 0..n {
                 if i == k {
                     pair_ops.push(None);
+                    wire_layouts.push(None);
                 } else {
-                    pair_ops.push(Some(Self::build_pair(
-                        &graphs,
-                        ReplicaId::new(i as u32),
-                        ReplicaId::new(k as u32),
-                    )));
+                    let (ri, rk) = (ReplicaId::new(i as u32), ReplicaId::new(k as u32));
+                    pair_ops.push(Some(Self::build_pair(&graphs, ri, rk)));
+                    wire_layouts.push(Some(Arc::new(Self::build_layout(g, &graphs, ri, rk))));
                 }
             }
         }
@@ -202,8 +222,33 @@ impl TsRegistry {
             graphs,
             replica_ops,
             pair_ops,
+            wire_layouts,
             num_replicas: n,
         }
+    }
+
+    /// Negotiates the wire layout for `(receiver i, sender k)`: common
+    /// slice in the same order as [`Self::build_pair`]'s `common`, with
+    /// the sender's own outgoing rows offered for derived-row
+    /// compression.
+    fn build_layout(
+        g: &ShareGraph,
+        graphs: &TimestampGraphs,
+        i: ReplicaId,
+        k: ReplicaId,
+    ) -> PairLayout {
+        let gi = graphs.of(i);
+        let gk = graphs.of(k);
+        let mut sender_positions = Vec::new();
+        let mut own_rows = Vec::new();
+        for e in gi.intersection(gk) {
+            let slice_idx = sender_positions.len();
+            sender_positions.push(gk.position(e).unwrap());
+            if e.from == k {
+                own_rows.push((slice_idx, g.edge_registers(e).clone()));
+            }
+        }
+        PairLayout::build(sender_positions, &own_rows)
     }
 
     /// The precomputed maps for `(receiver, sender)`.
@@ -222,21 +267,28 @@ impl TsRegistry {
         let gk = graphs.of(k);
         let mut common = Vec::new();
         let mut e_ki = None;
+        let mut e_ki_slice = None;
         let mut incoming_other = Vec::new();
+        let mut incoming_other_slice = Vec::new();
         for e in gi.intersection(gk) {
             let pi = gi.position(e).unwrap();
             let pk = gk.position(e).unwrap();
+            let slice_idx = common.len();
             common.push((pi, pk));
             if e == EdgeId::new(k, i) {
                 e_ki = Some((pi, pk));
+                e_ki_slice = Some(slice_idx);
             } else if e.to == i {
                 incoming_other.push((pi, pk));
+                incoming_other_slice.push(slice_idx);
             }
         }
         PairOps {
             common,
             e_ki,
             incoming_other,
+            e_ki_slice,
+            incoming_other_slice,
         }
     }
 
@@ -397,6 +449,112 @@ impl TsRegistry {
     /// The counter value for edge `e` in `ts`, if tracked.
     pub fn counter(&self, ts: &EdgeTimestamp, e: EdgeId) -> Option<u64> {
         self.graphs.of(ts.replica).position(e).map(|p| ts.values[p])
+    }
+
+    /// The negotiated wire layout the sender uses toward `receiver`
+    /// (shared, cached at registry construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver == sender` or either id is out of range.
+    pub fn wire_layout(&self, receiver: ReplicaId, sender: ReplicaId) -> Arc<PairLayout> {
+        self.wire_layouts[receiver.index() * self.num_replicas + sender.index()]
+            .clone()
+            .expect("sender must differ from receiver")
+    }
+
+    /// [`TsRegistry::merge_report`] over a **projected** incoming slice:
+    /// `values[j]` is the counter of the `j`-th common edge of
+    /// `(receiver, sender)` in pair-slice order — exactly what
+    /// [`crate::wire::WireDecoder::decode`] reconstructs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have the pair's common-slice length.
+    pub fn merge_projected_report(
+        &self,
+        ts: &mut EdgeTimestamp,
+        sender: ReplicaId,
+        values: &[u64],
+        advanced: &mut Vec<(usize, u64)>,
+    ) {
+        let pair = self.pair(ts.replica, sender);
+        assert_eq!(values.len(), pair.common.len(), "projected slice shape");
+        for (j, &(pi, _)) in pair.common.iter().enumerate() {
+            let new = values[j];
+            if new > ts.values[pi] {
+                ts.values[pi] = new;
+                advanced.push((pi, new));
+            }
+        }
+    }
+
+    /// [`TsRegistry::merge`] over a projected incoming slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have the pair's common-slice length.
+    pub fn merge_projected(&self, ts: &mut EdgeTimestamp, sender: ReplicaId, values: &[u64]) {
+        let mut advanced = Vec::new();
+        self.merge_projected_report(ts, sender, values, &mut advanced);
+    }
+
+    /// [`TsRegistry::ready_check`] over a projected incoming slice: the
+    /// predicate `J` only ever reads common-edge counters, so the
+    /// projection is lossless for it by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have the pair's common-slice length.
+    pub fn ready_check_projected(
+        &self,
+        ts: &EdgeTimestamp,
+        sender: ReplicaId,
+        values: &[u64],
+    ) -> JVerdict {
+        let pair = self.pair(ts.replica, sender);
+        assert_eq!(values.len(), pair.common.len(), "projected slice shape");
+        match pair.e_ki_slice {
+            Some(j) => {
+                let pi = pair.e_ki.expect("slice index implies positions").0;
+                if values[j] == 0 {
+                    return JVerdict::Dead;
+                }
+                let needed = values[j] - 1;
+                if ts.values[pi] < needed {
+                    return JVerdict::Blocked {
+                        slot: pi,
+                        needs: needed,
+                    };
+                }
+                if ts.values[pi] > needed {
+                    return JVerdict::Dead;
+                }
+            }
+            None => return JVerdict::Dead,
+        }
+        for (&j, &(pi, _)) in pair
+            .incoming_other_slice
+            .iter()
+            .zip(pair.incoming_other.iter())
+        {
+            if ts.values[pi] < values[j] {
+                return JVerdict::Blocked {
+                    slot: pi,
+                    needs: values[j],
+                };
+            }
+        }
+        JVerdict::Ready
+    }
+
+    /// Boolean form of [`TsRegistry::ready_check_projected`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have the pair's common-slice length.
+    pub fn ready_projected(&self, ts: &EdgeTimestamp, sender: ReplicaId, values: &[u64]) -> bool {
+        self.ready_check_projected(ts, sender, values) == JVerdict::Ready
     }
 }
 
@@ -596,6 +754,97 @@ mod tests {
         advanced.clear();
         reg.merge_report(&mut t1, r0, &t0, &mut advanced);
         assert!(advanced.is_empty());
+    }
+
+    #[test]
+    fn projected_ops_match_full_ops() {
+        // Every (ready_check, merge) over the full incoming timestamp must
+        // agree with the projected slice — the wire invariant.
+        for g in [
+            topology::ring(5),
+            topology::clique_full(4, 2),
+            topology::star(4),
+        ] {
+            let reg = registry(&g);
+            let n = g.num_replicas();
+            let mut stamps: Vec<EdgeTimestamp> = (0..n)
+                .map(|i| reg.new_timestamp(ReplicaId::new(i as u32)))
+                .collect();
+            for round in 0..3u64 {
+                for s in 0..n {
+                    let sender = ReplicaId::new(s as u32);
+                    for x in g.placement().registers_of(sender) {
+                        if (x.index() as u64 + round).is_multiple_of(2) {
+                            let mut local = stamps[s].clone();
+                            reg.advance(&mut local, x);
+                            stamps[s] = local.clone();
+                            // Indexing on purpose: `stamps[i]` is both
+                            // read and conditionally replaced below.
+                            #[allow(clippy::needless_range_loop)]
+                            for i in 0..n {
+                                if i == s {
+                                    continue;
+                                }
+                                let ri = ReplicaId::new(i as u32);
+                                let layout = reg.wire_layout(ri, sender);
+                                let slice = layout.project(local.values());
+                                assert_eq!(
+                                    reg.ready_check(&stamps[i], sender, &local),
+                                    reg.ready_check_projected(&stamps[i], sender, &slice),
+                                    "verdict mismatch {sender:?}->{ri:?}"
+                                );
+                                let mut full_merged = stamps[i].clone();
+                                let mut proj_merged = stamps[i].clone();
+                                let (mut a1, mut a2) = (Vec::new(), Vec::new());
+                                reg.merge_report(&mut full_merged, sender, &local, &mut a1);
+                                reg.merge_projected_report(
+                                    &mut proj_merged,
+                                    sender,
+                                    &slice,
+                                    &mut a2,
+                                );
+                                assert_eq!(full_merged, proj_merged);
+                                assert_eq!(a1, a2);
+                                if reg.ready(&stamps[i], sender, &local) {
+                                    stamps[i] = full_merged;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clique_layout_compresses_ring_layout_does_not() {
+        // Clique: every outgoing edge of a sender carries the same
+        // registers, so the common slice's own rows collapse to one
+        // explicit counter (the vector-clock observation of Section 5).
+        let g = topology::clique_full(5, 4);
+        let reg = registry(&g);
+        let layout = reg.wire_layout(ReplicaId::new(0), ReplicaId::new(1));
+        assert!(layout.num_derived() > 0, "clique must compress");
+        // Ring: one register per edge — nothing is linearly dependent.
+        let g = topology::ring(5);
+        let reg = registry(&g);
+        let layout = reg.wire_layout(ReplicaId::new(0), ReplicaId::new(1));
+        assert_eq!(layout.num_derived(), 0);
+        assert_eq!(layout.num_explicit(), layout.common_len());
+    }
+
+    #[test]
+    fn encoded_size_tracks_counter_magnitudes() {
+        let g = topology::ring(5);
+        let reg = registry(&g);
+        let mut t = reg.new_timestamp(ReplicaId::new(0));
+        // All-zero: one byte per counter.
+        assert_eq!(t.encoded_size_bytes(), t.num_counters());
+        for _ in 0..200 {
+            reg.advance(&mut t, RegisterId::new(0));
+        }
+        assert!(t.encoded_size_bytes() > t.num_counters());
+        assert!(t.encoded_size_bytes() < t.wire_size_bytes());
     }
 
     #[test]

@@ -38,8 +38,10 @@ pub mod client_ts;
 pub mod compress;
 pub mod edge_ts;
 pub mod vector_clock;
+pub mod wire;
 
 pub use client_ts::{ClientTimestamp, ClientTsRegistry};
 pub use compress::{compress_replica, AtomBasis, CompressionReport};
 pub use edge_ts::{EdgeTimestamp, JVerdict, TsRegistry};
 pub use vector_clock::VectorClock;
+pub use wire::{PairLayout, WireDecoder, WireEncoder};

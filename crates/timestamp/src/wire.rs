@@ -1,0 +1,628 @@
+//! Per-pair wire encoding of edge timestamps: projection, linear-
+//! dependence compression, and delta/varint framing (Section 5 made
+//! operational on the hot path).
+//!
+//! A replica `k` sending an update to replica `i` does not need to ship
+//! all of `τ_k`: the receiver's `merge` and predicate `J` read only the
+//! common-edge slice `E_i ∩ E_k`. A [`PairLayout`] — negotiated once per
+//! ordered pair and cached in the registry — records:
+//!
+//! * the **projection**: which positions of the sender's full counter
+//!   vector make up the common slice, in the receiver's pair order;
+//! * the **compression**: which slice entries are linearly *derived* from
+//!   others and therefore never transmitted. Only the sender's own
+//!   outgoing edges (`e_kj` rows) participate: `advance` maintains those
+//!   counters exactly as `row · atom-counts`, so any integer relation
+//!   between the rows (found by exact rational elimination over the
+//!   Appendix-D register atoms) holds for the counter *values* at every
+//!   instant. Counters issued by other replicas reach `τ_k` through
+//!   pointwise-max merges that can mix snapshots from different chains,
+//!   which breaks linearity — those entries are always explicit.
+//!
+//! The transmitted entries are framed as zig-zag varints of the
+//! wrapping difference against the previous frame on the same pair
+//! stream ([`WireEncoder`] / [`WireDecoder`]), modelling a per-pair FIFO
+//! byte stream (TCP-like framing) underneath the protocol's non-FIFO
+//! delivery. Every derived coefficient vector is verified symbolically at
+//! construction; a row that cannot be proven derived stays explicit, so
+//! decoding is exact by construction.
+
+use prcc_sharegraph::RegSet;
+use std::fmt;
+
+/// Appends `v` to `buf` as an LEB128 varint (7 bits per byte).
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf` at `*pos`, advancing `*pos`.
+/// Returns `None` on truncated or over-long input.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow 64 bits
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Number of bytes [`write_varint`] uses for `v`.
+pub fn varint_len(v: u64) -> usize {
+    (64 - v.leading_zeros()).div_ceil(7).max(1) as usize
+}
+
+/// Zig-zag maps signed deltas to small unsigned varints.
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Delta of `cur` against `prev` as a zig-zag varint payload. The
+/// wrapping difference is lossless for **all** 64-bit patterns (including
+/// decreases and `u64::MAX` jumps): [`decode_delta`] inverts it exactly.
+pub fn encode_delta(prev: u64, cur: u64) -> u64 {
+    zigzag(cur.wrapping_sub(prev) as i64)
+}
+
+/// Inverse of [`encode_delta`].
+pub fn decode_delta(prev: u64, z: u64) -> u64 {
+    prev.wrapping_add(unzigzag(z) as u64)
+}
+
+/// An exact rational (reduced, positive denominator) over `i128` — large
+/// enough for elimination over the tiny 0/1 atom matrices involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frac {
+    num: i128,
+    den: i128,
+}
+
+impl Frac {
+    const ZERO: Frac = Frac { num: 0, den: 1 };
+
+    fn new(num: i128, den: i128) -> Frac {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        let sign = if den < 0 { -1 } else { 1 };
+        Frac {
+            num: sign * num / g.max(1),
+            den: sign * den / g.max(1),
+        }
+    }
+
+    fn from_int(v: i128) -> Frac {
+        Frac { num: v, den: 1 }
+    }
+
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    fn add(self, o: Frac) -> Frac {
+        Frac::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+
+    fn sub(self, o: Frac) -> Frac {
+        Frac::new(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+
+    fn mul(self, o: Frac) -> Frac {
+        Frac::new(self.num * o.num, self.den * o.den)
+    }
+
+    fn div(self, o: Frac) -> Frac {
+        assert!(o.num != 0, "division by zero");
+        Frac::new(self.num * o.den, self.den * o.num)
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// A slice entry reconstructed from explicit entries instead of being
+/// transmitted: `value[index] = (Σ terms (j, c): c · value[j]) / den`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedRow {
+    /// Index into the common slice.
+    pub index: usize,
+    /// `(slice index, integer coefficient)` pairs over explicit entries.
+    pub terms: Vec<(usize, i128)>,
+    /// Strictly positive divisor (division is exact by construction).
+    pub den: i128,
+}
+
+/// The negotiated wire layout for one ordered pair `(receiver, sender)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairLayout {
+    /// For each common-slice entry: its position in the sender's full
+    /// counter vector (`E_k` order).
+    sender_positions: Vec<usize>,
+    /// Slice indices transmitted on the wire, in slice order.
+    explicit: Vec<usize>,
+    /// Slice indices reconstructed by the decoder.
+    derived: Vec<DerivedRow>,
+}
+
+impl PairLayout {
+    /// Builds the layout. `sender_positions[j]` is the sender-vector
+    /// position of common-slice entry `j`; `own_rows` lists, for every
+    /// slice entry that is one of the **sender's own outgoing edges**, the
+    /// pair `(slice index, registers shared on that edge)`. Only own rows
+    /// are eligible for derivation (see the module docs); each candidate
+    /// relation is verified symbolically over the register atoms and
+    /// demoted to explicit if the check fails.
+    pub fn build(sender_positions: Vec<usize>, own_rows: &[(usize, RegSet)]) -> PairLayout {
+        let len = sender_positions.len();
+        let mut is_derived = vec![false; len];
+        let mut derived = Vec::new();
+
+        if own_rows.len() > 1 {
+            // Row vectors over atom columns (atoms partition the union of
+            // the rows' registers; identical-membership registers share a
+            // column, the Appendix-D refinement).
+            let rows: Vec<RegSet> = own_rows.iter().map(|(_, r)| r.clone()).collect();
+            let atom_vecs = atom_vectors(&rows);
+            let ncols = atom_vecs.first().map_or(0, Vec::len);
+
+            // Incremental echelon basis over the atom space; each echelon
+            // row carries its expression in terms of accepted basis rows
+            // (indexed into `basis_slice`, the slice indices of explicit
+            // own rows).
+            let mut ech: Vec<(Vec<Frac>, Vec<Frac>)> = Vec::new();
+            let mut basis_slice: Vec<usize> = Vec::new();
+            for (r, vec) in atom_vecs.iter().enumerate() {
+                let slice_idx = own_rows[r].0;
+                let mut residual: Vec<Frac> = vec.iter().map(|&v| Frac::from_int(v)).collect();
+                let mut combo = vec![Frac::ZERO; basis_slice.len()];
+                for (erow, ecombo) in &ech {
+                    let lead = erow.iter().position(|f| !f.is_zero()).unwrap();
+                    if residual[lead].is_zero() {
+                        continue;
+                    }
+                    let factor = residual[lead].div(erow[lead]);
+                    for c in 0..ncols {
+                        residual[c] = residual[c].sub(factor.mul(erow[c]));
+                    }
+                    for (j, &ec) in ecombo.iter().enumerate() {
+                        combo[j] = combo[j].add(factor.mul(ec));
+                    }
+                }
+                if residual.iter().all(|f| f.is_zero()) {
+                    // Candidate derived row: value = Σ combo_j · basis_j.
+                    if let Some(dr) =
+                        finish_derived(slice_idx, &combo, &basis_slice, &atom_vecs, own_rows, vec)
+                    {
+                        is_derived[slice_idx] = true;
+                        derived.push(dr);
+                        continue;
+                    }
+                }
+                // New basis (explicit) row.
+                let mut ecombo = vec![Frac::ZERO; basis_slice.len() + 1];
+                for (j, &c) in combo.iter().enumerate() {
+                    ecombo[j] = Frac::ZERO.sub(c);
+                }
+                ecombo[basis_slice.len()] = Frac::from_int(1);
+                basis_slice.push(slice_idx);
+                // Grow earlier combos to the new basis length.
+                for (_, ec) in &mut ech {
+                    ec.push(Frac::ZERO);
+                }
+                if !residual.iter().all(|f| f.is_zero()) {
+                    // Gauss–Jordan: clear the new row's lead column from
+                    // every existing echelon row, so all rows stay
+                    // mutually reduced and one reduction pass (in any
+                    // order) is complete.
+                    let lead = residual.iter().position(|f| !f.is_zero()).unwrap();
+                    for (erow, ec) in &mut ech {
+                        if erow[lead].is_zero() {
+                            continue;
+                        }
+                        let f = erow[lead].div(residual[lead]);
+                        for c in 0..ncols {
+                            erow[c] = erow[c].sub(f.mul(residual[c]));
+                        }
+                        for (j, e) in ec.iter_mut().enumerate() {
+                            *e = e.sub(f.mul(ecombo[j]));
+                        }
+                    }
+                    ech.push((residual, ecombo));
+                }
+            }
+        }
+
+        let explicit = (0..len).filter(|&j| !is_derived[j]).collect();
+        PairLayout {
+            sender_positions,
+            explicit,
+            derived,
+        }
+    }
+
+    /// A layout with no compression: every slice entry explicit.
+    pub fn identity(sender_positions: Vec<usize>) -> PairLayout {
+        let explicit = (0..sender_positions.len()).collect();
+        PairLayout {
+            sender_positions,
+            explicit,
+            derived: Vec::new(),
+        }
+    }
+
+    /// Number of common-slice counters.
+    pub fn common_len(&self) -> usize {
+        self.sender_positions.len()
+    }
+
+    /// Number of counters actually transmitted.
+    pub fn num_explicit(&self) -> usize {
+        self.explicit.len()
+    }
+
+    /// Number of counters reconstructed by the decoder.
+    pub fn num_derived(&self) -> usize {
+        self.derived.len()
+    }
+
+    /// Projects the sender's full counter vector to the common slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` is shorter than the largest projected position.
+    pub fn project(&self, full: &[u64]) -> Vec<u64> {
+        self.sender_positions.iter().map(|&p| full[p]).collect()
+    }
+
+    /// Reconstructs the derived entries of `slice` in place from its
+    /// explicit entries. Division is exact by construction; debug builds
+    /// assert it.
+    fn reconstruct(&self, slice: &mut [u64]) {
+        for d in &self.derived {
+            let sum: i128 = d.terms.iter().map(|&(j, c)| c * i128::from(slice[j])).sum();
+            debug_assert!(sum % d.den == 0 && sum / d.den >= 0, "inexact derived row");
+            slice[d.index] = (sum / d.den) as u64;
+        }
+    }
+}
+
+/// 0/1 row vectors over atom columns: registers with identical row
+/// membership collapse to one column.
+fn atom_vectors(rows: &[RegSet]) -> Vec<Vec<i128>> {
+    let mut all = RegSet::new();
+    for r in rows {
+        all.union_with(r);
+    }
+    let mut sigs: Vec<Vec<bool>> = Vec::new();
+    for x in all.iter() {
+        let sig: Vec<bool> = rows.iter().map(|r| r.contains(x)).collect();
+        if !sigs.contains(&sig) {
+            sigs.push(sig);
+        }
+    }
+    rows.iter()
+        .enumerate()
+        .map(|(r, _)| sigs.iter().map(|s| i128::from(s[r])).collect())
+        .collect()
+}
+
+/// Converts the rational combination `combo` over `basis_slice` into an
+/// integer [`DerivedRow`] and verifies it symbolically over the atom
+/// columns: `den · target_vec == Σ num_j · basis_vec_j` exactly. Returns
+/// `None` (keep the row explicit) if the relation does not check out.
+fn finish_derived(
+    slice_idx: usize,
+    combo: &[Frac],
+    basis_slice: &[usize],
+    atom_vecs: &[Vec<i128>],
+    own_rows: &[(usize, RegSet)],
+    target_vec: &[i128],
+) -> Option<DerivedRow> {
+    // Common denominator.
+    let mut den: i128 = 1;
+    for c in combo {
+        if !c.is_zero() {
+            den = den / gcd(den.unsigned_abs(), c.den.unsigned_abs()) as i128 * c.den;
+        }
+    }
+    let den = den.abs().max(1);
+    let mut terms = Vec::new();
+    for (j, c) in combo.iter().enumerate() {
+        if c.is_zero() {
+            continue;
+        }
+        terms.push((basis_slice[j], c.num * (den / c.den)));
+    }
+    // Symbolic verification over atoms.
+    let ncols = target_vec.len();
+    for col in 0..ncols {
+        let mut sum: i128 = 0;
+        for &(slice_j, coeff) in &terms {
+            let r = own_rows.iter().position(|&(s, _)| s == slice_j)?;
+            sum += coeff * atom_vecs[r][col];
+        }
+        if sum != den * target_vec[col] {
+            return None;
+        }
+    }
+    Some(DerivedRow {
+        index: slice_idx,
+        terms,
+        den,
+    })
+}
+
+/// Sending half of one per-pair wire stream: frames the explicit slice
+/// entries as zig-zag varint deltas against the previous frame.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WireEncoder {
+    last: Vec<u64>,
+}
+
+impl fmt::Debug for WireEncoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WireEncoder")
+            .field("counters", &self.last.len())
+            .finish()
+    }
+}
+
+impl WireEncoder {
+    /// A fresh stream for `layout` (all-zero reference frame, matching
+    /// the receiver's zero-initialized decoder).
+    pub fn new(layout: &PairLayout) -> WireEncoder {
+        WireEncoder {
+            last: vec![0; layout.explicit.len()],
+        }
+    }
+
+    /// Encodes the sender's **full** counter vector into `buf` (cleared
+    /// first) and returns the frame length in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` does not cover the layout's projected positions.
+    pub fn encode(&mut self, layout: &PairLayout, full: &[u64], buf: &mut Vec<u8>) -> usize {
+        buf.clear();
+        for (j, &slice_idx) in layout.explicit.iter().enumerate() {
+            let v = full[layout.sender_positions[slice_idx]];
+            write_varint(buf, encode_delta(self.last[j], v));
+            self.last[j] = v;
+        }
+        buf.len()
+    }
+}
+
+/// Receiving half of one per-pair wire stream.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WireDecoder {
+    last: Vec<u64>,
+}
+
+impl fmt::Debug for WireDecoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WireDecoder")
+            .field("counters", &self.last.len())
+            .finish()
+    }
+}
+
+impl WireDecoder {
+    /// A fresh stream for `layout`.
+    pub fn new(layout: &PairLayout) -> WireDecoder {
+        WireDecoder {
+            last: vec![0; layout.explicit.len()],
+        }
+    }
+
+    /// Decodes one frame into the full common slice (explicit entries
+    /// from the wire, derived entries reconstructed). Returns `None` on a
+    /// malformed frame (truncated, over-long, or trailing bytes); a
+    /// rejected frame leaves the stream state untouched, so a subsequent
+    /// well-formed frame still decodes correctly.
+    pub fn decode(&mut self, layout: &PairLayout, frame: &[u8]) -> Option<Vec<u64>> {
+        let mut slice = vec![0u64; layout.common_len()];
+        let mut next = self.last.clone();
+        let mut pos = 0;
+        for (j, &slice_idx) in layout.explicit.iter().enumerate() {
+            let z = read_varint(frame, &mut pos)?;
+            let v = decode_delta(next[j], z);
+            next[j] = v;
+            slice[slice_idx] = v;
+        }
+        if pos != frame.len() {
+            return None;
+        }
+        self.last = next;
+        layout.reconstruct(&mut slice);
+        Some(slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(v: &[u32]) -> RegSet {
+        RegSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len of {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), None);
+        // 11 continuation bytes: more than 64 bits.
+        let over = [0xffu8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&over, &mut pos), None);
+    }
+
+    #[test]
+    fn delta_round_trip_extremes() {
+        for (prev, cur) in [
+            (0u64, 0u64),
+            (0, u64::MAX),
+            (u64::MAX, 0),
+            (5, 3),
+            (u64::MAX, u64::MAX),
+            (1 << 63, (1 << 63) - 1),
+        ] {
+            assert_eq!(decode_delta(prev, encode_delta(prev, cur)), cur);
+        }
+    }
+
+    #[test]
+    fn small_forward_deltas_are_one_byte() {
+        for d in 0..64u64 {
+            assert_eq!(varint_len(encode_delta(100, 100 + d)), 1);
+        }
+    }
+
+    #[test]
+    fn dependent_own_rows_are_derived() {
+        // Rows {x}, {y}, {x,y}: third = first + second.
+        let own = vec![(0usize, rs(&[0])), (1, rs(&[1])), (2, rs(&[0, 1]))];
+        let layout = PairLayout::build(vec![0, 1, 2], &own);
+        assert_eq!(layout.num_explicit(), 2);
+        assert_eq!(layout.num_derived(), 1);
+        // Counters from atom counts (3 writes to x, 5 to y).
+        let full = [3u64, 5, 8];
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let mut buf = Vec::new();
+        enc.encode(&layout, &full, &mut buf);
+        assert_eq!(dec.decode(&layout, &buf), Some(vec![3, 5, 8]));
+    }
+
+    #[test]
+    fn independent_rows_stay_explicit() {
+        // {x,y} and {y,z} overlap but are independent.
+        let own = vec![(0usize, rs(&[0, 1])), (1, rs(&[1, 2]))];
+        let layout = PairLayout::build(vec![0, 1], &own);
+        assert_eq!(layout.num_explicit(), 2);
+        assert_eq!(layout.num_derived(), 0);
+    }
+
+    #[test]
+    fn identical_rows_collapse_to_one() {
+        // Clique-style: every outgoing edge carries the same registers.
+        let own: Vec<(usize, RegSet)> = (0..4).map(|j| (j, rs(&[0, 1]))).collect();
+        let layout = PairLayout::build(vec![0, 1, 2, 3], &own);
+        assert_eq!(layout.num_explicit(), 1);
+        assert_eq!(layout.num_derived(), 3);
+        let full = [7u64, 7, 7, 7];
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let mut buf = Vec::new();
+        let bytes = enc.encode(&layout, &full, &mut buf);
+        assert_eq!(bytes, 1); // one varint delta
+        assert_eq!(dec.decode(&layout, &buf), Some(vec![7; 4]));
+    }
+
+    #[test]
+    fn non_own_rows_never_derived() {
+        // No own rows at all: everything explicit even if dependent.
+        let layout = PairLayout::build(vec![0, 1, 2], &[]);
+        assert_eq!(layout.num_explicit(), 3);
+    }
+
+    #[test]
+    fn stream_deltas_shrink_repeat_frames() {
+        let own = vec![(0usize, rs(&[0]))];
+        let layout = PairLayout::build(vec![0, 1], &own);
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let mut buf = Vec::new();
+        // First frame pays for the absolute values; later frames are
+        // one byte per counter for small increments.
+        enc.encode(&layout, &[1000, 2000], &mut buf);
+        assert_eq!(dec.decode(&layout, &buf).unwrap(), vec![1000, 2000]);
+        let bytes = enc.encode(&layout, &[1001, 2001], &mut buf);
+        assert_eq!(bytes, 2);
+        assert_eq!(dec.decode(&layout, &buf).unwrap(), vec![1001, 2001]);
+    }
+
+    #[test]
+    fn decoder_rejects_malformed_frames() {
+        let layout = PairLayout::identity(vec![0, 1]);
+        let mut dec = WireDecoder::new(&layout);
+        assert_eq!(dec.decode(&layout, &[0x00]), None); // truncated
+        let mut dec = WireDecoder::new(&layout);
+        assert_eq!(dec.decode(&layout, &[0x00, 0x00, 0x00]), None); // trailing
+    }
+
+    #[test]
+    fn projection_selects_sender_positions() {
+        let layout = PairLayout::identity(vec![3, 1]);
+        assert_eq!(layout.project(&[10, 11, 12, 13]), vec![13, 11]);
+    }
+
+    #[test]
+    fn empty_layout_round_trips() {
+        let layout = PairLayout::build(vec![], &[]);
+        assert_eq!(layout.common_len(), 0);
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let mut buf = Vec::new();
+        assert_eq!(enc.encode(&layout, &[], &mut buf), 0);
+        assert_eq!(dec.decode(&layout, &buf), Some(vec![]));
+    }
+
+    #[test]
+    fn nested_union_dependency_detected() {
+        // Appendix D shape: {x}, {y}, {z}, {x,y,z}.
+        let own = vec![
+            (0usize, rs(&[0])),
+            (1, rs(&[1])),
+            (2, rs(&[2])),
+            (3, rs(&[0, 1, 2])),
+        ];
+        let layout = PairLayout::build(vec![0, 1, 2, 3], &own);
+        assert_eq!(layout.num_explicit(), 3);
+        let full = [2u64, 3, 4, 9];
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let mut buf = Vec::new();
+        enc.encode(&layout, &full, &mut buf);
+        assert_eq!(dec.decode(&layout, &buf), Some(full.to_vec()));
+    }
+}

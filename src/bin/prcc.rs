@@ -8,7 +8,7 @@
 //! prcc help
 //! ```
 
-use prcc::core::{Scenario, TrackerKind};
+use prcc::core::{Scenario, TrackerKind, WireMode};
 use prcc::net::DelayModel;
 use prcc::sharegraph::{
     paper_examples, topology, LoopConfig, RegisterId, ReplicaId, ShareGraph, TimestampGraphs,
@@ -32,6 +32,7 @@ fn usage() -> ! {
          \n\
          run options:\n\
            --tracker edge|vc|trunc:<l>   causality tracker (default edge)\n\
+           --wire raw|projected|compressed  metadata wire codec (default compressed)\n\
            --writes <n>                  writes per replica (default 20)\n\
            --zipf <theta>                register skew (default 0.9)\n\
            --seed <s>                    workload/network seed (default 0)"
@@ -143,6 +144,12 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
     let seed = flag(args, "--seed")
         .map(|s| s.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(0);
+    let wire_mode = match flag(args, "--wire").as_deref() {
+        None | Some("compressed") => WireMode::Compressed,
+        Some("projected") => WireMode::Projected,
+        Some("raw") => WireMode::Raw,
+        Some(_) => usage(),
+    };
     let report = run_scenario(
         g,
         &ScenarioConfig {
@@ -157,6 +164,7 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
             steps_between_ops: 2,
             dummies: vec![],
             staleness_probes: 4,
+            wire_mode,
         },
     );
     println!("{report}");
