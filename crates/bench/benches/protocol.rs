@@ -24,6 +24,8 @@ fn bench_protocol(c: &mut Criterion) {
         staleness_probes: 0,
         tracker: TrackerKind::EdgeIndexed(LoopConfig::EXHAUSTIVE),
         wire_mode: prcc_core::WireMode::default(),
+        faults: prcc_net::FaultSchedule::default(),
+        session: None,
     };
     for (name, graph) in [
         ("ring8", topology::ring(8)),

@@ -7,6 +7,7 @@
 pub mod e10_head_to_head;
 pub mod e11_exhaustive;
 pub mod e12_density;
+pub mod e13_faults;
 pub mod e1_structure;
 pub mod e2_oblivious;
 pub mod e3_helary_milani;
@@ -35,10 +36,11 @@ pub fn run_all() -> Vec<Experiment> {
         e10_head_to_head::run(),
         e11_exhaustive::run(),
         e12_density::run(),
+        e13_faults::run(),
     ]
 }
 
-/// Runs one experiment by id (`"e1"`–`"e12"`, case-insensitive).
+/// Runs one experiment by id (`"e1"`–`"e13"`, case-insensitive).
 pub fn run_one(id: &str) -> Option<Experiment> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1_structure::run()),
@@ -53,6 +55,7 @@ pub fn run_one(id: &str) -> Option<Experiment> {
         "e10" => Some(e10_head_to_head::run()),
         "e11" => Some(e11_exhaustive::run()),
         "e12" => Some(e12_density::run()),
+        "e13" => Some(e13_faults::run()),
         _ => None,
     }
 }

@@ -39,6 +39,7 @@ pub mod construct;
 pub mod explore;
 pub mod explore_cs;
 pub mod message;
+pub mod recovery;
 pub mod replica;
 pub mod routed;
 pub mod routed_general;
@@ -54,6 +55,7 @@ pub use construct::{propagate, release_all, WritePlan};
 pub use explore::{ExplorationResult, Scenario, ScriptedWrite};
 pub use explore_cs::{CsOp, CsScenario};
 pub use message::{DepEntry, Metadata, TransitInfo, UpdateMsg};
+pub use recovery::{RecoveryLog, WalEntry};
 pub use replica::{Applied, PendingMode, Replica, ReplicaError, WriteOutput};
 pub use routed::RoutedRing;
 pub use routed_general::{RoutedError, RoutedSystem};

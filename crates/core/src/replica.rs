@@ -43,6 +43,12 @@ pub enum ReplicaError {
         /// This replica.
         replica: ReplicaId,
     },
+    /// The replica is crashed (between a scripted crash and its
+    /// restart) and cannot serve operations.
+    Crashed {
+        /// This replica.
+        replica: ReplicaId,
+    },
 }
 
 impl fmt::Display for ReplicaError {
@@ -50,6 +56,9 @@ impl fmt::Display for ReplicaError {
         match self {
             ReplicaError::NotStored { register, replica } => {
                 write!(f, "register {register} is not stored at replica {replica}")
+            }
+            ReplicaError::Crashed { replica } => {
+                write!(f, "replica {replica} is crashed")
             }
         }
     }

@@ -16,7 +16,7 @@ use crate::value::Value;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use prcc_checker::{check, CheckReport, Trace, UpdateId};
-use prcc_net::{DelayModel, ThreadNet};
+use prcc_net::{DelayModel, FaultPlan, SessionConfig, SessionEndpoint, SessionFrame, ThreadNet};
 use prcc_sharegraph::{LoopConfig, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
 use prcc_timestamp::TsRegistry;
 use std::fmt;
@@ -70,8 +70,10 @@ pub struct ThreadedCluster {
     sent: Arc<AtomicUsize>,
     /// Total metadata bytes put on the wire (post-codec frame sizes).
     wire_bytes: Arc<AtomicUsize>,
+    /// Total session-layer retransmissions across all replica threads.
+    retransmits: Arc<AtomicUsize>,
     /// Keep the net alive for the cluster's lifetime.
-    _net: ThreadNet<UpdateMsg>,
+    _net: ThreadNet<SessionFrame<UpdateMsg>>,
 }
 
 impl fmt::Debug for ThreadedCluster {
@@ -94,17 +96,38 @@ impl ThreadedCluster {
     /// Like [`ThreadedCluster::new`], with an explicit wire mode for the
     /// per-recipient metadata codec.
     pub fn new_with_wire(graph: ShareGraph, delay: DelayModel, seed: u64, wire: WireMode) -> Self {
+        Self::new_faulty(graph, delay, seed, wire, FaultPlan::default(), None)
+    }
+
+    /// A cluster over a lossy transport. The router rolls `faults` on
+    /// every frame; `session` (if given) arms a per-replica
+    /// [`SessionEndpoint`] whose retransmission timers run on wall-clock
+    /// milliseconds — pick `rto_base` comfortably above the delay
+    /// model's round trip (delay ticks are 200 µs each). Without a
+    /// session config, losses are permanent, exactly as in the simulated
+    /// [`System`](crate::System) without one.
+    pub fn new_faulty(
+        graph: ShareGraph,
+        delay: DelayModel,
+        seed: u64,
+        wire: WireMode,
+        faults: FaultPlan,
+        session: Option<SessionConfig>,
+    ) -> Self {
         let graph = Arc::new(graph);
         let registry = Arc::new(TsRegistry::new(
             &graph,
             TimestampGraphs::build(&graph, LoopConfig::EXHAUSTIVE),
         ));
-        let net: ThreadNet<UpdateMsg> = ThreadNet::new(graph.num_replicas(), delay, seed);
+        let net: ThreadNet<SessionFrame<UpdateMsg>> =
+            ThreadNet::with_faults(graph.num_replicas(), delay, seed, faults);
         let trace = Arc::new(Mutex::new(Trace::new()));
         let applied = Arc::new(AtomicUsize::new(0));
         let pending = Arc::new(AtomicUsize::new(0));
         let sent = Arc::new(AtomicUsize::new(0));
         let wire_bytes = Arc::new(AtomicUsize::new(0));
+        let retransmits = Arc::new(AtomicUsize::new(0));
+        let epoch = Instant::now();
 
         let mut cmd_txs = Vec::new();
         let mut threads = Vec::new();
@@ -119,9 +142,23 @@ impl ThreadedCluster {
             let pending = pending.clone();
             let sent = sent.clone();
             let wire_bytes = wire_bytes.clone();
+            let retransmits = retransmits.clone();
             threads.push(std::thread::spawn(move || {
                 replica_main(
-                    i, graph, registry, wire, handle, rx, trace, applied, pending, sent, wire_bytes,
+                    i,
+                    graph,
+                    registry,
+                    wire,
+                    session,
+                    epoch,
+                    handle,
+                    rx,
+                    trace,
+                    applied,
+                    pending,
+                    sent,
+                    wire_bytes,
+                    retransmits,
                 )
             }));
         }
@@ -134,6 +171,7 @@ impl ThreadedCluster {
             pending,
             sent,
             wire_bytes,
+            retransmits,
             _net: net,
         }
     }
@@ -207,6 +245,12 @@ impl ThreadedCluster {
         self.wire_bytes.load(Ordering::SeqCst)
     }
 
+    /// Total session-layer retransmissions so far (0 without a session
+    /// or on a clean network).
+    pub fn total_retransmits(&self) -> usize {
+        self.retransmits.load(Ordering::SeqCst)
+    }
+
     /// Shuts the cluster down, joining all replica threads.
     pub fn shutdown(mut self) -> Trace {
         for tx in &self.cmd_txs {
@@ -237,13 +281,16 @@ fn replica_main(
     graph: Arc<ShareGraph>,
     registry: Arc<TsRegistry>,
     wire: WireMode,
-    net: prcc_net::NodeHandle<UpdateMsg>,
+    session: Option<SessionConfig>,
+    epoch: Instant,
+    net: prcc_net::NodeHandle<SessionFrame<UpdateMsg>>,
     cmds: Receiver<Cmd>,
     trace: Arc<Mutex<Trace>>,
     applied_ctr: Arc<AtomicUsize>,
     pending_ctr: Arc<AtomicUsize>,
     sent_ctr: Arc<AtomicUsize>,
     wire_bytes_ctr: Arc<AtomicUsize>,
+    retransmits_ctr: Arc<AtomicUsize>,
 ) {
     // Each sender thread owns the codec for its outgoing pair streams —
     // per-pair delta state never crosses threads.
@@ -253,6 +300,11 @@ fn replica_main(
         graph.placement().registers_of(id).clone(),
         Box::new(EdgeTracker::new(registry, id)) as Box<dyn CausalityTracker>,
     );
+    // Session timers run on wall-clock milliseconds since the cluster
+    // epoch — the real-timer counterpart of the sim clock.
+    let mut endpoint = session.map(|cfg| SessionEndpoint::new(id, cfg));
+    let now_ms = |epoch: Instant| epoch.elapsed().as_millis() as u64;
+    let mut last_retx = 0usize;
     let mut local_pending = 0usize;
     loop {
         let mut idle = true;
@@ -290,7 +342,11 @@ fn replica_main(
                         ..msg.clone()
                     };
                     wire_bytes_ctr.fetch_add(m.meta.size_bytes(), Ordering::SeqCst);
-                    net.send(dst, m);
+                    let frame = match endpoint.as_mut() {
+                        Some(ep) => ep.send(dst, m, now_ms(epoch)),
+                        None => SessionFrame::Bare(m),
+                    };
+                    net.send(dst, frame);
                 }
                 let _ = reply.send(uid);
             }
@@ -304,20 +360,38 @@ fn replica_main(
         // Then network input.
         if let Some(env) = net.try_recv() {
             idle = false;
-            let applied = replica.receive(env.msg);
-            {
-                let mut t = trace.lock();
-                for a in &applied {
-                    t.record_apply(
-                        UpdateId {
-                            issuer: a.msg.issuer,
-                            seq: a.msg.seq,
-                        },
-                        id,
-                    );
+            let payloads = match endpoint.as_mut() {
+                Some(ep) => {
+                    let mut resp = Vec::new();
+                    let msgs = ep.on_frame(env.src, env.msg, now_ms(epoch), &mut resp);
+                    for (dst, f) in resp {
+                        net.send(dst, f);
+                    }
+                    msgs
                 }
+                None => match env.msg {
+                    SessionFrame::Bare(m) => vec![m],
+                    // Session frames without a session endpoint cannot
+                    // happen (both are chosen by the same constructor).
+                    _ => Vec::new(),
+                },
+            };
+            for msg in payloads {
+                let applied = replica.receive(msg);
+                {
+                    let mut t = trace.lock();
+                    for a in &applied {
+                        t.record_apply(
+                            UpdateId {
+                                issuer: a.msg.issuer,
+                                seq: a.msg.seq,
+                            },
+                            id,
+                        );
+                    }
+                }
+                applied_ctr.fetch_add(applied.len(), Ordering::SeqCst);
             }
-            applied_ctr.fetch_add(applied.len(), Ordering::SeqCst);
             let np = replica.pending_count();
             if np != local_pending {
                 if np > local_pending {
@@ -326,6 +400,22 @@ fn replica_main(
                     pending_ctr.fetch_sub(local_pending - np, Ordering::SeqCst);
                 }
                 local_pending = np;
+            }
+        }
+        // Retransmission timers: fire whatever is due.
+        if let Some(ep) = endpoint.as_mut() {
+            let now = now_ms(epoch);
+            if ep.next_deadline().is_some_and(|d| d <= now) {
+                let mut due = Vec::new();
+                ep.poll(now, &mut due);
+                for (dst, f) in due {
+                    net.send(dst, f);
+                }
+            }
+            let retx = ep.stats().retransmits;
+            if retx != last_retx {
+                retransmits_ctr.fetch_add(retx - last_retx, Ordering::SeqCst);
+                last_retx = retx;
             }
         }
         if idle {
@@ -390,5 +480,38 @@ mod tests {
         let cluster = ThreadedCluster::new(topology::path(2), DelayModel::Fixed(1), 0);
         cluster.write(r(0), x(0), Value::from(77u64));
         assert_eq!(cluster.read(r(0), x(0)), Some(Value::from(77u64)));
+    }
+
+    #[test]
+    fn lossy_network_converges_with_session() {
+        // 30% drop + 20% duplication on real threads: the wall-clock
+        // retransmission timers must restore every delivery. Delay ticks
+        // are 200 µs, so a 10 ms base RTO clears the healthy round trip.
+        let cluster = ThreadedCluster::new_faulty(
+            topology::ring(4),
+            DelayModel::Uniform { min: 0, max: 5 },
+            11,
+            WireMode::default(),
+            FaultPlan {
+                drop_prob: 0.3,
+                duplicate_prob: 0.2,
+                ..Default::default()
+            },
+            Some(SessionConfig {
+                rto_base: 10,
+                rto_max: 80,
+                jitter: 3,
+            }),
+        );
+        for round in 0..10u64 {
+            for i in 0..4u32 {
+                cluster.write(r(i), x(i), Value::from(round));
+            }
+        }
+        cluster.settle();
+        let rep = cluster.check();
+        assert!(rep.is_consistent(), "{:?}", rep.violations);
+        assert_eq!(cluster.total_applied(), 4 * 10);
+        assert_eq!(cluster.read(r(1), x(0)), Some(Value::from(9u64)));
     }
 }

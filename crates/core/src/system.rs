@@ -16,18 +16,22 @@
 
 use crate::codec::{WireCodec, WireMode};
 use crate::message::UpdateMsg;
+use crate::recovery::RecoveryLog;
 use crate::replica::{PendingMode, Replica};
 use crate::stats::LatencyStats;
 use crate::tracker::{CausalityTracker, EdgeTracker, FullDepsTracker, VcTracker};
 use crate::value::Value;
 use prcc_checker::{check, CheckReport, Trace, UpdateId};
-use prcc_net::{DelayModel, FaultPlan, SimNetwork};
+use prcc_net::{
+    DelayModel, FaultPlan, FaultSchedule, SessionConfig, SessionEndpoint, SessionFrame,
+    SessionStats, SimNetwork,
+};
 use prcc_sharegraph::{
     EdgeId, LoopConfig, Placement, RegisterId, ReplicaId, ShareGraph, TimestampGraph,
     TimestampGraphs,
 };
 use prcc_timestamp::TsRegistry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -101,7 +105,9 @@ pub struct SystemBuilder {
     delay: DelayModel,
     seed: u64,
     dropped_edges: Vec<(ReplicaId, EdgeId)>,
-    faults: FaultPlan,
+    schedule: FaultSchedule,
+    session: Option<SessionConfig>,
+    snapshot_every: usize,
     wire_mode: WireMode,
 }
 
@@ -116,7 +122,9 @@ impl SystemBuilder {
             delay: DelayModel::default(),
             seed: 0,
             dropped_edges: Vec::new(),
-            faults: FaultPlan::none(),
+            schedule: FaultSchedule::none(),
+            session: None,
+            snapshot_every: 64,
             wire_mode: WireMode::default(),
         }
     }
@@ -164,10 +172,39 @@ impl SystemBuilder {
         self
     }
 
-    /// Installs a network fault plan (duplication / drops / dead links).
-    /// The default is the paper's reliable-channel model.
+    /// Installs a network fault plan (duplication / drops / dead links),
+    /// keeping any scripted schedule already set. The default is the
+    /// paper's reliable-channel model.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.schedule.plan = faults;
+        self
+    }
+
+    /// Installs a full fault schedule: probabilistic plan plus scripted
+    /// link outages, partitions, and replica crashes. Crashes require a
+    /// durable layer and are recovered from the per-replica
+    /// [`RecoveryLog`]; without [`session`](Self::session) the dropped
+    /// in-flight messages are *not* re-fed (the negative control).
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Enables the reliable-delivery session layer
+    /// ([`SessionEndpoint`]): per-pair sequenced streams, cumulative
+    /// ack + selective gaps, timeout retransmission, duplicate
+    /// suppression, and post-crash catch-up. Off by default — the
+    /// paper's reliable-channel model needs none of it.
+    pub fn session(mut self, config: SessionConfig) -> Self {
+        self.session = Some(config);
+        self
+    }
+
+    /// WAL entries between recovery-log snapshot compactions (default
+    /// 64; 0 disables snapshotting). Only meaningful when the durable
+    /// layer is active (session enabled or crashes scheduled).
+    pub fn snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
         self
     }
 
@@ -256,14 +293,46 @@ impl SystemBuilder {
         }
 
         let mut net = SimNetwork::new(self.delay, self.seed);
-        net.set_faults(self.faults);
+        let durable = self.session.is_some() || !self.schedule.crashes.is_empty();
+        let track_catch_up = !self.schedule.crashes.is_empty();
+        let mut crash_queue: VecDeque<(u64, ReplicaId)> = self
+            .schedule
+            .crashes
+            .iter()
+            .map(|c| (c.at, c.replica))
+            .collect();
+        crash_queue.make_contiguous().sort_unstable();
+        let restart_queue: VecDeque<(u64, ReplicaId)> = self.schedule.restarts().into();
+        net.set_schedule(self.schedule);
+        let sessions = self.session.map(|cfg| {
+            replicas
+                .iter()
+                .map(|r| SessionEndpoint::new(r.id(), cfg))
+                .collect()
+        });
+        let logs = durable.then(|| {
+            replicas
+                .iter()
+                .map(|r| RecoveryLog::new(r.clone(), self.snapshot_every))
+                .collect()
+        });
         System {
             codec: WireCodec::new(self.wire_mode, codec_registry),
             data_placement,
             effective_graph: Arc::new(effective_graph),
             tracker_kind: self.tracker,
+            crashed: vec![false; replicas.len()],
+            expected: vec![HashSet::new(); replicas.len()],
+            catching_up: vec![None; replicas.len()],
             replicas,
             net,
+            sessions,
+            logs,
+            crash_queue,
+            restart_queue,
+            track_catch_up,
+            lost_to_crash: 0,
+            catch_up_stats: LatencyStats::new(),
             trace: Trace::new(),
             metrics: SystemMetrics::default(),
             arrival: HashMap::new(),
@@ -283,7 +352,31 @@ pub struct System {
     effective_graph: Arc<ShareGraph>,
     tracker_kind: TrackerKind,
     replicas: Vec<Replica>,
-    net: SimNetwork<UpdateMsg>,
+    net: SimNetwork<SessionFrame<UpdateMsg>>,
+    /// Session endpoints, one per replica, when the reliable-delivery
+    /// layer is on (`None` = the paper's reliable-channel model, frames
+    /// travel as [`SessionFrame::Bare`]).
+    sessions: Option<Vec<SessionEndpoint<UpdateMsg>>>,
+    /// Durable recovery logs, present when the session layer is on or
+    /// crashes are scheduled.
+    logs: Option<Vec<RecoveryLog>>,
+    /// Scripted crash instants, ascending.
+    crash_queue: VecDeque<(u64, ReplicaId)>,
+    /// Scripted restart instants, ascending.
+    restart_queue: VecDeque<(u64, ReplicaId)>,
+    /// Which replicas are currently down.
+    crashed: Vec<bool>,
+    /// Per destination: updates sent to it and not yet applied there
+    /// (maintained only when crashes are scheduled).
+    expected: Vec<HashSet<UpdateId>>,
+    /// Per replica: restart instant + the updates it still owes, while
+    /// catching up.
+    catching_up: Vec<Option<(u64, HashSet<UpdateId>)>>,
+    track_catch_up: bool,
+    /// Deliveries discarded because the destination was down.
+    lost_to_crash: usize,
+    /// Restart → fully-caught-up latency, one sample per restart.
+    catch_up_stats: LatencyStats,
     trace: Trace,
     metrics: SystemMetrics,
     /// Arrival tick of each delivered-but-tracked message, keyed by
@@ -352,6 +445,9 @@ impl System {
                 replica: r,
             });
         }
+        if self.crashed[r.index()] {
+            return Err(crate::ReplicaError::Crashed { replica: r });
+        }
         Ok(self.write(r, x, v))
     }
 
@@ -361,8 +457,14 @@ impl System {
     /// # Panics
     ///
     /// Panics if `r` does not store `x` — simulated clients only write
-    /// registers their replica stores, mirroring the paper's model.
+    /// registers their replica stores, mirroring the paper's model —
+    /// or if `r` is currently crashed (check
+    /// [`is_crashed`](Self::is_crashed) first under a crash schedule).
     pub fn write(&mut self, r: ReplicaId, x: RegisterId, v: Value) -> UpdateId {
+        assert!(
+            !self.crashed[r.index()],
+            "replica {r} is crashed and cannot serve writes"
+        );
         let recipients = self.recipients_of(r, x);
         let data_holders: Vec<ReplicaId> = self
             .data_placement
@@ -386,6 +488,12 @@ impl System {
         self.update_version.insert(id, version);
         self.visible_version.insert((r, x), version);
         self.meta_log.insert(id, Arc::clone(&msg.meta));
+        if let Some(logs) = &mut self.logs {
+            let v = msg.value.clone().expect("local writes carry a value");
+            logs[r.index()].record_own_write(x, v);
+            logs[r.index()].maybe_snapshot(&self.replicas[r.index()]);
+        }
+        let now = self.net.now();
         for dst in recipients {
             // Zero-copy fan-out: recipients share the issuer's metadata
             // `Arc` (raw mode) or get a per-pair projected frame; the
@@ -403,8 +511,20 @@ impl System {
                 transit: msg.transit.clone(),
             };
             self.account_send(&m);
+            if self.track_catch_up {
+                self.expected[dst.index()].insert(id);
+            }
             let bytes = m.size_bytes();
-            self.net.send_sized(r, dst, m, bytes);
+            let frame = if let Some(sessions) = &mut self.sessions {
+                if let Some(logs) = &mut self.logs {
+                    logs[r.index()].record_send(dst, m.clone());
+                }
+                sessions[r.index()].send(dst, m, now)
+            } else {
+                SessionFrame::Bare(m)
+            };
+            let wire = bytes + frame.overhead_bytes();
+            self.net.send_sized(r, dst, frame, wire);
         }
         id
     }
@@ -442,23 +562,143 @@ impl System {
         self.replicas[r.index()].read(x)
     }
 
-    /// Delivers the next in-flight message, if any. Returns `false` at
-    /// quiescence.
+    /// Time of the next simulation event of any kind, or `None` at full
+    /// quiescence. Events, in priority order at equal instants: scripted
+    /// crash, scripted restart, network delivery, retransmission timer.
+    fn next_event_time(&self) -> Option<u64> {
+        let t_sess = self.sessions.as_ref().and_then(|s| {
+            s.iter()
+                .enumerate()
+                .filter(|(i, _)| !self.crashed[*i])
+                .filter_map(|(_, e)| e.next_deadline())
+                .min()
+        });
+        [
+            self.crash_queue.front().map(|&(t, _)| t),
+            self.restart_queue.front().map(|&(t, _)| t),
+            self.net.peek_delivery_time(),
+            t_sess,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Processes the next simulation event: a scripted crash or restart,
+    /// a network delivery (discarded if the destination is down), or a
+    /// batch of due retransmissions. Returns `false` at quiescence.
     pub fn step(&mut self) -> bool {
-        let Some((t, env)) = self.net.next_delivery() else {
+        let Some(t) = self.next_event_time() else {
             return false;
         };
-        let key = (env.msg.issuer, env.msg.seq, env.dst);
+        if let Some(&(tc, r)) = self.crash_queue.front() {
+            if tc <= t {
+                self.crash_queue.pop_front();
+                self.net.advance_to(tc);
+                // Volatile state is conceptually lost here; it is
+                // actually discarded at restart, when the replica is
+                // rebuilt from its recovery log.
+                self.crashed[r.index()] = true;
+                return true;
+            }
+        }
+        if let Some(&(tr, r)) = self.restart_queue.front() {
+            if tr <= t {
+                self.restart_queue.pop_front();
+                self.do_restart(tr, r);
+                return true;
+            }
+        }
+        if self.net.peek_delivery_time() == Some(t) {
+            let (t, env) = self.net.next_delivery().expect("peeked delivery");
+            self.deliver_frame(t, env.src, env.dst, env.msg);
+            return true;
+        }
+        // Retransmission timers: poll every live endpoint that is due.
+        self.net.advance_to(t);
+        if let Some(sessions) = &mut self.sessions {
+            let mut sends: Vec<(ReplicaId, ReplicaId, SessionFrame<UpdateMsg>)> = Vec::new();
+            for (i, e) in sessions.iter_mut().enumerate() {
+                if self.crashed[i] {
+                    continue;
+                }
+                if e.next_deadline().is_some_and(|d| d <= t) {
+                    let mut out = Vec::new();
+                    e.poll(t, &mut out);
+                    let src = ReplicaId::new(i as u32);
+                    sends.extend(out.into_iter().map(|(dst, f)| (src, dst, f)));
+                }
+            }
+            for (src, dst, f) in sends {
+                self.send_frame(src, dst, f);
+            }
+        }
+        true
+    }
+
+    /// Ships one session frame, charging its true wire size (payload +
+    /// framing overhead). Used for acks, retransmissions, and catch-up —
+    /// first transmissions are accounted in [`write`](Self::write).
+    fn send_frame(&mut self, src: ReplicaId, dst: ReplicaId, frame: SessionFrame<UpdateMsg>) {
+        let bytes = frame.payload().map_or(0, UpdateMsg::size_bytes) + frame.overhead_bytes();
+        self.net.send_sized(src, dst, frame, bytes);
+    }
+
+    /// Handles one delivered frame: session decode (dedup / reorder /
+    /// ack) when the layer is on, then replica ingestion of every
+    /// released payload. Honors the ack-after-durable contract: payloads
+    /// hit the recovery log before the response frames hit the network.
+    fn deliver_frame(
+        &mut self,
+        t: u64,
+        src: ReplicaId,
+        dst: ReplicaId,
+        frame: SessionFrame<UpdateMsg>,
+    ) {
+        if self.crashed[dst.index()] {
+            self.lost_to_crash += 1;
+            return;
+        }
+        let (payloads, responses) = if let Some(sessions) = &mut self.sessions {
+            let mut out = Vec::new();
+            let payloads = sessions[dst.index()].on_frame(src, frame, t, &mut out);
+            (payloads, out)
+        } else {
+            let SessionFrame::Bare(m) = frame else {
+                unreachable!("sessionless systems only ship bare frames");
+            };
+            (vec![m], Vec::new())
+        };
+        if let Some(logs) = &mut self.logs {
+            for p in &payloads {
+                logs[dst.index()].record_delivery(src, p.clone());
+            }
+        }
+        for p in payloads {
+            self.deliver_payload(dst, p, t);
+        }
+        if let Some(logs) = &mut self.logs {
+            logs[dst.index()].maybe_snapshot(&self.replicas[dst.index()]);
+        }
+        for (peer, f) in responses {
+            self.send_frame(dst, peer, f);
+        }
+    }
+
+    /// Ingests one update at `dst` and records trace/metrics for every
+    /// apply it triggers.
+    fn deliver_payload(&mut self, dst: ReplicaId, msg: UpdateMsg, t: u64) {
+        let key = (msg.issuer, msg.seq, dst);
         self.arrival.insert(key, t);
-        let applied = self.replicas[env.dst.index()].receive(env.msg);
+        let applied = self.replicas[dst.index()].receive(msg);
         for a in applied {
             let id = UpdateId {
                 issuer: a.msg.issuer,
                 seq: a.msg.seq,
             };
-            self.trace.record_apply(id, env.dst);
+            self.trace.record_apply(id, dst);
             self.metrics.applies += 1;
-            if let Some(arrived) = self.arrival.remove(&(a.msg.issuer, a.msg.seq, env.dst)) {
+            if let Some(arrived) = self.arrival.remove(&(a.msg.issuer, a.msg.seq, dst)) {
                 let wait = t - arrived;
                 self.metrics.total_pending_wait += wait;
                 self.metrics.max_pending_wait = self.metrics.max_pending_wait.max(wait);
@@ -473,24 +713,108 @@ impl System {
             if let Some(&ver) = self.update_version.get(&id) {
                 let slot = self
                     .visible_version
-                    .entry((env.dst, a.msg.register))
+                    .entry((dst, a.msg.register))
                     .or_insert(0);
                 *slot = (*slot).max(ver);
             }
+            if self.track_catch_up {
+                self.expected[dst.index()].remove(&id);
+                let mut done = false;
+                if let Some((since, owed)) = &mut self.catching_up[dst.index()] {
+                    owed.remove(&id);
+                    if owed.is_empty() {
+                        let lat = t.saturating_sub(*since);
+                        self.catch_up_stats.record(lat);
+                        done = true;
+                    }
+                }
+                if done {
+                    self.catching_up[dst.index()] = None;
+                }
+            }
         }
-        true
     }
 
-    /// Runs until no message is in flight. Held links keep their messages
-    /// parked; release them first if you used holds.
+    /// Brings a crashed replica back: rebuild from the recovery log
+    /// (snapshot + WAL replay), rebuild the session endpoint from the
+    /// durable outbox and delivery points, and start the catch-up
+    /// clock.
+    fn do_restart(&mut self, t: u64, r: ReplicaId) {
+        self.net.advance_to(t);
+        self.crashed[r.index()] = false;
+        let logs = self
+            .logs
+            .as_ref()
+            .expect("crash schedules always build recovery logs");
+        self.replicas[r.index()] = logs[r.index()].recover();
+        if self.sessions.is_some() {
+            let (outbox, mut cums) = {
+                let log = &self.logs.as_ref().expect("logs present")[r.index()];
+                (log.outbox().clone(), log.recv_cums())
+            };
+            // Announce the durable cum to *every* neighbor, zero
+            // included: a peer whose frames all died with the crash
+            // learns immediately that it must re-feed from the start.
+            for &peer in self.effective_graph.neighbors(r) {
+                cums.entry(peer).or_insert(0);
+            }
+            let mut out = Vec::new();
+            self.sessions.as_mut().expect("sessions present")[r.index()]
+                .restart(&outbox, &cums, t, &mut out);
+            for (dst, f) in out {
+                self.send_frame(r, dst, f);
+            }
+        }
+        if self.track_catch_up {
+            let owed = self.expected[r.index()].clone();
+            if owed.is_empty() {
+                self.catch_up_stats.record(0);
+            } else {
+                self.catching_up[r.index()] = Some((t, owed));
+            }
+        }
+    }
+
+    /// Runs until no event of any kind remains: network drained, every
+    /// retransmission acked, every scripted crash and restart played.
+    /// Held links keep their messages parked; release them first if you
+    /// used holds. Under a non-healing schedule (a permanently dead
+    /// link) with the session layer on this never returns — use
+    /// [`run_until`](Self::run_until).
     pub fn run_to_quiescence(&mut self) {
         while self.step() {}
     }
 
-    /// True if the network is drained **and** no replica has buffered
-    /// updates it could not apply.
+    /// Processes every event up to and including simulated time
+    /// `deadline`, then stops. Returns `true` if the system reached
+    /// quiescence at or before the deadline.
+    pub fn run_until(&mut self, deadline: u64) -> bool {
+        loop {
+            match self.next_event_time() {
+                None => return true,
+                Some(t) if t > deadline => {
+                    self.net.advance_to(deadline);
+                    return false;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// True if the network is drained, no replica has buffered updates
+    /// it could not apply, every session stream is fully acked, and no
+    /// scripted event is still due.
     pub fn is_settled(&self) -> bool {
-        self.net.is_quiescent() && self.replicas.iter().all(|r| r.pending_count() == 0)
+        self.net.is_quiescent()
+            && self.replicas.iter().all(|r| r.pending_count() == 0)
+            && self.crash_queue.is_empty()
+            && self.restart_queue.is_empty()
+            && self
+                .sessions
+                .as_ref()
+                .is_none_or(|s| s.iter().all(SessionEndpoint::is_idle))
     }
 
     /// Total updates stuck in pending buffers (non-zero after
@@ -553,6 +877,35 @@ impl System {
     /// counts).
     pub fn net_stats(&self) -> prcc_net::NetStats {
         self.net.stats()
+    }
+
+    /// Aggregated session-layer statistics across all endpoints, or
+    /// `None` when the session layer is off.
+    pub fn session_stats(&self) -> Option<SessionStats> {
+        self.sessions.as_ref().map(|s| {
+            let mut total = SessionStats::default();
+            for e in s {
+                total.merge(&e.stats());
+            }
+            total
+        })
+    }
+
+    /// Restart → fully-caught-up latency distribution (one sample per
+    /// scripted restart that has completed catch-up).
+    pub fn catch_up_stats(&self) -> LatencyStats {
+        self.catch_up_stats.clone()
+    }
+
+    /// True if `r` is currently down (between a scripted crash and its
+    /// restart).
+    pub fn is_crashed(&self, r: ReplicaId) -> bool {
+        self.crashed[r.index()]
+    }
+
+    /// Deliveries discarded because the destination replica was down.
+    pub fn lost_to_crash(&self) -> usize {
+        self.lost_to_crash
     }
 
     /// The metadata (timestamp) that was attached to update `id` when it

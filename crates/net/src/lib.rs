@@ -30,10 +30,12 @@
 
 pub mod delay;
 pub mod faults;
+pub mod session;
 pub mod sim_net;
 pub mod thread_net;
 
 pub use delay::DelayModel;
-pub use faults::{FaultAction, FaultPlan};
+pub use faults::{CrashEvent, FaultAction, FaultPlan, FaultSchedule, LinkOutage};
+pub use session::{SessionConfig, SessionEndpoint, SessionFrame, SessionStats};
 pub use sim_net::{Envelope, NetStats, SimNetwork};
 pub use thread_net::{NodeHandle, ThreadNet};

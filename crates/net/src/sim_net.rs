@@ -11,7 +11,7 @@
 //! scheduled once the link is [released](SimNetwork::release).
 
 use crate::delay::DelayModel;
-use crate::faults::{FaultAction, FaultPlan};
+use crate::faults::{FaultAction, FaultPlan, FaultSchedule};
 use prcc_sharegraph::ReplicaId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,7 +95,7 @@ pub struct SimNetwork<M> {
     queue: BinaryHeap<Reverse<Scheduled<M>>>,
     held_links: HashSet<(ReplicaId, ReplicaId)>,
     held_msgs: HashMap<(ReplicaId, ReplicaId), Vec<Envelope<M>>>,
-    faults: FaultPlan,
+    faults: FaultSchedule,
     stats: NetStats,
 }
 
@@ -121,15 +121,30 @@ impl<M> SimNetwork<M> {
             queue: BinaryHeap::new(),
             held_links: HashSet::new(),
             held_msgs: HashMap::new(),
-            faults: FaultPlan::none(),
+            faults: FaultSchedule::none(),
             stats: NetStats::default(),
         }
     }
 
-    /// Installs a fault plan (duplication / drops / dead links). The
-    /// default plan is benign — the paper's reliable-channel model.
+    /// Installs a fault plan (duplication / drops / dead links),
+    /// replacing any scripted schedule. The default plan is benign —
+    /// the paper's reliable-channel model.
     pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
+        self.faults = FaultSchedule::from_plan(faults);
+    }
+
+    /// Installs a full fault schedule: probabilistic plan plus scripted
+    /// link outages checked at send time against the current simulated
+    /// clock (a message that entered the channel before an outage still
+    /// arrives). Scripted *crashes* are not the network's business —
+    /// the system harness enforces those at the endpoints.
+    pub fn set_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = schedule;
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
     }
 
     /// Current logical time (the delivery instant of the last message
@@ -167,7 +182,11 @@ impl<M> SimNetwork<M> {
         M: Clone,
     {
         self.stats.sent += 1;
-        match self.faults.decide(&mut self.rng, src, dst) {
+        if self.faults.link_down(src, dst, self.now) {
+            self.stats.dropped += 1;
+            return;
+        }
+        match self.faults.plan.decide(&mut self.rng, src, dst) {
             FaultAction::Drop => {
                 self.stats.dropped += 1;
                 return;
@@ -227,6 +246,20 @@ impl<M> SimNetwork<M> {
         self.now = self.now.max(s.deliver_at);
         self.stats.delivered += 1;
         Some((s.deliver_at, s.env))
+    }
+
+    /// Delivery instant of the earliest scheduled message, without
+    /// popping it. Lets an event loop interleave network deliveries with
+    /// other timed events (retransmission deadlines, scripted restarts).
+    pub fn peek_delivery_time(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(s)| s.deliver_at)
+    }
+
+    /// Advances the logical clock to `t` (no-op if time is already
+    /// past `t`). Needed by timer-driven layers: a retransmission
+    /// deadline must move time forward even when no delivery does.
+    pub fn advance_to(&mut self, t: u64) {
+        self.now = self.now.max(t);
     }
 
     /// Holds the directed link `src -> dst`: subsequent sends are parked
@@ -352,6 +385,37 @@ mod tests {
         net.send_sized(r(0), r(1), 4, 2);
         assert_eq!(net.stats().sent, 4);
         assert_eq!(net.stats().bytes, 42);
+    }
+
+    #[test]
+    fn peek_and_advance_to() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(DelayModel::Fixed(5), 0);
+        assert_eq!(net.peek_delivery_time(), None);
+        net.send(r(0), r(1), 1);
+        assert_eq!(net.peek_delivery_time(), Some(5));
+        net.advance_to(3);
+        assert_eq!(net.now(), 3);
+        net.advance_to(1); // never goes backwards
+        assert_eq!(net.now(), 3);
+        let (t, _) = net.next_delivery().unwrap();
+        assert_eq!((t, net.now()), (5, 5));
+    }
+
+    #[test]
+    fn scripted_outage_drops_at_send_time_only() {
+        use crate::faults::FaultSchedule;
+        let mut net: SimNetwork<u32> = SimNetwork::new(DelayModel::Fixed(10), 0);
+        net.set_schedule(FaultSchedule::none().outage(r(0), r(1), 5, 20));
+        net.send(r(0), r(1), 1); // now=0: link still up, arrives at 10
+        net.advance_to(5);
+        net.send(r(0), r(1), 2); // inside the outage: dropped
+        net.send(r(1), r(0), 3); // reverse direction unaffected
+        net.advance_to(20);
+        net.send(r(0), r(1), 4); // healed
+        let got: Vec<u32> =
+            std::iter::from_fn(|| net.next_delivery().map(|(_, e)| e.msg)).collect();
+        assert_eq!(got, vec![1, 3, 4]);
+        assert_eq!(net.stats().dropped, 1);
     }
 
     #[test]

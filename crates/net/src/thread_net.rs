@@ -9,6 +9,7 @@
 //! built on crossbeam since the offline crate set has no async runtime).
 
 use crate::delay::DelayModel;
+use crate::faults::{FaultAction, FaultPlan};
 use crate::sim_net::Envelope;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use prcc_sharegraph::ReplicaId;
@@ -133,9 +134,17 @@ impl<M> fmt::Debug for ThreadNet<M> {
     }
 }
 
-impl<M: Send + 'static> ThreadNet<M> {
+impl<M: Send + Clone + 'static> ThreadNet<M> {
     /// Spawns the router thread for `n` nodes.
     pub fn new(n: usize, delay: DelayModel, seed: u64) -> Self {
+        Self::with_faults(n, delay, seed, FaultPlan::default())
+    }
+
+    /// Like [`ThreadNet::new`], but the router rolls `faults` on every
+    /// message: dropped messages vanish, duplicated ones are enqueued
+    /// twice with independently sampled delays. Reordering comes for
+    /// free from the randomized delays.
+    pub fn with_faults(n: usize, delay: DelayModel, seed: u64, faults: FaultPlan) -> Self {
         let (to_router, from_nodes) = unbounded::<Envelope<M>>();
         let mut inbox_txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -175,13 +184,20 @@ impl<M: Send + 'static> ThreadNet<M> {
                     .unwrap_or(Duration::from_millis(50));
                 match from_nodes.recv_timeout(wait) {
                     Ok(env) => {
-                        let ticks = delay.sample(&mut rng, env.src, env.dst);
-                        heap.push(Reverse(Pending {
-                            due: Instant::now() + TICK * ticks as u32,
-                            seq,
-                            env,
-                        }));
-                        seq += 1;
+                        let copies = match faults.decide(&mut rng, env.src, env.dst) {
+                            FaultAction::Drop => 0,
+                            FaultAction::Deliver => 1,
+                            FaultAction::Duplicate => 2,
+                        };
+                        for _ in 0..copies {
+                            let ticks = delay.sample(&mut rng, env.src, env.dst);
+                            heap.push(Reverse(Pending {
+                                due: Instant::now() + TICK * ticks as u32,
+                                seq,
+                                env: env.clone(),
+                            }));
+                            seq += 1;
+                        }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => disconnected = true,

@@ -7,7 +7,7 @@
 
 use crate::workload::{Workload, WorkloadConfig};
 use prcc_core::{System, TrackerKind, Value, WireMode};
-use prcc_net::DelayModel;
+use prcc_net::{DelayModel, FaultSchedule, SessionConfig};
 use prcc_sharegraph::{RegisterId, ReplicaId, ShareGraph};
 use std::fmt;
 
@@ -33,6 +33,13 @@ pub struct ScenarioConfig {
     /// How outgoing update metadata is encoded per recipient
     /// (default: [`WireMode::Compressed`]).
     pub wire_mode: WireMode,
+    /// Faults to inject: probabilistic drops/duplications plus scripted
+    /// partitions and crash/restart events (default: none).
+    pub faults: FaultSchedule,
+    /// Arms the reliable-delivery session layer with this configuration
+    /// (retransmission + recovery catch-up). `None` = the paper's
+    /// reliable-channel model.
+    pub session: Option<SessionConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -46,6 +53,8 @@ impl Default for ScenarioConfig {
             dummies: Vec::new(),
             staleness_probes: 4,
             wire_mode: WireMode::default(),
+            faults: FaultSchedule::default(),
+            session: None,
         }
     }
 }
@@ -100,6 +109,20 @@ pub struct RunReport {
     pub liveness_violations: usize,
     /// Updates still stuck in pending buffers after quiescence.
     pub stuck_pending: usize,
+    /// Session-layer retransmissions (0 without faults or a session).
+    pub retransmits: usize,
+    /// Duplicate frames suppressed by the session dedup window.
+    pub dup_suppressed: usize,
+    /// Ack frames sent by the session layer.
+    pub acks_sent: usize,
+    /// Median restart → fully-caught-up latency in ticks (0 with no
+    /// crashes).
+    pub catch_up_p50: u64,
+    /// Worst restart → fully-caught-up latency in ticks.
+    pub catch_up_max: u64,
+    /// Deliveries permanently lost to a crashed destination (non-zero
+    /// only without the session layer).
+    pub lost_to_crash: usize,
 }
 
 impl fmt::Display for RunReport {
@@ -141,16 +164,37 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
         .tracker(cfg.tracker)
         .delay(cfg.delay.clone())
         .seed(cfg.net_seed)
-        .wire_mode(cfg.wire_mode);
+        .wire_mode(cfg.wire_mode)
+        .fault_schedule(cfg.faults.clone());
+    if let Some(session) = cfg.session {
+        builder = builder.session(session);
+    }
     for (r, x) in &cfg.dummies {
         builder = builder.dummy(*r, *x);
     }
     let mut sys = builder.build();
 
     let mut staleness: Vec<u64> = Vec::new();
+    // Writes aimed at a replica inside a crash window wait (FIFO) until
+    // it restarts — clients retry against a recovered replica rather
+    // than dropping their operations.
+    let mut deferred: Vec<(ReplicaId, RegisterId, u64)> = Vec::new();
     let probe_every = (workload.len() / cfg.staleness_probes.max(1)).max(1);
     for (n, op) in workload.ops().iter().enumerate() {
-        sys.write(op.replica, op.register, Value::from(n as u64));
+        if sys.is_crashed(op.replica) {
+            deferred.push((op.replica, op.register, n as u64));
+        } else {
+            let mut i = 0;
+            while i < deferred.len() {
+                if deferred[i].0 == op.replica {
+                    let (r, x, v) = deferred.remove(i);
+                    sys.write(r, x, Value::from(v));
+                } else {
+                    i += 1;
+                }
+            }
+            sys.write(op.replica, op.register, Value::from(n as u64));
+        }
         for _ in 0..cfg.steps_between_ops {
             if !sys.step() {
                 break;
@@ -172,11 +216,18 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
         }
     }
     sys.run_to_quiescence();
+    // Crash windows have all healed after quiescence; release any writes
+    // still waiting on a restart.
+    for (r, x, v) in deferred.drain(..) {
+        sys.write(r, x, Value::from(v));
+    }
+    sys.run_to_quiescence();
 
     let check = sys.check();
     let counters = sys.timestamp_counters();
     let m = *sys.metrics();
     let mut vis = sys.visibility_stats();
+    let mut catch_up = sys.catch_up_stats();
     RunReport {
         tracker: tracker_label(cfg.tracker),
         replicas: g.num_replicas(),
@@ -205,6 +256,12 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
         safety_violations: check.safety_violations().count(),
         liveness_violations: check.liveness_violations().count(),
         stuck_pending: sys.stuck_pending(),
+        retransmits: sys.session_stats().map_or(0, |s| s.retransmits),
+        dup_suppressed: sys.session_stats().map_or(0, |s| s.dup_suppressed),
+        acks_sent: sys.session_stats().map_or(0, |s| s.acks_sent),
+        catch_up_p50: catch_up.p50(),
+        catch_up_max: catch_up.max(),
+        lost_to_crash: sys.lost_to_crash(),
     }
 }
 
@@ -374,6 +431,37 @@ mod tests {
         assert!(
             dummy.data_messages + dummy.meta_messages > plain.data_messages + plain.meta_messages
         );
+    }
+
+    #[test]
+    fn faulty_scenario_converges_with_session() {
+        use prcc_net::{FaultPlan, FaultSchedule, SessionConfig};
+        let g = topology::ring(5);
+        let report = run_scenario(
+            &g,
+            &ScenarioConfig {
+                workload: WorkloadConfig {
+                    writes_per_replica: 10,
+                    zipf_theta: 0.0,
+                    seed: 5,
+                },
+                net_seed: 5,
+                faults: FaultSchedule::from_plan(FaultPlan {
+                    drop_prob: 0.3,
+                    duplicate_prob: 0.2,
+                    ..Default::default()
+                })
+                .crash(ReplicaId::new(2), 200, 900),
+                session: Some(SessionConfig::default()),
+                staleness_probes: 0,
+                ..Default::default()
+            },
+        );
+        assert!(report.consistent, "{report}");
+        assert_eq!(report.stuck_pending, 0);
+        assert_eq!(report.writes, 50);
+        assert!(report.retransmits > 0, "drop storm caused no retransmits");
+        assert!(report.acks_sent > 0);
     }
 
     #[test]

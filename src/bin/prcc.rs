@@ -9,7 +9,7 @@
 //! ```
 
 use prcc::core::{Scenario, TrackerKind, WireMode};
-use prcc::net::DelayModel;
+use prcc::net::{DelayModel, FaultPlan, FaultSchedule, SessionConfig};
 use prcc::sharegraph::{
     paper_examples, topology, LoopConfig, RegisterId, ReplicaId, ShareGraph, TimestampGraphs,
 };
@@ -35,7 +35,13 @@ fn usage() -> ! {
            --wire raw|projected|compressed  metadata wire codec (default compressed)\n\
            --writes <n>                  writes per replica (default 20)\n\
            --zipf <theta>                register skew (default 0.9)\n\
-           --seed <s>                    workload/network seed (default 0)"
+           --seed <s>                    workload/network seed (default 0)\n\
+           --drop <p>                    drop each message with probability p\n\
+           --crash <r@t1:t2[,...]>       crash replica r at t1, restart at t2\n\
+           --partition <a|b@t1:t2>       sever side a from side b during [t1,t2)\n\
+                                         (sides are comma-separated replica lists)\n\
+           --no-session                  disable the reliable-delivery session layer\n\
+                                         (faults then cause permanent loss)"
     );
     std::process::exit(2);
 }
@@ -150,6 +156,12 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
         Some("raw") => WireMode::Raw,
         Some(_) => usage(),
     };
+    let (faults, have_faults) = parse_faults(args);
+    let session = if have_faults && !args.iter().any(|a| a == "--no-session") {
+        Some(SessionConfig::default())
+    } else {
+        None
+    };
     let report = run_scenario(
         g,
         &ScenarioConfig {
@@ -165,6 +177,8 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
             dummies: vec![],
             staleness_probes: 4,
             wire_mode,
+            faults,
+            session,
         },
     );
     println!("{report}");
@@ -177,9 +191,77 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
         report.payload_bytes,
         report.storage_cells
     );
+    if have_faults {
+        println!(
+            "faults: {} retransmits, {} dups suppressed, {} acks, \
+             catch-up p50/max {}/{} ticks, {} lost to crash, {} stuck",
+            report.retransmits,
+            report.dup_suppressed,
+            report.acks_sent,
+            report.catch_up_p50,
+            report.catch_up_max,
+            report.lost_to_crash,
+            report.stuck_pending
+        );
+    }
     if !report.consistent {
         std::process::exit(1);
     }
+}
+
+/// Parses `--drop`, `--crash`, and `--partition` into a fault schedule.
+/// Returns the schedule and whether any fault flag was present.
+fn parse_faults(args: &[String]) -> (FaultSchedule, bool) {
+    fn replica(s: &str) -> ReplicaId {
+        ReplicaId::new(s.parse().unwrap_or_else(|_| {
+            eprintln!("bad replica id '{s}'");
+            std::process::exit(2);
+        }))
+    }
+    fn tick(s: &str) -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad tick '{s}'");
+            std::process::exit(2);
+        })
+    }
+    // Splits "<head>@t1:t2".
+    fn window(s: &str) -> (&str, u64, u64) {
+        let Some((head, span)) = s.split_once('@') else {
+            eprintln!("expected '<...>@t1:t2' in '{s}'");
+            std::process::exit(2);
+        };
+        let Some((t1, t2)) = span.split_once(':') else {
+            eprintln!("expected '@t1:t2' in '{s}'");
+            std::process::exit(2);
+        };
+        (head, tick(t1), tick(t2))
+    }
+
+    let mut have = false;
+    let mut schedule = FaultSchedule::default();
+    if let Some(p) = flag(args, "--drop") {
+        have = true;
+        let p: f64 = p.parse().unwrap_or_else(|_| usage());
+        schedule = FaultSchedule::from_plan(FaultPlan::dropping(p));
+    }
+    if let Some(spec) = flag(args, "--crash") {
+        have = true;
+        for ev in spec.split(',') {
+            let (r, at, restart) = window(ev);
+            schedule = schedule.crash(replica(r), at, restart);
+        }
+    }
+    if let Some(spec) = flag(args, "--partition") {
+        have = true;
+        let (sides, from, until) = window(&spec);
+        let Some((a, b)) = sides.split_once('|') else {
+            eprintln!("expected 'a,..|b,..@t1:t2' in '{spec}'");
+            std::process::exit(2);
+        };
+        let side = |s: &str| -> Vec<ReplicaId> { s.split(',').map(replica).collect() };
+        schedule = schedule.partition(side(a), side(b), from, until);
+    }
+    (schedule, have)
 }
 
 fn cmd_explore(g: &ShareGraph, args: &[String]) {
