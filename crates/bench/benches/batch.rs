@@ -1,0 +1,80 @@
+//! Bench: the receiver-side batched apply path — `receive_batch` with
+//! the once-per-batch predicate evaluation vs the per-message fallback
+//! loop, for growing batch sizes on one pair stream.
+//!
+//! (`advance` / `merge` / `J` themselves are covered in `predicate.rs`;
+//! this file measures what the batch pipeline buys on top of them.)
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use prcc_core::{CausalityTracker, EdgeTracker, Replica, UpdateMsg, Value};
+use prcc_sharegraph::{topology, LoopConfig, RegisterId, ReplicaId, TimestampGraphs};
+use prcc_timestamp::TsRegistry;
+use std::sync::Arc;
+
+/// A writer/receiver pair on ring(8) plus `k` consecutive updates from
+/// the writer on their shared register.
+fn setup(k: usize) -> (Replica, Vec<UpdateMsg>) {
+    let graph = topology::ring(8);
+    let registry = Arc::new(TsRegistry::new(
+        &graph,
+        TimestampGraphs::build(&graph, LoopConfig::EXHAUSTIVE),
+    ));
+    let r0 = ReplicaId::new(0);
+    let r1 = ReplicaId::new(1);
+    let x = RegisterId::new(0);
+    let mut writer = Replica::new(
+        r0,
+        graph.placement().registers_of(r0).clone(),
+        Box::new(EdgeTracker::new(registry.clone(), r0)) as Box<dyn CausalityTracker>,
+    );
+    let receiver = Replica::new(
+        r1,
+        graph.placement().registers_of(r1).clone(),
+        Box::new(EdgeTracker::new(registry, r1)) as Box<dyn CausalityTracker>,
+    );
+    let msgs = (0..k)
+        .map(|i| {
+            let (msg, _) = writer
+                .write(x, Value::from(i as u64), vec![r1])
+                .expect("writer stores x");
+            msg
+        })
+        .collect();
+    (receiver, msgs)
+}
+
+fn bench_receive_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("receive_batch");
+    for k in [1usize, 4, 16, 64] {
+        let (receiver, msgs) = setup(k);
+
+        // The batched path: one predicate evaluation, then k applies.
+        g.bench_with_input(BenchmarkId::new("batched", k), &k, |b, _| {
+            b.iter_batched(
+                || (receiver.clone(), msgs.clone()),
+                |(mut r, msgs)| black_box(r.receive_batch(msgs)),
+                BatchSize::SmallInput,
+            )
+        });
+
+        // The fallback: the per-message receive loop the fast path is
+        // differentially tested against.
+        g.bench_with_input(BenchmarkId::new("per_message", k), &k, |b, _| {
+            b.iter_batched(
+                || (receiver.clone(), msgs.clone()),
+                |(mut r, msgs)| {
+                    let mut applied = 0;
+                    for m in msgs {
+                        applied += r.receive(m).len();
+                    }
+                    black_box(applied)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_receive_batch);
+criterion_main!(benches);

@@ -26,6 +26,7 @@ fn bench_protocol(c: &mut Criterion) {
         wire_mode: prcc_core::WireMode::default(),
         faults: prcc_net::FaultSchedule::default(),
         session: None,
+        batch: prcc_core::BatchPolicy::default(),
     };
     for (name, graph) in [
         ("ring8", topology::ring(8)),

@@ -54,13 +54,13 @@ pub use codec::{WireCodec, WireMode};
 pub use construct::{propagate, release_all, WritePlan};
 pub use explore::{ExplorationResult, Scenario, ScriptedWrite};
 pub use explore_cs::{CsOp, CsScenario};
-pub use message::{DepEntry, Metadata, TransitInfo, UpdateMsg};
+pub use message::{BatchMsg, DepEntry, Metadata, TransitInfo, UpdateMsg};
 pub use recovery::{RecoveryLog, WalEntry};
 pub use replica::{Applied, PendingMode, Replica, ReplicaError, WriteOutput};
 pub use routed::RoutedRing;
 pub use routed_general::{RoutedError, RoutedSystem};
-pub use runtime::ThreadedCluster;
+pub use runtime::{ClusterConfig, ThreadedCluster};
 pub use stats::LatencyStats;
-pub use system::{System, SystemBuilder, SystemMetrics, TrackerKind};
+pub use system::{BatchPolicy, System, SystemBuilder, SystemMetrics, TrackerKind};
 pub use tracker::{CausalityTracker, EdgeTracker, FullDepsTracker, ReadyCheck, VcTracker};
 pub use value::Value;

@@ -40,7 +40,7 @@
 //! recovered `recv_cum` ([`RecoveryLog::recv_cums`]) only ever asks the
 //! peer to rewind *un-acked* suffix, never acked history.
 
-use crate::message::UpdateMsg;
+use crate::message::BatchMsg;
 use crate::replica::Replica;
 use crate::value::Value;
 use prcc_sharegraph::{RegisterId, ReplicaId};
@@ -58,19 +58,22 @@ pub enum WalEntry {
         /// The written value.
         value: Value,
     },
-    /// A remote update the session layer delivered in order.
+    /// A remote batch the session layer delivered in order. One entry
+    /// per session frame — a batch is the session stream's unit, so
+    /// counting `Delivered` entries per peer yields the durable
+    /// `recv_cum` directly.
     Delivered {
         /// The sending peer (stream owner).
         src: ReplicaId,
-        /// The delivered update message, exactly as received.
-        msg: UpdateMsg,
+        /// The delivered batch, exactly as received.
+        msg: BatchMsg,
     },
 }
 
 /// Durable per-replica recovery state: WAL + outbox + snapshot. See the
 /// module docs for the protocol.
 pub struct RecoveryLog {
-    outbox: HashMap<ReplicaId, Vec<UpdateMsg>>,
+    outbox: HashMap<ReplicaId, Vec<BatchMsg>>,
     wal: Vec<WalEntry>,
     snapshot: Replica,
     /// Per-peer in-order delivery count folded into the snapshot.
@@ -109,16 +112,16 @@ impl RecoveryLog {
         self.wal.push(WalEntry::OwnWrite { register, value });
     }
 
-    /// Records a session-delivered remote update, in execution order.
+    /// Records a session-delivered remote batch, in execution order.
     /// Must be called **before** the delivery's ack is transmitted
     /// (ack-after-durable).
-    pub fn record_delivery(&mut self, src: ReplicaId, msg: UpdateMsg) {
+    pub fn record_delivery(&mut self, src: ReplicaId, msg: BatchMsg) {
         self.wal.push(WalEntry::Delivered { src, msg });
     }
 
-    /// Records an update handed to the session layer for `dst` (send
+    /// Records a batch handed to the session layer for `dst` (send
     /// order = session sequence order).
-    pub fn record_send(&mut self, dst: ReplicaId, msg: UpdateMsg) {
+    pub fn record_send(&mut self, dst: ReplicaId, msg: BatchMsg) {
         self.outbox.entry(dst).or_default().push(msg);
     }
 
@@ -153,7 +156,7 @@ impl RecoveryLog {
     }
 
     /// The per-peer send history (session sender-stream payloads).
-    pub fn outbox(&self) -> &HashMap<ReplicaId, Vec<UpdateMsg>> {
+    pub fn outbox(&self) -> &HashMap<ReplicaId, Vec<BatchMsg>> {
         &self.outbox
     }
 
@@ -169,7 +172,11 @@ impl RecoveryLog {
                         .expect("replayed write targets a stored register");
                 }
                 WalEntry::Delivered { msg, .. } => {
-                    replica.receive(msg.clone());
+                    // `receive_batch` is state-identical to a per-update
+                    // `receive` loop (its fallback IS that loop, and the
+                    // fast path is proven equivalent), so replay stays
+                    // exact at batch granularity.
+                    replica.receive_batch(msg.updates.clone());
                 }
             }
         }
@@ -229,12 +236,12 @@ mod tests {
         // depends on a's update), a writes 3, b applies it.
         let (m1, _) = a.write(x(0), Value::from(1u64), vec![r(1)]).unwrap();
         b.receive(m1.clone());
-        log.record_delivery(r(0), m1);
+        log.record_delivery(r(0), BatchMsg::singleton(m1));
         b.write(x(0), Value::from(2u64), vec![r(0)]).unwrap();
         log.record_own_write(x(0), Value::from(2u64));
         let (m3, _) = a.write(x(0), Value::from(3u64), vec![r(1)]).unwrap();
         b.receive(m3.clone());
-        log.record_delivery(r(0), m3);
+        log.record_delivery(r(0), BatchMsg::singleton(m3));
 
         let recovered = log.recover();
         assert_eq!(recovered.read(x(0)), b.read(x(0)));
@@ -261,7 +268,7 @@ mod tests {
         let (m2, _) = a.write(x(0), Value::from(2u64), vec![r(1)]).unwrap();
         // Out of order: m2 parks in pending.
         b.receive(m2.clone());
-        log.record_delivery(r(0), m2);
+        log.record_delivery(r(0), BatchMsg::singleton(m2));
         assert_eq!(b.pending_count(), 1);
         let recovered = log.recover();
         assert_eq!(recovered.pending_count(), 1, "parked update preserved");
@@ -278,7 +285,7 @@ mod tests {
         for i in 0..5u64 {
             let (m, _) = a.write(x(0), Value::from(i), vec![r(1)]).unwrap();
             b.receive(m.clone());
-            log.record_delivery(r(0), m);
+            log.record_delivery(r(0), BatchMsg::singleton(m));
             log.maybe_snapshot(&b);
         }
         assert!(log.snapshots_taken() >= 2);
@@ -295,10 +302,12 @@ mod tests {
         let mut log = RecoveryLog::new(a.clone(), 0);
         for i in 0..3u64 {
             let (m, _) = a.write(x(0), Value::from(i), vec![r(1)]).unwrap();
-            log.record_send(r(1), m);
+            log.record_send(r(1), BatchMsg::singleton(m));
         }
         let ob = log.outbox();
         assert_eq!(ob[&r(1)].len(), 3);
-        assert!(ob[&r(1)].windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert!(ob[&r(1)]
+            .windows(2)
+            .all(|w| w[0].updates[0].seq + 1 == w[1].updates[0].seq));
     }
 }

@@ -154,6 +154,8 @@ pub struct Replica {
     predicate_evals: u64,
     next_seq: u64,
     applied_count: u64,
+    /// Updates admitted through the once-per-batch fast path.
+    batch_fast_applies: u64,
 }
 
 impl fmt::Debug for Replica {
@@ -200,6 +202,7 @@ impl Replica {
             predicate_evals: 0,
             next_seq: 0,
             applied_count: 0,
+            batch_fast_applies: 0,
         }
     }
 
@@ -211,6 +214,13 @@ impl Replica {
     /// Step 1: serve a local read.
     pub fn read(&self, x: RegisterId) -> Option<&Value> {
         self.store.get(&x)
+    }
+
+    /// A full clone of the local store. The threaded runtime publishes
+    /// this as an immutable read snapshot after every state change, so
+    /// reader threads never have to enqueue into the replica thread.
+    pub fn store_snapshot(&self) -> HashMap<RegisterId, Value> {
+        self.store.clone()
     }
 
     /// True if this replica stores `x` (as data).
@@ -283,6 +293,57 @@ impl Replica {
         match self.mode {
             PendingMode::Scan => self.drain_scan(parked),
             PendingMode::Wakeup => self.drain_wakeup(parked),
+        }
+    }
+
+    /// Batched steps 3–4: ingest a run of consecutive updates from one
+    /// issuer (one pair stream, send order) as a unit.
+    ///
+    /// **Fast path** — taken when nothing parked could still become
+    /// deliverable (no `waiting`/`unknown` entries; dead-parked
+    /// duplicates don't count) *and* the tracker's batched predicate
+    /// ([`CausalityTracker::batch_ready`]) admits the whole run: every
+    /// update's store write is applied in order, the frontier is merged
+    /// **once** (the last update's metadata — equal to `k` sequential
+    /// merges because sender stamps are pointwise monotone along the
+    /// stream), and no wakeup pass runs at all (nothing is parked that an
+    /// advance could wake). The resulting replica state and apply order
+    /// are byte-identical to calling [`Replica::receive`] per message;
+    /// only `predicate_evals` differs (one batched evaluation).
+    ///
+    /// **Fallback** — any other situation (blocked batch, live parked
+    /// updates, trackers without batch evaluation): per-message
+    /// [`Replica::receive`], i.e. exactly the unbatched oracle.
+    pub fn receive_batch(&mut self, msgs: Vec<UpdateMsg>) -> Vec<Applied> {
+        let nothing_live_parked = match self.mode {
+            PendingMode::Wakeup => {
+                self.wakeup.unknown.is_empty() && self.wakeup.waiting.values().all(Vec::is_empty)
+            }
+            // Scan keeps dead messages in the same buffer as blocked
+            // ones, so any parked message disables the fast path.
+            PendingMode::Scan => self.pending.is_empty(),
+        };
+        if msgs.len() > 1 && nothing_live_parked && self.tracker.batch_ready(&msgs) == Some(true) {
+            self.predicate_evals += 1;
+            self.batch_fast_applies += msgs.len() as u64;
+            let last = msgs.len() - 1;
+            let mut applied = Vec::with_capacity(msgs.len());
+            for (i, m) in msgs.into_iter().enumerate() {
+                self.next_arrival += 1;
+                self.apply_store(&m);
+                if i == last {
+                    self.tracker.on_apply(&m);
+                }
+                self.applied_count += 1;
+                applied.push(Applied { msg: m });
+            }
+            applied
+        } else {
+            let mut applied = Vec::new();
+            for m in msgs {
+                applied.extend(self.receive(m));
+            }
+            applied
         }
     }
 
@@ -401,6 +462,12 @@ impl Replica {
     /// count; the `pending_drain` bench reports the scan/wakeup ratio).
     pub fn predicate_evals(&self) -> u64 {
         self.predicate_evals
+    }
+
+    /// Updates admitted through [`Replica::receive_batch`]'s once-per-
+    /// batch fast path (vs falling back to per-message evaluation).
+    pub fn batch_fast_applies(&self) -> u64 {
+        self.batch_fast_applies
     }
 
     /// The scheduling mode in use.
@@ -670,6 +737,101 @@ mod tests {
         );
         // Wakeup is linear: at most a small constant per message.
         assert!(wakeup <= 3 * n, "wakeup evals not linear: {wakeup}");
+    }
+
+    /// The batched fast path must leave the replica byte-identical to
+    /// per-message delivery: same store, same tracker, same counters.
+    #[test]
+    fn receive_batch_fast_path_equals_sequential_oracle() {
+        let (mut a, b) = pair();
+        let mut batch = Vec::new();
+        for i in 0..5u64 {
+            let (m, _) = a
+                .write(RegisterId::new(0), Value::from(i), vec![b.id()])
+                .unwrap();
+            batch.push(m);
+        }
+        let mut oracle = b.clone();
+        let mut fast = b;
+        let seq_applied: Vec<Applied> = batch
+            .iter()
+            .flat_map(|m| oracle.receive(m.clone()))
+            .collect();
+        let batch_applied = fast.receive_batch(batch);
+        assert_eq!(batch_applied, seq_applied);
+        assert_eq!(fast.batch_fast_applies(), 5, "fast path must engage");
+        assert_eq!(
+            fast.read(RegisterId::new(0)),
+            oracle.read(RegisterId::new(0))
+        );
+        assert_eq!(fast.applied_count(), oracle.applied_count());
+        assert_eq!(fast.pending_count(), oracle.pending_count());
+        // Tracker frontiers agree: the next local write carries identical
+        // metadata on both.
+        let (fm, _) = fast
+            .write(RegisterId::new(0), Value::from(9u64), vec![])
+            .unwrap();
+        let (om, _) = oracle
+            .write(RegisterId::new(0), Value::from(9u64), vec![])
+            .unwrap();
+        assert_eq!(fm.meta, om.meta);
+        assert!(fast.predicate_evals() < oracle.predicate_evals());
+    }
+
+    /// A batch that starts beyond the receiver's frontier falls back to
+    /// per-message delivery and parks exactly like the oracle.
+    #[test]
+    fn receive_batch_blocked_run_falls_back_and_parks() {
+        let (mut a, mut b) = pair();
+        let (m1, _) = a
+            .write(RegisterId::new(0), Value::from(1u64), vec![b.id()])
+            .unwrap();
+        let mut tail = Vec::new();
+        for i in 2..4u64 {
+            let (m, _) = a
+                .write(RegisterId::new(0), Value::from(i), vec![b.id()])
+                .unwrap();
+            tail.push(m);
+        }
+        // The tail arrives first: not deliverable as a unit.
+        assert!(b.receive_batch(tail).is_empty());
+        assert_eq!(b.batch_fast_applies(), 0);
+        assert_eq!(b.pending_count(), 2);
+        // The gap-filling update releases everything in order.
+        let applied = b.receive_batch(vec![m1]);
+        assert_eq!(applied.len(), 3);
+        assert!(applied.windows(2).all(|w| w[0].msg.seq + 1 == w[1].msg.seq));
+        assert_eq!(b.read(RegisterId::new(0)), Some(&Value::from(3u64)));
+    }
+
+    /// With a live parked update from another writer, the fast path must
+    /// stand down: the parked update may wake mid-batch, and applying it
+    /// at the wrong point could reorder conflicting writes.
+    #[test]
+    fn receive_batch_defers_to_oracle_when_parked_updates_are_live() {
+        let x0 = RegisterId::new(0);
+        let mut rs = all_shared_five(PendingMode::Wakeup);
+        let (y, _) = rs[0].write(x0, Value::from(100u64), vec![]).unwrap();
+        // Replica 1 applies y, then issues two updates depending on it.
+        assert_eq!(rs[1].receive(y.clone()).len(), 1);
+        let mut batch = Vec::new();
+        for i in 0..2u64 {
+            let (m, _) = rs[1].write(x0, Value::from(i), vec![]).unwrap();
+            batch.push(m);
+        }
+        // Receiver 4 holds the dependent batch first (parks), then y.
+        let mut oracle = rs[4].clone();
+        assert!(rs[4].receive_batch(batch.clone()).is_empty());
+        assert_eq!(rs[4].batch_fast_applies(), 0, "blocked batch parks");
+        let applied = rs[4].receive(y.clone());
+        assert_eq!(applied.len(), 3, "y wakes the parked batch");
+        // Oracle path: same messages, one at a time.
+        for m in &batch {
+            assert!(oracle.receive(m.clone()).is_empty());
+        }
+        assert_eq!(oracle.receive(y).len(), 3);
+        assert_eq!(rs[4].read(x0), oracle.read(x0));
+        assert_eq!(rs[4].read(x0), Some(&Value::from(1u64)));
     }
 
     /// Messages that can never become deliverable (duplicates) stay

@@ -5,25 +5,92 @@
 //! simulated [`System`](crate::System), but under genuine concurrency and
 //! wall-clock message delays — the reproduction's stand-in for the
 //! "async nodes" deployment (the offline crate set has no async runtime,
-//! so real threads + crossbeam channels play that role). All protocol
-//! events still flow into a shared [`Trace`] for offline checking.
+//! so real threads + crossbeam channels play that role).
+//!
+//! # The hot path
+//!
+//! Three design points keep client operations off the contended paths:
+//!
+//! * **Per-thread trace shards.** Each replica thread appends protocol
+//!   events to its own shard (a private `Mutex<Vec<_>>`, uncontended in
+//!   steady state) stamped with nanoseconds since a shared epoch. The
+//!   shards are merged and re-sorted into a causally valid global
+//!   [`Trace`] only when [`check`](ThreadedCluster::check) or
+//!   [`trace_snapshot`](ThreadedCluster::trace_snapshot) asks — no
+//!   global trace lock on the apply path.
+//! * **Lock-free read snapshots.** After every state change, a replica
+//!   thread publishes an immutable `Arc` snapshot of its store.
+//!   [`read`](ThreadedCluster::read) clones the `Arc` and never enqueues
+//!   into the replica thread, so readers cannot observe torn state and
+//!   cannot slow writers down.
+//! * **Batched update pipeline.** Outgoing updates coalesce per
+//!   destination under the cluster's [`BatchPolicy`] and ship as
+//!   [`BatchMsg`] frames, cutting per-envelope router work; receivers
+//!   ingest them through [`Replica::receive_batch`]'s once-per-batch
+//!   predicate fast path.
+//!
+//! Client command channels are *bounded*
+//! ([`ClusterConfig::channel_depth`]): a flooded replica thread exerts
+//! backpressure on writers instead of growing an unbounded queue.
 
 use crate::codec::{WireCodec, WireMode};
-use crate::message::UpdateMsg;
+use crate::message::{BatchMsg, UpdateMsg};
 use crate::replica::Replica;
+use crate::system::BatchPolicy;
 use crate::tracker::{CausalityTracker, EdgeTracker};
 use crate::value::Value;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
 use prcc_checker::{check, CheckReport, Trace, UpdateId};
-use prcc_net::{DelayModel, FaultPlan, SessionConfig, SessionEndpoint, SessionFrame, ThreadNet};
+use prcc_net::{
+    DelayModel, FaultPlan, NodeHandle, SessionConfig, SessionEndpoint, SessionFrame, ThreadNet,
+};
 use prcc_sharegraph::{LoopConfig, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
 use prcc_timestamp::TsRegistry;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// One delay-model tick in wall-clock time (matches the `ThreadNet`
+/// router's tick).
+const TICK: Duration = Duration::from_micros(200);
+
+/// Full configuration for a [`ThreadedCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-recipient metadata wire mode.
+    pub wire: WireMode,
+    /// Router fault plan (drops / duplicates).
+    pub faults: FaultPlan,
+    /// Reliable-delivery session layer, if any.
+    pub session: Option<SessionConfig>,
+    /// Sender-side update batching (`flush_after` is in delay-model
+    /// ticks of 200 µs, mirroring the simulated system).
+    pub batch: BatchPolicy,
+    /// Client command channel bound per replica thread. A full channel
+    /// blocks the calling writer — bounded backpressure, never an
+    /// unbounded queue.
+    pub channel_depth: usize,
+    /// Per-node network ingress bound (frames beyond it are shed by the
+    /// router and, with a session, repaired by retransmission).
+    pub ingress_depth: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            wire: WireMode::default(),
+            faults: FaultPlan::default(),
+            session: None,
+            batch: BatchPolicy::default(),
+            channel_depth: 1024,
+            ingress_depth: 4096,
+        }
+    }
+}
 
 enum Cmd {
     Write {
@@ -31,11 +98,100 @@ enum Cmd {
         value: Value,
         reply: Sender<UpdateId>,
     },
-    Read {
-        register: RegisterId,
-        reply: Sender<Option<Value>>,
-    },
     Shutdown,
+}
+
+/// One protocol event in a per-replica trace shard. The shard owner is
+/// implicit: issues belong to the issuing replica's shard, applies to
+/// the applying replica's.
+#[derive(Clone)]
+enum ShardEvent {
+    Issue { id: UpdateId, register: RegisterId },
+    Apply { id: UpdateId },
+}
+
+/// A shard event stamped for the global merge: nanoseconds since the
+/// cluster epoch plus a per-shard sequence number (tiebreak that
+/// preserves thread-local order).
+#[derive(Clone)]
+struct Stamped {
+    nanos: u64,
+    seq: u64,
+    ev: ShardEvent,
+}
+
+type TraceShard = Mutex<Vec<Stamped>>;
+
+/// Merges per-replica shards into one causally valid [`Trace`].
+///
+/// Sort key: `(nanos, kind, shard, seq)` with issues before applies at
+/// equal instants. This is a faithful real-time linearization: an issue
+/// is stamped *before* its update is handed to the network and an apply
+/// *after* delivery, so — `Instant` being monotonic across threads — an
+/// apply never carries an earlier stamp than its issue, and the
+/// issue-first tiebreak settles exact ties. Per-shard order survives
+/// because stamps within one thread are non-decreasing with `seq`
+/// strictly increasing.
+fn merge_shards(shards: &[Arc<TraceShard>]) -> Trace {
+    let mut all: Vec<(u64, u8, usize, u64, ShardEvent)> = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        for s in shard.lock().iter() {
+            let kind = match s.ev {
+                ShardEvent::Issue { .. } => 0u8,
+                ShardEvent::Apply { .. } => 1u8,
+            };
+            all.push((s.nanos, kind, i, s.seq, s.ev.clone()));
+        }
+    }
+    all.sort_by_key(|&(nanos, kind, shard, seq, _)| (nanos, kind, shard, seq));
+    let mut trace = Trace::new();
+    let mut issued: HashSet<UpdateId> = HashSet::new();
+    for (_, _, shard, _, ev) in all {
+        match ev {
+            ShardEvent::Issue { id, register } => {
+                trace.record_issue_with_id(id, register);
+                issued.insert(id);
+            }
+            ShardEvent::Apply { id } => {
+                debug_assert!(issued.contains(&id), "apply of {id} stamped before issue");
+                if issued.contains(&id) {
+                    trace.record_apply(id, ReplicaId::new(shard as u32));
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// An immutable published store snapshot plus a monotonically increasing
+/// version. Readers take the read lock only long enough to clone the
+/// `Arc`; a snapshot, once published, never mutates — torn reads are
+/// impossible by construction.
+struct SnapshotCell {
+    map: RwLock<Arc<HashMap<RegisterId, Value>>>,
+    version: AtomicU64,
+}
+
+impl SnapshotCell {
+    fn new() -> Self {
+        SnapshotCell {
+            map: RwLock::new(Arc::new(HashMap::new())),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    fn publish(&self, snap: HashMap<RegisterId, Value>) {
+        *self.map.write() = Arc::new(snap);
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    fn load(&self) -> Arc<HashMap<RegisterId, Value>> {
+        Arc::clone(&self.map.read())
+    }
+
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
 }
 
 /// A running threaded cluster.
@@ -61,7 +217,10 @@ pub struct ThreadedCluster {
     graph: Arc<ShareGraph>,
     cmd_txs: Vec<Sender<Cmd>>,
     threads: Vec<JoinHandle<()>>,
-    trace: Arc<Mutex<Trace>>,
+    /// Per-replica trace shards, merged on demand.
+    shards: Vec<Arc<TraceShard>>,
+    /// Per-replica published read snapshots.
+    snapshots: Vec<Arc<SnapshotCell>>,
     /// Total updates applied across all replicas (remote applies).
     applied: Arc<AtomicUsize>,
     /// Total updates currently parked in pending buffers.
@@ -73,7 +232,7 @@ pub struct ThreadedCluster {
     /// Total session-layer retransmissions across all replica threads.
     retransmits: Arc<AtomicUsize>,
     /// Keep the net alive for the cluster's lifetime.
-    _net: ThreadNet<SessionFrame<UpdateMsg>>,
+    _net: ThreadNet<SessionFrame<BatchMsg>>,
 }
 
 impl fmt::Debug for ThreadedCluster {
@@ -87,16 +246,24 @@ impl fmt::Debug for ThreadedCluster {
 
 impl ThreadedCluster {
     /// Spawns one thread per replica of `graph`, all using the exact
-    /// edge-indexed tracker and the default wire mode
-    /// ([`WireMode::Compressed`]).
+    /// edge-indexed tracker and the default configuration (compressed
+    /// wire, batching on, no faults, no session).
     pub fn new(graph: ShareGraph, delay: DelayModel, seed: u64) -> Self {
-        Self::new_with_wire(graph, delay, seed, WireMode::default())
+        Self::with_config(graph, delay, seed, ClusterConfig::default())
     }
 
     /// Like [`ThreadedCluster::new`], with an explicit wire mode for the
     /// per-recipient metadata codec.
     pub fn new_with_wire(graph: ShareGraph, delay: DelayModel, seed: u64, wire: WireMode) -> Self {
-        Self::new_faulty(graph, delay, seed, wire, FaultPlan::default(), None)
+        Self::with_config(
+            graph,
+            delay,
+            seed,
+            ClusterConfig {
+                wire,
+                ..ClusterConfig::default()
+            },
+        )
     }
 
     /// A cluster over a lossy transport. The router rolls `faults` on
@@ -114,14 +281,38 @@ impl ThreadedCluster {
         faults: FaultPlan,
         session: Option<SessionConfig>,
     ) -> Self {
+        Self::with_config(
+            graph,
+            delay,
+            seed,
+            ClusterConfig {
+                wire,
+                faults,
+                session,
+                ..ClusterConfig::default()
+            },
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        graph: ShareGraph,
+        delay: DelayModel,
+        seed: u64,
+        config: ClusterConfig,
+    ) -> Self {
         let graph = Arc::new(graph);
         let registry = Arc::new(TsRegistry::new(
             &graph,
             TimestampGraphs::build(&graph, LoopConfig::EXHAUSTIVE),
         ));
-        let net: ThreadNet<SessionFrame<UpdateMsg>> =
-            ThreadNet::with_faults(graph.num_replicas(), delay, seed, faults);
-        let trace = Arc::new(Mutex::new(Trace::new()));
+        let net: ThreadNet<SessionFrame<BatchMsg>> = ThreadNet::with_config(
+            graph.num_replicas(),
+            delay,
+            seed,
+            config.faults.clone(),
+            config.ingress_depth,
+        );
         let applied = Arc::new(AtomicUsize::new(0));
         let pending = Arc::new(AtomicUsize::new(0));
         let sent = Arc::new(AtomicUsize::new(0));
@@ -131,42 +322,49 @@ impl ThreadedCluster {
 
         let mut cmd_txs = Vec::new();
         let mut threads = Vec::new();
+        let mut shards = Vec::new();
+        let mut snapshots = Vec::new();
         for i in graph.replicas() {
-            let (tx, rx) = unbounded::<Cmd>();
+            let (tx, rx) = bounded::<Cmd>(config.channel_depth.max(1));
             cmd_txs.push(tx);
+            let shard: Arc<TraceShard> = Arc::new(Mutex::new(Vec::new()));
+            shards.push(shard.clone());
+            let snapshot = Arc::new(SnapshotCell::new());
+            snapshots.push(snapshot.clone());
             let handle = net.handle(i);
             let graph = graph.clone();
             let registry = registry.clone();
-            let trace = trace.clone();
+            let config = config.clone();
             let applied = applied.clone();
             let pending = pending.clone();
             let sent = sent.clone();
             let wire_bytes = wire_bytes.clone();
             let retransmits = retransmits.clone();
             threads.push(std::thread::spawn(move || {
-                replica_main(
-                    i,
+                replica_main(ReplicaCtx {
+                    id: i,
                     graph,
                     registry,
-                    wire,
-                    session,
+                    config,
                     epoch,
-                    handle,
-                    rx,
-                    trace,
-                    applied,
-                    pending,
-                    sent,
-                    wire_bytes,
-                    retransmits,
-                )
+                    net: handle,
+                    cmds: rx,
+                    shard,
+                    snapshot,
+                    applied_ctr: applied,
+                    pending_ctr: pending,
+                    sent_ctr: sent,
+                    wire_bytes_ctr: wire_bytes,
+                    retransmits_ctr: retransmits,
+                })
             }));
         }
         ThreadedCluster {
             graph,
             cmd_txs,
             threads,
-            trace,
+            shards,
+            snapshots,
             applied,
             pending,
             sent,
@@ -176,13 +374,14 @@ impl ThreadedCluster {
         }
     }
 
-    /// Performs a blocking write at replica `r`.
+    /// Performs a blocking write at replica `r`. A full command channel
+    /// blocks until the replica thread drains (bounded backpressure).
     ///
     /// # Panics
     ///
     /// Panics if `r` does not store `x` or the cluster has shut down.
     pub fn write(&self, r: ReplicaId, x: RegisterId, v: Value) -> UpdateId {
-        let (reply, rx) = unbounded();
+        let (reply, rx) = bounded(1);
         self.cmd_txs[r.index()]
             .send(Cmd::Write {
                 register: x,
@@ -193,13 +392,52 @@ impl ThreadedCluster {
         rx.recv().expect("replica thread alive")
     }
 
-    /// Performs a blocking read at replica `r`.
+    /// Pipelined writes: enqueues every command before collecting any
+    /// reply, so the replica thread coalesces the burst into batches
+    /// instead of ping-ponging one command per reply. The command
+    /// channel's bound still applies — a burst deeper than
+    /// `channel_depth` blocks until the replica drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not store one of the registers or the cluster
+    /// has shut down.
+    pub fn write_burst(&self, r: ReplicaId, writes: &[(RegisterId, Value)]) -> Vec<UpdateId> {
+        let (reply, rx) = bounded(writes.len().max(1));
+        for (x, v) in writes {
+            self.cmd_txs[r.index()]
+                .send(Cmd::Write {
+                    register: *x,
+                    value: v.clone(),
+                    reply: reply.clone(),
+                })
+                .expect("cluster alive");
+        }
+        drop(reply);
+        let mut ids = Vec::with_capacity(writes.len());
+        for _ in writes {
+            ids.push(rx.recv().expect("replica thread alive"));
+        }
+        ids
+    }
+
+    /// Reads register `x` at replica `r` from its published snapshot —
+    /// no round trip into the replica thread, no torn reads (snapshots
+    /// are immutable once published). Reflects the replica's own writes
+    /// as soon as [`write`](Self::write) returns.
     pub fn read(&self, r: ReplicaId, x: RegisterId) -> Option<Value> {
-        let (reply, rx) = unbounded();
-        self.cmd_txs[r.index()]
-            .send(Cmd::Read { register: x, reply })
-            .expect("cluster alive");
-        rx.recv().expect("replica thread alive")
+        self.snapshots[r.index()].load().get(&x).cloned()
+    }
+
+    /// The full immutable store snapshot currently published by `r`.
+    pub fn store_snapshot(&self, r: ReplicaId) -> Arc<HashMap<RegisterId, Value>> {
+        self.snapshots[r.index()].load()
+    }
+
+    /// The snapshot publication counter of `r` (monotonically
+    /// increasing; one bump per published state change).
+    pub fn snapshot_version(&self, r: ReplicaId) -> u64 {
+        self.snapshots[r.index()].version()
     }
 
     /// Blocks until the cluster is quiescent: every sent message that has
@@ -227,12 +465,13 @@ impl ThreadedCluster {
 
     /// Checks the recorded trace for replica-centric causal consistency.
     pub fn check(&self) -> CheckReport {
-        check(&self.trace.lock(), self.graph.placement())
+        check(&merge_shards(&self.shards), self.graph.placement())
     }
 
-    /// A snapshot of the trace so far.
+    /// A snapshot of the trace so far (shards merged and causally
+    /// re-sorted).
     pub fn trace_snapshot(&self) -> Trace {
-        self.trace.lock().clone()
+        merge_shards(&self.shards)
     }
 
     /// Total remote applies so far.
@@ -259,8 +498,7 @@ impl ThreadedCluster {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
-        let trace = self.trace.lock().clone();
-        trace
+        merge_shards(&self.shards)
     }
 }
 
@@ -275,26 +513,68 @@ impl Drop for ThreadedCluster {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn replica_main(
+/// Everything one replica thread owns.
+struct ReplicaCtx {
     id: ReplicaId,
     graph: Arc<ShareGraph>,
     registry: Arc<TsRegistry>,
-    wire: WireMode,
-    session: Option<SessionConfig>,
+    config: ClusterConfig,
     epoch: Instant,
-    net: prcc_net::NodeHandle<SessionFrame<UpdateMsg>>,
+    net: NodeHandle<SessionFrame<BatchMsg>>,
     cmds: Receiver<Cmd>,
-    trace: Arc<Mutex<Trace>>,
+    shard: Arc<TraceShard>,
+    snapshot: Arc<SnapshotCell>,
     applied_ctr: Arc<AtomicUsize>,
     pending_ctr: Arc<AtomicUsize>,
     sent_ctr: Arc<AtomicUsize>,
     wire_bytes_ctr: Arc<AtomicUsize>,
     retransmits_ctr: Arc<AtomicUsize>,
+}
+
+/// A per-destination pending batch on the sender side.
+struct Outq {
+    msgs: Vec<UpdateMsg>,
+    bytes: usize,
+    due: Instant,
+}
+
+/// Wraps queued updates as a batch and hands it to the session layer
+/// (or ships it bare).
+fn ship(
+    msgs: Vec<UpdateMsg>,
+    dst: ReplicaId,
+    endpoint: &mut Option<SessionEndpoint<BatchMsg>>,
+    net: &NodeHandle<SessionFrame<BatchMsg>>,
+    now_ms: u64,
 ) {
+    let batch = BatchMsg { updates: msgs };
+    let frame = match endpoint.as_mut() {
+        Some(ep) => ep.send(dst, batch, now_ms),
+        None => SessionFrame::Bare(batch),
+    };
+    net.send(dst, frame);
+}
+
+fn replica_main(ctx: ReplicaCtx) {
+    let ReplicaCtx {
+        id,
+        graph,
+        registry,
+        config,
+        epoch,
+        net,
+        cmds,
+        shard,
+        snapshot,
+        applied_ctr,
+        pending_ctr,
+        sent_ctr,
+        wire_bytes_ctr,
+        retransmits_ctr,
+    } = ctx;
     // Each sender thread owns the codec for its outgoing pair streams —
     // per-pair delta state never crosses threads.
-    let mut codec = WireCodec::new(wire, Some(registry.clone()));
+    let mut codec = WireCodec::new(config.wire, Some(registry.clone()));
     let mut replica = Replica::new(
         id,
         graph.placement().registers_of(id).clone(),
@@ -302,109 +582,165 @@ fn replica_main(
     );
     // Session timers run on wall-clock milliseconds since the cluster
     // epoch — the real-timer counterpart of the sim clock.
-    let mut endpoint = session.map(|cfg| SessionEndpoint::new(id, cfg));
-    let now_ms = |epoch: Instant| epoch.elapsed().as_millis() as u64;
+    let mut endpoint = config.session.map(|cfg| SessionEndpoint::new(id, cfg));
+    let now_ms = |epoch: &Instant| epoch.elapsed().as_millis() as u64;
     let mut last_retx = 0usize;
     let mut local_pending = 0usize;
+    let mut shard_seq = 0u64;
+    let mut outq: HashMap<ReplicaId, Outq> = HashMap::new();
+    let eager = config.batch.batch_count <= 1;
+    let flush_window = TICK * config.batch.flush_after.min(u32::MAX as u64) as u32;
     loop {
         let mut idle = true;
-        // Commands first (client ops take priority over gossip).
-        match cmds.try_recv() {
-            Ok(Cmd::Write {
-                register,
-                value,
-                reply,
-            }) => {
-                idle = false;
-                let recipients: Vec<ReplicaId> = graph
-                    .placement()
-                    .holders(register)
-                    .iter()
-                    .copied()
-                    .filter(|&h| h != id)
-                    .collect();
-                let (msg, recipients) = replica
-                    .write(register, value, recipients)
-                    .unwrap_or_else(|e| panic!("{e}"));
-                let uid = UpdateId {
-                    issuer: id,
-                    seq: msg.seq,
-                };
-                // Record the issue *before* any send so applies can never
-                // precede it in the global trace order.
-                trace.lock().record_issue_with_id(uid, register);
-                for dst in recipients {
-                    sent_ctr.fetch_add(1, Ordering::SeqCst);
-                    // Zero-copy fan-out: the metadata `Arc` (or its
-                    // per-pair projected frame) is shared, not cloned.
-                    let m = UpdateMsg {
-                        meta: codec.encode(id, dst, &msg.meta),
-                        ..msg.clone()
+        // Drain a burst of client commands (writes from concurrent
+        // drivers coalesce into the same pending batches).
+        for _ in 0..64 {
+            match cmds.try_recv() {
+                Ok(Cmd::Write {
+                    register,
+                    value,
+                    reply,
+                }) => {
+                    idle = false;
+                    let recipients: Vec<ReplicaId> = graph
+                        .placement()
+                        .holders(register)
+                        .iter()
+                        .copied()
+                        .filter(|&h| h != id)
+                        .collect();
+                    let (msg, recipients) = replica
+                        .write(register, value, recipients)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    let uid = UpdateId {
+                        issuer: id,
+                        seq: msg.seq,
                     };
-                    wire_bytes_ctr.fetch_add(m.meta.size_bytes(), Ordering::SeqCst);
-                    let frame = match endpoint.as_mut() {
-                        Some(ep) => ep.send(dst, m, now_ms(epoch)),
-                        None => SessionFrame::Bare(m),
-                    };
-                    net.send(dst, frame);
+                    // Stamp the issue *before* any send: the shard merge
+                    // relies on issue stamps preceding all apply stamps.
+                    shard.lock().push(Stamped {
+                        nanos: epoch.elapsed().as_nanos() as u64,
+                        seq: shard_seq,
+                        ev: ShardEvent::Issue { id: uid, register },
+                    });
+                    shard_seq += 1;
+                    for dst in recipients {
+                        sent_ctr.fetch_add(1, Ordering::SeqCst);
+                        // Zero-copy fan-out: the metadata `Arc` (or its
+                        // per-pair projected frame) is shared, not cloned.
+                        let m = UpdateMsg {
+                            meta: codec.encode(id, dst, &msg.meta),
+                            ..msg.clone()
+                        };
+                        wire_bytes_ctr.fetch_add(m.meta.size_bytes(), Ordering::SeqCst);
+                        if eager {
+                            ship(vec![m], dst, &mut endpoint, &net, now_ms(&epoch));
+                        } else {
+                            let q = outq.entry(dst).or_insert_with(|| Outq {
+                                msgs: Vec::new(),
+                                bytes: 0,
+                                due: Instant::now() + flush_window,
+                            });
+                            q.bytes += m.size_bytes();
+                            q.msgs.push(m);
+                            if q.msgs.len() >= config.batch.batch_count
+                                || q.bytes >= config.batch.batch_bytes
+                            {
+                                let q = outq.remove(&dst).expect("slot just filled");
+                                ship(q.msgs, dst, &mut endpoint, &net, now_ms(&epoch));
+                            }
+                        }
+                    }
+                    // Publish before replying: a reader that saw this
+                    // write return must find it in the snapshot
+                    // (read-own-writes).
+                    snapshot.publish(replica.store_snapshot());
+                    let _ = reply.send(uid);
                 }
-                let _ = reply.send(uid);
+                Ok(Cmd::Shutdown) => {
+                    // Flush unshipped batches so nothing queued is lost.
+                    for (dst, q) in outq.drain() {
+                        ship(q.msgs, dst, &mut endpoint, &net, now_ms(&epoch));
+                    }
+                    return;
+                }
+                Err(_) => break,
             }
-            Ok(Cmd::Read { register, reply }) => {
-                idle = false;
-                let _ = reply.send(replica.read(register).cloned());
-            }
-            Ok(Cmd::Shutdown) => return,
-            Err(_) => {}
         }
-        // Then network input.
-        if let Some(env) = net.try_recv() {
+        // Then a burst of network input.
+        let mut applied_any = false;
+        for _ in 0..256 {
+            let Some(env) = net.try_recv() else { break };
             idle = false;
             let payloads = match endpoint.as_mut() {
                 Some(ep) => {
                     let mut resp = Vec::new();
-                    let msgs = ep.on_frame(env.src, env.msg, now_ms(epoch), &mut resp);
+                    let msgs = ep.on_frame(env.src, env.msg, now_ms(&epoch), &mut resp);
                     for (dst, f) in resp {
                         net.send(dst, f);
                     }
                     msgs
                 }
                 None => match env.msg {
-                    SessionFrame::Bare(m) => vec![m],
+                    SessionFrame::Bare(b) => vec![b],
                     // Session frames without a session endpoint cannot
                     // happen (both are chosen by the same constructor).
                     _ => Vec::new(),
                 },
             };
-            for msg in payloads {
-                let applied = replica.receive(msg);
-                {
-                    let mut t = trace.lock();
+            for batch in payloads {
+                let applied = replica.receive_batch(batch.updates);
+                if !applied.is_empty() {
+                    applied_any = true;
+                    let mut s = shard.lock();
+                    let nanos = epoch.elapsed().as_nanos() as u64;
                     for a in &applied {
-                        t.record_apply(
-                            UpdateId {
-                                issuer: a.msg.issuer,
-                                seq: a.msg.seq,
+                        s.push(Stamped {
+                            nanos,
+                            seq: shard_seq,
+                            ev: ShardEvent::Apply {
+                                id: UpdateId {
+                                    issuer: a.msg.issuer,
+                                    seq: a.msg.seq,
+                                },
                             },
-                            id,
-                        );
+                        });
+                        shard_seq += 1;
                     }
                 }
                 applied_ctr.fetch_add(applied.len(), Ordering::SeqCst);
             }
-            let np = replica.pending_count();
-            if np != local_pending {
-                if np > local_pending {
-                    pending_ctr.fetch_add(np - local_pending, Ordering::SeqCst);
-                } else {
-                    pending_ctr.fetch_sub(local_pending - np, Ordering::SeqCst);
-                }
-                local_pending = np;
+        }
+        if applied_any {
+            snapshot.publish(replica.store_snapshot());
+        }
+        let np = replica.pending_count();
+        if np != local_pending {
+            if np > local_pending {
+                pending_ctr.fetch_add(np - local_pending, Ordering::SeqCst);
+            } else {
+                pending_ctr.fetch_sub(local_pending - np, Ordering::SeqCst);
             }
+            local_pending = np;
+        }
+        // Flush batches whose coalescing window has closed.
+        if !outq.is_empty() {
+            let now = Instant::now();
+            let due: Vec<ReplicaId> = outq
+                .iter()
+                .filter(|(_, q)| q.due <= now)
+                .map(|(&d, _)| d)
+                .collect();
+            for dst in due {
+                let q = outq.remove(&dst).expect("due batch present");
+                ship(q.msgs, dst, &mut endpoint, &net, now_ms(&epoch));
+            }
+            // Stay hot while a batch is waiting for its window.
+            idle = idle && outq.is_empty();
         }
         // Retransmission timers: fire whatever is due.
         if let Some(ep) = endpoint.as_mut() {
-            let now = now_ms(epoch);
+            let now = now_ms(&epoch);
             if ep.next_deadline().is_some_and(|d| d <= now) {
                 let mut due = Vec::new();
                 ep.poll(now, &mut due);
@@ -483,6 +819,86 @@ mod tests {
     }
 
     #[test]
+    fn unbatched_cluster_still_converges() {
+        let cluster = ThreadedCluster::with_config(
+            topology::ring(3),
+            DelayModel::Fixed(1),
+            5,
+            ClusterConfig {
+                batch: BatchPolicy::unbatched(),
+                channel_depth: 2,
+                ..ClusterConfig::default()
+            },
+        );
+        for round in 0..5u64 {
+            for i in 0..3u32 {
+                cluster.write(r(i), x(i), Value::from(round));
+            }
+        }
+        cluster.settle();
+        assert!(cluster.check().is_consistent());
+        assert_eq!(cluster.read(r(1), x(0)), Some(Value::from(4u64)));
+    }
+
+    #[test]
+    fn snapshot_versions_are_monotone_and_readable_mid_run() {
+        let cluster = ThreadedCluster::new(topology::path(2), DelayModel::Fixed(1), 2);
+        let mut last_version = 0;
+        for round in 0..20u64 {
+            cluster.write(r(0), x(0), Value::from(round));
+            let v = cluster.snapshot_version(r(0));
+            assert!(v >= last_version, "snapshot version went backwards");
+            assert!(v > 0, "write published a snapshot before replying");
+            last_version = v;
+            // The snapshot read reflects the acknowledged write.
+            assert_eq!(cluster.read(r(0), x(0)), Some(Value::from(round)));
+        }
+        cluster.settle();
+        assert_eq!(cluster.read(r(1), x(0)), Some(Value::from(19u64)));
+    }
+
+    #[test]
+    fn concurrent_snapshot_readers_never_see_torn_state() {
+        // Ring(3): replica 0 stores registers 0 and 2. The writer bumps
+        // x0 then x2 to the same value, so every honestly published
+        // snapshot satisfies x2 <= x0. A torn read (x2 from a newer
+        // state than x0) would invert that.
+        let cluster = ThreadedCluster::new(topology::ring(3), DelayModel::Fixed(0), 4);
+        let val = |v: Option<&Value>| match v {
+            Some(&Value::U64(n)) => n,
+            _ => 0,
+        };
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let c = &cluster;
+            let done = &done;
+            s.spawn(move || {
+                for k in 1..=200u64 {
+                    c.write(r(0), x(0), Value::from(k));
+                    c.write(r(0), x(2), Value::from(k));
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let mut last_version = 0;
+                    while !done.load(Ordering::SeqCst) {
+                        let snap = c.store_snapshot(r(0));
+                        let a = val(snap.get(&x(0)));
+                        let b = val(snap.get(&x(2)));
+                        assert!(b <= a, "torn snapshot: x2={b} ran ahead of x0={a}");
+                        let v = c.snapshot_version(r(0));
+                        assert!(v >= last_version, "snapshot version went backwards");
+                        last_version = v;
+                    }
+                });
+            }
+        });
+        cluster.settle();
+        assert!(cluster.check().is_consistent());
+    }
+
+    #[test]
     fn lossy_network_converges_with_session() {
         // 30% drop + 20% duplication on real threads: the wall-clock
         // retransmission timers must restore every delivery. Delay ticks
@@ -501,6 +917,7 @@ mod tests {
                 rto_base: 10,
                 rto_max: 80,
                 jitter: 3,
+                ack_delay: 0,
             }),
         );
         for round in 0..10u64 {

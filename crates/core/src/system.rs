@@ -15,7 +15,7 @@
 //!   reproducing Theorem 8's impossibility executions (experiment E2).
 
 use crate::codec::{WireCodec, WireMode};
-use crate::message::UpdateMsg;
+use crate::message::{BatchMsg, UpdateMsg};
 use crate::recovery::RecoveryLog;
 use crate::replica::{PendingMode, Replica};
 use crate::stats::LatencyStats;
@@ -31,7 +31,7 @@ use prcc_sharegraph::{
     TimestampGraphs,
 };
 use prcc_timestamp::TsRegistry;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -48,6 +48,64 @@ pub enum TrackerKind {
     /// Shen et al.): correct under partial replication with no metadata
     /// broadcast, but metadata grows with history.
     FullDeps,
+}
+
+/// How the sender-side pipeline coalesces queued updates into
+/// [`BatchMsg`] frames, per ordered `(sender, receiver)` pair.
+///
+/// A pending batch is flushed to the network when it reaches
+/// `batch_count` updates or `batch_bytes` payload bytes, or when
+/// `flush_after` ticks have elapsed since its first update was queued —
+/// whichever comes first. `batch_count <= 1` degenerates to eager
+/// per-update shipping (singleton batches, byte-identical to the
+/// unbatched wire: see [`BatchMsg::size_bytes`]), which is also forced
+/// whenever the fault schedule scripts crashes — a queued-but-unflushed
+/// batch lives in volatile sender memory, and eager flushing keeps the
+/// durable outbox complete at every crash instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Max updates per batch (flush trigger). `<= 1` disables coalescing.
+    pub batch_count: usize,
+    /// Max accumulated payload bytes per batch (flush trigger).
+    pub batch_bytes: usize,
+    /// Ticks a non-full batch waits for more updates before flushing.
+    pub flush_after: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            batch_count: 16,
+            batch_bytes: 4096,
+            flush_after: 1,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// The differential oracle: every update ships immediately as a
+    /// singleton batch — the exact unbatched wire behavior.
+    pub fn unbatched() -> Self {
+        BatchPolicy {
+            batch_count: 1,
+            batch_bytes: 0,
+            flush_after: 0,
+        }
+    }
+
+    /// True if this policy ever coalesces more than one update.
+    pub fn is_batching(&self) -> bool {
+        self.batch_count > 1
+    }
+}
+
+/// A sender-side pending batch: updates queued for one `(src, dst)`
+/// pair, waiting for a flush trigger.
+#[derive(Debug)]
+struct PendingBatch {
+    msgs: Vec<UpdateMsg>,
+    bytes: usize,
+    due: u64,
 }
 
 /// Aggregate counters collected while a [`System`] runs.
@@ -109,6 +167,7 @@ pub struct SystemBuilder {
     session: Option<SessionConfig>,
     snapshot_every: usize,
     wire_mode: WireMode,
+    batch: BatchPolicy,
 }
 
 impl SystemBuilder {
@@ -126,6 +185,7 @@ impl SystemBuilder {
             session: None,
             snapshot_every: 64,
             wire_mode: WireMode::default(),
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -205,6 +265,16 @@ impl SystemBuilder {
     /// layer is active (session enabled or crashes scheduled).
     pub fn snapshot_every(mut self, every: usize) -> Self {
         self.snapshot_every = every;
+        self
+    }
+
+    /// Selects the sender-side batching policy (default:
+    /// [`BatchPolicy::default`], coalescing on). Use
+    /// [`BatchPolicy::unbatched`] for the per-update differential
+    /// oracle. Forced to eager flushing under a crash schedule — see
+    /// [`BatchPolicy`].
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
         self
     }
 
@@ -316,8 +386,16 @@ impl SystemBuilder {
                 .map(|r| RecoveryLog::new(r.clone(), self.snapshot_every))
                 .collect()
         });
+        // A queued-but-unflushed batch is volatile sender state: under a
+        // crash schedule it would die with the replica while the durable
+        // outbox claims it was never sent. Eager flushing (singleton
+        // batches) keeps outbox and wire in lockstep at every instant.
+        let eager_flush = self.batch.batch_count <= 1 || !crash_queue.is_empty();
         System {
             codec: WireCodec::new(self.wire_mode, codec_registry),
+            batch: self.batch,
+            eager_flush,
+            outq: BTreeMap::new(),
             data_placement,
             effective_graph: Arc::new(effective_graph),
             tracker_kind: self.tracker,
@@ -352,11 +430,20 @@ pub struct System {
     effective_graph: Arc<ShareGraph>,
     tracker_kind: TrackerKind,
     replicas: Vec<Replica>,
-    net: SimNetwork<SessionFrame<UpdateMsg>>,
+    net: SimNetwork<SessionFrame<BatchMsg>>,
+    /// Sender-side batching policy.
+    batch: BatchPolicy,
+    /// True when every update ships immediately as a singleton batch
+    /// (policy `batch_count <= 1`, or a crash schedule is installed).
+    eager_flush: bool,
+    /// Pending batches, one slot per ordered `(src, dst)` pair with
+    /// queued updates. `BTreeMap` keeps flush order deterministic.
+    outq: BTreeMap<(ReplicaId, ReplicaId), PendingBatch>,
     /// Session endpoints, one per replica, when the reliable-delivery
     /// layer is on (`None` = the paper's reliable-channel model, frames
-    /// travel as [`SessionFrame::Bare`]).
-    sessions: Option<Vec<SessionEndpoint<UpdateMsg>>>,
+    /// travel as [`SessionFrame::Bare`]). The session stream unit is a
+    /// whole batch.
+    sessions: Option<Vec<SessionEndpoint<BatchMsg>>>,
     /// Durable recovery logs, present when the session layer is on or
     /// crashes are scheduled.
     logs: Option<Vec<RecoveryLog>>,
@@ -514,19 +601,49 @@ impl System {
             if self.track_catch_up {
                 self.expected[dst.index()].insert(id);
             }
-            let bytes = m.size_bytes();
-            let frame = if let Some(sessions) = &mut self.sessions {
-                if let Some(logs) = &mut self.logs {
-                    logs[r.index()].record_send(dst, m.clone());
-                }
-                sessions[r.index()].send(dst, m, now)
-            } else {
-                SessionFrame::Bare(m)
-            };
-            let wire = bytes + frame.overhead_bytes();
-            self.net.send_sized(r, dst, frame, wire);
+            self.enqueue_update(r, dst, m, now);
         }
         id
+    }
+
+    /// Queues one per-recipient update into the `(src, dst)` pending
+    /// batch, flushing on a count/byte trigger. Eager mode ships it
+    /// immediately as a singleton.
+    fn enqueue_update(&mut self, src: ReplicaId, dst: ReplicaId, m: UpdateMsg, now: u64) {
+        if self.eager_flush {
+            self.ship_batch(src, dst, BatchMsg::singleton(m));
+            return;
+        }
+        let flush_after = self.batch.flush_after;
+        let slot = self.outq.entry((src, dst)).or_insert_with(|| PendingBatch {
+            msgs: Vec::new(),
+            bytes: 0,
+            due: now + flush_after,
+        });
+        slot.bytes += m.size_bytes();
+        slot.msgs.push(m);
+        if slot.msgs.len() >= self.batch.batch_count || slot.bytes >= self.batch.batch_bytes {
+            let b = self.outq.remove(&(src, dst)).expect("slot just filled");
+            self.ship_batch(src, dst, BatchMsg { updates: b.msgs });
+        }
+    }
+
+    /// Hands one batch to the session layer (or bare network), charging
+    /// its true wire size. The durable outbox records the batch before
+    /// the frame can reach the network (send-after-durable).
+    fn ship_batch(&mut self, src: ReplicaId, dst: ReplicaId, batch: BatchMsg) {
+        let now = self.net.now();
+        let bytes = batch.size_bytes();
+        let frame = if let Some(sessions) = &mut self.sessions {
+            if let Some(logs) = &mut self.logs {
+                logs[src.index()].record_send(dst, batch.clone());
+            }
+            sessions[src.index()].send(dst, batch, now)
+        } else {
+            SessionFrame::Bare(batch)
+        };
+        let wire = bytes + frame.overhead_bytes();
+        self.net.send_sized(src, dst, frame, wire);
     }
 
     fn recipients_of(&self, r: ReplicaId, x: RegisterId) -> Vec<ReplicaId> {
@@ -564,7 +681,8 @@ impl System {
 
     /// Time of the next simulation event of any kind, or `None` at full
     /// quiescence. Events, in priority order at equal instants: scripted
-    /// crash, scripted restart, network delivery, retransmission timer.
+    /// crash, scripted restart, pending-batch flush, network delivery,
+    /// retransmission timer.
     fn next_event_time(&self) -> Option<u64> {
         let t_sess = self.sessions.as_ref().and_then(|s| {
             s.iter()
@@ -576,6 +694,7 @@ impl System {
         [
             self.crash_queue.front().map(|&(t, _)| t),
             self.restart_queue.front().map(|&(t, _)| t),
+            self.outq.values().map(|b| b.due).min(),
             self.net.peek_delivery_time(),
             t_sess,
         ]
@@ -585,8 +704,9 @@ impl System {
     }
 
     /// Processes the next simulation event: a scripted crash or restart,
-    /// a network delivery (discarded if the destination is down), or a
-    /// batch of due retransmissions. Returns `false` at quiescence.
+    /// a due pending-batch flush, a network delivery (discarded if the
+    /// destination is down), or a batch of due retransmissions. Returns
+    /// `false` at quiescence.
     pub fn step(&mut self) -> bool {
         let Some(t) = self.next_event_time() else {
             return false;
@@ -599,6 +719,10 @@ impl System {
                 // actually discarded at restart, when the replica is
                 // rebuilt from its recovery log.
                 self.crashed[r.index()] = true;
+                // Unflushed batches are volatile sender state too
+                // (unreachable in practice: crash schedules force eager
+                // flushing, so the queue is already empty).
+                self.outq.retain(|&(src, _), _| src != r);
                 return true;
             }
         }
@@ -609,6 +733,20 @@ impl System {
                 return true;
             }
         }
+        let due: Vec<(ReplicaId, ReplicaId)> = self
+            .outq
+            .iter()
+            .filter(|(_, b)| b.due <= t)
+            .map(|(&k, _)| k)
+            .collect();
+        if !due.is_empty() {
+            self.net.advance_to(t);
+            for (src, dst) in due {
+                let b = self.outq.remove(&(src, dst)).expect("due batch present");
+                self.ship_batch(src, dst, BatchMsg { updates: b.msgs });
+            }
+            return true;
+        }
         if self.net.peek_delivery_time() == Some(t) {
             let (t, env) = self.net.next_delivery().expect("peeked delivery");
             self.deliver_frame(t, env.src, env.dst, env.msg);
@@ -617,7 +755,7 @@ impl System {
         // Retransmission timers: poll every live endpoint that is due.
         self.net.advance_to(t);
         if let Some(sessions) = &mut self.sessions {
-            let mut sends: Vec<(ReplicaId, ReplicaId, SessionFrame<UpdateMsg>)> = Vec::new();
+            let mut sends: Vec<(ReplicaId, ReplicaId, SessionFrame<BatchMsg>)> = Vec::new();
             for (i, e) in sessions.iter_mut().enumerate() {
                 if self.crashed[i] {
                     continue;
@@ -639,8 +777,8 @@ impl System {
     /// Ships one session frame, charging its true wire size (payload +
     /// framing overhead). Used for acks, retransmissions, and catch-up —
     /// first transmissions are accounted in [`write`](Self::write).
-    fn send_frame(&mut self, src: ReplicaId, dst: ReplicaId, frame: SessionFrame<UpdateMsg>) {
-        let bytes = frame.payload().map_or(0, UpdateMsg::size_bytes) + frame.overhead_bytes();
+    fn send_frame(&mut self, src: ReplicaId, dst: ReplicaId, frame: SessionFrame<BatchMsg>) {
+        let bytes = frame.payload().map_or(0, BatchMsg::size_bytes) + frame.overhead_bytes();
         self.net.send_sized(src, dst, frame, bytes);
     }
 
@@ -653,7 +791,7 @@ impl System {
         t: u64,
         src: ReplicaId,
         dst: ReplicaId,
-        frame: SessionFrame<UpdateMsg>,
+        frame: SessionFrame<BatchMsg>,
     ) {
         if self.crashed[dst.index()] {
             self.lost_to_crash += 1;
@@ -675,7 +813,7 @@ impl System {
             }
         }
         for p in payloads {
-            self.deliver_payload(dst, p, t);
+            self.deliver_batch(dst, p, t);
         }
         if let Some(logs) = &mut self.logs {
             logs[dst.index()].maybe_snapshot(&self.replicas[dst.index()]);
@@ -685,12 +823,14 @@ impl System {
         }
     }
 
-    /// Ingests one update at `dst` and records trace/metrics for every
-    /// apply it triggers.
-    fn deliver_payload(&mut self, dst: ReplicaId, msg: UpdateMsg, t: u64) {
-        let key = (msg.issuer, msg.seq, dst);
-        self.arrival.insert(key, t);
-        let applied = self.replicas[dst.index()].receive(msg);
+    /// Ingests one batch at `dst` — through [`Replica::receive_batch`]'s
+    /// once-per-batch fast path when it applies — and records
+    /// trace/metrics for every apply it triggers.
+    fn deliver_batch(&mut self, dst: ReplicaId, batch: BatchMsg, t: u64) {
+        for m in &batch.updates {
+            self.arrival.insert((m.issuer, m.seq, dst), t);
+        }
+        let applied = self.replicas[dst.index()].receive_batch(batch.updates);
         for a in applied {
             let id = UpdateId {
                 issuer: a.msg.issuer,
@@ -808,6 +948,7 @@ impl System {
     /// scripted event is still due.
     pub fn is_settled(&self) -> bool {
         self.net.is_quiescent()
+            && self.outq.is_empty()
             && self.replicas.iter().all(|r| r.pending_count() == 0)
             && self.crash_queue.is_empty()
             && self.restart_queue.is_empty()

@@ -65,6 +65,19 @@ pub trait CausalityTracker: Send + fmt::Debug {
         }
     }
 
+    /// Batched predicate `J` over a run of consecutive updates from one
+    /// issuer on a single pair stream, in send order: `Some(true)` iff the
+    /// whole run is deliverable now as an in-order unit *and* merging only
+    /// the last update's metadata reproduces the state of merging each in
+    /// turn — the once-per-batch evaluation of
+    /// [`TsRegistry::batch_ready`](prcc_timestamp::TsRegistry::batch_ready).
+    /// `Some(false)` or `None` (the default: tracker has no batch
+    /// evaluation) sends the caller down the per-message path.
+    fn batch_ready(&self, msgs: &[UpdateMsg]) -> Option<bool> {
+        let _ = msgs;
+        None
+    }
+
     /// Step 4(ii): merge the applied update's metadata into the local
     /// timestamp.
     fn on_apply(&mut self, msg: &UpdateMsg);
@@ -150,6 +163,39 @@ impl CausalityTracker for EdgeTracker {
             JVerdict::Ready => ReadyCheck::Ready,
             JVerdict::Blocked { slot, needs } => ReadyCheck::BlockedOn { slot, needs },
             JVerdict::Dead => ReadyCheck::Dead,
+        }
+    }
+
+    fn batch_ready(&self, msgs: &[UpdateMsg]) -> Option<bool> {
+        let (first, rest) = msgs.split_first()?;
+        if rest.iter().any(|m| m.issuer != first.issuer) {
+            return Some(false);
+        }
+        match &*first.meta {
+            Metadata::Edge(_) => {
+                let mut stamps = Vec::with_capacity(msgs.len());
+                for m in msgs {
+                    match &*m.meta {
+                        Metadata::Edge(t) => stamps.push(t),
+                        _ => return Some(false),
+                    }
+                }
+                Some(self.registry.batch_ready(&self.ts, first.issuer, &stamps))
+            }
+            Metadata::Projected { .. } => {
+                let mut slices = Vec::with_capacity(msgs.len());
+                for m in msgs {
+                    match &*m.meta {
+                        Metadata::Projected { values, .. } => slices.push(values.as_slice()),
+                        _ => return Some(false),
+                    }
+                }
+                Some(
+                    self.registry
+                        .batch_ready_projected(&self.ts, first.issuer, &slices),
+                )
+            }
+            _ => Some(false),
         }
     }
 

@@ -75,6 +75,11 @@ pub enum SessionFrame<M> {
         seq: u64,
         /// The payload.
         payload: M,
+        /// Piggybacked cumulative ack for the *reverse* stream (the
+        /// sender's in-order delivery point for the receiver's data),
+        /// attached when an ack was pending toward this destination —
+        /// bidirectional traffic then needs no standalone `Ack` frame.
+        ack: Option<u64>,
     },
     /// Receiver feedback: everything `<= cum` has been delivered
     /// in-order; `sacks` are sequence numbers buffered above the gap.
@@ -98,7 +103,7 @@ impl<M> SessionFrame<M> {
     pub fn overhead_bytes(&self) -> usize {
         match self {
             SessionFrame::Bare(_) => 0,
-            SessionFrame::Data { .. } => 8,
+            SessionFrame::Data { ack, .. } => 8 + if ack.is_some() { 8 } else { 0 },
             SessionFrame::Ack { sacks, .. } => 8 + 8 * sacks.len(),
             SessionFrame::CatchUp { .. } => 8,
         }
@@ -127,6 +132,12 @@ pub struct SessionConfig {
     /// Maximum extra jitter added to each deadline (hash-derived,
     /// deterministic). 0 disables jitter.
     pub jitter: u64,
+    /// How long an in-order delivery's ack may wait for a reverse-stream
+    /// data frame to piggyback on before a standalone `Ack` is emitted.
+    /// 0 (the default) acks every data frame immediately — the original
+    /// behavior. Should stay well below `rto_base`, or delayed acks will
+    /// trigger spurious retransmissions at the peer.
+    pub ack_delay: u64,
 }
 
 impl Default for SessionConfig {
@@ -138,6 +149,7 @@ impl Default for SessionConfig {
             rto_base: 600,
             rto_max: 4800,
             jitter: 64,
+            ack_delay: 0,
         }
     }
 }
@@ -171,6 +183,9 @@ pub struct SessionStats {
     pub catch_up_sent: usize,
     /// `CatchUp` frames received from restarting peers.
     pub catch_up_served: usize,
+    /// Standalone `Ack` frames suppressed because the cumulative point
+    /// rode out on an outgoing data frame instead.
+    pub acks_piggybacked: usize,
 }
 
 impl SessionStats {
@@ -184,6 +199,7 @@ impl SessionStats {
         self.delivered += other.delivered;
         self.catch_up_sent += other.catch_up_sent;
         self.catch_up_served += other.catch_up_served;
+        self.acks_piggybacked += other.acks_piggybacked;
     }
 }
 
@@ -235,6 +251,10 @@ pub struct SessionEndpoint<M> {
     // must not vary between process runs.
     senders: BTreeMap<ReplicaId, SenderStream<M>>,
     receivers: BTreeMap<ReplicaId, ReceiverStream<M>>,
+    /// Peers owed an ack for in-order deliveries, with the deadline by
+    /// which a standalone `Ack` must go out if no data frame toward them
+    /// carries it first (`ack_delay` piggybacking).
+    ack_pending: BTreeMap<ReplicaId, u64>,
     stats: SessionStats,
 }
 
@@ -279,6 +299,7 @@ impl<M> SessionEndpoint<M> {
             config,
             senders: BTreeMap::new(),
             receivers: BTreeMap::new(),
+            ack_pending: BTreeMap::new(),
             stats: SessionStats::default(),
         }
     }
@@ -293,10 +314,10 @@ impl<M> SessionEndpoint<M> {
         self.senders.values().map(|s| s.outstanding.len()).sum()
     }
 
-    /// True when every sent frame has been cumulatively acked — nothing
-    /// left to retransmit.
+    /// True when every sent frame has been cumulatively acked and no
+    /// delayed ack is still owed — nothing left to transmit.
     pub fn is_idle(&self) -> bool {
-        self.outstanding() == 0
+        self.outstanding() == 0 && self.ack_pending.is_empty()
     }
 
     /// The receiver's cumulative in-order point for `src`'s stream.
@@ -305,11 +326,13 @@ impl<M> SessionEndpoint<M> {
         self.receivers.get(&src).map_or(0, |r| r.cum)
     }
 
-    /// The earliest retransmission deadline, or `None` when idle.
+    /// The earliest retransmission or delayed-ack deadline, or `None`
+    /// when idle.
     pub fn next_deadline(&self) -> Option<u64> {
         self.senders
             .values()
             .flat_map(|s| s.outstanding.values().map(|f| f.next_due))
+            .chain(self.ack_pending.values().copied())
             .min()
     }
 }
@@ -317,9 +340,17 @@ impl<M> SessionEndpoint<M> {
 impl<M: Clone> SessionEndpoint<M> {
     /// Sequences `payload` for `dst` and returns the data frame to
     /// transmit. The payload is retained for retransmission until acked.
+    /// A pending delayed ack toward `dst` rides out on the frame instead
+    /// of costing a standalone `Ack`.
     pub fn send(&mut self, dst: ReplicaId, payload: M, now: u64) -> SessionFrame<M> {
         let cfg = self.config;
         let local = self.local;
+        let ack = if self.ack_pending.remove(&dst).is_some() {
+            self.stats.acks_piggybacked += 1;
+            Some(self.receivers.get(&dst).map_or(0, |r| r.cum))
+        } else {
+            None
+        };
         let stream = self.senders.entry(dst).or_default();
         let seq = stream.next_seq;
         stream.next_seq += 1;
@@ -332,7 +363,25 @@ impl<M: Clone> SessionEndpoint<M> {
             },
         );
         self.stats.data_sent += 1;
-        SessionFrame::Data { seq, payload }
+        SessionFrame::Data { seq, payload, ack }
+    }
+
+    /// Applies a cumulative ack (with optional selective gaps) from `src`
+    /// to the sender stream — shared by standalone `Ack` frames and acks
+    /// piggybacked on data frames.
+    fn apply_ack(&mut self, src: ReplicaId, cum: u64, sacks: &[u64], now: u64) {
+        let cfg = self.config;
+        if let Some(stream) = self.senders.get_mut(&src) {
+            stream.cum_acked = stream.cum_acked.max(cum);
+            stream.outstanding.retain(|&seq, _| seq > cum);
+            for &seq in sacks {
+                // Received but volatile at the peer: defer (not
+                // cancel) retransmission — see module docs.
+                if let Some(f) = stream.outstanding.get_mut(&seq) {
+                    f.next_due = f.next_due.max(now + cfg.rto_max);
+                }
+            }
+        }
     }
 
     /// Processes one incoming frame from `src`. In-order payloads are
@@ -350,9 +399,14 @@ impl<M: Clone> SessionEndpoint<M> {
     ) -> Vec<M> {
         match frame {
             SessionFrame::Bare(m) => vec![m],
-            SessionFrame::Data { seq, payload } => {
+            SessionFrame::Data { seq, payload, ack } => {
+                if let Some(cum) = ack {
+                    self.apply_ack(src, cum, &[], now);
+                }
+                let ack_delay = self.config.ack_delay;
                 let stream = self.receivers.entry(src).or_default();
                 let mut delivered = Vec::new();
+                let mut clean = false;
                 if seq <= stream.cum || stream.buffer.contains_key(&seq) {
                     self.stats.dup_suppressed += 1;
                 } else if seq == stream.cum + 1 {
@@ -362,34 +416,33 @@ impl<M: Clone> SessionEndpoint<M> {
                         stream.cum += 1;
                         delivered.push(m);
                     }
+                    clean = stream.buffer.is_empty();
                 } else {
                     stream.buffer.insert(seq, payload);
                     self.stats.out_of_order += 1;
                 }
                 self.stats.delivered += delivered.len();
-                // Always ack — a duplicate usually means our previous
-                // ack was lost.
-                let ack = SessionFrame::Ack {
-                    cum: stream.cum,
-                    sacks: stream.buffer.keys().copied().collect(),
-                };
-                self.stats.acks_sent += 1;
-                out.push((src, ack));
+                if ack_delay > 0 && clean {
+                    // Clean in-order progress: wait for a reverse data
+                    // frame to piggyback the cumulative point; a
+                    // standalone ack goes out at the deadline otherwise.
+                    self.ack_pending.entry(src).or_insert(now + ack_delay);
+                } else {
+                    // Duplicates (our previous ack may be the lost
+                    // message) and gaps (the peer needs the sacks) are
+                    // acked standalone immediately.
+                    let ack = SessionFrame::Ack {
+                        cum: stream.cum,
+                        sacks: stream.buffer.keys().copied().collect(),
+                    };
+                    self.stats.acks_sent += 1;
+                    self.ack_pending.remove(&src);
+                    out.push((src, ack));
+                }
                 delivered
             }
             SessionFrame::Ack { cum, sacks } => {
-                let cfg = self.config;
-                if let Some(stream) = self.senders.get_mut(&src) {
-                    stream.cum_acked = stream.cum_acked.max(cum);
-                    stream.outstanding.retain(|&seq, _| seq > cum);
-                    for seq in sacks {
-                        // Received but volatile at the peer: defer (not
-                        // cancel) retransmission — see module docs.
-                        if let Some(f) = stream.outstanding.get_mut(&seq) {
-                            f.next_due = f.next_due.max(now + cfg.rto_max);
-                        }
-                    }
-                }
+                self.apply_ack(src, cum, &sacks, now);
                 Vec::new()
             }
             SessionFrame::CatchUp { recv_cum } => {
@@ -413,7 +466,8 @@ impl<M: Clone> SessionEndpoint<M> {
         }
     }
 
-    /// Retransmits every frame whose deadline has passed, pushing the
+    /// Retransmits every frame whose deadline has passed and flushes
+    /// overdue delayed acks as standalone `Ack` frames, pushing the
     /// frames onto `out`. Call whenever the clock reaches
     /// [`next_deadline`](Self::next_deadline).
     pub fn poll(&mut self, now: u64, out: &mut Vec<(ReplicaId, SessionFrame<M>)>) {
@@ -433,12 +487,29 @@ impl<M: Clone> SessionEndpoint<M> {
                         SessionFrame::Data {
                             seq,
                             payload: f.payload.clone(),
+                            ack: None,
                         },
                     ));
                 }
             }
         }
         self.stats.retransmits += retransmits;
+        let overdue: Vec<ReplicaId> = self
+            .ack_pending
+            .iter()
+            .filter(|(_, &due)| due <= now)
+            .map(|(&src, _)| src)
+            .collect();
+        for src in overdue {
+            self.ack_pending.remove(&src);
+            let stream = self.receivers.entry(src).or_default();
+            let ack = SessionFrame::Ack {
+                cum: stream.cum,
+                sacks: stream.buffer.keys().copied().collect(),
+            };
+            self.stats.acks_sent += 1;
+            out.push((src, ack));
+        }
     }
 
     /// Rebuilds the endpoint after a crash, from durable state only:
@@ -459,6 +530,7 @@ impl<M: Clone> SessionEndpoint<M> {
         let local = self.local;
         self.senders.clear();
         self.receivers.clear();
+        self.ack_pending.clear();
         // Walk the durable maps in replica order: emission order decides
         // which network delay each frame samples, and must not depend on
         // HashMap iteration order.
@@ -480,6 +552,7 @@ impl<M: Clone> SessionEndpoint<M> {
                         SessionFrame::Data {
                             seq,
                             payload: p.clone(),
+                            ack: None,
                         },
                     ));
                 }
@@ -535,6 +608,7 @@ mod tests {
             rto_base: 100,
             rto_max: 800,
             jitter: 0,
+            ack_delay: 0,
         }
     }
 
@@ -670,7 +744,7 @@ mod tests {
         // One probe (newest frame) + one catch-up.
         assert_eq!(out.len(), 2);
         assert!(out.iter().any(
-            |(_, f)| matches!(f, SessionFrame::Data { seq, payload } if *seq == 3 && *payload == 30)
+            |(_, f)| matches!(f, SessionFrame::Data { seq, payload, .. } if *seq == 3 && *payload == 30)
         ));
         assert!(out
             .iter()
@@ -773,12 +847,107 @@ mod tests {
     fn frame_overhead_accounting() {
         let f: SessionFrame<u32> = SessionFrame::Bare(1);
         assert_eq!(f.overhead_bytes(), 0);
-        let f: SessionFrame<u32> = SessionFrame::Data { seq: 1, payload: 1 };
+        let f: SessionFrame<u32> = SessionFrame::Data {
+            seq: 1,
+            payload: 1,
+            ack: None,
+        };
         assert_eq!(f.overhead_bytes(), 8);
+        let f: SessionFrame<u32> = SessionFrame::Data {
+            seq: 1,
+            payload: 1,
+            ack: Some(7),
+        };
+        assert_eq!(f.overhead_bytes(), 16);
         let f: SessionFrame<u32> = SessionFrame::Ack {
             cum: 1,
             sacks: vec![3, 4],
         };
         assert_eq!(f.overhead_bytes(), 24);
+    }
+
+    #[test]
+    fn bidirectional_traffic_piggybacks_acks() {
+        let delayed = SessionConfig {
+            ack_delay: 20,
+            ..cfg()
+        };
+        let mut a: SessionEndpoint<u32> = SessionEndpoint::new(r(0), delayed);
+        let mut b: SessionEndpoint<u32> = SessionEndpoint::new(r(1), delayed);
+        let f1 = a.send(r(1), 10, 0);
+        let mut out = Vec::new();
+        assert_eq!(b.on_frame(r(0), f1, 5, &mut out), vec![10]);
+        // No standalone ack: deferred, waiting to piggyback.
+        assert!(out.is_empty());
+        assert!(!b.is_idle());
+        assert_eq!(b.next_deadline(), Some(25));
+        // A reverse send carries the cumulative point…
+        let f2 = b.send(r(0), 20, 10);
+        assert!(matches!(f2, SessionFrame::Data { ack: Some(1), .. }));
+        assert_eq!(b.stats().acks_piggybacked, 1);
+        assert_eq!(b.stats().acks_sent, 0);
+        // …and the piggybacked ack prunes a's outstanding frame.
+        assert_eq!(a.outstanding(), 1);
+        assert_eq!(a.on_frame(r(1), f2, 12, &mut out), vec![20]);
+        assert_eq!(a.outstanding(), 0);
+    }
+
+    #[test]
+    fn delayed_ack_flushes_standalone_at_deadline() {
+        let delayed = SessionConfig {
+            ack_delay: 20,
+            ..cfg()
+        };
+        let mut a: SessionEndpoint<u32> = SessionEndpoint::new(r(0), cfg());
+        let mut b: SessionEndpoint<u32> = SessionEndpoint::new(r(1), delayed);
+        let f1 = a.send(r(1), 10, 0);
+        let mut out = Vec::new();
+        b.on_frame(r(0), f1, 5, &mut out);
+        assert!(out.is_empty());
+        // No reverse traffic: the deadline emits a standalone ack.
+        b.poll(24, &mut out);
+        assert!(out.is_empty(), "before the ack deadline");
+        b.poll(25, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, SessionFrame::Ack { cum: 1, .. }));
+        assert_eq!(b.stats().acks_sent, 1);
+        assert!(b.is_idle());
+        // The flushed ack settles the sender.
+        let (dst, ack) = out.pop().unwrap();
+        assert_eq!(dst, r(0));
+        let mut sink = Vec::new();
+        a.on_frame(r(1), ack, 30, &mut sink);
+        assert!(a.is_idle());
+    }
+
+    #[test]
+    fn delayed_ack_gaps_and_duplicates_still_ack_immediately() {
+        let delayed = SessionConfig {
+            ack_delay: 20,
+            ..cfg()
+        };
+        let mut a: SessionEndpoint<u32> = SessionEndpoint::new(r(0), cfg());
+        let mut b: SessionEndpoint<u32> = SessionEndpoint::new(r(1), delayed);
+        let f1 = a.send(r(1), 1, 0);
+        let f2 = a.send(r(1), 2, 0);
+        let f3 = a.send(r(1), 3, 0);
+        let mut out = Vec::new();
+        // Gap (3 before 1): standalone ack with sacks, immediately.
+        b.on_frame(r(0), f3, 5, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0].1, SessionFrame::Ack { cum: 0, sacks } if sacks == &vec![3]));
+        out.clear();
+        // In-order but the gap remains buffered: still standalone.
+        b.on_frame(r(0), f1.clone(), 6, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        // Gap filler drains the buffer — clean progress, ack deferred.
+        b.on_frame(r(0), f2, 7, &mut out);
+        assert!(out.is_empty(), "clean in-order progress defers");
+        assert!(!b.is_idle());
+        // Duplicate: standalone re-ack even while a delayed ack pends.
+        b.on_frame(r(0), f1, 8, &mut out);
+        assert_eq!(out.len(), 1, "duplicate re-acked immediately");
+        assert!(b.is_idle(), "standalone ack clears the pending delay");
     }
 }

@@ -145,11 +145,25 @@ impl<M: Send + Clone + 'static> ThreadNet<M> {
     /// twice with independently sampled delays. Reordering comes for
     /// free from the randomized delays.
     pub fn with_faults(n: usize, delay: DelayModel, seed: u64, faults: FaultPlan) -> Self {
+        Self::with_config(n, delay, seed, faults, 4096)
+    }
+
+    /// Full-control constructor: like [`ThreadNet::with_faults`] with an
+    /// explicit per-node ingress capacity. A node whose inbox is full
+    /// sheds further deliveries (backpressure surfaces as loss, which the
+    /// session layer repairs) — the router never blocks on a slow node.
+    pub fn with_config(
+        n: usize,
+        delay: DelayModel,
+        seed: u64,
+        faults: FaultPlan,
+        capacity: usize,
+    ) -> Self {
         let (to_router, from_nodes) = unbounded::<Envelope<M>>();
         let mut inbox_txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for i in 0..n {
-            let (tx, rx) = bounded::<Envelope<M>>(4096);
+            let (tx, rx) = bounded::<Envelope<M>>(capacity.max(1));
             inbox_txs.push(tx);
             handles.push(NodeHandle {
                 id: ReplicaId::new(i as u32),
@@ -169,9 +183,10 @@ impl<M: Send + Clone + 'static> ThreadNet<M> {
                     let Reverse(p) = heap.pop().unwrap();
                     let dst = p.env.dst.index();
                     if dst < inbox_txs.len() {
-                        // A full or closed inbox drops the message; inboxes
-                        // are large and only close at shutdown.
-                        let _ = inbox_txs[dst].send(p.env);
+                        // A full or closed inbox drops the message
+                        // (`try_send`, never a blocking `send`: one slow
+                        // node must not stall the whole router).
+                        let _ = inbox_txs[dst].try_send(p.env);
                     }
                 }
                 if disconnected && heap.is_empty() {
@@ -310,6 +325,34 @@ mod tests {
         }
         got.sort_unstable();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_inbox_sheds_overflow_without_blocking_router() {
+        let net: ThreadNet<u32> =
+            ThreadNet::with_config(2, DelayModel::Fixed(0), 0, FaultPlan::default(), 2);
+        let a = net.handle(r(0));
+        let b = net.handle(r(1));
+        for i in 0..50 {
+            a.send(r(1), i);
+        }
+        // Give the router time to process everything while the receiver
+        // stays idle: only `capacity` messages can be admitted.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut got = 0;
+        while b.try_recv().is_some() {
+            got += 1;
+        }
+        assert!(
+            got <= 2,
+            "bounded inbox admitted more than its capacity: {got}"
+        );
+        // The router shed the rest instead of blocking: it still routes.
+        a.send(r(1), 999);
+        let env = b
+            .recv_timeout(Duration::from_secs(2))
+            .expect("router alive");
+        assert_eq!(env.msg, 999);
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn cfg() -> SessionConfig {
         rto_base: 200,
         rto_max: 1600,
         jitter: 16,
+        ack_delay: 0,
     }
 }
 

@@ -6,7 +6,7 @@
 //! bytes, latencies, timestamp sizes, and the consistency verdict.
 
 use crate::workload::{Workload, WorkloadConfig};
-use prcc_core::{System, TrackerKind, Value, WireMode};
+use prcc_core::{BatchPolicy, System, TrackerKind, Value, WireMode};
 use prcc_net::{DelayModel, FaultSchedule, SessionConfig};
 use prcc_sharegraph::{RegisterId, ReplicaId, ShareGraph};
 use std::fmt;
@@ -40,6 +40,9 @@ pub struct ScenarioConfig {
     /// (retransmission + recovery catch-up). `None` = the paper's
     /// reliable-channel model.
     pub session: Option<SessionConfig>,
+    /// Sender-side update coalescing (DESIGN §9). The default policy
+    /// batches; [`BatchPolicy::unbatched`] is the singleton oracle.
+    pub batch: BatchPolicy,
 }
 
 impl Default for ScenarioConfig {
@@ -55,6 +58,7 @@ impl Default for ScenarioConfig {
             wire_mode: WireMode::default(),
             faults: FaultSchedule::default(),
             session: None,
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -165,6 +169,7 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
         .delay(cfg.delay.clone())
         .seed(cfg.net_seed)
         .wire_mode(cfg.wire_mode)
+        .batch_policy(cfg.batch)
         .fault_schedule(cfg.faults.clone());
     if let Some(session) = cfg.session {
         builder = builder.session(session);

@@ -556,6 +556,101 @@ impl TsRegistry {
     pub fn ready_projected(&self, ts: &EdgeTimestamp, sender: ReplicaId, values: &[u64]) -> bool {
         self.ready_check_projected(ts, sender, values) == JVerdict::Ready
     }
+
+    /// Batched predicate `J`: `true` iff **all** of `stamps` — the
+    /// timestamps of `k` consecutive updates on the `(sender → receiver)`
+    /// pair stream, in send order — are deliverable as one in-order run.
+    ///
+    /// One evaluation replaces `k`: along a single pair stream the
+    /// sender's `e_ki` counter rises by exactly 1 per update, so the run
+    /// is wholly deliverable iff the *first* stamp satisfies the exactness
+    /// condition, the `e_ki` values are contiguous, and the receiver's
+    /// counters already dominate the *last* stamp's other common incoming
+    /// edges. (Merging update `m` gives `τ_i[e_ki] = T_m[e_ki]`, which is
+    /// exactness for `m+1` by contiguity; sender stamps are pointwise
+    /// monotone along the stream, so the last stamp's `≥` conditions imply
+    /// every earlier one's, and merges only raise `τ_i`.) After applying
+    /// the run, merging only the last stamp reproduces the state of `k`
+    /// sequential merges — pointwise max over a monotone chain.
+    ///
+    /// `false` means the batch is not deliverable *as a unit* (callers
+    /// fall back to per-message evaluation); it makes no claim about
+    /// individual members.
+    pub fn batch_ready(
+        &self,
+        ts: &EdgeTimestamp,
+        sender: ReplicaId,
+        stamps: &[&EdgeTimestamp],
+    ) -> bool {
+        let pair = self.pair(ts.replica, sender);
+        let Some((&first, rest)) = stamps.split_first() else {
+            return false;
+        };
+        let Some((pi, pk)) = pair.e_ki else {
+            return false;
+        };
+        debug_assert!(
+            stamps.windows(2).all(|w| pair
+                .common
+                .iter()
+                .all(|&(_, c)| w[0].values[c] <= w[1].values[c])),
+            "batch stamps must be monotone along the pair stream"
+        );
+        if ts.values[pi] + 1 != first.values[pk] {
+            return false;
+        }
+        let mut prev = first.values[pk];
+        for s in rest {
+            if s.values[pk] != prev + 1 {
+                return false;
+            }
+            prev = s.values[pk];
+        }
+        let last = stamps[stamps.len() - 1];
+        pair.incoming_other
+            .iter()
+            .all(|&(pi2, pk2)| ts.values[pi2] >= last.values[pk2])
+    }
+
+    /// [`TsRegistry::batch_ready`] over projected incoming slices (see
+    /// [`TsRegistry::ready_check_projected`] for the slice convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice does not have the pair's common-slice length.
+    pub fn batch_ready_projected(
+        &self,
+        ts: &EdgeTimestamp,
+        sender: ReplicaId,
+        slices: &[&[u64]],
+    ) -> bool {
+        let pair = self.pair(ts.replica, sender);
+        let Some((&first, rest)) = slices.split_first() else {
+            return false;
+        };
+        let Some(j) = pair.e_ki_slice else {
+            return false;
+        };
+        for s in slices {
+            assert_eq!(s.len(), pair.common.len(), "projected slice shape");
+        }
+        let pi = pair.e_ki.expect("slice index implies positions").0;
+        if ts.values[pi] + 1 != first[j] {
+            return false;
+        }
+        let mut prev = first[j];
+        for s in rest {
+            if s[j] != prev + 1 {
+                return false;
+            }
+            prev = s[j];
+        }
+        let last = slices[slices.len() - 1];
+        pair.incoming_other_slice
+            .iter()
+            .zip(pair.incoming_other.iter())
+            .all(|(&sj, &(pi2, _))| ts.values[pi2] >= last[sj])
+    }
 }
 
 #[cfg(test)]
@@ -662,6 +757,105 @@ mod tests {
         let mut t0 = reg.new_timestamp(r0);
         reg.merge(&mut t0, r1, &t1);
         assert!(t0.values().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn batch_ready_matches_sequential_evaluation() {
+        let g = topology::path(2);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let mut t0 = reg.new_timestamp(r0);
+        let stamps: Vec<EdgeTimestamp> = (0..4)
+            .map(|_| {
+                reg.advance(&mut t0, RegisterId::new(0));
+                t0.clone()
+            })
+            .collect();
+        let refs: Vec<&EdgeTimestamp> = stamps.iter().collect();
+        let t1 = reg.new_timestamp(r1);
+        // The whole run is deliverable from zero…
+        assert!(reg.batch_ready(&t1, r0, &refs));
+        // …but not a suffix that skips the first update.
+        assert!(!reg.batch_ready(&t1, r0, &refs[1..]));
+        // Merging only the last stamp equals four sequential merges.
+        let mut batched = t1.clone();
+        reg.merge(&mut batched, r0, refs[3]);
+        let mut seq = t1.clone();
+        for s in &refs {
+            assert!(reg.ready(&seq, r0, s));
+            reg.merge(&mut seq, r0, s);
+        }
+        assert_eq!(batched, seq);
+        // Empty batches are never "ready".
+        assert!(!reg.batch_ready(&t1, r0, &[]));
+    }
+
+    #[test]
+    fn batch_ready_rejects_non_contiguous_runs() {
+        let g = topology::path(2);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let mut t0 = reg.new_timestamp(r0);
+        let mut stamps = Vec::new();
+        for _ in 0..3 {
+            reg.advance(&mut t0, RegisterId::new(0));
+            stamps.push(t0.clone());
+        }
+        let t1 = reg.new_timestamp(r1);
+        // A gap in the middle breaks the run.
+        assert!(!reg.batch_ready(&t1, r0, &[&stamps[0], &stamps[2]]));
+    }
+
+    #[test]
+    fn batch_ready_respects_transitive_dependencies() {
+        // Triangle: r1's updates depend on r0's; r2 holds a batch from r1.
+        let g = ShareGraph::new(
+            prcc_sharegraph::Placement::builder(3)
+                .share(0, [0, 1, 2])
+                .build(),
+        );
+        let reg = registry(&g);
+        let (r0, r1, r2) = (ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2));
+        let mut t0 = reg.new_timestamp(r0);
+        reg.advance(&mut t0, RegisterId::new(0));
+        let u1 = t0.clone();
+        let mut t1 = reg.new_timestamp(r1);
+        reg.merge(&mut t1, r0, &u1);
+        reg.advance(&mut t1, RegisterId::new(0));
+        let u2a = t1.clone();
+        reg.advance(&mut t1, RegisterId::new(0));
+        let u2b = t1.clone();
+        let t2 = reg.new_timestamp(r2);
+        // Blocked until r2 merges u1; then the whole batch is ready.
+        assert!(!reg.batch_ready(&t2, r1, &[&u2a, &u2b]));
+        let mut t2m = t2.clone();
+        reg.merge(&mut t2m, r0, &u1);
+        assert!(reg.batch_ready(&t2m, r1, &[&u2a, &u2b]));
+    }
+
+    #[test]
+    fn batch_ready_projected_agrees_with_full() {
+        let g = topology::ring(4);
+        let reg = registry(&g);
+        let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+        let layout = reg.wire_layout(r1, r0);
+        let mut t0 = reg.new_timestamp(r0);
+        let mut stamps = Vec::new();
+        for _ in 0..3 {
+            reg.advance(&mut t0, RegisterId::new(0));
+            stamps.push(t0.clone());
+        }
+        let slices: Vec<Vec<u64>> = stamps.iter().map(|s| layout.project(s.values())).collect();
+        let t1 = reg.new_timestamp(r1);
+        let full_refs: Vec<&EdgeTimestamp> = stamps.iter().collect();
+        let slice_refs: Vec<&[u64]> = slices.iter().map(Vec::as_slice).collect();
+        assert_eq!(
+            reg.batch_ready(&t1, r0, &full_refs),
+            reg.batch_ready_projected(&t1, r0, &slice_refs)
+        );
+        assert!(reg.batch_ready_projected(&t1, r0, &slice_refs));
+        assert!(!reg.batch_ready_projected(&t1, r0, &slice_refs[1..]));
+        assert!(!reg.batch_ready_projected(&t1, r0, &[]));
     }
 
     #[test]

@@ -418,6 +418,35 @@ impl WireEncoder {
         }
         buf.len()
     }
+
+    /// Encodes `k` consecutive full counter vectors into one batch frame:
+    /// a count varint followed by `k` ordinary delta frames, each framed
+    /// against its *predecessor in the batch* (the first against the
+    /// stream state). Consecutive updates on one pair differ by a handful
+    /// of small increments, so intra-batch deltas are the cheapest
+    /// reference available. Returns the frame length in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector does not cover the layout's projected
+    /// positions.
+    pub fn encode_batch(
+        &mut self,
+        layout: &PairLayout,
+        fulls: &[&[u64]],
+        buf: &mut Vec<u8>,
+    ) -> usize {
+        buf.clear();
+        write_varint(buf, fulls.len() as u64);
+        for full in fulls {
+            for (j, &slice_idx) in layout.explicit.iter().enumerate() {
+                let v = full[layout.sender_positions[slice_idx]];
+                write_varint(buf, encode_delta(self.last[j], v));
+                self.last[j] = v;
+            }
+        }
+        buf.len()
+    }
 }
 
 /// Receiving half of one per-pair wire stream.
@@ -463,6 +492,47 @@ impl WireDecoder {
         self.last = next;
         layout.reconstruct(&mut slice);
         Some(slice)
+    }
+
+    /// Decodes one batch frame (see [`WireEncoder::encode_batch`]) into
+    /// the per-update common slices, in batch order. The decode is
+    /// **transactional across the whole batch**: a malformed frame
+    /// (truncated, over-long, trailing bytes, or an implausible count)
+    /// returns `None` and leaves the stream state untouched.
+    pub fn decode_batch(&mut self, layout: &PairLayout, frame: &[u8]) -> Option<Vec<Vec<u64>>> {
+        let mut pos = 0;
+        let count = read_varint(frame, &mut pos)?;
+        // Each update contributes at least one byte per explicit counter,
+        // so any count the frame cannot physically hold is malformed
+        // (guards the allocation below against garbage counts). Layouts
+        // with no explicit counters carry nothing per update; bound the
+        // count there too so a corrupt frame cannot force a huge alloc.
+        let plausible = if layout.explicit.is_empty() {
+            count <= 1 << 20
+        } else {
+            count <= (frame.len() / layout.explicit.len()) as u64
+        };
+        if !plausible {
+            return None;
+        }
+        let mut next = self.last.clone();
+        let mut slices = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut slice = vec![0u64; layout.common_len()];
+            for (j, &slice_idx) in layout.explicit.iter().enumerate() {
+                let z = read_varint(frame, &mut pos)?;
+                let v = decode_delta(next[j], z);
+                next[j] = v;
+                slice[slice_idx] = v;
+            }
+            layout.reconstruct(&mut slice);
+            slices.push(slice);
+        }
+        if pos != frame.len() {
+            return None;
+        }
+        self.last = next;
+        Some(slices)
     }
 }
 
@@ -605,6 +675,89 @@ mod tests {
         let mut buf = Vec::new();
         assert_eq!(enc.encode(&layout, &[], &mut buf), 0);
         assert_eq!(dec.decode(&layout, &buf), Some(vec![]));
+    }
+
+    #[test]
+    fn batch_round_trip_matches_singletons() {
+        let own = vec![(0usize, rs(&[0])), (1, rs(&[1])), (2, rs(&[0, 1]))];
+        let layout = PairLayout::build(vec![0, 1, 2], &own);
+        let frames: Vec<Vec<u64>> = vec![vec![3, 5, 8], vec![4, 5, 9], vec![4, 6, 10]];
+        // Singleton oracle stream.
+        let mut enc1 = WireEncoder::new(&layout);
+        let mut dec1 = WireDecoder::new(&layout);
+        let mut singles = Vec::new();
+        let mut buf = Vec::new();
+        for f in &frames {
+            enc1.encode(&layout, f, &mut buf);
+            singles.push(dec1.decode(&layout, &buf).unwrap());
+        }
+        // Batched stream over the same updates.
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let refs: Vec<&[u64]> = frames.iter().map(Vec::as_slice).collect();
+        let bytes = enc.encode_batch(&layout, &refs, &mut buf);
+        assert_eq!(bytes, buf.len());
+        assert_eq!(dec.decode_batch(&layout, &buf).unwrap(), singles);
+        // Encoder state matches: a follow-up singleton frame agrees.
+        enc1.encode(&layout, &[5, 6, 11], &mut buf);
+        let follow_single = dec1.decode(&layout, &buf).unwrap();
+        enc.encode(&layout, &[5, 6, 11], &mut buf);
+        assert_eq!(dec.decode(&layout, &buf).unwrap(), follow_single);
+    }
+
+    #[test]
+    fn batch_intra_deltas_are_small() {
+        // Consecutive updates on one pair bump one counter by 1 each:
+        // after the first frame, every later update costs 1 byte/counter.
+        let layout = PairLayout::identity(vec![0]);
+        let mut enc = WireEncoder::new(&layout);
+        let mut buf = Vec::new();
+        let frames: Vec<Vec<u64>> = (0..8u64).map(|i| vec![1000 + i]).collect();
+        let refs: Vec<&[u64]> = frames.iter().map(Vec::as_slice).collect();
+        let bytes = enc.encode_batch(&layout, &refs, &mut buf);
+        // count(1) + first delta (1000 → 2 bytes) + 7 × 1-byte deltas.
+        assert_eq!(bytes, 1 + 2 + 7);
+    }
+
+    #[test]
+    fn batch_decode_is_transactional() {
+        let layout = PairLayout::identity(vec![0, 1]);
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let mut buf = Vec::new();
+        let frames: Vec<Vec<u64>> = vec![vec![1, 2], vec![2, 3]];
+        let refs: Vec<&[u64]> = frames.iter().map(Vec::as_slice).collect();
+        enc.encode_batch(&layout, &refs, &mut buf);
+        // Truncated: reject, stream state untouched.
+        let snapshot = dec.clone();
+        assert_eq!(dec.decode_batch(&layout, &buf[..buf.len() - 1]), None);
+        assert_eq!(dec, snapshot);
+        // Trailing garbage: reject.
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert_eq!(dec.decode_batch(&layout, &padded), None);
+        assert_eq!(dec, snapshot);
+        // Implausible count: reject without allocating.
+        assert_eq!(dec.decode_batch(&layout, &[0xff, 0xff, 0x7f]), None);
+        // The intact frame still decodes afterwards.
+        assert_eq!(dec.decode_batch(&layout, &buf).unwrap(), frames);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_layout() {
+        let layout = PairLayout::identity(vec![0]);
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let mut buf = Vec::new();
+        assert_eq!(enc.encode_batch(&layout, &[], &mut buf), 1);
+        assert_eq!(dec.decode_batch(&layout, &buf), Some(vec![]));
+        // A layout with no explicit counters still frames the count.
+        let empty = PairLayout::build(vec![], &[]);
+        let mut enc = WireEncoder::new(&empty);
+        let mut dec = WireDecoder::new(&empty);
+        let fulls: [&[u64]; 2] = [&[], &[]];
+        enc.encode_batch(&empty, &fulls, &mut buf);
+        assert_eq!(dec.decode_batch(&empty, &buf), Some(vec![vec![], vec![]]));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! prcc help
 //! ```
 
-use prcc::core::{Scenario, TrackerKind, WireMode};
+use prcc::core::{BatchPolicy, Scenario, TrackerKind, WireMode};
 use prcc::net::{DelayModel, FaultPlan, FaultSchedule, SessionConfig};
 use prcc::sharegraph::{
     paper_examples, topology, LoopConfig, RegisterId, ReplicaId, ShareGraph, TimestampGraphs,
@@ -41,7 +41,9 @@ fn usage() -> ! {
            --partition <a|b@t1:t2>       sever side a from side b during [t1,t2)\n\
                                          (sides are comma-separated replica lists)\n\
            --no-session                  disable the reliable-delivery session layer\n\
-                                         (faults then cause permanent loss)"
+                                         (faults then cause permanent loss)\n\
+           --batch <count>[:<bytes>:<window>]  sender-side update coalescing policy\n\
+           --no-batch                    ship every update as a singleton frame"
     );
     std::process::exit(2);
 }
@@ -162,6 +164,13 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
     } else {
         None
     };
+    let batch = if args.iter().any(|a| a == "--no-batch") {
+        BatchPolicy::unbatched()
+    } else if let Some(spec) = flag(args, "--batch") {
+        parse_batch(&spec)
+    } else {
+        BatchPolicy::default()
+    };
     let report = run_scenario(
         g,
         &ScenarioConfig {
@@ -179,6 +188,7 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
             wire_mode,
             faults,
             session,
+            batch,
         },
     );
     println!("{report}");
@@ -207,6 +217,29 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
     if !report.consistent {
         std::process::exit(1);
     }
+}
+
+/// Parses `--batch <count>[:<bytes>:<window>]` into a [`BatchPolicy`]
+/// (omitted bytes/window keep the defaults).
+fn parse_batch(spec: &str) -> BatchPolicy {
+    let mut policy = BatchPolicy::default();
+    let mut parts = spec.split(':');
+    let num = |s: &str| -> usize {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad numeric argument '{s}' in --batch '{spec}'");
+            std::process::exit(2);
+        })
+    };
+    if let Some(c) = parts.next() {
+        policy.batch_count = num(c);
+    }
+    if let Some(b) = parts.next() {
+        policy.batch_bytes = num(b);
+    }
+    if let Some(w) = parts.next() {
+        policy.flush_after = num(w) as u64;
+    }
+    policy
 }
 
 /// Parses `--drop`, `--crash`, and `--partition` into a fault schedule.

@@ -47,6 +47,24 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity right now.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -164,6 +182,24 @@ pub mod channel {
                         g = self.shared.not_full.wait(g).unwrap();
                     }
                     _ => break,
+                }
+            }
+            g.queue.push_back(msg);
+            drop(g);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails with `Full` instead of waiting when a
+        /// bounded channel is at capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut g = self.shared.inner.lock().unwrap();
+            if g.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = g.cap {
+                if g.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             g.queue.push_back(msg);
@@ -290,6 +326,17 @@ pub mod channel {
             }
             t.join().unwrap();
             assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]
