@@ -16,20 +16,48 @@
 //!   derived counters of the sender's own outgoing edges (Section 5),
 //!   and frame the rest as zig-zag varint deltas against the previous
 //!   frame on the same pair stream.
+//! * [`WireMode::Adaptive`] — start every pair compressed, then fall
+//!   back Compressed → Projected → Raw per pair when the modelled CPU
+//!   cost of encoding exceeds the modelled value of the bytes saved
+//!   (see [`AdaptiveConfig`]).
 //!
 //! Delta coding needs FIFO framing, which the protocol's delivery layer
 //! deliberately is not. The codec therefore models a per-pair FIFO byte
 //! stream *underneath* the non-FIFO delivery (exactly what a TCP
-//! connection per pair provides): each frame is encoded and immediately
-//! decoded at the send point, the decoded slice travels in the simulated
-//! message as [`Metadata::Projected`], and only the frame's byte count is
-//! charged to the wire. Delivery reordering then affects message order,
-//! never stream state — the same split a real deployment gets from
-//! framing on an ordered transport.
+//! connection per pair provides): each frame is framed against the
+//! previous frame on the same pair stream, the projected slice travels in
+//! the simulated message as [`Metadata::Projected`], and only the frame's
+//! byte count is charged to the wire. Delivery reordering then affects
+//! message order, never stream state — the same split a real deployment
+//! gets from framing on an ordered transport.
+//!
+//! # Encode-once fan-out
+//!
+//! A write on a dense share graph fans out to many recipients whose
+//! layouts — and therefore whose delta streams — are frequently
+//! *identical* (on a full-replication clique, all of them are: every
+//! receiver shares the same common slice in the same order, and every
+//! stream has seen the same frame sequence). [`WireCodec::encode_fanout`]
+//! exploits this: per-pair stream state lives behind an `Arc`, streams
+//! with the same layout start from one shared zero state, and within one
+//! fan-out every group of pairs with pointer-equal `(layout, state)`
+//! encodes **once** — the followers reuse the leader's frame, metadata
+//! `Arc`, and new state. A clique write thus pays one varint pass plus k
+//! cheap pointer compares instead of k full encodes, which is what takes
+//! clique(24) compressed sends from ~130 µs back into raw's ballpark.
+//!
+//! The sender-side self-decode of the old path is replaced by
+//! [`PairLayout::verify_derived`]: the projection is computed directly
+//! (it is what a correct receiver reconstructs) and each derived-row
+//! relation is checked against it. A relation that fails — only possible
+//! with a corrupted or hand-built layout, since registry layouts are
+//! verified symbolically at construction — demotes the pair to explicit
+//! rows instead of panicking, and the demotion is counted in
+//! [`NetStats::codec_demotions`](prcc_net::NetStats).
 
 use crate::message::Metadata;
 use prcc_sharegraph::ReplicaId;
-use prcc_timestamp::wire::{WireDecoder, WireEncoder};
+use prcc_timestamp::wire::PairLayout;
 use prcc_timestamp::TsRegistry;
 use std::collections::HashMap;
 use std::fmt;
@@ -46,16 +74,92 @@ pub enum WireMode {
     /// Projection + derived-row compression + delta/varint framing.
     #[default]
     Compressed,
+    /// Per-pair cost-based fallback Compressed → Projected → Raw.
+    Adaptive,
 }
 
-/// Per-pair stream state for [`WireMode::Compressed`]: the sender-side
-/// encoder, the matching decoder (delta state must stay in lockstep with
-/// the encoder, so it lives here, at the FIFO stream's head), and a
-/// reusable frame buffer.
+/// Tuning for [`WireMode::Adaptive`]. The model is deterministic — no
+/// wall-clock sampling — so adaptive runs are reproducible: per-frame CPU
+/// cost is estimated from the layout's explicit/common counts (amortized
+/// by the observed encode-once sharing factor) and traded against the
+/// bytes each mode ships, valued at `ns_per_wire_byte`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Frames to observe on a pair before deciding its mode.
+    pub probe_frames: u64,
+    /// How many nanoseconds of CPU one wire byte is worth (≈ 1/bandwidth;
+    /// the default 4 ns/B models a ~250 MB/s effective link).
+    pub ns_per_wire_byte: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            probe_frames: 32,
+            ns_per_wire_byte: 4.0,
+        }
+    }
+}
+
+/// Modelled cost of writing one explicit counter's varint delta, in ns.
+const NS_PER_VARINT: f64 = 8.0;
+/// Modelled cost of gathering one projected counter, in ns.
+const NS_PER_GATHER: f64 = 2.0;
+
+/// Counters kept by the codec (surfaced through
+/// [`System::net_stats`](crate::System::net_stats) and the cluster
+/// runtime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Frames shipped (one per recipient per update).
+    pub frames: usize,
+    /// Frames served from a fan-out group leader's single encode instead
+    /// of a fresh varint pass.
+    pub shared_frames: usize,
+    /// Pairs demoted to explicit rows after a derived-row verification
+    /// failure (a malformed layout; never the registry's own).
+    pub demotions: usize,
+    /// Pairs the adaptive policy walked down the fallback chain.
+    pub adaptive_fallbacks: usize,
+}
+
+/// The mode a pair is currently running (fixed for Raw/Projected/
+/// Compressed codecs; per-pair under Adaptive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairPath {
+    Compressed,
+    Projected,
+    Raw,
+}
+
+/// Per-pair stream state. `state` holds the previous frame's explicit
+/// values behind an `Arc`: pairs whose streams have seen identical frame
+/// sequences share the allocation, which is what lets a fan-out detect
+/// "same layout, same history" by two pointer compares.
 struct PairStream {
-    enc: WireEncoder,
-    dec: WireDecoder,
-    buf: Vec<u8>,
+    layout: Arc<PairLayout>,
+    state: Arc<Vec<u64>>,
+    path: PairPath,
+    /// Frames shipped on this pair (adaptive accounting).
+    frames: u64,
+    /// Frames where this pair led its fan-out group and paid the encode.
+    own_encodes: u64,
+    /// Bytes shipped while compressed (adaptive accounting).
+    comp_bytes: u64,
+    /// Adaptive decision taken — the path is final.
+    decided: bool,
+}
+
+/// A fan-out group leader's output, reused by every follower whose
+/// `(layout, state)` matches by pointer. `old_state` keeps the previous
+/// state allocation alive for the duration of the fan-out so the pointer
+/// compare cannot be confused by an address reuse.
+struct GroupFrame {
+    layout: Arc<PairLayout>,
+    old_state: Arc<Vec<u64>>,
+    new_state: Arc<Vec<u64>>,
+    meta: Arc<Metadata>,
+    len: usize,
 }
 
 /// Encodes outgoing update metadata per recipient. Owns the per-pair
@@ -66,6 +170,15 @@ pub struct WireCodec {
     mode: WireMode,
     registry: Option<Arc<TsRegistry>>,
     streams: HashMap<(ReplicaId, ReplicaId), PairStream>,
+    /// Shared all-zero initial states, keyed by explicit count, so
+    /// same-layout streams start pointer-equal and group from frame one.
+    zero_states: HashMap<usize, Arc<Vec<u64>>>,
+    /// Fault-injection layouts (see [`WireCodec::inject_layout`]).
+    overrides: HashMap<(ReplicaId, ReplicaId), Arc<PairLayout>>,
+    adaptive: AdaptiveConfig,
+    /// Reusable frame scratch buffer.
+    buf: Vec<u8>,
+    stats: CodecStats,
 }
 
 impl fmt::Debug for WireCodec {
@@ -73,20 +186,35 @@ impl fmt::Debug for WireCodec {
         f.debug_struct("WireCodec")
             .field("mode", &self.mode)
             .field("streams", &self.streams.len())
+            .field("stats", &self.stats)
             .finish()
     }
 }
 
 impl WireCodec {
-    /// Creates a codec. `registry` is required for the projected and
-    /// compressed modes to do anything; without it (vector-clock or
-    /// dependency-list deployments) every mode degrades to raw
-    /// pass-through.
+    /// Creates a codec. `registry` is required for the projected,
+    /// compressed and adaptive modes to do anything; without it
+    /// (vector-clock or dependency-list deployments) every mode degrades
+    /// to raw pass-through.
     pub fn new(mode: WireMode, registry: Option<Arc<TsRegistry>>) -> Self {
+        Self::with_adaptive(mode, registry, AdaptiveConfig::default())
+    }
+
+    /// [`WireCodec::new`] with an explicit adaptive cost model.
+    pub fn with_adaptive(
+        mode: WireMode,
+        registry: Option<Arc<TsRegistry>>,
+        adaptive: AdaptiveConfig,
+    ) -> Self {
         WireCodec {
             mode,
             registry,
             streams: HashMap::new(),
+            zero_states: HashMap::new(),
+            overrides: HashMap::new(),
+            adaptive,
+            buf: Vec::new(),
+            stats: CodecStats::default(),
         }
     }
 
@@ -95,57 +223,229 @@ impl WireCodec {
         self.mode
     }
 
-    /// Encodes `meta` for the hop `sender → receiver`, returning the
-    /// metadata the recipient's message carries. Raw mode and non-edge
-    /// metadata share the input `Arc` (no deep clone); the other modes
-    /// return a per-pair [`Metadata::Projected`] whose `encoded_len` is
-    /// the true transmitted size.
+    /// The codec's counters so far.
+    pub fn stats(&self) -> CodecStats {
+        self.stats
+    }
+
+    /// Replaces the layout used for `sender → receiver` with an arbitrary
+    /// one. Fault-injection surface: registry layouts are verified at
+    /// construction, so exercising the checked demotion path requires
+    /// planting a layout whose derived rows lie. Resets the pair's stream.
+    pub fn inject_layout(&mut self, sender: ReplicaId, receiver: ReplicaId, layout: PairLayout) {
+        self.overrides.insert((sender, receiver), Arc::new(layout));
+        self.streams.remove(&(sender, receiver));
+    }
+
+    /// Encodes `meta` for the single hop `sender → receiver`. Equivalent
+    /// to a one-recipient [`WireCodec::encode_fanout`].
     pub fn encode(
         &mut self,
         sender: ReplicaId,
         receiver: ReplicaId,
         meta: &Arc<Metadata>,
     ) -> Arc<Metadata> {
+        self.encode_fanout(sender, std::slice::from_ref(&receiver), meta)
+            .pop()
+            .expect("one recipient in, one metadata out")
+    }
+
+    /// Encodes `meta` for every hop `sender → recipients[i]` of one
+    /// update's fan-out, returning the per-recipient metadata in order.
+    /// Pairs whose layout and stream history match share a single encode
+    /// (see the module docs), so the cost of a dense fan-out is one
+    /// varint pass, not one per recipient.
+    pub fn encode_fanout(
+        &mut self,
+        sender: ReplicaId,
+        recipients: &[ReplicaId],
+        meta: &Arc<Metadata>,
+    ) -> Vec<Arc<Metadata>> {
         let (Some(registry), Metadata::Edge(ts)) = (&self.registry, meta.as_ref()) else {
-            return Arc::clone(meta);
+            return recipients.iter().map(|_| Arc::clone(meta)).collect();
         };
-        match self.mode {
-            WireMode::Raw => Arc::clone(meta),
-            WireMode::Projected => {
-                let layout = registry.wire_layout(receiver, sender);
-                let values = layout.project(ts.values());
-                let encoded_len = values.len() * 8;
-                Arc::new(Metadata::Projected {
-                    values,
-                    encoded_len,
-                })
-            }
-            WireMode::Compressed => {
-                let layout = registry.wire_layout(receiver, sender);
-                let stream = self
-                    .streams
-                    .entry((sender, receiver))
-                    .or_insert_with(|| PairStream {
-                        enc: WireEncoder::new(&layout),
-                        dec: WireDecoder::new(&layout),
-                        buf: Vec::new(),
-                    });
-                let encoded_len = stream.enc.encode(&layout, ts.values(), &mut stream.buf);
-                let values = stream
-                    .dec
-                    .decode(&layout, &stream.buf)
-                    .expect("sender-side decode of a frame we just encoded");
-                debug_assert_eq!(
-                    values,
-                    layout.project(ts.values()),
-                    "decoded frame must reproduce the projection"
+        if self.mode == WireMode::Raw {
+            return recipients.iter().map(|_| Arc::clone(meta)).collect();
+        }
+        let registry = Arc::clone(registry);
+        let full = ts.values();
+        let mut out = Vec::with_capacity(recipients.len());
+        // Fan-out-local memo of group leaders, one entry per distinct
+        // (layout, state) seen. Tiny in practice: one entry on cliques,
+        // a handful under mixed placements.
+        let mut comp_groups: Vec<GroupFrame> = Vec::new();
+        let mut proj_groups: Vec<(Arc<PairLayout>, Arc<Metadata>)> = Vec::new();
+
+        for &dst in recipients {
+            if !self.streams.contains_key(&(sender, dst)) {
+                let layout = self
+                    .overrides
+                    .get(&(sender, dst))
+                    .cloned()
+                    .unwrap_or_else(|| registry.wire_layout(dst, sender));
+                let state = Arc::clone(
+                    self.zero_states
+                        .entry(layout.num_explicit())
+                        .or_insert_with(|| Arc::new(vec![0; layout.num_explicit()])),
                 );
-                Arc::new(Metadata::Projected {
-                    values,
-                    encoded_len,
-                })
+                let path = match self.mode {
+                    WireMode::Projected => PairPath::Projected,
+                    _ => PairPath::Compressed,
+                };
+                self.streams.insert(
+                    (sender, dst),
+                    PairStream {
+                        layout,
+                        state,
+                        path,
+                        frames: 0,
+                        own_encodes: 0,
+                        comp_bytes: 0,
+                        decided: self.mode != WireMode::Adaptive,
+                    },
+                );
+            }
+            let stream = self.streams.get_mut(&(sender, dst)).expect("just inserted");
+            self.stats.frames += 1;
+            match stream.path {
+                PairPath::Raw => out.push(Arc::clone(meta)),
+                PairPath::Projected => {
+                    let m = match proj_groups
+                        .iter()
+                        .find(|(l, _)| Arc::ptr_eq(l, &stream.layout))
+                    {
+                        Some((_, m)) => {
+                            self.stats.shared_frames += 1;
+                            Arc::clone(m)
+                        }
+                        None => {
+                            let values = stream.layout.project(full);
+                            let m = Arc::new(Metadata::Projected {
+                                encoded_len: values.len() * 8,
+                                values,
+                            });
+                            proj_groups.push((Arc::clone(&stream.layout), Arc::clone(&m)));
+                            m
+                        }
+                    };
+                    out.push(m);
+                }
+                PairPath::Compressed => {
+                    let shared = comp_groups.iter().find(|g| {
+                        Arc::ptr_eq(&g.layout, &stream.layout)
+                            && Arc::ptr_eq(&g.old_state, &stream.state)
+                    });
+                    let len = match shared {
+                        Some(g) => {
+                            stream.state = Arc::clone(&g.new_state);
+                            self.stats.shared_frames += 1;
+                            out.push(Arc::clone(&g.meta));
+                            g.len
+                        }
+                        None => {
+                            let values = stream.layout.project(full);
+                            if stream.layout.verify_derived(&values).is_err() {
+                                // A derived row lies about the values it
+                                // claims to reconstruct: a receiver would
+                                // decode garbage. Demote the pair to
+                                // explicit rows (fresh stream) and count
+                                // it instead of taking the thread down.
+                                self.stats.demotions += 1;
+                                let demoted = Arc::new(stream.layout.to_explicit());
+                                stream.state = Arc::clone(
+                                    self.zero_states
+                                        .entry(demoted.num_explicit())
+                                        .or_insert_with(|| {
+                                            Arc::new(vec![0; demoted.num_explicit()])
+                                        }),
+                                );
+                                stream.layout = demoted;
+                            }
+                            self.buf.clear();
+                            let mut next = Vec::new();
+                            let len = stream.layout.encode_frame(
+                                &stream.state,
+                                full,
+                                &mut self.buf,
+                                &mut next,
+                            );
+                            #[cfg(debug_assertions)]
+                            {
+                                // The frame a real receiver would decode
+                                // must reproduce the projection exactly.
+                                let mut pos = 0;
+                                let mut scratch = Vec::new();
+                                let decoded = stream
+                                    .layout
+                                    .decode_frame(&stream.state, &self.buf, &mut pos, &mut scratch)
+                                    .expect("self-decode of a frame we just encoded");
+                                debug_assert_eq!(pos, self.buf.len());
+                                debug_assert_eq!(
+                                    decoded, values,
+                                    "decoded frame must reproduce the projection"
+                                );
+                            }
+                            let new_state = Arc::new(next);
+                            let m = Arc::new(Metadata::Projected {
+                                values,
+                                encoded_len: len,
+                            });
+                            let old_state =
+                                std::mem::replace(&mut stream.state, Arc::clone(&new_state));
+                            stream.own_encodes += 1;
+                            comp_groups.push(GroupFrame {
+                                layout: Arc::clone(&stream.layout),
+                                old_state,
+                                new_state,
+                                meta: Arc::clone(&m),
+                                len,
+                            });
+                            out.push(m);
+                            len
+                        }
+                    };
+                    stream.frames += 1;
+                    stream.comp_bytes += len as u64;
+                    if !stream.decided && stream.frames >= self.adaptive.probe_frames {
+                        stream.decided = true;
+                        if let Some(path) = adaptive_fallback(stream, full.len(), &self.adaptive) {
+                            stream.path = path;
+                            self.stats.adaptive_fallbacks += 1;
+                        }
+                    }
+                }
             }
         }
+        out
+    }
+}
+
+/// The adaptive decision for one pair after its probe window: returns the
+/// fallback path, or `None` to stay compressed. Deterministic — driven
+/// entirely by layout shape, observed frame bytes, and the observed
+/// encode-sharing factor.
+fn adaptive_fallback(
+    stream: &PairStream,
+    full_len: usize,
+    cfg: &AdaptiveConfig,
+) -> Option<PairPath> {
+    let frames = stream.frames as f64;
+    // Fraction of frames this pair actually paid an encode for; the rest
+    // rode a group leader's varint pass.
+    let paid = stream.own_encodes as f64 / frames;
+    let common = stream.layout.common_len() as f64;
+    let explicit = stream.layout.num_explicit() as f64;
+    let wire = cfg.ns_per_wire_byte;
+    let comp_cpu = paid * (NS_PER_VARINT * explicit + NS_PER_GATHER * common);
+    let comp = comp_cpu + wire * (stream.comp_bytes as f64 / frames);
+    let proj = paid * NS_PER_GATHER * common + wire * 8.0 * common;
+    let raw = wire * 8.0 * full_len as f64;
+    if comp <= proj && comp <= raw {
+        None
+    } else if proj <= raw {
+        Some(PairPath::Projected)
+    } else {
+        Some(PairPath::Raw)
     }
 }
 
@@ -153,6 +453,7 @@ impl WireCodec {
 mod tests {
     use super::*;
     use prcc_sharegraph::{topology, LoopConfig, RegisterId, TimestampGraphs};
+    use prcc_timestamp::wire::DerivedRow;
     use prcc_timestamp::VectorClock;
 
     fn registry(g: &prcc_sharegraph::ShareGraph) -> Arc<TsRegistry> {
@@ -239,5 +540,159 @@ mod tests {
         let mut codec = WireCodec::new(WireMode::Compressed, None);
         let out = codec.encode(ReplicaId::new(0), ReplicaId::new(1), &meta);
         assert!(Arc::ptr_eq(&meta, &out));
+    }
+
+    #[test]
+    fn clique_fanout_encodes_once_and_shares_metadata() {
+        // Full replication: every receiver's layout and stream history
+        // are identical, so a fan-out must do exactly one encode and
+        // hand every recipient the same metadata Arc.
+        let g = topology::clique_full(6, 2);
+        let reg = registry(&g);
+        let s = ReplicaId::new(0);
+        let recipients: Vec<ReplicaId> = (1..6).map(ReplicaId::new).collect();
+        let mut codec = WireCodec::new(WireMode::Compressed, Some(reg.clone()));
+        let mut ts = reg.new_timestamp(s);
+        for round in 0..4 {
+            reg.advance(&mut ts, RegisterId::new(round % 2));
+            let meta = Arc::new(Metadata::Edge(ts.clone()));
+            let out = codec.encode_fanout(s, &recipients, &meta);
+            assert_eq!(out.len(), recipients.len());
+            for m in &out[1..] {
+                assert!(
+                    Arc::ptr_eq(&out[0], m),
+                    "identical streams must share one frame"
+                );
+            }
+        }
+        let stats = codec.stats();
+        assert_eq!(stats.frames, 4 * recipients.len());
+        assert_eq!(
+            stats.shared_frames,
+            4 * (recipients.len() - 1),
+            "only the group leader pays an encode"
+        );
+        assert_eq!(stats.demotions, 0);
+    }
+
+    #[test]
+    fn fanout_matches_per_recipient_encodes() {
+        // The grouped fan-out must be byte- and value-identical to a
+        // codec that encodes each recipient separately (the PR-2 path).
+        for g in [topology::ring(6), topology::clique_full(5, 3)] {
+            let reg = registry(&g);
+            let s = ReplicaId::new(0);
+            let recipients: Vec<ReplicaId> = g.replicas().filter(|&r| r != s).collect();
+            let mut fan = WireCodec::new(WireMode::Compressed, Some(reg.clone()));
+            let mut single = WireCodec::new(WireMode::Compressed, Some(reg.clone()));
+            let mut ts = reg.new_timestamp(s);
+            for round in 0..6 {
+                reg.advance(&mut ts, RegisterId::new(round % 2));
+                let meta = Arc::new(Metadata::Edge(ts.clone()));
+                let fanned = fan.encode_fanout(s, &recipients, &meta);
+                for (dst, got) in recipients.iter().zip(&fanned) {
+                    let want = single.encode(s, *dst, &meta);
+                    assert_eq!(
+                        got.as_ref(),
+                        want.as_ref(),
+                        "fan-out differs for dst {dst} round {round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_layout_demotes_to_explicit_rows() {
+        // Satellite regression: a layout whose derived row lies used to
+        // panic the replica thread via `.expect()`. It must now demote
+        // the pair to explicit rows, keep the projection intact, and
+        // count the demotion.
+        let g = topology::clique_full(4, 2);
+        let reg = registry(&g);
+        let (s, r) = (ReplicaId::new(0), ReplicaId::new(1));
+        let good = reg.wire_layout(r, s);
+        // Same projection, but a derived row claiming slice[last] is
+        // half of the first explicit entry — false for real counters.
+        let first_explicit = good.explicit_indices()[0];
+        let target = good.common_len() - 1;
+        let bad = PairLayout::from_raw_parts(
+            good.sender_positions().to_vec(),
+            good.explicit_indices()
+                .iter()
+                .copied()
+                .filter(|&j| j != target)
+                .collect(),
+            vec![DerivedRow {
+                index: target,
+                terms: vec![(first_explicit, 1)],
+                den: 2,
+            }],
+        );
+        let mut codec = WireCodec::new(WireMode::Compressed, Some(reg.clone()));
+        codec.inject_layout(s, r, bad);
+        let mut ts = reg.new_timestamp(s);
+        for _ in 0..3 {
+            reg.advance(&mut ts, RegisterId::new(0));
+        }
+        let meta = Arc::new(Metadata::Edge(ts.clone()));
+        let out = codec.encode(s, r, &meta);
+        let Metadata::Projected { values, .. } = out.as_ref() else {
+            panic!("expected projected metadata, got {out:?}");
+        };
+        assert_eq!(
+            values,
+            &good.project(ts.values()),
+            "demoted pair must still ship the exact projection"
+        );
+        assert_eq!(codec.stats().demotions, 1);
+        // The demotion is sticky: later frames reuse the explicit layout
+        // without demoting again.
+        reg.advance(&mut ts, RegisterId::new(0));
+        let out = codec.encode(s, r, &Arc::new(Metadata::Edge(ts.clone())));
+        let Metadata::Projected { values, .. } = out.as_ref() else {
+            panic!("expected projected metadata, got {out:?}");
+        };
+        assert_eq!(values, &good.project(ts.values()));
+        assert_eq!(codec.stats().demotions, 1);
+    }
+
+    #[test]
+    fn adaptive_starts_compressed_and_stays_on_dense_graphs() {
+        let g = topology::clique_full(5, 2);
+        let reg = registry(&g);
+        let s = ReplicaId::new(0);
+        let recipients: Vec<ReplicaId> = (1..5).map(ReplicaId::new).collect();
+        let mut codec = WireCodec::new(WireMode::Adaptive, Some(reg.clone()));
+        let mut ts = reg.new_timestamp(s);
+        for _ in 0..40 {
+            reg.advance(&mut ts, RegisterId::new(0));
+            codec.encode_fanout(s, &recipients, &Arc::new(Metadata::Edge(ts.clone())));
+        }
+        // Dense fan-out amortizes the encode: compression stays on.
+        assert_eq!(codec.stats().adaptive_fallbacks, 0);
+    }
+
+    #[test]
+    fn adaptive_falls_back_when_bytes_are_cheap() {
+        // With wire bytes valued at ~0 the CPU tax can never pay off:
+        // every pair must walk down the fallback chain to raw.
+        let g = topology::ring(6);
+        let reg = registry(&g);
+        let (s, r) = (ReplicaId::new(0), ReplicaId::new(1));
+        let cfg = AdaptiveConfig {
+            probe_frames: 4,
+            ns_per_wire_byte: 0.0,
+        };
+        let mut codec = WireCodec::with_adaptive(WireMode::Adaptive, Some(reg.clone()), cfg);
+        let mut ts = reg.new_timestamp(s);
+        let mut last = None;
+        for _ in 0..8 {
+            reg.advance(&mut ts, RegisterId::new(0));
+            last = Some(codec.encode(s, r, &Arc::new(Metadata::Edge(ts.clone()))));
+        }
+        assert_eq!(codec.stats().adaptive_fallbacks, 1);
+        // Post-fallback frames ship the raw metadata Arc.
+        assert!(matches!(last.unwrap().as_ref(), Metadata::Edge(_)));
     }
 }

@@ -231,6 +231,9 @@ pub struct ThreadedCluster {
     wire_bytes: Arc<AtomicUsize>,
     /// Total session-layer retransmissions across all replica threads.
     retransmits: Arc<AtomicUsize>,
+    /// Total wire-codec demotions (derived-row verification failures)
+    /// across all replica threads.
+    demotions: Arc<AtomicUsize>,
     /// Keep the net alive for the cluster's lifetime.
     _net: ThreadNet<SessionFrame<BatchMsg>>,
 }
@@ -318,6 +321,7 @@ impl ThreadedCluster {
         let sent = Arc::new(AtomicUsize::new(0));
         let wire_bytes = Arc::new(AtomicUsize::new(0));
         let retransmits = Arc::new(AtomicUsize::new(0));
+        let demotions = Arc::new(AtomicUsize::new(0));
         let epoch = Instant::now();
 
         let mut cmd_txs = Vec::new();
@@ -340,6 +344,7 @@ impl ThreadedCluster {
             let sent = sent.clone();
             let wire_bytes = wire_bytes.clone();
             let retransmits = retransmits.clone();
+            let demotions = demotions.clone();
             threads.push(std::thread::spawn(move || {
                 replica_main(ReplicaCtx {
                     id: i,
@@ -356,6 +361,7 @@ impl ThreadedCluster {
                     sent_ctr: sent,
                     wire_bytes_ctr: wire_bytes,
                     retransmits_ctr: retransmits,
+                    demotions_ctr: demotions,
                 })
             }));
         }
@@ -370,6 +376,7 @@ impl ThreadedCluster {
             sent,
             wire_bytes,
             retransmits,
+            demotions,
             _net: net,
         }
     }
@@ -490,6 +497,12 @@ impl ThreadedCluster {
         self.retransmits.load(Ordering::SeqCst)
     }
 
+    /// Total wire-codec demotions so far (0 unless a malformed layout
+    /// was injected — registry layouts verify at construction).
+    pub fn total_codec_demotions(&self) -> usize {
+        self.demotions.load(Ordering::SeqCst)
+    }
+
     /// Shuts the cluster down, joining all replica threads.
     pub fn shutdown(mut self) -> Trace {
         for tx in &self.cmd_txs {
@@ -529,6 +542,7 @@ struct ReplicaCtx {
     sent_ctr: Arc<AtomicUsize>,
     wire_bytes_ctr: Arc<AtomicUsize>,
     retransmits_ctr: Arc<AtomicUsize>,
+    demotions_ctr: Arc<AtomicUsize>,
 }
 
 /// A per-destination pending batch on the sender side.
@@ -571,6 +585,7 @@ fn replica_main(ctx: ReplicaCtx) {
         sent_ctr,
         wire_bytes_ctr,
         retransmits_ctr,
+        demotions_ctr,
     } = ctx;
     // Each sender thread owns the codec for its outgoing pair streams —
     // per-pair delta state never crosses threads.
@@ -585,6 +600,7 @@ fn replica_main(ctx: ReplicaCtx) {
     let mut endpoint = config.session.map(|cfg| SessionEndpoint::new(id, cfg));
     let now_ms = |epoch: &Instant| epoch.elapsed().as_millis() as u64;
     let mut last_retx = 0usize;
+    let mut last_demotions = 0usize;
     let mut local_pending = 0usize;
     let mut shard_seq = 0u64;
     let mut outq: HashMap<ReplicaId, Outq> = HashMap::new();
@@ -624,12 +640,21 @@ fn replica_main(ctx: ReplicaCtx) {
                         ev: ShardEvent::Issue { id: uid, register },
                     });
                     shard_seq += 1;
-                    for dst in recipients {
+                    // Encode-once fan-out: the metadata `Arc` (or its
+                    // per-pair projected frame) is shared, not cloned,
+                    // and identical pair streams share one varint pass.
+                    let metas = codec.encode_fanout(id, &recipients, &msg.meta);
+                    let demoted = codec.stats().demotions;
+                    if demoted > last_demotions {
+                        // Delta, not a store: other replica threads are
+                        // adding their own demotions to the same counter.
+                        demotions_ctr.fetch_add(demoted - last_demotions, Ordering::SeqCst);
+                        last_demotions = demoted;
+                    }
+                    for (dst, meta) in recipients.into_iter().zip(metas) {
                         sent_ctr.fetch_add(1, Ordering::SeqCst);
-                        // Zero-copy fan-out: the metadata `Arc` (or its
-                        // per-pair projected frame) is shared, not cloned.
                         let m = UpdateMsg {
-                            meta: codec.encode(id, dst, &msg.meta),
+                            meta,
                             ..msg.clone()
                         };
                         wire_bytes_ctr.fetch_add(m.meta.size_bytes(), Ordering::SeqCst);

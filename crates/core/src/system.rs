@@ -581,10 +581,12 @@ impl System {
             logs[r.index()].maybe_snapshot(&self.replicas[r.index()]);
         }
         let now = self.net.now();
-        for dst in recipients {
-            // Zero-copy fan-out: recipients share the issuer's metadata
-            // `Arc` (raw mode) or get a per-pair projected frame; the
-            // counters themselves are never duplicated per destination.
+        // Encode-once fan-out: recipients share the issuer's metadata
+        // `Arc` (raw mode) or a per-pair projected frame, and recipients
+        // whose pair streams are identical share a single varint pass —
+        // the counters are never duplicated or re-encoded per destination.
+        let metas = self.codec.encode_fanout(r, &recipients, &msg.meta);
+        for (dst, meta) in recipients.into_iter().zip(metas) {
             let m = UpdateMsg {
                 issuer: msg.issuer,
                 seq: msg.seq,
@@ -594,7 +596,7 @@ impl System {
                 } else {
                     None // metadata-only recipient
                 },
-                meta: self.codec.encode(r, dst, &msg.meta),
+                meta,
                 transit: msg.transit.clone(),
             };
             self.account_send(&m);
@@ -1015,9 +1017,17 @@ impl System {
     }
 
     /// Raw network statistics (including fault-plan drop/duplicate
-    /// counts).
+    /// counts and wire-codec demotions).
     pub fn net_stats(&self) -> prcc_net::NetStats {
-        self.net.stats()
+        let mut stats = self.net.stats();
+        stats.codec_demotions = self.codec.stats().demotions;
+        stats
+    }
+
+    /// Wire-codec counters: frames, encode-once sharing, demotions, and
+    /// adaptive fallbacks.
+    pub fn codec_stats(&self) -> crate::codec::CodecStats {
+        self.codec.stats()
     }
 
     /// Aggregated session-layer statistics across all endpoints, or

@@ -132,8 +132,9 @@ fn assert_wire_equivalent(g: &ShareGraph, tracker: TrackerKind, seed: u64) {
         WireMode::Compressed,
         seed,
     );
+    let (adapt, _) = run_wire(g, tracker, PendingMode::default(), WireMode::Adaptive, seed);
 
-    for other in [&proj, &comp] {
+    for other in [&proj, &comp, &adapt] {
         // Identical event (issue + apply) sequences.
         prop_assert_eq!(raw.trace().events(), other.trace().events());
         // Identical stores and pending buffers at every replica.
@@ -167,6 +168,13 @@ fn assert_wire_equivalent(g: &ShareGraph, tracker: TrackerKind, seed: u64) {
     );
     prop_assert!(pb <= rb, "projected {} > raw {}", pb, rb);
     prop_assert!(cb <= pb, "compressed {} > projected {}", cb, pb);
+    // Adaptive only ever falls back toward raw, never past it.
+    let ab = adapt.metrics().metadata_bytes;
+    prop_assert!(ab <= rb, "adaptive {} > raw {}", ab, rb);
+    // Registry-built layouts verify at construction: no run may demote.
+    for sys in [&raw, &proj, &comp, &adapt] {
+        prop_assert_eq!(sys.net_stats().codec_demotions, 0);
+    }
 }
 
 proptest! {

@@ -219,7 +219,7 @@ proptest! {
         n in 3usize..7,
         tracker_sel in 0usize..3,
         pm in 0usize..2,
-        wire in 0usize..3,
+        wire in 0usize..4,
         count_i in 0usize..5,
         bytes_i in 0usize..3,
         flush_i in 0usize..3,
@@ -234,7 +234,12 @@ proptest! {
         // Baselines ship raw metadata regardless of wire mode; only the
         // edge-indexed tracker exercises projection/compression.
         let wire = match tracker {
-            TrackerKind::EdgeIndexed(_) => [WireMode::Raw, WireMode::Projected, WireMode::Compressed][wire],
+            TrackerKind::EdgeIndexed(_) => [
+                WireMode::Raw,
+                WireMode::Projected,
+                WireMode::Compressed,
+                WireMode::Adaptive,
+            ][wire],
             _ => WireMode::Raw,
         };
         let mode = if pm == 0 { PendingMode::Scan } else { PendingMode::Wakeup };

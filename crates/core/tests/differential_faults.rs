@@ -230,13 +230,13 @@ proptest! {
     }
 
     /// The wire codec's FIFO delta framing must survive retransmission
-    /// and crash/catch-up: all three wire modes heal to the fault-free
-    /// observables.
+    /// and crash/catch-up: all four wire modes (adaptive included) heal
+    /// to the fault-free observables.
     #[test]
     fn faulty_session_matches_fault_free_wire_modes(
         topo in 0usize..3,
         n in 3usize..7,
-        wire in 0usize..3,
+        wire in 0usize..4,
         drop_i in 0usize..3,
         crashes in 0usize..3,
         seed in 0u64..1_000_000,
@@ -244,7 +244,12 @@ proptest! {
         let g = build_topology(topo, n);
         let drop_prob = [0.0, 0.2, 0.4][drop_i];
         let s = make_schedule(n, drop_prob, 0.2, crashes, true, seed);
-        let wire = [WireMode::Raw, WireMode::Projected, WireMode::Compressed][wire];
+        let wire = [
+            WireMode::Raw,
+            WireMode::Projected,
+            WireMode::Compressed,
+            WireMode::Adaptive,
+        ][wire];
         let tracker = TrackerKind::EdgeIndexed(prcc_sharegraph::LoopConfig::EXHAUSTIVE);
         assert_heals(&g, tracker, PendingMode::default(), wire, &s, seed);
     }

@@ -69,6 +69,11 @@ pub struct NetStats {
     /// that use plain [`SimNetwork::send`] contribute 0 — the network is
     /// generic and cannot size arbitrary messages itself).
     pub bytes: usize,
+    /// Wire-codec pairs demoted from compressed to explicit rows after a
+    /// derived-row verification failure. The network itself never sets
+    /// this; the owning system merges it in from its codec so fault
+    /// reports surface codec health alongside delivery counts.
+    pub codec_demotions: usize,
 }
 
 /// The simulated network. Time is logical (`u64` ticks) and advances to

@@ -127,6 +127,9 @@ pub struct RunReport {
     /// Deliveries permanently lost to a crashed destination (non-zero
     /// only without the session layer).
     pub lost_to_crash: usize,
+    /// Wire-codec pairs demoted to explicit rows after a derived-row
+    /// verification failure (0 with registry-built layouts).
+    pub codec_demotions: usize,
 }
 
 impl fmt::Display for RunReport {
@@ -267,6 +270,7 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
         catch_up_p50: catch_up.p50(),
         catch_up_max: catch_up.max(),
         lost_to_crash: sys.lost_to_crash(),
+        codec_demotions: sys.net_stats().codec_demotions,
     }
 }
 

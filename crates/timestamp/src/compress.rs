@@ -229,6 +229,7 @@ impl AtomBasis {
     /// # Panics
     ///
     /// Panics if `counts.len() != num_atoms()`.
+    #[inline]
     pub fn record_write(&self, x: RegisterId, counts: &mut [u64]) -> bool {
         assert_eq!(counts.len(), self.atoms.len(), "count vector shape");
         for (i, a) in self.atoms.iter().enumerate() {
@@ -246,6 +247,7 @@ impl AtomBasis {
     ///
     /// Panics if `edge` is out of range or the count vector has the wrong
     /// shape.
+    #[inline]
     pub fn edge_count(&self, edge: usize, counts: &[u64]) -> u64 {
         assert_eq!(counts.len(), self.atoms.len(), "count vector shape");
         self.edge_atoms[edge].iter().map(|&a| counts[a]).sum()

@@ -16,6 +16,7 @@
 
 use crate::wire::{varint_len, PairLayout};
 use prcc_sharegraph::{EdgeId, RegSet, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -206,6 +207,12 @@ impl TsRegistry {
         let n = graphs.len();
         let mut pair_ops = Vec::with_capacity(n * n);
         let mut wire_layouts = Vec::with_capacity(n * n);
+        // Structurally identical layouts (every pair of a full-replication
+        // clique, many pairs of symmetric placements) share one `Arc`:
+        // downstream fan-out grouping detects "same layout" by pointer
+        // compare, and the derived-row solutions are solved once, not once
+        // per pair.
+        let mut canon: HashMap<PairLayout, Arc<PairLayout>> = HashMap::new();
         for i in 0..n {
             for k in 0..n {
                 if i == k {
@@ -214,7 +221,11 @@ impl TsRegistry {
                 } else {
                     let (ri, rk) = (ReplicaId::new(i as u32), ReplicaId::new(k as u32));
                     pair_ops.push(Some(Self::build_pair(&graphs, ri, rk)));
-                    wire_layouts.push(Some(Arc::new(Self::build_layout(g, &graphs, ri, rk))));
+                    let layout = Self::build_layout(g, &graphs, ri, rk);
+                    let shared = canon
+                        .entry(layout)
+                        .or_insert_with_key(|l| Arc::new(l.clone()));
+                    wire_layouts.push(Some(Arc::clone(shared)));
                 }
             }
         }
@@ -461,6 +472,25 @@ impl TsRegistry {
         self.wire_layouts[receiver.index() * self.num_replicas + sender.index()]
             .clone()
             .expect("sender must differ from receiver")
+    }
+
+    /// Re-derives the `(receiver, sender)` wire layout from scratch,
+    /// bypassing the cache built at construction. The oracle for the
+    /// layout-cache invariance property: a cached layout must be
+    /// indistinguishable (partition and frames) from a fresh derivation.
+    /// `g` must be the share graph the registry was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver == sender` or either id is out of range.
+    pub fn derive_wire_layout(
+        &self,
+        g: &ShareGraph,
+        receiver: ReplicaId,
+        sender: ReplicaId,
+    ) -> PairLayout {
+        assert_ne!(receiver, sender, "sender must differ from receiver");
+        Self::build_layout(g, &self.graphs, receiver, sender)
     }
 
     /// [`TsRegistry::merge_report`] over a **projected** incoming slice:

@@ -44,4 +44,4 @@ pub use client_ts::{ClientTimestamp, ClientTsRegistry};
 pub use compress::{compress_replica, AtomBasis, CompressionReport};
 pub use edge_ts::{EdgeTimestamp, JVerdict, TsRegistry};
 pub use vector_clock::VectorClock;
-pub use wire::{PairLayout, WireDecoder, WireEncoder};
+pub use wire::{DecodeError, DerivedRow, PairLayout, WireDecoder, WireEncoder};

@@ -30,7 +30,61 @@
 use prcc_sharegraph::RegSet;
 use std::fmt;
 
+/// Why a frame was rejected. Every rejection is **transactional**: the
+/// decoder's stream state is untouched, so a subsequent well-formed frame
+/// still decodes correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A varint was truncated or would overflow 64 bits.
+    BadVarint {
+        /// Byte offset of the offending varint within the frame.
+        offset: usize,
+    },
+    /// Bytes left over after the last expected varint.
+    TrailingBytes {
+        /// Where the frame's payload ended.
+        consumed: usize,
+        /// The frame's actual length.
+        len: usize,
+    },
+    /// A batch frame's count varint exceeds what the frame could
+    /// physically hold.
+    ImplausibleCount {
+        /// The claimed update count.
+        count: u64,
+    },
+    /// A derived row's linear relation did not reproduce an exact,
+    /// in-range counter from the explicit entries — the layout and the
+    /// values disagree, so the decode would be corrupt.
+    InexactDerivedRow {
+        /// Common-slice index of the offending derived row.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadVarint { offset } => {
+                write!(f, "truncated or over-long varint at byte {offset}")
+            }
+            DecodeError::TrailingBytes { consumed, len } => {
+                write!(f, "{} trailing bytes after frame payload", len - consumed)
+            }
+            DecodeError::ImplausibleCount { count } => {
+                write!(f, "batch count {count} exceeds frame capacity")
+            }
+            DecodeError::InexactDerivedRow { index } => {
+                write!(f, "derived row {index} does not reconstruct exactly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Appends `v` to `buf` as an LEB128 varint (7 bits per byte).
+#[inline]
 pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
@@ -71,10 +125,12 @@ pub fn varint_len(v: u64) -> usize {
 }
 
 /// Zig-zag maps signed deltas to small unsigned varints.
+#[inline]
 fn zigzag(i: i64) -> u64 {
     ((i << 1) ^ (i >> 63)) as u64
 }
 
+#[inline]
 fn unzigzag(z: u64) -> i64 {
     ((z >> 1) as i64) ^ -((z & 1) as i64)
 }
@@ -82,11 +138,13 @@ fn unzigzag(z: u64) -> i64 {
 /// Delta of `cur` against `prev` as a zig-zag varint payload. The
 /// wrapping difference is lossless for **all** 64-bit patterns (including
 /// decreases and `u64::MAX` jumps): [`decode_delta`] inverts it exactly.
+#[inline]
 pub fn encode_delta(prev: u64, cur: u64) -> u64 {
     zigzag(cur.wrapping_sub(prev) as i64)
 }
 
 /// Inverse of [`encode_delta`].
+#[inline]
 pub fn decode_delta(prev: u64, z: u64) -> u64 {
     prev.wrapping_add(unzigzag(z) as u64)
 }
@@ -149,7 +207,7 @@ fn gcd(mut a: u128, mut b: u128) -> u128 {
 
 /// A slice entry reconstructed from explicit entries instead of being
 /// transmitted: `value[index] = (Σ terms (j, c): c · value[j]) / den`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DerivedRow {
     /// Index into the common slice.
     pub index: usize,
@@ -160,13 +218,17 @@ pub struct DerivedRow {
 }
 
 /// The negotiated wire layout for one ordered pair `(receiver, sender)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PairLayout {
     /// For each common-slice entry: its position in the sender's full
     /// counter vector (`E_k` order).
     sender_positions: Vec<usize>,
     /// Slice indices transmitted on the wire, in slice order.
     explicit: Vec<usize>,
+    /// For each explicit entry (wire order): its position in the sender's
+    /// full counter vector. Fuses the `sender_positions[explicit[j]]`
+    /// double indirection out of the encode inner loop.
+    explicit_positions: Vec<usize>,
     /// Slice indices reconstructed by the decoder.
     derived: Vec<DerivedRow>,
 }
@@ -260,21 +322,47 @@ impl PairLayout {
         }
 
         let explicit = (0..len).filter(|&j| !is_derived[j]).collect();
-        PairLayout {
-            sender_positions,
-            explicit,
-            derived,
-        }
+        PairLayout::from_raw_parts(sender_positions, explicit, derived)
     }
 
     /// A layout with no compression: every slice entry explicit.
     pub fn identity(sender_positions: Vec<usize>) -> PairLayout {
         let explicit = (0..sender_positions.len()).collect();
+        PairLayout::from_raw_parts(sender_positions, explicit, Vec::new())
+    }
+
+    /// Assembles a layout from an already-decided partition. The normal
+    /// constructor is [`PairLayout::build`]; this one exists for fault
+    /// injection and tests that need a layout whose derived rows are *not*
+    /// symbolically verified (e.g. to exercise the checked decode path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit or derived index is out of slice range.
+    pub fn from_raw_parts(
+        sender_positions: Vec<usize>,
+        explicit: Vec<usize>,
+        derived: Vec<DerivedRow>,
+    ) -> PairLayout {
+        let len = sender_positions.len();
+        assert!(
+            explicit.iter().all(|&j| j < len) && derived.iter().all(|d| d.index < len),
+            "slice index out of range"
+        );
+        let explicit_positions = explicit.iter().map(|&j| sender_positions[j]).collect();
         PairLayout {
             sender_positions,
             explicit,
-            derived: Vec::new(),
+            explicit_positions,
+            derived,
         }
+    }
+
+    /// The uncompressed fallback of this layout: same projection, every
+    /// slice entry explicit. Used when a derived row fails verification
+    /// and the pair must demote to explicit rows.
+    pub fn to_explicit(&self) -> PairLayout {
+        PairLayout::identity(self.sender_positions.clone())
     }
 
     /// Number of common-slice counters.
@@ -292,6 +380,22 @@ impl PairLayout {
         self.derived.len()
     }
 
+    /// For each common-slice entry: its position in the sender's full
+    /// counter vector.
+    pub fn sender_positions(&self) -> &[usize] {
+        &self.sender_positions
+    }
+
+    /// Slice indices transmitted on the wire, in wire order.
+    pub fn explicit_indices(&self) -> &[usize] {
+        &self.explicit
+    }
+
+    /// The decoder-side derived rows.
+    pub fn derived_rows(&self) -> &[DerivedRow] {
+        &self.derived
+    }
+
     /// Projects the sender's full counter vector to the common slice.
     ///
     /// # Panics
@@ -302,14 +406,108 @@ impl PairLayout {
     }
 
     /// Reconstructs the derived entries of `slice` in place from its
-    /// explicit entries. Division is exact by construction; debug builds
-    /// assert it.
-    fn reconstruct(&self, slice: &mut [u64]) {
+    /// explicit entries. Division is exact for layouts produced by
+    /// [`PairLayout::build`] (the relations are verified symbolically at
+    /// construction); an inexact or out-of-range result means layout and
+    /// values disagree, and the frame is rejected rather than silently
+    /// corrupting the decoded timestamp.
+    fn reconstruct(&self, slice: &mut [u64]) -> Result<(), DecodeError> {
         for d in &self.derived {
             let sum: i128 = d.terms.iter().map(|&(j, c)| c * i128::from(slice[j])).sum();
-            debug_assert!(sum % d.den == 0 && sum / d.den >= 0, "inexact derived row");
-            slice[d.index] = (sum / d.den) as u64;
+            let err = DecodeError::InexactDerivedRow { index: d.index };
+            if d.den <= 0 || sum % d.den != 0 {
+                return Err(err);
+            }
+            let v = sum / d.den;
+            if v < 0 || v > i128::from(u64::MAX) {
+                return Err(err);
+            }
+            slice[d.index] = v as u64;
         }
+        Ok(())
+    }
+
+    /// Checks that the **complete** slice (explicit and derived entries
+    /// all present, e.g. straight from [`PairLayout::project`]) satisfies
+    /// every derived-row relation — i.e. that a receiver reconstructing
+    /// the derived entries from the explicit ones would land on exactly
+    /// these values. The sender-side guard of the compressed path.
+    pub fn verify_derived(&self, slice: &[u64]) -> Result<(), DecodeError> {
+        for d in &self.derived {
+            let sum: i128 = d.terms.iter().map(|&(j, c)| c * i128::from(slice[j])).sum();
+            if d.den <= 0 || sum != d.den * i128::from(slice[d.index]) {
+                return Err(DecodeError::InexactDerivedRow { index: d.index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes one delta frame: the explicit projections of `full`,
+    /// framed against the previous frame's explicit values `prev`,
+    /// appended to `buf`. The new explicit values are written to `next`
+    /// (cleared first) so the caller commits stream state explicitly —
+    /// this is the stateless primitive under [`WireEncoder`] and the
+    /// encode-once fan-out. Returns the bytes appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` is shorter than the explicit count or `full` does
+    /// not cover the layout's projected positions.
+    pub fn encode_frame(
+        &self,
+        prev: &[u64],
+        full: &[u64],
+        buf: &mut Vec<u8>,
+        next: &mut Vec<u64>,
+    ) -> usize {
+        let start = buf.len();
+        // Steady-state deltas are overwhelmingly one byte; reserve for
+        // that case so the loop almost never grows the buffer.
+        buf.reserve(self.explicit_positions.len() + 8);
+        next.clear();
+        next.reserve(self.explicit_positions.len());
+        for (j, &pos) in self.explicit_positions.iter().enumerate() {
+            let v = full[pos];
+            let z = encode_delta(prev[j], v);
+            if z < 0x80 {
+                buf.push(z as u8);
+            } else {
+                write_varint(buf, z);
+            }
+            next.push(v);
+        }
+        buf.len() - start
+    }
+
+    /// Decodes one delta frame from `frame` at `*pos` against the
+    /// previous explicit values `prev`, returning the full common slice
+    /// (explicit entries from the wire, derived entries reconstructed)
+    /// and writing the new explicit values to `next` (cleared first). The
+    /// caller owns stream-state commit and the trailing-bytes check;
+    /// `prev` is never modified, so rejection is transactional for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` is shorter than the explicit count.
+    pub fn decode_frame(
+        &self,
+        prev: &[u64],
+        frame: &[u8],
+        pos: &mut usize,
+        next: &mut Vec<u64>,
+    ) -> Result<Vec<u64>, DecodeError> {
+        let mut slice = vec![0u64; self.common_len()];
+        next.clear();
+        next.reserve(self.explicit.len());
+        for (j, &slice_idx) in self.explicit.iter().enumerate() {
+            let offset = *pos;
+            let z = read_varint(frame, pos).ok_or(DecodeError::BadVarint { offset })?;
+            let v = decode_delta(prev[j], z);
+            next.push(v);
+            slice[slice_idx] = v;
+        }
+        self.reconstruct(&mut slice)?;
+        Ok(slice)
     }
 }
 
@@ -381,10 +579,19 @@ fn finish_derived(
 
 /// Sending half of one per-pair wire stream: frames the explicit slice
 /// entries as zig-zag varint deltas against the previous frame.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct WireEncoder {
     last: Vec<u64>,
+    /// Spare buffer rotated with `last` so a frame never allocates.
+    scratch: Vec<u64>,
 }
+
+impl PartialEq for WireEncoder {
+    fn eq(&self, other: &Self) -> bool {
+        self.last == other.last
+    }
+}
+impl Eq for WireEncoder {}
 
 impl fmt::Debug for WireEncoder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -400,6 +607,7 @@ impl WireEncoder {
     pub fn new(layout: &PairLayout) -> WireEncoder {
         WireEncoder {
             last: vec![0; layout.explicit.len()],
+            scratch: Vec::new(),
         }
     }
 
@@ -411,11 +619,9 @@ impl WireEncoder {
     /// Panics if `full` does not cover the layout's projected positions.
     pub fn encode(&mut self, layout: &PairLayout, full: &[u64], buf: &mut Vec<u8>) -> usize {
         buf.clear();
-        for (j, &slice_idx) in layout.explicit.iter().enumerate() {
-            let v = full[layout.sender_positions[slice_idx]];
-            write_varint(buf, encode_delta(self.last[j], v));
-            self.last[j] = v;
-        }
+        let mut next = std::mem::take(&mut self.scratch);
+        layout.encode_frame(&self.last, full, buf, &mut next);
+        self.scratch = std::mem::replace(&mut self.last, next);
         buf.len()
     }
 
@@ -438,22 +644,30 @@ impl WireEncoder {
     ) -> usize {
         buf.clear();
         write_varint(buf, fulls.len() as u64);
+        let mut next = std::mem::take(&mut self.scratch);
         for full in fulls {
-            for (j, &slice_idx) in layout.explicit.iter().enumerate() {
-                let v = full[layout.sender_positions[slice_idx]];
-                write_varint(buf, encode_delta(self.last[j], v));
-                self.last[j] = v;
-            }
+            layout.encode_frame(&self.last, full, buf, &mut next);
+            std::mem::swap(&mut self.last, &mut next);
         }
+        self.scratch = next;
         buf.len()
     }
 }
 
 /// Receiving half of one per-pair wire stream.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct WireDecoder {
     last: Vec<u64>,
+    /// Spare buffer rotated with `last` so a frame never clones state.
+    scratch: Vec<u64>,
 }
+
+impl PartialEq for WireDecoder {
+    fn eq(&self, other: &Self) -> bool {
+        self.last == other.last
+    }
+}
+impl Eq for WireDecoder {}
 
 impl fmt::Debug for WireDecoder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -468,40 +682,51 @@ impl WireDecoder {
     pub fn new(layout: &PairLayout) -> WireDecoder {
         WireDecoder {
             last: vec![0; layout.explicit.len()],
+            scratch: Vec::new(),
         }
     }
 
     /// Decodes one frame into the full common slice (explicit entries
-    /// from the wire, derived entries reconstructed). Returns `None` on a
-    /// malformed frame (truncated, over-long, or trailing bytes); a
-    /// rejected frame leaves the stream state untouched, so a subsequent
-    /// well-formed frame still decodes correctly.
-    pub fn decode(&mut self, layout: &PairLayout, frame: &[u8]) -> Option<Vec<u64>> {
-        let mut slice = vec![0u64; layout.common_len()];
-        let mut next = self.last.clone();
+    /// from the wire, derived entries reconstructed). Rejection is
+    /// transactional: a malformed frame (truncated, over-long, trailing
+    /// bytes, or an inexact derived row) leaves the stream state
+    /// untouched, so a subsequent well-formed frame still decodes
+    /// correctly.
+    pub fn decode(&mut self, layout: &PairLayout, frame: &[u8]) -> Result<Vec<u64>, DecodeError> {
         let mut pos = 0;
-        for (j, &slice_idx) in layout.explicit.iter().enumerate() {
-            let z = read_varint(frame, &mut pos)?;
-            let v = decode_delta(next[j], z);
-            next[j] = v;
-            slice[slice_idx] = v;
+        let mut next = std::mem::take(&mut self.scratch);
+        let res = layout.decode_frame(&self.last, frame, &mut pos, &mut next);
+        match res {
+            Ok(_) if pos != frame.len() => {
+                self.scratch = next;
+                Err(DecodeError::TrailingBytes {
+                    consumed: pos,
+                    len: frame.len(),
+                })
+            }
+            Ok(slice) => {
+                self.scratch = std::mem::replace(&mut self.last, next);
+                Ok(slice)
+            }
+            Err(e) => {
+                self.scratch = next;
+                Err(e)
+            }
         }
-        if pos != frame.len() {
-            return None;
-        }
-        self.last = next;
-        layout.reconstruct(&mut slice);
-        Some(slice)
     }
 
     /// Decodes one batch frame (see [`WireEncoder::encode_batch`]) into
     /// the per-update common slices, in batch order. The decode is
     /// **transactional across the whole batch**: a malformed frame
-    /// (truncated, over-long, trailing bytes, or an implausible count)
-    /// returns `None` and leaves the stream state untouched.
-    pub fn decode_batch(&mut self, layout: &PairLayout, frame: &[u8]) -> Option<Vec<Vec<u64>>> {
+    /// (truncated, over-long, trailing bytes, an implausible count, or an
+    /// inexact derived row) is rejected with the stream state untouched.
+    pub fn decode_batch(
+        &mut self,
+        layout: &PairLayout,
+        frame: &[u8],
+    ) -> Result<Vec<Vec<u64>>, DecodeError> {
         let mut pos = 0;
-        let count = read_varint(frame, &mut pos)?;
+        let count = read_varint(frame, &mut pos).ok_or(DecodeError::BadVarint { offset: 0 })?;
         // Each update contributes at least one byte per explicit counter,
         // so any count the frame cannot physically hold is malformed
         // (guards the allocation below against garbage counts). Layouts
@@ -513,26 +738,37 @@ impl WireDecoder {
             count <= (frame.len() / layout.explicit.len()) as u64
         };
         if !plausible {
-            return None;
+            return Err(DecodeError::ImplausibleCount { count });
         }
-        let mut next = self.last.clone();
+        // `prev` evolves through the batch (each update frames against
+        // its predecessor); `last` stays untouched until the whole batch
+        // parses, which makes rejection transactional.
+        let mut prev = std::mem::take(&mut self.scratch);
+        prev.clear();
+        prev.extend_from_slice(&self.last);
+        let mut next = Vec::with_capacity(layout.explicit.len());
         let mut slices = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let mut slice = vec![0u64; layout.common_len()];
-            for (j, &slice_idx) in layout.explicit.iter().enumerate() {
-                let z = read_varint(frame, &mut pos)?;
-                let v = decode_delta(next[j], z);
-                next[j] = v;
-                slice[slice_idx] = v;
+            match layout.decode_frame(&prev, frame, &mut pos, &mut next) {
+                Ok(slice) => {
+                    slices.push(slice);
+                    std::mem::swap(&mut prev, &mut next);
+                }
+                Err(e) => {
+                    self.scratch = prev;
+                    return Err(e);
+                }
             }
-            layout.reconstruct(&mut slice);
-            slices.push(slice);
         }
         if pos != frame.len() {
-            return None;
+            self.scratch = prev;
+            return Err(DecodeError::TrailingBytes {
+                consumed: pos,
+                len: frame.len(),
+            });
         }
-        self.last = next;
-        Some(slices)
+        self.scratch = std::mem::replace(&mut self.last, prev);
+        Ok(slices)
     }
 }
 
@@ -600,7 +836,7 @@ mod tests {
         let mut dec = WireDecoder::new(&layout);
         let mut buf = Vec::new();
         enc.encode(&layout, &full, &mut buf);
-        assert_eq!(dec.decode(&layout, &buf), Some(vec![3, 5, 8]));
+        assert_eq!(dec.decode(&layout, &buf), Ok(vec![3, 5, 8]));
     }
 
     #[test]
@@ -625,7 +861,7 @@ mod tests {
         let mut buf = Vec::new();
         let bytes = enc.encode(&layout, &full, &mut buf);
         assert_eq!(bytes, 1); // one varint delta
-        assert_eq!(dec.decode(&layout, &buf), Some(vec![7; 4]));
+        assert_eq!(dec.decode(&layout, &buf), Ok(vec![7; 4]));
     }
 
     #[test]
@@ -655,9 +891,117 @@ mod tests {
     fn decoder_rejects_malformed_frames() {
         let layout = PairLayout::identity(vec![0, 1]);
         let mut dec = WireDecoder::new(&layout);
-        assert_eq!(dec.decode(&layout, &[0x00]), None); // truncated
+        assert_eq!(
+            dec.decode(&layout, &[0x00]),
+            Err(DecodeError::BadVarint { offset: 1 })
+        );
         let mut dec = WireDecoder::new(&layout);
-        assert_eq!(dec.decode(&layout, &[0x00, 0x00, 0x00]), None); // trailing
+        assert_eq!(
+            dec.decode(&layout, &[0x00, 0x00, 0x00]),
+            Err(DecodeError::TrailingBytes {
+                consumed: 2,
+                len: 3
+            })
+        );
+    }
+
+    #[test]
+    fn inexact_derived_row_rejects_frame_transactionally() {
+        // Regression: an unverified derived row claiming
+        // `slice[1] = slice[0] / 2` used to be only debug-asserted, so a
+        // release build silently shipped a corrupt counter. It must now
+        // reject the frame and leave the stream state untouched.
+        let bad = PairLayout::from_raw_parts(
+            vec![0, 1],
+            vec![0],
+            vec![DerivedRow {
+                index: 1,
+                terms: vec![(0, 1)],
+                den: 2,
+            }],
+        );
+        let mut enc = WireEncoder::new(&bad);
+        let mut dec = WireDecoder::new(&bad);
+        let mut buf = Vec::new();
+        // Odd explicit value: 3 / 2 is inexact.
+        enc.encode(&bad, &[3, 0], &mut buf);
+        let snapshot = dec.clone();
+        assert_eq!(
+            dec.decode(&bad, &buf),
+            Err(DecodeError::InexactDerivedRow { index: 1 })
+        );
+        assert_eq!(dec, snapshot, "rejection must not advance stream state");
+        // An exact frame on the same stream still decodes — against the
+        // *original* state, proving the rejection was transactional.
+        let mut enc = WireEncoder::new(&bad);
+        enc.encode(&bad, &[4, 2], &mut buf);
+        assert_eq!(dec.decode(&bad, &buf), Ok(vec![4, 2]));
+        // The batch path takes the same checked route.
+        let mut enc = WireEncoder::new(&bad);
+        let mut dec = WireDecoder::new(&bad);
+        let fulls: [&[u64]; 2] = [&[2, 1], &[3, 1]];
+        enc.encode_batch(&bad, &fulls, &mut buf);
+        let snapshot = dec.clone();
+        assert_eq!(
+            dec.decode_batch(&bad, &buf),
+            Err(DecodeError::InexactDerivedRow { index: 1 })
+        );
+        assert_eq!(dec, snapshot);
+    }
+
+    #[test]
+    fn verify_derived_matches_reconstruction() {
+        let own = vec![(0usize, rs(&[0])), (1, rs(&[1])), (2, rs(&[0, 1]))];
+        let layout = PairLayout::build(vec![0, 1, 2], &own);
+        assert_eq!(layout.num_derived(), 1);
+        // Values maintained by `advance` satisfy the relation.
+        assert_eq!(layout.verify_derived(&[3, 5, 8]), Ok(()));
+        // A slice that breaks the relation is caught.
+        assert_eq!(
+            layout.verify_derived(&[3, 5, 9]),
+            Err(DecodeError::InexactDerivedRow { index: 2 })
+        );
+    }
+
+    #[test]
+    fn explicit_fallback_preserves_projection() {
+        let own: Vec<(usize, RegSet)> = (0..3).map(|j| (j, rs(&[0]))).collect();
+        let layout = PairLayout::build(vec![2, 0, 1], &own);
+        assert!(layout.num_derived() > 0);
+        let fallback = layout.to_explicit();
+        assert_eq!(fallback.num_derived(), 0);
+        assert_eq!(fallback.num_explicit(), fallback.common_len());
+        let full = [5u64, 6, 7];
+        assert_eq!(fallback.project(&full), layout.project(&full));
+    }
+
+    #[test]
+    fn frame_primitives_match_stateful_streams() {
+        // encode_frame/decode_frame with caller-managed state must agree
+        // byte-for-byte with the WireEncoder/WireDecoder wrappers.
+        let own = vec![(0usize, rs(&[0])), (1, rs(&[1])), (2, rs(&[0, 1]))];
+        let layout = PairLayout::build(vec![0, 1, 2, 3], &own);
+        let frames: [&[u64]; 3] = [&[3, 5, 8, 100], &[4, 5, 9, 100], &[4, 6, 10, 107]];
+        let mut enc = WireEncoder::new(&layout);
+        let mut dec = WireDecoder::new(&layout);
+        let mut state = vec![0u64; layout.num_explicit()];
+        let (mut oracle_buf, mut buf) = (Vec::new(), Vec::new());
+        let mut next = Vec::new();
+        for full in frames {
+            enc.encode(&layout, full, &mut oracle_buf);
+            buf.clear();
+            let len = layout.encode_frame(&state, full, &mut buf, &mut next);
+            assert_eq!(buf, oracle_buf);
+            assert_eq!(len, buf.len());
+            let mut pos = 0;
+            let slice = layout
+                .decode_frame(&state, &buf, &mut pos, &mut next)
+                .unwrap();
+            assert_eq!(pos, buf.len());
+            assert_eq!(slice, dec.decode(&layout, &oracle_buf).unwrap());
+            state.clear();
+            state.extend_from_slice(&next);
+        }
     }
 
     #[test]
@@ -674,7 +1018,7 @@ mod tests {
         let mut dec = WireDecoder::new(&layout);
         let mut buf = Vec::new();
         assert_eq!(enc.encode(&layout, &[], &mut buf), 0);
-        assert_eq!(dec.decode(&layout, &buf), Some(vec![]));
+        assert_eq!(dec.decode(&layout, &buf), Ok(vec![]));
     }
 
     #[test]
@@ -730,15 +1074,21 @@ mod tests {
         enc.encode_batch(&layout, &refs, &mut buf);
         // Truncated: reject, stream state untouched.
         let snapshot = dec.clone();
-        assert_eq!(dec.decode_batch(&layout, &buf[..buf.len() - 1]), None);
+        assert!(dec.decode_batch(&layout, &buf[..buf.len() - 1]).is_err());
         assert_eq!(dec, snapshot);
         // Trailing garbage: reject.
         let mut padded = buf.clone();
         padded.push(0);
-        assert_eq!(dec.decode_batch(&layout, &padded), None);
+        assert!(matches!(
+            dec.decode_batch(&layout, &padded),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
         assert_eq!(dec, snapshot);
         // Implausible count: reject without allocating.
-        assert_eq!(dec.decode_batch(&layout, &[0xff, 0xff, 0x7f]), None);
+        assert!(matches!(
+            dec.decode_batch(&layout, &[0xff, 0xff, 0x7f]),
+            Err(DecodeError::ImplausibleCount { .. })
+        ));
         // The intact frame still decodes afterwards.
         assert_eq!(dec.decode_batch(&layout, &buf).unwrap(), frames);
     }
@@ -750,14 +1100,14 @@ mod tests {
         let mut dec = WireDecoder::new(&layout);
         let mut buf = Vec::new();
         assert_eq!(enc.encode_batch(&layout, &[], &mut buf), 1);
-        assert_eq!(dec.decode_batch(&layout, &buf), Some(vec![]));
+        assert_eq!(dec.decode_batch(&layout, &buf), Ok(vec![]));
         // A layout with no explicit counters still frames the count.
         let empty = PairLayout::build(vec![], &[]);
         let mut enc = WireEncoder::new(&empty);
         let mut dec = WireDecoder::new(&empty);
         let fulls: [&[u64]; 2] = [&[], &[]];
         enc.encode_batch(&empty, &fulls, &mut buf);
-        assert_eq!(dec.decode_batch(&empty, &buf), Some(vec![vec![], vec![]]));
+        assert_eq!(dec.decode_batch(&empty, &buf), Ok(vec![vec![], vec![]]));
     }
 
     #[test]
@@ -776,6 +1126,6 @@ mod tests {
         let mut dec = WireDecoder::new(&layout);
         let mut buf = Vec::new();
         enc.encode(&layout, &full, &mut buf);
-        assert_eq!(dec.decode(&layout, &buf), Some(full.to_vec()));
+        assert_eq!(dec.decode(&layout, &buf), Ok(full.to_vec()));
     }
 }

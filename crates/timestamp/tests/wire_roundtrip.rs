@@ -184,11 +184,11 @@ fn truncated_and_oversized_frames_are_rejected() {
     enc.encode(&layout, &[300, 7], &mut buf);
     assert!(buf.len() >= 3);
     let mut dec = WireDecoder::new(&layout);
-    assert_eq!(dec.decode(&layout, &buf[..buf.len() - 1]), None);
+    assert!(dec.decode(&layout, &buf[..buf.len() - 1]).is_err());
     let mut extended = buf.clone();
     extended.push(0);
-    assert_eq!(dec.decode(&layout, &extended), None);
+    assert!(dec.decode(&layout, &extended).is_err());
     // The intact frame still decodes (failed attempts must not corrupt
     // decoder state).
-    assert_eq!(dec.decode(&layout, &buf), Some(vec![300, 7]));
+    assert_eq!(dec.decode(&layout, &buf), Ok(vec![300, 7]));
 }
