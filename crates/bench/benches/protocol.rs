@@ -27,6 +27,7 @@ fn bench_protocol(c: &mut Criterion) {
         faults: prcc_net::FaultSchedule::default(),
         session: None,
         batch: prcc_core::BatchPolicy::default(),
+        clients: 0,
     };
     for (name, graph) in [
         ("ring8", topology::ring(8)),

@@ -33,6 +33,7 @@ pub mod conflict;
 pub mod consistency;
 pub mod hb;
 pub mod lower_bound;
+pub mod sessions;
 pub mod trace;
 pub mod trace_io;
 
@@ -40,5 +41,6 @@ pub use conflict::{conflicts, conflicts_symmetric, CausalPast};
 pub use consistency::{causal_past, check, check_with_hb, CheckReport, Violation};
 pub use hb::HbGraph;
 pub use lower_bound::{greedy_coloring, prefix_clique_bits, verify_prefix_clique};
+pub use sessions::{check_sessions, check_sessions_with_hb, SessionEvent};
 pub use trace::{Event, Trace, UpdateId};
 pub use trace_io::{from_text, to_text, ParseTraceError};

@@ -1,0 +1,217 @@
+//! Session-guarantee checking over served client operations.
+//!
+//! The client-server architecture (paper §6) promises each client the
+//! session guarantees implied by causal consistency. This module holds
+//! the protocol-independent verdict machinery: a stream of served
+//! [`SessionEvent`]s (recorded by whichever runtime served them — the
+//! lockstep `ClientServerSystem` or the threaded serving tier) is
+//! replayed against the exact happened-before relation recomputed from
+//! the execution [`Trace`], so a serving path that under-enforces its
+//! guarantees is caught regardless of what its own metadata claims.
+
+use crate::hb::HbGraph;
+use crate::trace::{Trace, UpdateId};
+use prcc_sharegraph::{ClientId, RegisterId};
+use std::collections::HashMap;
+
+/// One served client operation, in service order — the raw material for
+/// session-guarantee checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// The client's write was served, producing `update` on `register`.
+    Write {
+        /// The client.
+        client: ClientId,
+        /// The produced update.
+        update: UpdateId,
+        /// The written register.
+        register: RegisterId,
+    },
+    /// The client's read was served, observing the value produced by
+    /// `observed` (or nothing, for an unwritten register).
+    Read {
+        /// The client.
+        client: ClientId,
+        /// The read register.
+        register: RegisterId,
+        /// The update whose value was observed.
+        observed: Option<UpdateId>,
+    },
+}
+
+/// Checks the client-visible session guarantees implied by causal
+/// consistency:
+///
+/// * **read-your-writes** — after a client's write `u` to `x`, a read of
+///   `x` by the same client never observes a value whose update strictly
+///   precedes `u` (`observed ↪ u` is forbidden; concurrent overwrites
+///   are allowed);
+/// * **monotonic reads** — successive reads of `x` by one client never
+///   go causally backwards (`v₂ ↪ v₁` is forbidden).
+///
+/// `events` must be in per-client service order (interleaving between
+/// clients is irrelevant: all state below is keyed by client). Returns
+/// human-readable descriptions of any violations.
+pub fn check_sessions(trace: &Trace, events: &[SessionEvent]) -> Vec<String> {
+    check_sessions_with_hb(&HbGraph::build(trace), events)
+}
+
+/// [`check_sessions`] against a prebuilt happened-before graph — lets a
+/// caller share one `HbGraph::build` between the consistency check and
+/// the session check on large traces.
+pub fn check_sessions_with_hb(hb: &HbGraph, events: &[SessionEvent]) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Per (client, register): last write update; last read observation.
+    let mut last_write: HashMap<(ClientId, RegisterId), UpdateId> = HashMap::new();
+    let mut last_read: HashMap<(ClientId, RegisterId), UpdateId> = HashMap::new();
+    for ev in events {
+        match *ev {
+            SessionEvent::Write {
+                client,
+                update,
+                register,
+            } => {
+                last_write.insert((client, register), update);
+                // The client's own write is also its latest observation.
+                last_read.insert((client, register), update);
+            }
+            SessionEvent::Read {
+                client,
+                register,
+                observed,
+            } => {
+                let Some(obs) = observed else {
+                    if last_write.contains_key(&(client, register)) {
+                        violations.push(format!(
+                            "read-your-writes: {client} read unwritten {register} after writing it"
+                        ));
+                    }
+                    continue;
+                };
+                if let Some(&w) = last_write.get(&(client, register)) {
+                    if hb.happened_before(obs, w) {
+                        violations.push(format!(
+                            "read-your-writes: {client} observed {obs} older than own write {w} on {register}"
+                        ));
+                    }
+                }
+                if let Some(&prev) = last_read.get(&(client, register)) {
+                    if hb.happened_before(obs, prev) {
+                        violations.push(format!(
+                            "monotonic-reads: {client} observed {obs} older than previous {prev} on {register}"
+                        ));
+                    }
+                }
+                last_read.insert((client, register), obs);
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::ReplicaId;
+
+    fn uid(issuer: u32, seq: u64) -> UpdateId {
+        UpdateId {
+            issuer: ReplicaId::new(issuer),
+            seq,
+        }
+    }
+
+    /// Trace: r0 issues u0 then u1 (u0 ↪ u1 by program order).
+    fn chain_trace() -> Trace {
+        let mut t = Trace::new();
+        t.record_issue_with_id(uid(0, 0), RegisterId::new(0));
+        t.record_issue_with_id(uid(0, 1), RegisterId::new(0));
+        t
+    }
+
+    #[test]
+    fn clean_session_passes() {
+        let t = chain_trace();
+        let c = ClientId::new(0);
+        let x = RegisterId::new(0);
+        let events = vec![
+            SessionEvent::Write {
+                client: c,
+                update: uid(0, 0),
+                register: x,
+            },
+            SessionEvent::Read {
+                client: c,
+                register: x,
+                observed: Some(uid(0, 1)),
+            },
+        ];
+        assert!(check_sessions(&t, &events).is_empty());
+    }
+
+    #[test]
+    fn stale_observation_fires_both_guarantees() {
+        let t = chain_trace();
+        let c = ClientId::new(0);
+        let x = RegisterId::new(0);
+        let events = vec![
+            SessionEvent::Write {
+                client: c,
+                update: uid(0, 1),
+                register: x,
+            },
+            SessionEvent::Read {
+                client: c,
+                register: x,
+                observed: Some(uid(0, 0)),
+            },
+        ];
+        let v = check_sessions(&t, &events);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("read-your-writes"));
+        assert!(v[1].contains("monotonic-reads"));
+    }
+
+    #[test]
+    fn unwritten_read_after_own_write_flagged() {
+        let t = chain_trace();
+        let c = ClientId::new(0);
+        let x = RegisterId::new(0);
+        let events = vec![
+            SessionEvent::Write {
+                client: c,
+                update: uid(0, 0),
+                register: x,
+            },
+            SessionEvent::Read {
+                client: c,
+                register: x,
+                observed: None,
+            },
+        ];
+        let v = check_sessions(&t, &events);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("unwritten"));
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let t = chain_trace();
+        let x = RegisterId::new(0);
+        // Client 0 wrote u1; client 1 then observes the older u0 — fine,
+        // client 1 made no promise about client 0's writes.
+        let events = vec![
+            SessionEvent::Write {
+                client: ClientId::new(0),
+                update: uid(0, 1),
+                register: x,
+            },
+            SessionEvent::Read {
+                client: ClientId::new(1),
+                register: x,
+                observed: Some(uid(0, 0)),
+            },
+        ];
+        assert!(check_sessions(&t, &events).is_empty());
+    }
+}

@@ -63,30 +63,7 @@ struct Server {
     next_seq: u64,
 }
 
-/// One served client operation, in service order — the raw material for
-/// session-guarantee checking.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SessionEvent {
-    /// The client's write was served, producing `update` on `register`.
-    Write {
-        /// The client.
-        client: ClientId,
-        /// The produced update.
-        update: UpdateId,
-        /// The written register.
-        register: RegisterId,
-    },
-    /// The client's read was served, observing the value produced by
-    /// `observed` (or nothing, for an unwritten register).
-    Read {
-        /// The client.
-        client: ClientId,
-        /// The read register.
-        register: RegisterId,
-        /// The update whose value was observed.
-        observed: Option<UpdateId>,
-    },
-}
+pub use prcc_checker::SessionEvent;
 
 /// A complete simulated client-server deployment.
 ///
@@ -405,67 +382,13 @@ impl ClientServerSystem {
         &self.sessions
     }
 
-    /// Checks the client-visible session guarantees implied by causal
-    /// consistency:
-    ///
-    /// * **read-your-writes** — after a client's write `u` to `x`, a read
-    ///   of `x` by the same client never observes a value whose update
-    ///   strictly precedes `u` (`observed ↪ u` is forbidden; concurrent
-    ///   overwrites are allowed);
-    /// * **monotonic reads** — successive reads of `x` by one client never
-    ///   go causally backwards (`v₂ ↪ v₁` is forbidden).
-    ///
-    /// Returns human-readable descriptions of any violations.
+    /// Checks the client-visible session guarantees (read-your-writes and
+    /// monotonic reads) — delegates to
+    /// [`prcc_checker::check_sessions`], the same verdict machinery the
+    /// threaded serving tier is checked with. Returns human-readable
+    /// descriptions of any violations.
     pub fn check_sessions(&self) -> Vec<String> {
-        use prcc_checker::HbGraph;
-        let hb = HbGraph::build(&self.trace);
-        let mut violations = Vec::new();
-        // Per (client, register): last write update; last read observation.
-        let mut last_write: HashMap<(ClientId, RegisterId), UpdateId> = HashMap::new();
-        let mut last_read: HashMap<(ClientId, RegisterId), UpdateId> = HashMap::new();
-        for ev in &self.sessions {
-            match *ev {
-                SessionEvent::Write {
-                    client,
-                    update,
-                    register,
-                } => {
-                    last_write.insert((client, register), update);
-                    // The client's own write is also its latest observation.
-                    last_read.insert((client, register), update);
-                }
-                SessionEvent::Read {
-                    client,
-                    register,
-                    observed,
-                } => {
-                    let Some(obs) = observed else {
-                        if last_write.contains_key(&(client, register)) {
-                            violations.push(format!(
-                                "read-your-writes: {client} read unwritten {register} after writing it"
-                            ));
-                        }
-                        continue;
-                    };
-                    if let Some(&w) = last_write.get(&(client, register)) {
-                        if hb.happened_before(obs, w) {
-                            violations.push(format!(
-                                "read-your-writes: {client} observed {obs} older than own write {w} on {register}"
-                            ));
-                        }
-                    }
-                    if let Some(&prev) = last_read.get(&(client, register)) {
-                        if hb.happened_before(obs, prev) {
-                            violations.push(format!(
-                                "monotonic-reads: {client} observed {obs} older than previous {prev} on {register}"
-                            ));
-                        }
-                    }
-                    last_read.insert((client, register), obs);
-                }
-            }
-        }
-        violations
+        prcc_checker::check_sessions(&self.trace, &self.sessions)
     }
 }
 

@@ -90,21 +90,36 @@ pub struct AdaptiveConfig {
     /// How many nanoseconds of CPU one wire byte is worth (≈ 1/bandwidth;
     /// the default 4 ns/B models a ~250 MB/s effective link).
     pub ns_per_wire_byte: f64,
+    /// Modelled cost of writing one explicit counter's varint delta, in
+    /// ns. See [`Default`] for the calibration procedure.
+    pub ns_per_varint: f64,
+    /// Modelled cost of gathering one projected counter, in ns.
+    pub ns_per_gather: f64,
 }
 
 impl Default for AdaptiveConfig {
+    /// Defaults calibrated from `benches/wire.rs`'s `wire_frame` group
+    /// (`cargo bench -p prcc-bench --bench wire -- wire_frame`):
+    ///
+    /// * `ns_per_varint` ≈ `encode_frame/clique24` time ÷ the layout's
+    ///   explicit-counter count (1227 ns ÷ 530 ≈ 2.3);
+    /// * `ns_per_gather` ≈ `project/clique24` time ÷ the layout's
+    ///   common-counter count (265 ns ÷ 552 ≈ 0.48, rounded to 0.5).
+    ///
+    /// To recalibrate on new hardware, rerun the group and divide each
+    /// reported time by the counts the bench prints its layout from
+    /// (clique_full(24, 2), pair 0→1). The constants only steer the
+    /// deterministic fallback choice — they never touch wall clocks at
+    /// run time, so adaptive runs stay reproducible.
     fn default() -> Self {
         AdaptiveConfig {
             probe_frames: 32,
             ns_per_wire_byte: 4.0,
+            ns_per_varint: 2.3,
+            ns_per_gather: 0.5,
         }
     }
 }
-
-/// Modelled cost of writing one explicit counter's varint delta, in ns.
-const NS_PER_VARINT: f64 = 8.0;
-/// Modelled cost of gathering one projected counter, in ns.
-const NS_PER_GATHER: f64 = 2.0;
 
 /// Counters kept by the codec (surfaced through
 /// [`System::net_stats`](crate::System::net_stats) and the cluster
@@ -436,9 +451,9 @@ fn adaptive_fallback(
     let common = stream.layout.common_len() as f64;
     let explicit = stream.layout.num_explicit() as f64;
     let wire = cfg.ns_per_wire_byte;
-    let comp_cpu = paid * (NS_PER_VARINT * explicit + NS_PER_GATHER * common);
+    let comp_cpu = paid * (cfg.ns_per_varint * explicit + cfg.ns_per_gather * common);
     let comp = comp_cpu + wire * (stream.comp_bytes as f64 / frames);
-    let proj = paid * NS_PER_GATHER * common + wire * 8.0 * common;
+    let proj = paid * cfg.ns_per_gather * common + wire * 8.0 * common;
     let raw = wire * 8.0 * full_len as f64;
     if comp <= proj && comp <= raw {
         None
@@ -683,6 +698,7 @@ mod tests {
         let cfg = AdaptiveConfig {
             probe_frames: 4,
             ns_per_wire_byte: 0.0,
+            ..AdaptiveConfig::default()
         };
         let mut codec = WireCodec::with_adaptive(WireMode::Adaptive, Some(reg.clone()), cfg);
         let mut ts = reg.new_timestamp(s);

@@ -44,6 +44,7 @@ pub mod replica;
 pub mod routed;
 pub mod routed_general;
 pub mod runtime;
+pub mod serving;
 pub mod stats;
 pub mod system;
 pub mod tracker;
@@ -59,7 +60,8 @@ pub use recovery::{RecoveryLog, WalEntry};
 pub use replica::{Applied, PendingMode, Replica, ReplicaError, WriteOutput};
 pub use routed::RoutedRing;
 pub use routed_general::{RoutedError, RoutedSystem};
-pub use runtime::{ClusterConfig, ThreadedCluster};
+pub use runtime::{ClusterConfig, ReplicaView, ThreadedCluster};
+pub use serving::{Collected, ServingConfig, ServingStats, ServingTier, ServingWorker};
 pub use stats::LatencyStats;
 pub use system::{BatchPolicy, System, SystemBuilder, SystemMetrics, TrackerKind};
 pub use tracker::{CausalityTracker, EdgeTracker, FullDepsTracker, ReadyCheck, VcTracker};

@@ -28,6 +28,7 @@
 use crate::message::UpdateMsg;
 use crate::tracker::{CausalityTracker, ReadyCheck};
 use crate::value::Value;
+use prcc_checker::UpdateId;
 use prcc_sharegraph::{RegisterId, ReplicaId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -143,6 +144,10 @@ pub struct Replica {
     stores: prcc_sharegraph::RegSet,
     tracker: Box<dyn CausalityTracker>,
     store: HashMap<RegisterId, Value>,
+    /// Which update produced the current value of each stored register —
+    /// the provenance the serving tier's session-guarantee fast path
+    /// reads from published snapshots.
+    store_src: HashMap<RegisterId, UpdateId>,
     mode: PendingMode,
     /// Scan mode: buffered updates in arrival order.
     pending: Vec<Parked>,
@@ -195,6 +200,7 @@ impl Replica {
             stores,
             tracker,
             store: HashMap::new(),
+            store_src: HashMap::new(),
             mode,
             pending: Vec::new(),
             wakeup: WakeupIndex::default(),
@@ -223,6 +229,14 @@ impl Replica {
         self.store.clone()
     }
 
+    /// Per-register provenance: the update whose value each stored
+    /// register currently holds. Registers written through the routed
+    /// protocol's payload path ([`Replica::store_local`]) have no entry —
+    /// their producing update is not known to this replica.
+    pub fn store_src(&self) -> &HashMap<RegisterId, UpdateId> {
+        &self.store_src
+    }
+
     /// True if this replica stores `x` (as data).
     pub fn stores(&self, x: RegisterId) -> bool {
         self.stores.contains(x)
@@ -249,6 +263,13 @@ impl Replica {
             });
         }
         self.store.insert(x, v.clone());
+        self.store_src.insert(
+            x,
+            UpdateId {
+                issuer: self.id,
+                seq: self.next_seq,
+            },
+        );
         let meta = std::sync::Arc::new(self.tracker.on_local_write(x));
         let msg = UpdateMsg {
             issuer: self.id,
@@ -441,6 +462,13 @@ impl Replica {
         if let Some(v) = &m.value {
             if self.stores.contains(m.register) {
                 self.store.insert(m.register, v.clone());
+                self.store_src.insert(
+                    m.register,
+                    UpdateId {
+                        issuer: m.issuer,
+                        seq: m.seq,
+                    },
+                );
             }
         }
     }
@@ -448,9 +476,11 @@ impl Replica {
     /// Writes `v` into the local copy of `x` without protocol actions —
     /// used by the routed protocol when a transit payload reaches its
     /// final holder (the timestamp work happened on the virtual-register
-    /// updates).
+    /// updates). Clears the provenance entry: the producing update is
+    /// unknown on this path.
     pub(crate) fn store_local(&mut self, x: RegisterId, v: Value) {
         self.store.insert(x, v);
+        self.store_src.remove(&x);
     }
 
     /// Number of updates applied from remote replicas.

@@ -98,6 +98,21 @@ enum Cmd {
         value: Value,
         reply: Sender<UpdateId>,
     },
+    /// A coalesced run of client writes from the serving tier: every op
+    /// is issued before the snapshot is republished once and any
+    /// completion token is released — one command, one publish, one
+    /// channel round trip for the whole run.
+    WriteMany {
+        ops: Vec<(u64, RegisterId, Value)>,
+        reply: Sender<(u64, UpdateId)>,
+    },
+    /// An authoritative read served from the replica's own store (a full
+    /// command round trip — the slow path [`ThreadedCluster::read`]'s
+    /// lock-free snapshots exist to avoid).
+    ReadAt {
+        register: RegisterId,
+        reply: Sender<Option<Value>>,
+    },
     Shutdown,
 }
 
@@ -163,30 +178,87 @@ fn merge_shards(shards: &[Arc<TraceShard>]) -> Trace {
     trace
 }
 
-/// An immutable published store snapshot plus a monotonically increasing
+/// One immutable published replica state: the store, per-register update
+/// provenance, and the per-issuer *applied frontier*. All three are
+/// captured in a single publish, so a reader never sees a store newer
+/// than the frontier that vouches for it.
+///
+/// The frontier is the serving tier's lock-free session-guarantee gate:
+/// `frontier[i] = s + 1` means this replica has issued or applied every
+/// update from issuer `i` up to sequence number `s`. Because applies are
+/// causally ordered, a replica that stores register `x` and covers an
+/// update `u` on `x` can never still hold (or later revert to) a value
+/// of `x` causally older than `u` — so `covers` is a sufficient
+/// read-your-writes / monotonic-reads test that needs no replica lock.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaView {
+    store: HashMap<RegisterId, Value>,
+    src: HashMap<RegisterId, UpdateId>,
+    frontier: Vec<u64>,
+}
+
+impl ReplicaView {
+    /// The published value of `x`, if any.
+    pub fn get(&self, x: &RegisterId) -> Option<&Value> {
+        self.store.get(x)
+    }
+
+    /// The full published store.
+    pub fn store(&self) -> &HashMap<RegisterId, Value> {
+        &self.store
+    }
+
+    /// The update that produced the published value of `x` (absent for
+    /// unwritten registers and routed-payload writes, whose producing
+    /// update is unknown).
+    pub fn source_of(&self, x: RegisterId) -> Option<UpdateId> {
+        self.src.get(&x).copied()
+    }
+
+    /// True if this view's issuer frontier includes update `u` — the
+    /// replica has issued or applied it (and everything before it from
+    /// the same issuer).
+    pub fn covers(&self, u: UpdateId) -> bool {
+        self.frontier
+            .get(u.issuer.index())
+            .is_some_and(|&f| f > u.seq)
+    }
+
+    /// The per-issuer applied frontier (`frontier[i]` = number of updates
+    /// from issuer `i` issued or applied here).
+    pub fn frontier(&self) -> &[u64] {
+        &self.frontier
+    }
+}
+
+/// An immutable published [`ReplicaView`] plus a monotonically increasing
 /// version. Readers take the read lock only long enough to clone the
-/// `Arc`; a snapshot, once published, never mutates — torn reads are
+/// `Arc`; a view, once published, never mutates — torn reads are
 /// impossible by construction.
 struct SnapshotCell {
-    map: RwLock<Arc<HashMap<RegisterId, Value>>>,
+    view: RwLock<Arc<ReplicaView>>,
     version: AtomicU64,
 }
 
 impl SnapshotCell {
-    fn new() -> Self {
+    fn new(num_replicas: usize) -> Self {
         SnapshotCell {
-            map: RwLock::new(Arc::new(HashMap::new())),
+            view: RwLock::new(Arc::new(ReplicaView {
+                store: HashMap::new(),
+                src: HashMap::new(),
+                frontier: vec![0; num_replicas],
+            })),
             version: AtomicU64::new(0),
         }
     }
 
-    fn publish(&self, snap: HashMap<RegisterId, Value>) {
-        *self.map.write() = Arc::new(snap);
+    fn publish(&self, view: ReplicaView) {
+        *self.view.write() = Arc::new(view);
         self.version.fetch_add(1, Ordering::Release);
     }
 
-    fn load(&self) -> Arc<HashMap<RegisterId, Value>> {
-        Arc::clone(&self.map.read())
+    fn load(&self) -> Arc<ReplicaView> {
+        Arc::clone(&self.view.read())
     }
 
     fn version(&self) -> u64 {
@@ -333,7 +405,7 @@ impl ThreadedCluster {
             cmd_txs.push(tx);
             let shard: Arc<TraceShard> = Arc::new(Mutex::new(Vec::new()));
             shards.push(shard.clone());
-            let snapshot = Arc::new(SnapshotCell::new());
+            let snapshot = Arc::new(SnapshotCell::new(graph.num_replicas()));
             snapshots.push(snapshot.clone());
             let handle = net.handle(i);
             let graph = graph.clone();
@@ -436,9 +508,44 @@ impl ThreadedCluster {
         self.snapshots[r.index()].load().get(&x).cloned()
     }
 
-    /// The full immutable store snapshot currently published by `r`.
-    pub fn store_snapshot(&self, r: ReplicaId) -> Arc<HashMap<RegisterId, Value>> {
+    /// Reads register `x` authoritatively *at* the replica thread: a
+    /// blocking command round trip serving from the replica's own store.
+    /// Semantically equivalent to [`read`](Self::read) once the write
+    /// publishing the value returned; exists as the naive-serving
+    /// baseline the lock-free snapshot path is measured against.
+    pub fn read_at(&self, r: ReplicaId, x: RegisterId) -> Option<Value> {
+        let (reply, rx) = bounded(1);
+        self.cmd_txs[r.index()]
+            .send(Cmd::ReadAt { register: x, reply })
+            .expect("cluster alive");
+        rx.recv().expect("replica thread alive")
+    }
+
+    /// The full immutable [`ReplicaView`] currently published by `r`
+    /// (store, provenance, and applied frontier, captured atomically).
+    pub fn store_snapshot(&self, r: ReplicaId) -> Arc<ReplicaView> {
         self.snapshots[r.index()].load()
+    }
+
+    /// The share graph the cluster runs over.
+    pub fn graph(&self) -> &ShareGraph {
+        &self.graph
+    }
+
+    /// Enqueues a coalesced run of tagged writes at replica `r` without
+    /// waiting for completion; each `(token, UpdateId)` completion is
+    /// delivered on `reply` after the replica republishes its snapshot
+    /// (so a completion implies read-your-writes visibility). The
+    /// serving tier's write-ingress path.
+    pub(crate) fn send_write_many(
+        &self,
+        r: ReplicaId,
+        ops: Vec<(u64, RegisterId, Value)>,
+        reply: Sender<(u64, UpdateId)>,
+    ) {
+        self.cmd_txs[r.index()]
+            .send(Cmd::WriteMany { ops, reply })
+            .expect("cluster alive");
     }
 
     /// The snapshot publication counter of `r` (monotonically
@@ -569,6 +676,174 @@ fn ship(
     net.send(dst, frame);
 }
 
+/// The sender-side transmit path one replica thread owns: wire codec,
+/// pending per-destination batches, session endpoint, and the trace
+/// shard for issue stamps. Factored out of the command loop so
+/// [`Cmd::Write`] and [`Cmd::WriteMany`] share one issue path.
+struct TxPath<'a> {
+    id: ReplicaId,
+    graph: &'a ShareGraph,
+    codec: WireCodec,
+    outq: HashMap<ReplicaId, Outq>,
+    endpoint: Option<SessionEndpoint<BatchMsg>>,
+    net: &'a NodeHandle<SessionFrame<BatchMsg>>,
+    epoch: Instant,
+    shard: &'a TraceShard,
+    shard_seq: u64,
+    batch: BatchPolicy,
+    eager: bool,
+    flush_window: Duration,
+    sent_ctr: &'a AtomicUsize,
+    wire_bytes_ctr: &'a AtomicUsize,
+    demotions_ctr: &'a AtomicUsize,
+    retransmits_ctr: &'a AtomicUsize,
+    last_demotions: usize,
+    last_retx: usize,
+}
+
+impl TxPath<'_> {
+    /// Session timers run on wall-clock milliseconds since the cluster
+    /// epoch — the real-timer counterpart of the sim clock.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn ship(&mut self, msgs: Vec<UpdateMsg>, dst: ReplicaId) {
+        let now_ms = self.now_ms();
+        ship(msgs, dst, &mut self.endpoint, self.net, now_ms);
+    }
+
+    /// Issues one write at `replica`, stamps the issue, and fans the
+    /// update out to the register's other holders (batched or eager per
+    /// policy). Returns the new update's id. Does *not* publish a
+    /// snapshot — the caller publishes once per command, which is what
+    /// makes [`Cmd::WriteMany`] cheap.
+    fn issue(&mut self, replica: &mut Replica, register: RegisterId, value: Value) -> UpdateId {
+        let recipients: Vec<ReplicaId> = self
+            .graph
+            .placement()
+            .holders(register)
+            .iter()
+            .copied()
+            .filter(|&h| h != self.id)
+            .collect();
+        let (msg, recipients) = replica
+            .write(register, value, recipients)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let uid = UpdateId {
+            issuer: self.id,
+            seq: msg.seq,
+        };
+        // Stamp the issue *before* any send: the shard merge relies on
+        // issue stamps preceding all apply stamps.
+        self.shard.lock().push(Stamped {
+            nanos: self.epoch.elapsed().as_nanos() as u64,
+            seq: self.shard_seq,
+            ev: ShardEvent::Issue { id: uid, register },
+        });
+        self.shard_seq += 1;
+        // Encode-once fan-out: the metadata `Arc` (or its per-pair
+        // projected frame) is shared, not cloned, and identical pair
+        // streams share one varint pass.
+        let metas = self.codec.encode_fanout(self.id, &recipients, &msg.meta);
+        let demoted = self.codec.stats().demotions;
+        if demoted > self.last_demotions {
+            // Delta, not a store: other replica threads are adding
+            // their own demotions to the same counter.
+            self.demotions_ctr
+                .fetch_add(demoted - self.last_demotions, Ordering::SeqCst);
+            self.last_demotions = demoted;
+        }
+        for (dst, meta) in recipients.into_iter().zip(metas) {
+            self.sent_ctr.fetch_add(1, Ordering::SeqCst);
+            let m = UpdateMsg {
+                meta,
+                ..msg.clone()
+            };
+            self.wire_bytes_ctr
+                .fetch_add(m.meta.size_bytes(), Ordering::SeqCst);
+            if self.eager {
+                self.ship(vec![m], dst);
+            } else {
+                let q = self.outq.entry(dst).or_insert_with(|| Outq {
+                    msgs: Vec::new(),
+                    bytes: 0,
+                    due: Instant::now() + self.flush_window,
+                });
+                q.bytes += m.size_bytes();
+                q.msgs.push(m);
+                if q.msgs.len() >= self.batch.batch_count || q.bytes >= self.batch.batch_bytes {
+                    let q = self.outq.remove(&dst).expect("slot just filled");
+                    self.ship(q.msgs, dst);
+                }
+            }
+        }
+        uid
+    }
+
+    /// Ships batches whose coalescing window has closed. Returns true
+    /// when nothing remains queued (the thread may doze).
+    fn flush_due(&mut self) -> bool {
+        if self.outq.is_empty() {
+            return true;
+        }
+        let now = Instant::now();
+        let due: Vec<ReplicaId> = self
+            .outq
+            .iter()
+            .filter(|(_, q)| q.due <= now)
+            .map(|(&d, _)| d)
+            .collect();
+        for dst in due {
+            let q = self.outq.remove(&dst).expect("due batch present");
+            self.ship(q.msgs, dst);
+        }
+        // Stay hot while a batch is waiting for its window.
+        self.outq.is_empty()
+    }
+
+    /// Flushes every unshipped batch so nothing queued is lost.
+    fn flush_all(&mut self) {
+        let outq = std::mem::take(&mut self.outq);
+        for (dst, q) in outq {
+            self.ship(q.msgs, dst);
+        }
+    }
+
+    /// Fires due retransmission timers and rolls the endpoint's
+    /// retransmit counter delta into the cluster total.
+    fn poll_session(&mut self) {
+        let now = self.now_ms();
+        let Some(ep) = self.endpoint.as_mut() else {
+            return;
+        };
+        if ep.next_deadline().is_some_and(|d| d <= now) {
+            let mut due = Vec::new();
+            ep.poll(now, &mut due);
+            for (dst, f) in due {
+                self.net.send(dst, f);
+            }
+        }
+        let retx = ep.stats().retransmits;
+        if retx != self.last_retx {
+            self.retransmits_ctr
+                .fetch_add(retx - self.last_retx, Ordering::SeqCst);
+            self.last_retx = retx;
+        }
+    }
+}
+
+/// Publishes `replica`'s current state as one immutable [`ReplicaView`]:
+/// store, per-register provenance, and the applied frontier, captured
+/// together so readers never see a store newer than its frontier.
+fn publish_view(snapshot: &SnapshotCell, replica: &Replica, frontier: &[u64]) {
+    snapshot.publish(ReplicaView {
+        store: replica.store_snapshot(),
+        src: replica.store_src().clone(),
+        frontier: frontier.to_vec(),
+    });
+}
+
 fn replica_main(ctx: ReplicaCtx) {
     let ReplicaCtx {
         id,
@@ -589,107 +864,94 @@ fn replica_main(ctx: ReplicaCtx) {
     } = ctx;
     // Each sender thread owns the codec for its outgoing pair streams —
     // per-pair delta state never crosses threads.
-    let mut codec = WireCodec::new(config.wire, Some(registry.clone()));
+    let codec = WireCodec::new(config.wire, Some(registry.clone()));
     let mut replica = Replica::new(
         id,
         graph.placement().registers_of(id).clone(),
         Box::new(EdgeTracker::new(registry, id)) as Box<dyn CausalityTracker>,
     );
-    // Session timers run on wall-clock milliseconds since the cluster
-    // epoch — the real-timer counterpart of the sim clock.
-    let mut endpoint = config.session.map(|cfg| SessionEndpoint::new(id, cfg));
-    let now_ms = |epoch: &Instant| epoch.elapsed().as_millis() as u64;
-    let mut last_retx = 0usize;
-    let mut last_demotions = 0usize;
-    let mut local_pending = 0usize;
-    let mut shard_seq = 0u64;
-    let mut outq: HashMap<ReplicaId, Outq> = HashMap::new();
+    let endpoint = config.session.map(|cfg| SessionEndpoint::new(id, cfg));
     let eager = config.batch.batch_count <= 1;
     let flush_window = TICK * config.batch.flush_after.min(u32::MAX as u64) as u32;
+    let mut tx = TxPath {
+        id,
+        graph: &graph,
+        codec,
+        outq: HashMap::new(),
+        endpoint,
+        net: &net,
+        epoch,
+        shard: &shard,
+        shard_seq: 0,
+        batch: config.batch,
+        eager,
+        flush_window,
+        sent_ctr: &sent_ctr,
+        wire_bytes_ctr: &wire_bytes_ctr,
+        demotions_ctr: &demotions_ctr,
+        retransmits_ctr: &retransmits_ctr,
+        last_demotions: 0,
+        last_retx: 0,
+    };
+    let mut local_pending = 0usize;
+    // Per-issuer applied frontier published with every snapshot — the
+    // serving tier's lock-free session-guarantee gate (see
+    // [`ReplicaView::covers`]).
+    let mut frontier = vec![0u64; graph.num_replicas()];
+    // A command caught by the idle `recv_timeout` below, consumed ahead
+    // of the channel on the next drain pass.
+    let mut carry: Option<Cmd> = None;
     loop {
         let mut idle = true;
         // Drain a burst of client commands (writes from concurrent
         // drivers coalesce into the same pending batches).
         for _ in 0..64 {
-            match cmds.try_recv() {
-                Ok(Cmd::Write {
+            let cmd = match carry.take() {
+                Some(c) => c,
+                None => match cmds.try_recv() {
+                    Ok(c) => c,
+                    Err(_) => break,
+                },
+            };
+            match cmd {
+                Cmd::Write {
                     register,
                     value,
                     reply,
-                }) => {
+                } => {
                     idle = false;
-                    let recipients: Vec<ReplicaId> = graph
-                        .placement()
-                        .holders(register)
-                        .iter()
-                        .copied()
-                        .filter(|&h| h != id)
-                        .collect();
-                    let (msg, recipients) = replica
-                        .write(register, value, recipients)
-                        .unwrap_or_else(|e| panic!("{e}"));
-                    let uid = UpdateId {
-                        issuer: id,
-                        seq: msg.seq,
-                    };
-                    // Stamp the issue *before* any send: the shard merge
-                    // relies on issue stamps preceding all apply stamps.
-                    shard.lock().push(Stamped {
-                        nanos: epoch.elapsed().as_nanos() as u64,
-                        seq: shard_seq,
-                        ev: ShardEvent::Issue { id: uid, register },
-                    });
-                    shard_seq += 1;
-                    // Encode-once fan-out: the metadata `Arc` (or its
-                    // per-pair projected frame) is shared, not cloned,
-                    // and identical pair streams share one varint pass.
-                    let metas = codec.encode_fanout(id, &recipients, &msg.meta);
-                    let demoted = codec.stats().demotions;
-                    if demoted > last_demotions {
-                        // Delta, not a store: other replica threads are
-                        // adding their own demotions to the same counter.
-                        demotions_ctr.fetch_add(demoted - last_demotions, Ordering::SeqCst);
-                        last_demotions = demoted;
-                    }
-                    for (dst, meta) in recipients.into_iter().zip(metas) {
-                        sent_ctr.fetch_add(1, Ordering::SeqCst);
-                        let m = UpdateMsg {
-                            meta,
-                            ..msg.clone()
-                        };
-                        wire_bytes_ctr.fetch_add(m.meta.size_bytes(), Ordering::SeqCst);
-                        if eager {
-                            ship(vec![m], dst, &mut endpoint, &net, now_ms(&epoch));
-                        } else {
-                            let q = outq.entry(dst).or_insert_with(|| Outq {
-                                msgs: Vec::new(),
-                                bytes: 0,
-                                due: Instant::now() + flush_window,
-                            });
-                            q.bytes += m.size_bytes();
-                            q.msgs.push(m);
-                            if q.msgs.len() >= config.batch.batch_count
-                                || q.bytes >= config.batch.batch_bytes
-                            {
-                                let q = outq.remove(&dst).expect("slot just filled");
-                                ship(q.msgs, dst, &mut endpoint, &net, now_ms(&epoch));
-                            }
-                        }
-                    }
+                    let uid = tx.issue(&mut replica, register, value);
+                    frontier[id.index()] = uid.seq + 1;
                     // Publish before replying: a reader that saw this
                     // write return must find it in the snapshot
                     // (read-own-writes).
-                    snapshot.publish(replica.store_snapshot());
+                    publish_view(&snapshot, &replica, &frontier);
                     let _ = reply.send(uid);
                 }
-                Ok(Cmd::Shutdown) => {
-                    // Flush unshipped batches so nothing queued is lost.
-                    for (dst, q) in outq.drain() {
-                        ship(q.msgs, dst, &mut endpoint, &net, now_ms(&epoch));
+                Cmd::WriteMany { ops, reply } => {
+                    idle = false;
+                    let mut done = Vec::with_capacity(ops.len());
+                    for (token, register, value) in ops {
+                        let uid = tx.issue(&mut replica, register, value);
+                        frontier[id.index()] = uid.seq + 1;
+                        done.push((token, uid));
                     }
+                    // One publish for the whole run, *before* any
+                    // completion escapes: a completion token implies the
+                    // write is snapshot-visible (read-your-writes).
+                    publish_view(&snapshot, &replica, &frontier);
+                    for d in done {
+                        let _ = reply.send(d);
+                    }
+                }
+                Cmd::ReadAt { register, reply } => {
+                    idle = false;
+                    let _ = reply.send(replica.read(register).cloned());
+                }
+                Cmd::Shutdown => {
+                    tx.flush_all();
                     return;
                 }
-                Err(_) => break,
             }
         }
         // Then a burst of network input.
@@ -697,10 +959,11 @@ fn replica_main(ctx: ReplicaCtx) {
         for _ in 0..256 {
             let Some(env) = net.try_recv() else { break };
             idle = false;
-            let payloads = match endpoint.as_mut() {
+            let payloads = match tx.endpoint.as_mut() {
                 Some(ep) => {
+                    let now = epoch.elapsed().as_millis() as u64;
                     let mut resp = Vec::new();
-                    let msgs = ep.on_frame(env.src, env.msg, now_ms(&epoch), &mut resp);
+                    let msgs = ep.on_frame(env.src, env.msg, now, &mut resp);
                     for (dst, f) in resp {
                         net.send(dst, f);
                     }
@@ -720,24 +983,27 @@ fn replica_main(ctx: ReplicaCtx) {
                     let mut s = shard.lock();
                     let nanos = epoch.elapsed().as_nanos() as u64;
                     for a in &applied {
+                        let issuer = a.msg.issuer;
+                        let f = &mut frontier[issuer.index()];
+                        *f = (*f).max(a.msg.seq + 1);
                         s.push(Stamped {
                             nanos,
-                            seq: shard_seq,
+                            seq: tx.shard_seq,
                             ev: ShardEvent::Apply {
                                 id: UpdateId {
-                                    issuer: a.msg.issuer,
+                                    issuer,
                                     seq: a.msg.seq,
                                 },
                             },
                         });
-                        shard_seq += 1;
+                        tx.shard_seq += 1;
                     }
                 }
                 applied_ctr.fetch_add(applied.len(), Ordering::SeqCst);
             }
         }
         if applied_any {
-            snapshot.publish(replica.store_snapshot());
+            publish_view(&snapshot, &replica, &frontier);
         }
         let np = replica.pending_count();
         if np != local_pending {
@@ -749,38 +1015,16 @@ fn replica_main(ctx: ReplicaCtx) {
             local_pending = np;
         }
         // Flush batches whose coalescing window has closed.
-        if !outq.is_empty() {
-            let now = Instant::now();
-            let due: Vec<ReplicaId> = outq
-                .iter()
-                .filter(|(_, q)| q.due <= now)
-                .map(|(&d, _)| d)
-                .collect();
-            for dst in due {
-                let q = outq.remove(&dst).expect("due batch present");
-                ship(q.msgs, dst, &mut endpoint, &net, now_ms(&epoch));
-            }
-            // Stay hot while a batch is waiting for its window.
-            idle = idle && outq.is_empty();
-        }
+        idle = idle && tx.flush_due();
         // Retransmission timers: fire whatever is due.
-        if let Some(ep) = endpoint.as_mut() {
-            let now = now_ms(&epoch);
-            if ep.next_deadline().is_some_and(|d| d <= now) {
-                let mut due = Vec::new();
-                ep.poll(now, &mut due);
-                for (dst, f) in due {
-                    net.send(dst, f);
-                }
-            }
-            let retx = ep.stats().retransmits;
-            if retx != last_retx {
-                retransmits_ctr.fetch_add(retx - last_retx, Ordering::SeqCst);
-                last_retx = retx;
-            }
-        }
+        tx.poll_session();
         if idle {
-            std::thread::sleep(Duration::from_micros(200));
+            // Doze for at most one tick, but wake instantly on a client
+            // command — the serving tier's write latency must not eat a
+            // full sleep quantum.
+            if let Ok(c) = cmds.recv_timeout(TICK) {
+                carry = Some(c);
+            }
         }
     }
 }
@@ -841,6 +1085,20 @@ mod tests {
         let cluster = ThreadedCluster::new(topology::path(2), DelayModel::Fixed(1), 0);
         cluster.write(r(0), x(0), Value::from(77u64));
         assert_eq!(cluster.read(r(0), x(0)), Some(Value::from(77u64)));
+    }
+
+    #[test]
+    fn authoritative_read_at_round_trips_into_the_replica_thread() {
+        let cluster = ThreadedCluster::new(topology::path(2), DelayModel::Fixed(1), 0);
+        assert_eq!(cluster.read_at(r(0), x(0)), None);
+        cluster.write(r(0), x(0), Value::from(5u64));
+        // Agrees with the lock-free snapshot path once the write returned.
+        assert_eq!(cluster.read_at(r(0), x(0)), Some(Value::from(5u64)));
+        assert_eq!(cluster.read_at(r(0), x(0)), cluster.read(r(0), x(0)));
+        // A remote write becomes visible to read_at after settle.
+        cluster.write(r(1), x(0), Value::from(6u64));
+        cluster.settle();
+        assert_eq!(cluster.read_at(r(0), x(0)), Some(Value::from(6u64)));
     }
 
     #[test]

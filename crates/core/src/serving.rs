@@ -1,0 +1,719 @@
+//! A high-throughput client-serving tier over [`ThreadedCluster`].
+//!
+//! The paper's client-server extension (§6) lets clients roam between
+//! replicas while keeping the session guarantees implied by causal
+//! consistency. The lockstep [`ClientServerSystem`](crate::ClientServerSystem)
+//! reproduces that protocol faithfully — one client timestamp `μ_c`
+//! advanced and merged per request — but serves one request per
+//! simulated round. This module is the *deployment-shaped* counterpart:
+//! tens of thousands of concurrent sessions multiplexed onto the
+//! threaded cluster, engineered so the common case touches no replica
+//! lock at all.
+//!
+//! # Architecture
+//!
+//! * **Sharded session tables.** Per-session guarantee state lives in
+//!   [`ServingConfig::table_shards`] lock-striped shards keyed by
+//!   session id. A session's state is a handful of per-register
+//!   dependencies ([`ServingConfig::dep_cap`]-bounded), *not* a per-op
+//!   log — state stays O(1) in the number of ops issued.
+//! * **Partial-replication-aware routing.** Each session attaches to a
+//!   deterministic window of [`ServingConfig::attach_span`] replicas
+//!   (its `R_c`). An op routes to the first attach replica storing the
+//!   register; a register stored nowhere in the window detours to an
+//!   arbitrary holder — the analogue of the paper's routed-update path —
+//!   and is counted in [`ServingStats::ops_forwarded`].
+//! * **Lock-free guarantee enforcement.** Replicas publish an immutable
+//!   [`ReplicaView`] (store + provenance + applied frontier) on every
+//!   state change. A read is served from the first candidate whose
+//!   frontier *covers* both components of the session's dependency on
+//!   that register — read-your-writes and monotonic reads hold by the
+//!   covering argument below, and the read never enqueues into a
+//!   replica thread.
+//! * **Write-ingress coalescing.** Worker handles buffer writes per
+//!   target replica and ship them as one [`WriteMany`] command — one
+//!   channel round trip and one snapshot publish per
+//!   [`ServingConfig::write_batch`] client writes, feeding the
+//!   cluster's sender-side batch pipeline.
+//!
+//! # Why covering is sound
+//!
+//! Let `d` be the session's dependency on register `x` (its own last
+//! write and last observation, both updates *on `x`*). Every serving
+//! candidate for `x` stores `x`. If the candidate's published frontier
+//! covers `d`, the candidate has applied `d`; causal delivery means no
+//! update happened-before `d` can be applied after it, and writes to one
+//! register are applied in causal order — so the candidate's published
+//! value of `x` is never causally older than `d`. Observing it violates
+//! neither read-your-writes nor monotonic reads. The verdict is checked
+//! from the trace, not trusted: drive the tier, then hand its recorded
+//! [`SessionEvent`]s to [`check_sessions`](prcc_checker::check_sessions).
+//!
+//! [`WriteMany`]: ThreadedCluster::write
+
+use crate::runtime::{ReplicaView, ThreadedCluster};
+use crate::stats::LatencyStats;
+use crate::value::Value;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use prcc_checker::{SessionEvent, UpdateId};
+use prcc_sharegraph::{ClientId, RegisterId, ReplicaId, ShareGraph};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`ServingTier`].
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Lock stripes in the session table. More stripes, less contention
+    /// between workers that share sessions (workers with disjoint
+    /// session sets never contend regardless).
+    pub table_shards: usize,
+    /// Replicas per session attach set `R_c` (clamped to the cluster
+    /// size).
+    pub attach_span: usize,
+    /// Client writes coalesced per [`Cmd::WriteMany`] shipment. Larger
+    /// batches amortize the command channel; smaller ones tighten write
+    /// latency.
+    ///
+    /// [`Cmd::WriteMany`]: ThreadedCluster
+    pub write_batch: usize,
+    /// Soft cap on per-session dependency entries. Above it, entries
+    /// every holder already covers are evicted (they can never block a
+    /// future read). Uncovered entries are *never* dropped — the cap
+    /// bounds memory without weakening guarantees.
+    pub dep_cap: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            table_shards: 64,
+            attach_span: 2,
+            write_batch: 32,
+            dep_cap: 64,
+        }
+    }
+}
+
+/// One session's dependency on one register: the update produced by the
+/// session's last write of it, and the update observed by its last read
+/// of it. A read of the register is safe at any replica whose view
+/// covers *both* (a newer observation must not stand in for the
+/// session's own write — the two may be concurrent).
+#[derive(Debug, Clone, Copy, Default)]
+struct Dep {
+    wrote: Option<UpdateId>,
+    read: Option<UpdateId>,
+}
+
+impl Dep {
+    fn covered_by(&self, view: &ReplicaView) -> bool {
+        self.wrote.is_none_or(|u| view.covers(u)) && self.read.is_none_or(|u| view.covers(u))
+    }
+}
+
+/// Per-session guarantee state: its register dependencies. Bounded by
+/// [`ServingConfig::dep_cap`] plus whatever is still uncovered — O(1) in
+/// ops issued.
+#[derive(Debug, Default)]
+struct SessionState {
+    deps: HashMap<RegisterId, Dep>,
+}
+
+/// Monotonic counters the tier exposes; see [`ServingStats`] for the
+/// snapshot shape.
+#[derive(Debug, Default)]
+struct TierCounters {
+    ops_routed_local: AtomicU64,
+    ops_forwarded: AtomicU64,
+    ryw_blocks: AtomicU64,
+    mr_blocks: AtomicU64,
+    dep_evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of serving-tier counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Ops served inside the session's attach set.
+    pub ops_routed_local: u64,
+    /// Ops detoured to a holder outside the attach set (the register is
+    /// not stored anywhere in `R_c` — the routed-update analogue).
+    pub ops_forwarded: u64,
+    /// Reads that found the session's own-write dependency uncovered at
+    /// the primary candidate and had to fall over or wait.
+    pub ryw_blocks: u64,
+    /// Reads blocked on the observation (monotonic-reads) dependency
+    /// instead.
+    pub mr_blocks: u64,
+    /// Dependency entries evicted because every holder already covered
+    /// them.
+    pub dep_evictions: u64,
+}
+
+/// What one worker (or the whole run, after merging) collected:
+/// the served-op event log for checking plus client-visible latency.
+#[derive(Debug, Default)]
+pub struct Collected {
+    /// Served ops in per-session order — feed to
+    /// [`check_sessions`](prcc_checker::check_sessions).
+    pub events: Vec<SessionEvent>,
+    /// Client-visible read latency (nanoseconds).
+    pub read_lat: LatencyStats,
+    /// Client-visible write latency (nanoseconds; completion-to-visible,
+    /// includes coalescing residency).
+    pub write_lat: LatencyStats,
+    /// Total ops served.
+    pub ops: u64,
+}
+
+impl Collected {
+    /// Folds another worker's collection into this one. Event order
+    /// within a session is preserved because each session is owned by
+    /// exactly one worker; interleaving between sessions is irrelevant
+    /// to the checker.
+    pub fn absorb(&mut self, other: Collected) {
+        self.events.extend(other.events);
+        self.read_lat.absorb(other.read_lat);
+        self.write_lat.absorb(other.write_lat);
+        self.ops += other.ops;
+    }
+}
+
+/// The deterministic attach set `R_c` of session `sid`: a window of
+/// `span` consecutive replicas starting at `sid mod n`. Public so the
+/// lockstep oracle can reproduce the tier's routing exactly.
+pub fn attach_set(sid: u64, num_replicas: usize, span: usize) -> Vec<ReplicaId> {
+    let n = num_replicas as u64;
+    let span = span.clamp(1, num_replicas);
+    (0..span as u64)
+        .map(|k| ReplicaId::new(((sid + k) % n) as u32))
+        .collect()
+}
+
+/// Routes one op of session `sid` on register `x`: the first attach
+/// replica storing `x`, else an arbitrary holder (`local == false` — the
+/// forwarded detour). Public for oracle reuse.
+pub fn route(graph: &ShareGraph, sid: u64, span: usize, x: RegisterId) -> (ReplicaId, bool) {
+    let p = graph.placement();
+    for r in attach_set(sid, graph.num_replicas(), span) {
+        if p.stores(r, x) {
+            return (r, true);
+        }
+    }
+    (p.holders(x)[0], false)
+}
+
+/// A serving tier multiplexing many client sessions onto a borrowed
+/// [`ThreadedCluster`]. Shared by reference across worker threads; all
+/// hot-path state is either striped, atomic, or worker-local.
+///
+/// # Examples
+///
+/// ```
+/// use prcc_core::serving::{ServingConfig, ServingTier};
+/// use prcc_core::runtime::ThreadedCluster;
+/// use prcc_core::Value;
+/// use prcc_net::DelayModel;
+/// use prcc_sharegraph::{topology, RegisterId};
+///
+/// let cluster = ThreadedCluster::new(topology::clique_full(4, 2), DelayModel::Fixed(1), 7);
+/// let tier = ServingTier::new(&cluster, ServingConfig::default());
+/// let mut w = tier.worker();
+/// w.write(3, RegisterId::new(0), Value::from(9u64));
+/// let (v, _) = w.read(3, RegisterId::new(0), 0);
+/// assert_eq!(v, Some(Value::from(9u64)));
+/// let collected = w.finish();
+/// assert_eq!(collected.ops, 2);
+/// ```
+#[derive(Debug)]
+pub struct ServingTier<'c> {
+    cluster: &'c ThreadedCluster,
+    cfg: ServingConfig,
+    shards: Vec<Mutex<HashMap<u64, SessionState>>>,
+    counters: TierCounters,
+}
+
+impl<'c> ServingTier<'c> {
+    /// Builds a tier over `cluster`.
+    pub fn new(cluster: &'c ThreadedCluster, cfg: ServingConfig) -> Self {
+        let shards = (0..cfg.table_shards.max(1))
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        ServingTier {
+            cluster,
+            cfg,
+            shards,
+            counters: TierCounters::default(),
+        }
+    }
+
+    /// The tier's configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of the tier counters.
+    pub fn stats(&self) -> ServingStats {
+        ServingStats {
+            ops_routed_local: self.counters.ops_routed_local.load(Ordering::Relaxed),
+            ops_forwarded: self.counters.ops_forwarded.load(Ordering::Relaxed),
+            ryw_blocks: self.counters.ryw_blocks.load(Ordering::Relaxed),
+            mr_blocks: self.counters.mr_blocks.load(Ordering::Relaxed),
+            dep_evictions: self.counters.dep_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Creates a worker handle. Spawn one per driver thread; a session
+    /// must be driven by a single worker at a time (its ops need a
+    /// service order).
+    pub fn worker(&self) -> ServingWorker<'c, '_> {
+        let (reply_tx, reply_rx) = bounded(1 << 16);
+        ServingWorker {
+            tier: self,
+            bufs: vec![Vec::new(); self.cluster.graph().num_replicas()],
+            tokens: HashMap::new(),
+            next_token: 0,
+            in_flight: HashMap::new(),
+            reply_tx,
+            reply_rx,
+            out: Collected::default(),
+        }
+    }
+
+    fn shard_of(&self, sid: u64) -> &Mutex<HashMap<u64, SessionState>> {
+        &self.shards[(sid as usize) % self.shards.len()]
+    }
+
+    /// Runs `f` on the session's state (created on first touch).
+    fn with_session<T>(&self, sid: u64, f: impl FnOnce(&mut SessionState) -> T) -> T {
+        let mut shard = self.shard_of(sid).lock();
+        f(shard.entry(sid).or_default())
+    }
+
+    /// Evicts dependency entries every holder of their register already
+    /// covers — such entries can never block a future read, so dropping
+    /// them is guarantee-preserving. Called when a session exceeds
+    /// [`ServingConfig::dep_cap`].
+    fn evict_covered(&self, state: &mut SessionState) {
+        let p = self.cluster.graph().placement();
+        let mut views: HashMap<ReplicaId, Arc<ReplicaView>> = HashMap::new();
+        let before = state.deps.len();
+        state.deps.retain(|&x, dep| {
+            !p.holders(x).iter().all(|&h| {
+                let v = views
+                    .entry(h)
+                    .or_insert_with(|| self.cluster.store_snapshot(h));
+                dep.covered_by(v)
+            })
+        });
+        let evicted = (before - state.deps.len()) as u64;
+        if evicted > 0 {
+            self.counters
+                .dep_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A write shipped but not yet completed: which session issued it, on
+/// which register, and when it entered the tier.
+#[derive(Debug)]
+struct PendingWrite {
+    sid: u64,
+    register: RegisterId,
+    start: Instant,
+}
+
+/// One driver thread's handle onto the tier: per-replica write buffers,
+/// the completion channel, and thread-local event/latency collection.
+/// Created by [`ServingTier::worker`]; call [`finish`](Self::finish)
+/// when done to flush and collect.
+#[derive(Debug)]
+pub struct ServingWorker<'c, 't> {
+    tier: &'t ServingTier<'c>,
+    /// Per-target-replica coalescing buffers of (token, register, value).
+    bufs: Vec<Vec<(u64, RegisterId, Value)>>,
+    /// token → pending-write bookkeeping.
+    tokens: HashMap<u64, PendingWrite>,
+    next_token: u64,
+    /// Sessions with an outstanding write → its token. At most one per
+    /// session: the session's next op drains it first, so the write's
+    /// `UpdateId` is always known before a dependent read routes.
+    in_flight: HashMap<u64, u64>,
+    reply_tx: Sender<(u64, UpdateId)>,
+    reply_rx: Receiver<(u64, UpdateId)>,
+    out: Collected,
+}
+
+/// How long a read spins on an uncovered dependency before the run is
+/// declared wedged. Generous: covering requires only that one candidate
+/// replica applies one update.
+const STALL_DEADLINE: Duration = Duration::from_secs(30);
+
+impl ServingWorker<'_, '_> {
+    /// Serves a write for session `sid`: routes it, coalesces it into
+    /// the target replica's buffer, and returns. Completion (and the
+    /// session's dependency update) happens asynchronously via
+    /// [`poll`](Self::poll) / the session's next op.
+    pub fn write(&mut self, sid: u64, x: RegisterId, v: Value) {
+        self.poll();
+        self.drain_session(sid);
+        let tier = self.tier;
+        let (target, local) = route(tier.cluster.graph(), sid, tier.cfg.attach_span, x);
+        let ctr = if local {
+            &tier.counters.ops_routed_local
+        } else {
+            &tier.counters.ops_forwarded
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.tokens.insert(
+            token,
+            PendingWrite {
+                sid,
+                register: x,
+                start: Instant::now(),
+            },
+        );
+        self.in_flight.insert(sid, token);
+        self.bufs[target.index()].push((token, x, v));
+        if self.bufs[target.index()].len() >= tier.cfg.write_batch {
+            self.flush_replica(target);
+        }
+        self.out.ops += 1;
+    }
+
+    /// Serves a read for session `sid` on register `x`, returning the
+    /// value and which replica served it. `roam` rotates the preferred
+    /// candidate among the attach replicas storing `x`, modelling a
+    /// client roaming within its `R_c`.
+    ///
+    /// The fast path is entirely lock-free past the session-table
+    /// stripe: candidates' published [`ReplicaView`]s are checked for
+    /// dependency covering; the first covering view serves. If none
+    /// covers (a just-shipped dependency still in flight), the read
+    /// spins — never enqueues — until one does.
+    pub fn read(&mut self, sid: u64, x: RegisterId, roam: u64) -> (Option<Value>, ReplicaId) {
+        self.poll();
+        self.drain_session(sid);
+        let tier = self.tier;
+        let graph = tier.cluster.graph();
+        let p = graph.placement();
+        // Candidate order: attach replicas storing x (rotated by roam),
+        // then every holder (the forwarded detour).
+        let mut candidates: Vec<(ReplicaId, bool)> = Vec::new();
+        let attach: Vec<ReplicaId> = attach_set(sid, graph.num_replicas(), tier.cfg.attach_span)
+            .into_iter()
+            .filter(|&r| p.stores(r, x))
+            .collect();
+        if !attach.is_empty() {
+            let start = (roam as usize) % attach.len();
+            for k in 0..attach.len() {
+                candidates.push((attach[(start + k) % attach.len()], true));
+            }
+        }
+        for &h in p.holders(x) {
+            if !candidates.iter().any(|&(c, _)| c == h) {
+                candidates.push((h, false));
+            }
+        }
+        let dep = tier.with_session(sid, |s| s.deps.get(&x).copied().unwrap_or_default());
+        let started = Instant::now();
+        let mut blocked = false;
+        let (view, server, local) = loop {
+            let mut served = None;
+            for &(r, local) in &candidates {
+                let view = tier.cluster.store_snapshot(r);
+                if dep.covered_by(&view) {
+                    served = Some((view, r, local));
+                    break;
+                }
+            }
+            if let Some(hit) = served {
+                break hit;
+            }
+            if !blocked {
+                blocked = true;
+                // Classify the stall once: own-write dependency still in
+                // flight is a read-your-writes block, otherwise the
+                // observation (monotonic-reads) dependency is behind.
+                let primary = tier.cluster.store_snapshot(candidates[0].0);
+                let ctr = if dep.wrote.is_some_and(|u| !primary.covers(u)) {
+                    &tier.counters.ryw_blocks
+                } else {
+                    &tier.counters.mr_blocks
+                };
+                ctr.fetch_add(1, Ordering::Relaxed);
+            }
+            assert!(
+                started.elapsed() < STALL_DEADLINE,
+                "read of {x} for session {sid} wedged on dependency {dep:?}"
+            );
+            std::thread::sleep(Duration::from_micros(5));
+        };
+        let ctr = if local {
+            &tier.counters.ops_routed_local
+        } else {
+            &tier.counters.ops_forwarded
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+        let value = view.get(&x).cloned();
+        let observed = if value.is_some() {
+            view.source_of(x)
+        } else {
+            None
+        };
+        if let Some(obs) = observed {
+            tier.with_session(sid, |s| {
+                s.deps.entry(x).or_default().read = Some(obs);
+                if s.deps.len() > tier.cfg.dep_cap {
+                    tier.evict_covered(s);
+                }
+            });
+        }
+        self.out.events.push(SessionEvent::Read {
+            client: ClientId::new(sid as u32),
+            register: x,
+            observed,
+        });
+        self.out
+            .read_lat
+            .record(started.elapsed().as_nanos() as u64);
+        self.out.ops += 1;
+        (value, server)
+    }
+
+    /// Ships every non-empty write buffer now (end of a driver quantum).
+    pub fn flush(&mut self) {
+        for i in 0..self.bufs.len() {
+            if !self.bufs[i].is_empty() {
+                self.flush_replica(ReplicaId::new(i as u32));
+            }
+        }
+    }
+
+    /// Processes any write completions that have arrived, without
+    /// blocking: updates session dependencies, records write events and
+    /// latency, and releases the sessions' in-flight slots.
+    pub fn poll(&mut self) {
+        while let Ok((token, uid)) = self.reply_rx.try_recv() {
+            self.complete(token, uid);
+        }
+    }
+
+    /// Flushes remaining buffers, waits for every outstanding write to
+    /// complete, and returns everything collected.
+    pub fn finish(mut self) -> Collected {
+        self.flush();
+        while !self.tokens.is_empty() {
+            match self.reply_rx.recv_timeout(STALL_DEADLINE) {
+                Ok((token, uid)) => self.complete(token, uid),
+                Err(_) => panic!("{} write completions never arrived", self.tokens.len()),
+            }
+        }
+        self.out
+    }
+
+    fn flush_replica(&mut self, r: ReplicaId) {
+        let ops = std::mem::take(&mut self.bufs[r.index()]);
+        if !ops.is_empty() {
+            self.tier
+                .cluster
+                .send_write_many(r, ops, self.reply_tx.clone());
+        }
+    }
+
+    /// Blocks until session `sid` has no write in flight. Flushes first:
+    /// a buffered write would otherwise never complete.
+    fn drain_session(&mut self, sid: u64) {
+        if !self.in_flight.contains_key(&sid) {
+            return;
+        }
+        self.flush();
+        let deadline = Instant::now() + STALL_DEADLINE;
+        while self.in_flight.contains_key(&sid) {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .expect("write completion never arrived");
+            match self.reply_rx.recv_timeout(remaining) {
+                Ok((token, uid)) => self.complete(token, uid),
+                Err(_) => panic!("write completion for session {sid} never arrived"),
+            }
+        }
+    }
+
+    fn complete(&mut self, token: u64, uid: UpdateId) {
+        let pw = self.tokens.remove(&token).expect("unknown write token");
+        if self.in_flight.get(&pw.sid) == Some(&token) {
+            self.in_flight.remove(&pw.sid);
+        }
+        let tier = self.tier;
+        tier.with_session(pw.sid, |s| {
+            let d = s.deps.entry(pw.register).or_default();
+            // The session's own write is also its latest observation
+            // (mirrors the checker's semantics).
+            d.wrote = Some(uid);
+            d.read = Some(uid);
+            if s.deps.len() > tier.cfg.dep_cap {
+                tier.evict_covered(s);
+            }
+        });
+        self.out.events.push(SessionEvent::Write {
+            client: ClientId::new(pw.sid as u32),
+            update: uid,
+            register: pw.register,
+        });
+        self.out
+            .write_lat
+            .record(pw.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_net::DelayModel;
+    use prcc_sharegraph::topology;
+
+    fn x(i: u32) -> RegisterId {
+        RegisterId::new(i)
+    }
+
+    #[test]
+    fn attach_set_is_deterministic_window() {
+        assert_eq!(
+            attach_set(6, 4, 2),
+            vec![ReplicaId::new(2), ReplicaId::new(3)]
+        );
+        assert_eq!(
+            attach_set(3, 4, 2),
+            vec![ReplicaId::new(3), ReplicaId::new(0)]
+        );
+        // Span clamps to the cluster.
+        assert_eq!(attach_set(0, 2, 5).len(), 2);
+    }
+
+    #[test]
+    fn routing_prefers_attach_then_detours() {
+        // ring(4): register i is shared by replicas i and i+1 mod 4.
+        let g = topology::ring(4);
+        // Session 0 attaches to {0, 1}; register 1 is stored at 1 — local.
+        let (r, local) = route(&g, 0, 2, x(1));
+        assert!(local);
+        assert_eq!(r, ReplicaId::new(1));
+        // Register 2 is stored at {2, 3}, outside session 0's window.
+        let (r, local) = route(&g, 0, 2, x(2));
+        assert!(!local);
+        assert!(g.placement().stores(r, x(2)));
+    }
+
+    #[test]
+    fn read_your_writes_through_the_tier() {
+        let cluster = ThreadedCluster::new(topology::clique_full(4, 8), DelayModel::Fixed(1), 11);
+        let tier = ServingTier::new(&cluster, ServingConfig::default());
+        let mut w = tier.worker();
+        for k in 0..50u64 {
+            // One register per session: with no concurrent writer, a
+            // session's read must return exactly its own last write (the
+            // write's completion lands in the dependency set before the
+            // read routes).
+            let sid = k % 7;
+            w.write(sid, x(sid as u32), Value::from(k));
+            let (v, _) = w.read(sid, x(sid as u32), k);
+            assert_eq!(v, Some(Value::from(k)));
+        }
+        let collected = w.finish();
+        assert_eq!(collected.ops, 100);
+        assert_eq!(collected.events.len(), 100);
+        cluster.settle();
+        assert!(cluster.check().is_consistent());
+        let trace = cluster.trace_snapshot();
+        assert!(prcc_checker::check_sessions(&trace, &collected.events).is_empty());
+    }
+
+    #[test]
+    fn forwarded_ops_are_counted() {
+        // path(3): replica 0 stores {0}, 1 stores {0,1,2}... actually
+        // path placement: replica i stores registers of its incident
+        // edges. Session 0 attaches to {0,1}; find a register outside.
+        let g = topology::ring(6);
+        let cluster = ThreadedCluster::new(g, DelayModel::Fixed(1), 3);
+        let tier = ServingTier::new(&cluster, ServingConfig::default());
+        let mut w = tier.worker();
+        // Register 3 is held by replicas {2,3}, outside session 0's
+        // attach window {0,1}.
+        w.write(0, x(3), Value::from(1u64));
+        let (v, _) = w.read(0, x(3), 0);
+        assert_eq!(v, Some(Value::from(1u64)));
+        w.finish();
+        let stats = tier.stats();
+        assert_eq!(stats.ops_forwarded, 2);
+        assert_eq!(stats.ops_routed_local, 0);
+    }
+
+    #[test]
+    fn session_state_stays_bounded() {
+        let cluster = ThreadedCluster::new(topology::clique_full(4, 8), DelayModel::Fixed(0), 5);
+        let cfg = ServingConfig {
+            dep_cap: 4,
+            ..ServingConfig::default()
+        };
+        let tier = ServingTier::new(&cluster, cfg);
+        let mut w = tier.worker();
+        for k in 0..2000u64 {
+            w.write(0, x((k % 8) as u32), Value::from(k));
+            w.read(0, x(((k + 3) % 8) as u32), k);
+        }
+        let collected = w.finish();
+        // Dependency entries never exceed cap + registers touched since
+        // the last eviction sweep — far below the 4000 ops issued.
+        let entries = tier.with_session(0, |s| s.deps.len());
+        assert!(entries <= 8, "deps grew to {entries}");
+        assert!(tier.stats().dep_evictions > 0);
+        cluster.settle();
+        let trace = cluster.trace_snapshot();
+        assert!(prcc_checker::check_sessions(&trace, &collected.events).is_empty());
+    }
+
+    #[test]
+    fn concurrent_workers_preserve_session_guarantees() {
+        let cluster = ThreadedCluster::new(topology::clique_full(4, 4), DelayModel::Fixed(1), 17);
+        let tier = ServingTier::new(&cluster, ServingConfig::default());
+        let collected = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|wid| {
+                    let tier = &tier;
+                    s.spawn(move || {
+                        let mut w = tier.worker();
+                        for k in 0..200u64 {
+                            // Worker wid owns sessions {wid, wid+4, ...}.
+                            let sid = wid + 4 * (k % 3);
+                            if k % 4 == 0 {
+                                w.write(sid, x((k % 4) as u32), Value::from(wid * 1000 + k));
+                            } else {
+                                w.read(sid, x((k % 4) as u32), k);
+                            }
+                        }
+                        w.finish()
+                    })
+                })
+                .collect();
+            let mut all = Collected::default();
+            for h in handles {
+                all.absorb(h.join().expect("worker"));
+            }
+            all
+        });
+        assert_eq!(collected.ops, 800);
+        cluster.settle();
+        assert!(cluster.check().is_consistent());
+        let trace = cluster.trace_snapshot();
+        assert!(
+            prcc_checker::check_sessions(&trace, &collected.events).is_empty(),
+            "session guarantees violated"
+        );
+    }
+}

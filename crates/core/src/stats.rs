@@ -70,6 +70,18 @@ impl LatencyStats {
         self.samples[rank.min(self.samples.len() - 1)]
     }
 
+    /// Merges another collector's samples into this one — how the
+    /// serving tier folds per-worker latency histograms into one
+    /// client-visible distribution without sharing a lock on the hot
+    /// path.
+    pub fn absorb(&mut self, other: LatencyStats) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend(other.samples);
+        self.sorted = false;
+    }
+
     /// Convenience: median.
     pub fn p50(&mut self) -> u64 {
         self.percentile(0.50)

@@ -1,0 +1,71 @@
+//! The client's per-session state is O(1) in the number of ops issued:
+//! `μ_c` is a fixed vector indexed by the union of the augmented
+//! timestamp graphs of the client's replicas (Appendix E.5), so ten
+//! thousand ops grow counter *values*, never the counter *count* — and
+//! that truncation to a fixed edge set never costs read-your-writes,
+//! because the served-request predicate gates on exactly those edges.
+
+use prcc_core::client_server::ClientServerSystem;
+use prcc_core::Value;
+use prcc_net::DelayModel;
+use prcc_sharegraph::{topology, AugmentedShareGraph, ClientAssignment, ClientId, ReplicaId};
+use prcc_timestamp::ClientTsRegistry;
+
+#[test]
+fn client_state_stays_bounded_over_ten_thousand_ops() {
+    let g = topology::clique_full(4, 2);
+    let mut clients = ClientAssignment::new(g.num_replicas());
+    let c = ClientId::new(0);
+    let (r0, r1) = (ReplicaId::new(0), ReplicaId::new(1));
+    clients.assign(c, [r0, r1]);
+    let aug = AugmentedShareGraph::new(g.clone(), clients);
+    // An independent registry over the same augmented graph yields the
+    // canonical edge union the client vector must stay pinned to.
+    let edge_count = ClientTsRegistry::new(&aug).client_edges(c).len();
+    assert!(edge_count > 0);
+
+    let mut sys = ClientServerSystem::new(aug, DelayModel::Fixed(1), 11);
+    // A register both of the client's replicas hold, so reads can hop
+    // replicas and exercise the cross-replica read-your-writes gate.
+    let x = g
+        .placement()
+        .shared(r0, r1)
+        .iter()
+        .next()
+        .expect("clique replicas share a register");
+
+    let ops = 10_000usize;
+    let mut pending_reads = Vec::new();
+    for k in 0..ops / 2 {
+        let v = Value::from(k as u64);
+        sys.write(c, r0, x, v.clone());
+        // Alternate the serving replica for the read: same-replica RYW
+        // half the time, cross-replica (client-timestamp-gated) the rest.
+        let serve = if k % 2 == 0 { r0 } else { r1 };
+        let id = sys.read(c, serve, x);
+        sys.run_to_quiescence();
+        pending_reads.push((id, v));
+
+        // The invariant under test: issuing ops never grows the vector.
+        let mu = sys.client_timestamp(c);
+        assert_eq!(mu.num_counters(), edge_count, "μ_c grew at op {k}");
+        assert_eq!(mu.wire_size_bytes(), edge_count * 8);
+    }
+
+    // Read-your-writes held on every op: each read saw exactly the write
+    // issued just before it (this client is the only writer of x).
+    for (id, expected) in pending_reads {
+        assert_eq!(
+            sys.read_result(id),
+            Some(&Some(expected)),
+            "a read missed the client's own preceding write"
+        );
+    }
+    assert!(sys.check().is_consistent());
+    assert!(
+        sys.check_sessions().is_empty(),
+        "session guarantees violated: {:?}",
+        sys.check_sessions()
+    );
+    assert_eq!(sys.blocked_requests(), 0);
+}

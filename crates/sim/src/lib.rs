@@ -24,10 +24,15 @@
 pub mod aggregate;
 pub mod client_scenario;
 pub mod scenario;
+pub mod serving;
 pub mod workload;
 pub mod zipf;
 
 pub use aggregate::{run_many, AggregateReport, Spread};
 pub use client_scenario::{run_client_scenario, ClientRunReport, ClientScenarioConfig};
 pub use scenario::{run_head_to_head, run_scenario, RunReport, ScenarioConfig};
+pub use serving::{
+    generate_session_ops, run_serving_oracle, run_serving_scenario, OracleReport, ServingRunReport,
+    ServingScenarioConfig, SessionOp,
+};
 pub use workload::{Op, Workload, WorkloadConfig};

@@ -5,6 +5,7 @@
 //! (so causal chains actually form), then report message counts, metadata
 //! bytes, latencies, timestamp sizes, and the consistency verdict.
 
+use crate::serving::{run_serving_scenario, ServingScenarioConfig};
 use crate::workload::{Workload, WorkloadConfig};
 use prcc_core::{BatchPolicy, System, TrackerKind, Value, WireMode};
 use prcc_net::{DelayModel, FaultSchedule, SessionConfig};
@@ -43,6 +44,13 @@ pub struct ScenarioConfig {
     /// Sender-side update coalescing (DESIGN §9). The default policy
     /// batches; [`BatchPolicy::unbatched`] is the singleton oracle.
     pub batch: BatchPolicy,
+    /// Client sessions to drive through the serving tier (DESIGN §11) on
+    /// a threaded cluster over the same share graph, after the replica
+    /// workload. `0` (the default) skips the client-serving pass; when
+    /// non-zero the report's routing and guarantee-block stats are
+    /// populated and `consistent` also requires the serving pass to be
+    /// clean.
+    pub clients: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -59,6 +67,7 @@ impl Default for ScenarioConfig {
             faults: FaultSchedule::default(),
             session: None,
             batch: BatchPolicy::default(),
+            clients: 0,
         }
     }
 }
@@ -130,6 +139,18 @@ pub struct RunReport {
     /// Wire-codec pairs demoted to explicit rows after a derived-row
     /// verification failure (0 with registry-built layouts).
     pub codec_demotions: usize,
+    /// Client ops served by the serving tier (0 unless
+    /// [`ScenarioConfig::clients`] > 0; likewise for the four stats
+    /// below).
+    pub client_ops: u64,
+    /// Client ops served by a replica in the session's attach set.
+    pub ops_routed_local: u64,
+    /// Client ops detoured to a replica outside the attach set.
+    pub ops_forwarded: u64,
+    /// Reads that waited on the read-your-writes guarantee.
+    pub ryw_blocks: u64,
+    /// Reads that waited on the monotonic-reads guarantee.
+    pub mr_blocks: u64,
 }
 
 impl fmt::Display for RunReport {
@@ -231,6 +252,24 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
     }
     sys.run_to_quiescence();
 
+    // Optional client-serving pass: the serving tier multiplexing
+    // sessions onto a threaded cluster over the same share graph.
+    let serving = (cfg.clients > 0).then(|| {
+        run_serving_scenario(
+            g,
+            &ServingScenarioConfig {
+                sessions: cfg.clients,
+                zipf_theta: cfg.workload.zipf_theta,
+                seed: cfg.net_seed,
+                ..Default::default()
+            },
+        )
+    });
+    let serving_clean = serving
+        .as_ref()
+        .is_none_or(|s| s.consistent && s.session_violations == 0);
+    let serving_stats = serving.as_ref().map(|s| s.stats).unwrap_or_default();
+
     let check = sys.check();
     let counters = sys.timestamp_counters();
     let m = *sys.metrics();
@@ -260,7 +299,7 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
         max_pending_wait: m.max_pending_wait,
         counters_total: counters.iter().sum(),
         counters_max: counters.iter().copied().max().unwrap_or(0),
-        consistent: check.is_consistent(),
+        consistent: check.is_consistent() && serving_clean,
         safety_violations: check.safety_violations().count(),
         liveness_violations: check.liveness_violations().count(),
         stuck_pending: sys.stuck_pending(),
@@ -271,6 +310,11 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
         catch_up_max: catch_up.max(),
         lost_to_crash: sys.lost_to_crash(),
         codec_demotions: sys.net_stats().codec_demotions,
+        client_ops: serving.as_ref().map_or(0, |s| s.ops),
+        ops_routed_local: serving_stats.ops_routed_local,
+        ops_forwarded: serving_stats.ops_forwarded,
+        ryw_blocks: serving_stats.ryw_blocks,
+        mr_blocks: serving_stats.mr_blocks,
     }
 }
 
@@ -471,6 +515,27 @@ mod tests {
         assert_eq!(report.writes, 50);
         assert!(report.retransmits > 0, "drop storm caused no retransmits");
         assert!(report.acks_sent > 0);
+    }
+
+    #[test]
+    fn clients_knob_runs_the_serving_pass_and_surfaces_stats() {
+        let g = topology::ring(4);
+        let plain = run_scenario(&g, &ScenarioConfig::default());
+        assert_eq!(plain.client_ops, 0, "no serving pass without clients");
+        let with_clients = run_scenario(
+            &g,
+            &ScenarioConfig {
+                clients: 8,
+                ..Default::default()
+            },
+        );
+        assert!(with_clients.consistent, "{with_clients}");
+        assert!(with_clients.client_ops > 0);
+        assert_eq!(
+            with_clients.ops_routed_local + with_clients.ops_forwarded,
+            with_clients.client_ops,
+            "every client op is either local or forwarded"
+        );
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Serving-tier scenario runner: drive Zipf-skewed open-loop client
+//! sessions through a [`ServingTier`] over a [`ThreadedCluster`], measure
+//! client-visible latency and aggregate throughput, and verify both the
+//! causal-consistency and session-guarantee verdicts from the trace.
+//!
+//! The same generated op streams can be replayed against the lockstep
+//! [`ClientServerSystem`](prcc_core::ClientServerSystem) with identical
+//! routing ([`run_serving_oracle`]) — the differential oracle for the
+//! threaded tier.
+
+use prcc_checker::HbGraph;
+use prcc_core::client_server::ClientServerSystem;
+use prcc_core::serving::{route, Collected, ServingConfig, ServingTier};
+use prcc_core::{ThreadedCluster, Value};
+use prcc_net::DelayModel;
+use prcc_sharegraph::{AugmentedShareGraph, ClientAssignment, ClientId, RegisterId, ShareGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::Instant;
+
+use crate::zipf::Zipf;
+
+/// Configuration of a serving-tier scenario.
+#[derive(Debug, Clone)]
+pub struct ServingScenarioConfig {
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Ops issued per session.
+    pub ops_per_session: usize,
+    /// Fraction of ops that are writes.
+    pub write_ratio: f64,
+    /// Zipf skew of register popularity (0 = uniform).
+    pub zipf_theta: f64,
+    /// Driver threads; sessions are partitioned round-robin across them
+    /// (a session is always driven by one worker, preserving its service
+    /// order).
+    pub workers: usize,
+    /// Workload / cluster seed.
+    pub seed: u64,
+    /// Ops between forced write-buffer flushes per worker — bounds the
+    /// coalescing residency of a buffered write.
+    pub flush_quantum: usize,
+    /// Tier tuning.
+    pub serving: ServingConfig,
+}
+
+impl Default for ServingScenarioConfig {
+    fn default() -> Self {
+        ServingScenarioConfig {
+            sessions: 64,
+            ops_per_session: 50,
+            write_ratio: 0.1,
+            zipf_theta: 1.0,
+            workers: 4,
+            seed: 0,
+            flush_quantum: 256,
+            serving: ServingConfig::default(),
+        }
+    }
+}
+
+/// One generated session op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOp {
+    /// Write this register with this value.
+    Write(RegisterId, Value),
+    /// Read this register.
+    Read(RegisterId),
+}
+
+/// Generates every session's op stream deterministically from the
+/// config: register popularity is Zipf-skewed over the whole register
+/// space, and each session's stream is seeded independently, so the
+/// threaded tier and the lockstep oracle replay *identical* workloads.
+pub fn generate_session_ops(
+    graph: &ShareGraph,
+    cfg: &ServingScenarioConfig,
+) -> Vec<Vec<SessionOp>> {
+    let n = graph.placement().num_registers();
+    let zipf = Zipf::new(n, cfg.zipf_theta);
+    (0..cfg.sessions as u64)
+        .map(|sid| {
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ (sid.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            (0..cfg.ops_per_session as u64)
+                .map(|k| {
+                    let x = RegisterId::new(zipf.sample(&mut rng) as u32);
+                    if rng.gen_bool(cfg.write_ratio.clamp(0.0, 1.0)) {
+                        SessionOp::Write(x, Value::from(sid * 1_000_000_000 + k))
+                    } else {
+                        SessionOp::Read(x)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Measured outcome of a threaded serving-tier run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRunReport {
+    /// Sessions driven.
+    pub sessions: usize,
+    /// Total client ops served.
+    pub ops: u64,
+    /// Wall-clock driving time in seconds (submission through the last
+    /// write completion).
+    pub elapsed_secs: f64,
+    /// Aggregate client ops per second.
+    pub ops_per_sec: f64,
+    /// Client-visible read latency, median (ns).
+    pub read_p50_ns: u64,
+    /// Client-visible read latency, 99th percentile (ns).
+    pub read_p99_ns: u64,
+    /// Client-visible write latency, median (ns).
+    pub write_p50_ns: u64,
+    /// Client-visible write latency, 99th percentile (ns).
+    pub write_p99_ns: u64,
+    /// Tier counters (routing and guarantee-block stats).
+    pub stats: prcc_core::ServingStats,
+    /// Causal-consistency verdict of the cluster trace.
+    pub consistent: bool,
+    /// Session-guarantee violations found by replaying the served-op log
+    /// against the recomputed happened-before relation (must be 0).
+    pub session_violations: usize,
+}
+
+impl fmt::Display for ServingRunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions, {} ops in {:.2}s = {:.0} ops/s, read p50/p99 {}µs/{}µs, \
+             write p50/p99 {}µs/{}µs, local/forwarded {}/{}, blocks ryw={} mr={}, \
+             consistent={}, session_violations={}",
+            self.sessions,
+            self.ops,
+            self.elapsed_secs,
+            self.ops_per_sec,
+            self.read_p50_ns / 1_000,
+            self.read_p99_ns / 1_000,
+            self.write_p50_ns / 1_000,
+            self.write_p99_ns / 1_000,
+            self.stats.ops_routed_local,
+            self.stats.ops_forwarded,
+            self.stats.ryw_blocks,
+            self.stats.mr_blocks,
+            self.consistent,
+            self.session_violations
+        )
+    }
+}
+
+/// Drives the generated workload through a [`ServingTier`] over a fresh
+/// [`ThreadedCluster`] and reports throughput, latency, and verdicts.
+///
+/// # Panics
+///
+/// Panics if a worker thread dies or a write completion never arrives.
+pub fn run_serving_scenario(graph: &ShareGraph, cfg: &ServingScenarioConfig) -> ServingRunReport {
+    let ops = generate_session_ops(graph, cfg);
+    let cluster = ThreadedCluster::new(graph.clone(), DelayModel::Fixed(1), cfg.seed);
+    let tier = ServingTier::new(&cluster, cfg.serving.clone());
+    let workers = cfg.workers.max(1);
+    let start = Instant::now();
+    let mut collected = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let tier = &tier;
+                let ops = &ops;
+                s.spawn(move || {
+                    let mut worker = tier.worker();
+                    let mut since_flush = 0usize;
+                    // Round-major on purpose: op k of every owned session
+                    // before op k+1 of any, so sessions interleave.
+                    #[allow(clippy::needless_range_loop)]
+                    for k in 0..cfg.ops_per_session {
+                        let mut sid = w;
+                        while sid < cfg.sessions {
+                            match &ops[sid][k] {
+                                SessionOp::Write(x, v) => worker.write(sid as u64, *x, v.clone()),
+                                SessionOp::Read(x) => {
+                                    worker.read(sid as u64, *x, k as u64);
+                                }
+                            }
+                            since_flush += 1;
+                            if since_flush >= cfg.flush_quantum.max(1) {
+                                worker.flush();
+                                worker.poll();
+                                since_flush = 0;
+                            }
+                            sid += workers;
+                        }
+                    }
+                    worker.finish()
+                })
+            })
+            .collect();
+        let mut all = Collected::default();
+        for h in handles {
+            all.absorb(h.join().expect("serving worker"));
+        }
+        all
+    });
+    let elapsed = start.elapsed();
+    cluster.settle();
+    let trace = cluster.trace_snapshot();
+    let hb = HbGraph::build(&trace);
+    let check = prcc_checker::check_with_hb(&trace, graph.placement(), &hb);
+    let violations = prcc_checker::check_sessions_with_hb(&hb, &collected.events);
+    let secs = elapsed.as_secs_f64();
+    ServingRunReport {
+        sessions: cfg.sessions,
+        ops: collected.ops,
+        elapsed_secs: secs,
+        ops_per_sec: if secs > 0.0 {
+            collected.ops as f64 / secs
+        } else {
+            0.0
+        },
+        read_p50_ns: collected.read_lat.p50(),
+        read_p99_ns: collected.read_lat.p99(),
+        write_p50_ns: collected.write_lat.p50(),
+        write_p99_ns: collected.write_lat.p99(),
+        stats: tier.stats(),
+        consistent: check.is_consistent(),
+        session_violations: violations.len(),
+    }
+}
+
+/// Verdicts of the lockstep oracle replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Causal-consistency verdict of the oracle's server trace.
+    pub consistent: bool,
+    /// Session-guarantee violations in the oracle's served-op log.
+    pub session_violations: usize,
+    /// Requests still blocked at the end (must be 0).
+    pub blocked: usize,
+}
+
+/// Replays the *same* generated workload through the lockstep
+/// [`ClientServerSystem`], using the tier's exact routing rule
+/// ([`route`]): ops land on the first attach replica storing the
+/// register, detouring to a holder otherwise. Clients are attached to
+/// every replica so the detour stays within the oracle's model. The
+/// differential claim: on the same seeded workload, the threaded tier
+/// and the oracle must both come back clean.
+pub fn run_serving_oracle(graph: &ShareGraph, cfg: &ServingScenarioConfig) -> OracleReport {
+    let ops = generate_session_ops(graph, cfg);
+    let mut clients = ClientAssignment::new(graph.num_replicas());
+    for sid in 0..cfg.sessions as u32 {
+        clients.assign(ClientId::new(sid), graph.replicas().collect::<Vec<_>>());
+    }
+    let aug = AugmentedShareGraph::new(graph.clone(), clients);
+    let mut sys = ClientServerSystem::new(aug, DelayModel::Fixed(1), cfg.seed);
+    // Round-major to mirror the threaded run's interleaving.
+    #[allow(clippy::needless_range_loop)]
+    for k in 0..cfg.ops_per_session {
+        for sid in 0..cfg.sessions {
+            let c = ClientId::new(sid as u32);
+            let (target, _) = match &ops[sid][k] {
+                SessionOp::Write(x, _) | SessionOp::Read(x) => {
+                    route(graph, sid as u64, cfg.serving.attach_span, *x)
+                }
+            };
+            match &ops[sid][k] {
+                SessionOp::Write(x, v) => {
+                    sys.write(c, target, *x, v.clone());
+                }
+                SessionOp::Read(x) => {
+                    sys.read(c, target, *x);
+                }
+            }
+        }
+        // Let the network make progress between rounds.
+        sys.step();
+    }
+    sys.run_to_quiescence();
+    OracleReport {
+        consistent: sys.check().is_consistent(),
+        session_violations: sys.check_sessions().len(),
+        blocked: sys.blocked_requests(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_sharegraph::topology;
+
+    #[test]
+    fn op_generation_is_deterministic() {
+        let g = topology::clique_full(4, 8);
+        let cfg = ServingScenarioConfig {
+            sessions: 8,
+            ops_per_session: 30,
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(
+            generate_session_ops(&g, &cfg),
+            generate_session_ops(&g, &cfg)
+        );
+        let other = generate_session_ops(
+            &g,
+            &ServingScenarioConfig {
+                seed: 43,
+                ..cfg.clone()
+            },
+        );
+        assert_ne!(generate_session_ops(&g, &cfg), other);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_ops() {
+        let g = topology::clique_full(4, 16);
+        let cfg = ServingScenarioConfig {
+            sessions: 32,
+            ops_per_session: 100,
+            zipf_theta: 1.0,
+            write_ratio: 0.0,
+            seed: 7,
+            ..Default::default()
+        };
+        let ops = generate_session_ops(&g, &cfg);
+        let mut counts = [0usize; 16];
+        for stream in &ops {
+            for op in stream {
+                if let SessionOp::Read(x) = op {
+                    counts[x.index()] += 1;
+                }
+            }
+        }
+        // Rank 1 must dominate the tail rank under s = 1.0.
+        assert!(
+            counts[0] > 4 * counts[15],
+            "no skew: head={} tail={}",
+            counts[0],
+            counts[15]
+        );
+    }
+
+    #[test]
+    fn threaded_serving_run_is_clean() {
+        let report = run_serving_scenario(
+            &topology::clique_full(4, 4),
+            &ServingScenarioConfig {
+                sessions: 32,
+                ops_per_session: 40,
+                workers: 4,
+                write_ratio: 0.2,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        assert!(report.consistent, "{report}");
+        assert_eq!(report.session_violations, 0, "{report}");
+        assert_eq!(report.ops, 32 * 40);
+        assert!(report.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn partial_replication_routes_and_stays_clean() {
+        let report = run_serving_scenario(
+            &topology::ring(6),
+            &ServingScenarioConfig {
+                sessions: 24,
+                ops_per_session: 40,
+                workers: 3,
+                write_ratio: 0.25,
+                zipf_theta: 0.5,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        assert!(report.consistent, "{report}");
+        assert_eq!(report.session_violations, 0, "{report}");
+        // On a ring most registers are outside a 2-replica attach window:
+        // the forwarded path must actually be exercised.
+        assert!(report.stats.ops_forwarded > 0, "{report}");
+        assert!(report.stats.ops_routed_local > 0, "{report}");
+    }
+}

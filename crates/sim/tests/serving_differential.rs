@@ -1,0 +1,88 @@
+//! Differential test: the threaded serving tier versus the lockstep
+//! client-server oracle on the same seeded workload.
+//!
+//! Every layer of this repo has an off-switch oracle; the serving tier's
+//! is the paper-faithful [`ClientServerSystem`] replaying the identical
+//! generated op streams with the identical routing rule. Both runs are
+//! judged by the same trace-replay machinery (causal-consistency check +
+//! session-guarantee check), so a tier that under-enforces its
+//! guarantees diverges from the oracle's clean verdict.
+
+use prcc_sharegraph::topology;
+use prcc_sim::serving::{run_serving_oracle, run_serving_scenario, ServingScenarioConfig};
+
+fn agree(graph: prcc_sharegraph::ShareGraph, cfg: &ServingScenarioConfig) {
+    let threaded = run_serving_scenario(&graph, cfg);
+    let oracle = run_serving_oracle(&graph, cfg);
+    assert!(
+        threaded.consistent,
+        "threaded tier trace inconsistent: {threaded}"
+    );
+    assert_eq!(
+        threaded.session_violations, 0,
+        "threaded tier violated session guarantees: {threaded}"
+    );
+    assert!(oracle.consistent, "oracle trace inconsistent");
+    assert_eq!(
+        oracle.session_violations, 0,
+        "oracle violated session guarantees"
+    );
+    assert_eq!(oracle.blocked, 0, "oracle left requests blocked");
+    assert_eq!(
+        (threaded.consistent, threaded.session_violations),
+        (oracle.consistent, oracle.session_violations),
+        "verdicts diverged"
+    );
+}
+
+#[test]
+fn clique_verdicts_agree() {
+    agree(
+        topology::clique_full(4, 2),
+        &ServingScenarioConfig {
+            sessions: 16,
+            ops_per_session: 30,
+            workers: 4,
+            write_ratio: 0.3,
+            zipf_theta: 1.0,
+            seed: 21,
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+fn ring_verdicts_agree_with_forwarding() {
+    // On a ring, most registers sit outside a session's attach window —
+    // the forwarded detour path is exercised on both sides.
+    agree(
+        topology::ring(6),
+        &ServingScenarioConfig {
+            sessions: 12,
+            ops_per_session: 25,
+            workers: 3,
+            write_ratio: 0.4,
+            zipf_theta: 0.5,
+            seed: 8,
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+fn many_seeds_agree() {
+    for seed in 0..5u64 {
+        agree(
+            topology::clique_full(4, 4),
+            &ServingScenarioConfig {
+                sessions: 8,
+                ops_per_session: 20,
+                workers: 2,
+                write_ratio: 0.5,
+                zipf_theta: 0.8,
+                seed,
+                ..Default::default()
+            },
+        );
+    }
+}

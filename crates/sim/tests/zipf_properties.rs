@@ -1,0 +1,86 @@
+//! Property tests for the Zipf sampler backing the serving-tier
+//! workloads: the empirical frequencies must actually follow the
+//! 1/(k+1)^theta law the benchmarks assume, and sampling must be a pure
+//! function of the seed (the differential tests replay identical
+//! workloads on both sides of the oracle).
+
+use prcc_sim::zipf::Zipf;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn frequencies(n: usize, theta: f64, seed: u64, draws: usize) -> Vec<usize> {
+    let z = Zipf::new(n, theta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; n];
+    for _ in 0..draws {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    counts
+}
+
+/// At s = 1.0 the law says rank 1 is drawn k times as often as rank k.
+/// Check the ratio for several ranks within a generous sampling
+/// tolerance (±35% relative at 200k draws).
+#[test]
+fn rank_frequency_ratio_matches_the_law_at_s_one() {
+    let n = 50;
+    let counts = frequencies(n, 1.0, 7, 200_000);
+    for k in [2usize, 5, 10, 25] {
+        let observed = counts[0] as f64 / counts[k - 1] as f64;
+        let expected = k as f64;
+        let rel = (observed - expected).abs() / expected;
+        assert!(
+            rel < 0.35,
+            "rank 1 / rank {k}: observed ratio {observed:.2}, expected {expected:.2} \
+             (relative error {rel:.2})"
+        );
+    }
+}
+
+/// Same seed, same draw count — bit-identical sample streams. The
+/// serving differential tests depend on this to hand the threaded tier
+/// and the lockstep oracle the same workload.
+#[test]
+fn sampling_is_deterministic_under_a_fixed_seed() {
+    let z = Zipf::new(64, 0.9);
+    let draw = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1_000).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+    };
+    assert_eq!(draw(42), draw(42));
+    assert_ne!(draw(42), draw(43), "distinct seeds should diverge");
+}
+
+proptest! {
+    /// Every sample is in range and the head of the distribution
+    /// dominates the tail for any seed, once theta is meaningfully
+    /// skewed.
+    #[test]
+    fn head_beats_tail_for_any_seed(seed in 0u64..1_000_000) {
+        let n = 32;
+        let counts = frequencies(n, 1.0, seed, 20_000);
+        prop_assert_eq!(counts.iter().sum::<usize>(), 20_000);
+        let head: usize = counts[..4].iter().sum();
+        let tail: usize = counts[n - 4..].iter().sum();
+        prop_assert!(
+            head > 2 * tail,
+            "head {} should dominate tail {} at s=1.0", head, tail
+        );
+    }
+
+    /// Determinism as a property: replaying a seed reproduces the
+    /// stream exactly, for arbitrary (seed, theta) pairs.
+    #[test]
+    fn replay_is_exact_for_any_seed_and_theta(
+        seed in 0u64..1_000_000,
+        theta_milli in 0u64..2_000,
+    ) {
+        let z = Zipf::new(16, theta_milli as f64 / 1_000.0);
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

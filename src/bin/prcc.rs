@@ -43,7 +43,10 @@ fn usage() -> ! {
            --no-session                  disable the reliable-delivery session layer\n\
                                          (faults then cause permanent loss)\n\
            --batch <count>[:<bytes>:<window>]  sender-side update coalescing policy\n\
-           --no-batch                    ship every update as a singleton frame"
+           --no-batch                    ship every update as a singleton frame\n\
+           --clients <n>                 drive n client sessions through the serving\n\
+                                         tier on a threaded cluster and report routing\n\
+                                         + session-guarantee stats"
     );
     std::process::exit(2);
 }
@@ -171,6 +174,9 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
     } else {
         BatchPolicy::default()
     };
+    let clients = flag(args, "--clients")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
     let report = run_scenario(
         g,
         &ScenarioConfig {
@@ -189,6 +195,7 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
             faults,
             session,
             batch,
+            clients,
         },
     );
     println!("{report}");
@@ -201,6 +208,18 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
         report.payload_bytes,
         report.storage_cells
     );
+    if clients > 0 {
+        println!(
+            "clients: {} sessions, {} ops ({} local / {} forwarded), \
+             {} ryw + {} mr blocks",
+            clients,
+            report.client_ops,
+            report.ops_routed_local,
+            report.ops_forwarded,
+            report.ryw_blocks,
+            report.mr_blocks
+        );
+    }
     if have_faults {
         println!(
             "faults: {} retransmits, {} dups suppressed, {} acks, \
