@@ -41,6 +41,6 @@ pub use conflict::{conflicts, conflicts_symmetric, CausalPast};
 pub use consistency::{causal_past, check, check_with_hb, CheckReport, Violation};
 pub use hb::HbGraph;
 pub use lower_bound::{greedy_coloring, prefix_clique_bits, verify_prefix_clique};
-pub use sessions::{check_sessions, check_sessions_with_hb, SessionEvent};
+pub use sessions::{acked_writes, check_sessions, check_sessions_with_hb, SessionEvent};
 pub use trace::{Event, Trace, UpdateId};
 pub use trace_io::{from_text, to_text, ParseTraceError};

@@ -109,6 +109,23 @@ pub fn check_sessions_with_hb(hb: &HbGraph, events: &[SessionEvent]) -> Vec<Stri
     violations
 }
 
+/// The acked writes in a served-op log: every `(update, register)` a
+/// runtime acknowledged to a client. Durability checking's raw
+/// material — a fault-tolerant runtime owes survival to exactly these
+/// (an op that never acked owes nothing), so a chaos harness asserts
+/// each one is still covered by every holder's converged final state.
+pub fn acked_writes(events: &[SessionEvent]) -> Vec<(UpdateId, RegisterId)> {
+    events
+        .iter()
+        .filter_map(|ev| match *ev {
+            SessionEvent::Write {
+                update, register, ..
+            } => Some((update, register)),
+            SessionEvent::Read { .. } => None,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

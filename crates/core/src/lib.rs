@@ -60,8 +60,10 @@ pub use recovery::{RecoveryLog, WalEntry};
 pub use replica::{Applied, PendingMode, Replica, ReplicaError, WriteOutput};
 pub use routed::RoutedRing;
 pub use routed_general::{RoutedError, RoutedSystem};
-pub use runtime::{ClusterConfig, ReplicaView, ThreadedCluster};
-pub use serving::{Collected, ServingConfig, ServingStats, ServingTier, ServingWorker};
+pub use runtime::{ClusterConfig, ClusterError, ReplicaView, ThreadedCluster};
+pub use serving::{
+    Collected, ServingConfig, ServingError, ServingStats, ServingTier, ServingWorker,
+};
 pub use stats::LatencyStats;
 pub use system::{BatchPolicy, System, SystemBuilder, SystemMetrics, TrackerKind};
 pub use tracker::{CausalityTracker, EdgeTracker, FullDepsTracker, ReadyCheck, VcTracker};

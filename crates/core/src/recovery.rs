@@ -78,6 +78,10 @@ pub struct RecoveryLog {
     snapshot: Replica,
     /// Per-peer in-order delivery count folded into the snapshot.
     snapshot_cums: HashMap<ReplicaId, u64>,
+    /// Per-issuer applied frontier (`frontier[i]` = next expected seq of
+    /// issuer `i`) folded into the snapshot — the serving tier's
+    /// `ReplicaView` coverage vector, made durable alongside the store.
+    snapshot_frontier: Vec<u64>,
     snapshot_every: usize,
     snapshots_taken: usize,
 }
@@ -102,6 +106,7 @@ impl RecoveryLog {
             wal: Vec::new(),
             snapshot: initial,
             snapshot_cums: HashMap::new(),
+            snapshot_frontier: Vec::new(),
             snapshot_every,
             snapshots_taken: 0,
         }
@@ -130,6 +135,16 @@ impl RecoveryLog {
     /// whose state reflects every logged event (the harness calls this
     /// right after logging).
     pub fn maybe_snapshot(&mut self, live: &Replica) {
+        let frontier = self.snapshot_frontier.clone();
+        self.maybe_snapshot_with_frontier(live, &frontier);
+    }
+
+    /// Like [`maybe_snapshot`](RecoveryLog::maybe_snapshot), but also
+    /// persists the live replica's applied frontier so
+    /// [`recover_with_frontier`](RecoveryLog::recover_with_frontier) can
+    /// rebuild the serving tier's coverage vector without replaying the
+    /// compacted history.
+    pub fn maybe_snapshot_with_frontier(&mut self, live: &Replica, frontier: &[u64]) {
         if self.snapshot_every == 0 || self.wal.len() < self.snapshot_every {
             return;
         }
@@ -139,6 +154,7 @@ impl RecoveryLog {
             }
         }
         self.snapshot = live.clone();
+        self.snapshot_frontier = frontier.to_vec();
         self.wal.clear();
         self.snapshots_taken += 1;
     }
@@ -163,24 +179,50 @@ impl RecoveryLog {
     /// Rebuilds the replica as of its last durable event: snapshot clone
     /// plus WAL replay (see the module docs for why this is exact).
     pub fn recover(&self) -> Replica {
+        let n = self.snapshot_frontier.len();
+        self.recover_with_frontier(n).0
+    }
+
+    /// Rebuilds the replica *and* its applied frontier (the per-issuer
+    /// next-expected-seq vector published as the serving tier's
+    /// `ReplicaView` coverage). The frontier starts from the snapshot's
+    /// persisted copy (resized to `num_replicas`) and is advanced by the
+    /// WAL replay: an own write moves the replica's own slot, and every
+    /// update the replay *applies* (parked pending updates stay parked,
+    /// exactly like the live run) moves its issuer's slot.
+    pub fn recover_with_frontier(&self, num_replicas: usize) -> (Replica, Vec<u64>) {
         let mut replica = self.snapshot.clone();
+        let mut frontier = self.snapshot_frontier.clone();
+        if frontier.len() < num_replicas {
+            frontier.resize(num_replicas, 0);
+        }
+        let bump = |frontier: &mut Vec<u64>, issuer: ReplicaId, seq: u64| {
+            if issuer.index() >= frontier.len() {
+                frontier.resize(issuer.index() + 1, 0);
+            }
+            let slot = &mut frontier[issuer.index()];
+            *slot = (*slot).max(seq + 1);
+        };
         for e in &self.wal {
             match e {
                 WalEntry::OwnWrite { register, value } => {
-                    replica
+                    let (msg, _) = replica
                         .write(*register, value.clone(), Vec::new())
                         .expect("replayed write targets a stored register");
+                    bump(&mut frontier, msg.issuer, msg.seq);
                 }
                 WalEntry::Delivered { msg, .. } => {
                     // `receive_batch` is state-identical to a per-update
                     // `receive` loop (its fallback IS that loop, and the
                     // fast path is proven equivalent), so replay stays
                     // exact at batch granularity.
-                    replica.receive_batch(msg.updates.clone());
+                    for applied in replica.receive_batch(msg.updates.clone()) {
+                        bump(&mut frontier, applied.msg.issuer, applied.msg.seq);
+                    }
                 }
             }
         }
-        replica
+        (replica, frontier)
     }
 
     /// Current WAL length (entries since the last snapshot).
@@ -294,6 +336,41 @@ mod tests {
         let recovered = log.recover();
         assert_eq!(recovered.read(x(0)), Some(&Value::from(4u64)));
         assert_eq!(recovered.applied_count(), 5);
+    }
+
+    #[test]
+    fn recovered_frontier_tracks_applies_across_snapshots() {
+        let (mut a, mut b) = pair();
+        let mut log = RecoveryLog::new(b.clone(), 2);
+        let mut frontier = vec![0u64; 2];
+        for i in 0..5u64 {
+            let (m, _) = a.write(x(0), Value::from(i), vec![r(1)]).unwrap();
+            b.receive(m.clone());
+            frontier[0] = m.seq + 1;
+            log.record_delivery(r(0), BatchMsg::singleton(m));
+            log.maybe_snapshot_with_frontier(&b, &frontier);
+        }
+        b.write(x(0), Value::from(99u64), vec![]).unwrap();
+        log.record_own_write(x(0), Value::from(99u64));
+        frontier[1] = 1;
+        let (rec, rec_frontier) = log.recover_with_frontier(2);
+        assert_eq!(rec_frontier, frontier, "frontier survives compaction");
+        assert_eq!(rec.read(x(0)), b.read(x(0)));
+    }
+
+    #[test]
+    fn recovered_frontier_ignores_parked_pending() {
+        let (mut a, mut b) = pair();
+        let mut log = RecoveryLog::new(b.clone(), 0);
+        let (_m1, _) = a.write(x(0), Value::from(1u64), vec![r(1)]).unwrap();
+        let (m2, _) = a.write(x(0), Value::from(2u64), vec![r(1)]).unwrap();
+        // m2 parks (m1 missing): it must NOT advance the frontier, or a
+        // restarted holder would claim coverage it cannot serve.
+        b.receive(m2.clone());
+        log.record_delivery(r(0), BatchMsg::singleton(m2));
+        let (rec, frontier) = log.recover_with_frontier(2);
+        assert_eq!(frontier, vec![0, 0]);
+        assert_eq!(rec.pending_count(), 1);
     }
 
     #[test]

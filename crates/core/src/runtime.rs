@@ -35,21 +35,23 @@
 
 use crate::codec::{WireCodec, WireMode};
 use crate::message::{BatchMsg, UpdateMsg};
+use crate::recovery::RecoveryLog;
 use crate::replica::Replica;
 use crate::system::BatchPolicy;
 use crate::tracker::{CausalityTracker, EdgeTracker};
 use crate::value::Value;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use prcc_checker::{check, CheckReport, Trace, UpdateId};
 use prcc_net::{
-    DelayModel, FaultPlan, NodeHandle, SessionConfig, SessionEndpoint, SessionFrame, ThreadNet,
+    DelayModel, FaultPlan, FaultSchedule, NodeHandle, SessionConfig, SessionEndpoint, SessionFrame,
+    ThreadNet,
 };
 use prcc_sharegraph::{LoopConfig, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
 use prcc_timestamp::TsRegistry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -65,6 +67,12 @@ pub struct ClusterConfig {
     pub wire: WireMode,
     /// Router fault plan (drops / duplicates).
     pub faults: FaultPlan,
+    /// Scripted fault schedule: link outages are enforced by the router
+    /// (ticks of 200 µs from cluster construction) and crash/restart
+    /// events are injected as commands by a driver thread walking
+    /// [`FaultSchedule::crash_timeline`]. The schedule's embedded plan is
+    /// used only when [`faults`](ClusterConfig::faults) is benign.
+    pub schedule: FaultSchedule,
     /// Reliable-delivery session layer, if any.
     pub session: Option<SessionConfig>,
     /// Sender-side update batching (`flush_after` is in delay-model
@@ -77,6 +85,13 @@ pub struct ClusterConfig {
     /// Per-node network ingress bound (frames beyond it are shed by the
     /// router and, with a session, repaired by retransmission).
     pub ingress_depth: usize,
+    /// Arms per-replica durable [`RecoveryLog`]s with this WAL length
+    /// between snapshot compactions. Required for crash/restart (a crash
+    /// without a log would be permanent data loss); auto-armed at 1024
+    /// when the schedule scripts crashes. Forces eager (unbatched)
+    /// shipping so every acknowledged write reaches the durable outbox
+    /// before its ack — the ack-after-durable discipline.
+    pub durability: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -84,12 +99,56 @@ impl Default for ClusterConfig {
         ClusterConfig {
             wire: WireMode::default(),
             faults: FaultPlan::default(),
+            schedule: FaultSchedule::default(),
             session: None,
             batch: BatchPolicy::default(),
             channel_depth: 1024,
             ingress_depth: 4096,
+            durability: None,
         }
     }
+}
+
+/// Why a cluster operation could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The replica thread has exited (cluster shut down or thread died).
+    Disconnected {
+        /// The unreachable replica.
+        replica: ReplicaId,
+    },
+    /// The replica is inside a crash window: it is discarding commands
+    /// and network frames until its scripted (or explicit) restart.
+    Crashed {
+        /// The crashed replica.
+        replica: ReplicaId,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Disconnected { replica } => {
+                write!(f, "replica {replica} thread is gone (cluster shut down?)")
+            }
+            ClusterError::Crashed { replica } => {
+                write!(f, "replica {replica} is crashed (awaiting restart)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-op outcome of a [`Cmd::WriteMany`] run: the issue succeeded, or
+/// the replica was inside a crash window and the op must be re-routed by
+/// the serving tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteStatus {
+    /// Issued (and snapshot-visible) as this update.
+    Done(UpdateId),
+    /// Rejected: the replica is crashed. Nothing was issued.
+    Crashed,
 }
 
 enum Cmd {
@@ -104,7 +163,7 @@ enum Cmd {
     /// channel round trip for the whole run.
     WriteMany {
         ops: Vec<(u64, RegisterId, Value)>,
-        reply: Sender<(u64, UpdateId)>,
+        reply: Sender<(u64, WriteStatus)>,
     },
     /// An authoritative read served from the replica's own store (a full
     /// command round trip — the slow path [`ThreadedCluster::read`]'s
@@ -112,6 +171,19 @@ enum Cmd {
     ReadAt {
         register: RegisterId,
         reply: Sender<Option<Value>>,
+    },
+    /// Crash the replica: it keeps draining its channels but discards
+    /// everything until [`Cmd::Restart`], modelling a fail-stop node
+    /// whose durable [`RecoveryLog`] survives. Ignored when no log is
+    /// armed. `done` (if any) is signalled once the crash took effect.
+    Crash {
+        done: Option<Sender<()>>,
+    },
+    /// Recover from the durable log: replica state and applied frontier
+    /// are rebuilt by WAL replay, the session endpoint re-arms its sender
+    /// streams from the outbox and probes peers with `CatchUp`.
+    Restart {
+        done: Option<Sender<()>>,
     },
     Shutdown,
 }
@@ -306,6 +378,16 @@ pub struct ThreadedCluster {
     /// Total wire-codec demotions (derived-row verification failures)
     /// across all replica threads.
     demotions: Arc<AtomicUsize>,
+    /// Updates permanently lost to a crash window (counted only without
+    /// a session — with one, retransmission repairs the loss).
+    lost: Arc<AtomicUsize>,
+    /// Completed replica restarts (crash recoveries).
+    restarts: Arc<AtomicUsize>,
+    /// Per-replica crash flags, observable without a command round trip
+    /// (the serving tier's failover signal).
+    crashed: Vec<Arc<AtomicBool>>,
+    /// Whether recovery logs are armed (required by [`crash`](Self::crash)).
+    durable: bool,
     /// Keep the net alive for the cluster's lifetime.
     _net: ThreadNet<SessionFrame<BatchMsg>>,
 }
@@ -376,16 +458,28 @@ impl ThreadedCluster {
         seed: u64,
         config: ClusterConfig,
     ) -> Self {
+        let mut config = config;
+        // The legacy plan field and the schedule's embedded plan are the
+        // same knob at two API generations; a non-benign `faults` wins.
+        if !config.faults.is_benign() {
+            config.schedule.plan = config.faults.clone();
+        }
+        // Scripted crashes without a recovery log would be permanent
+        // data loss, which the threaded runtime does not model — arm
+        // durability automatically.
+        if !config.schedule.crashes.is_empty() && config.durability.is_none() {
+            config.durability = Some(1024);
+        }
         let graph = Arc::new(graph);
         let registry = Arc::new(TsRegistry::new(
             &graph,
             TimestampGraphs::build(&graph, LoopConfig::EXHAUSTIVE),
         ));
-        let net: ThreadNet<SessionFrame<BatchMsg>> = ThreadNet::with_config(
+        let net: ThreadNet<SessionFrame<BatchMsg>> = ThreadNet::with_schedule(
             graph.num_replicas(),
             delay,
             seed,
-            config.faults.clone(),
+            config.schedule.clone(),
             config.ingress_depth,
         );
         let applied = Arc::new(AtomicUsize::new(0));
@@ -394,12 +488,15 @@ impl ThreadedCluster {
         let wire_bytes = Arc::new(AtomicUsize::new(0));
         let retransmits = Arc::new(AtomicUsize::new(0));
         let demotions = Arc::new(AtomicUsize::new(0));
+        let lost = Arc::new(AtomicUsize::new(0));
+        let restarts = Arc::new(AtomicUsize::new(0));
         let epoch = Instant::now();
 
         let mut cmd_txs = Vec::new();
         let mut threads = Vec::new();
         let mut shards = Vec::new();
         let mut snapshots = Vec::new();
+        let mut crashed = Vec::new();
         for i in graph.replicas() {
             let (tx, rx) = bounded::<Cmd>(config.channel_depth.max(1));
             cmd_txs.push(tx);
@@ -407,6 +504,8 @@ impl ThreadedCluster {
             shards.push(shard.clone());
             let snapshot = Arc::new(SnapshotCell::new(graph.num_replicas()));
             snapshots.push(snapshot.clone());
+            let crashed_flag = Arc::new(AtomicBool::new(false));
+            crashed.push(crashed_flag.clone());
             let handle = net.handle(i);
             let graph = graph.clone();
             let registry = registry.clone();
@@ -417,6 +516,8 @@ impl ThreadedCluster {
             let wire_bytes = wire_bytes.clone();
             let retransmits = retransmits.clone();
             let demotions = demotions.clone();
+            let lost = lost.clone();
+            let restarts = restarts.clone();
             threads.push(std::thread::spawn(move || {
                 replica_main(ReplicaCtx {
                     id: i,
@@ -428,14 +529,56 @@ impl ThreadedCluster {
                     cmds: rx,
                     shard,
                     snapshot,
+                    crashed_flag,
                     applied_ctr: applied,
                     pending_ctr: pending,
                     sent_ctr: sent,
                     wire_bytes_ctr: wire_bytes,
                     retransmits_ctr: retransmits,
                     demotions_ctr: demotions,
+                    lost_ctr: lost,
+                    restarts_ctr: restarts,
                 })
             }));
+        }
+        // The fault driver: walks the scripted crash/restart timeline on
+        // the shared wall-clock tick and injects the events as commands.
+        // Detached — it exits on its own once the timeline is done or the
+        // replica threads are gone.
+        let timeline = config.schedule.crash_timeline();
+        if !timeline.is_empty() {
+            let txs = cmd_txs.clone();
+            std::thread::spawn(move || {
+                for (tick, r, is_restart) in timeline {
+                    let due = epoch + TICK * tick.min(u32::MAX as u64) as u32;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let mut cmd = Some(if is_restart {
+                        Cmd::Restart { done: None }
+                    } else {
+                        Cmd::Crash { done: None }
+                    });
+                    // Bounded retry on a full channel: the event lands a
+                    // little late rather than blocking forever against a
+                    // cluster that is shutting down.
+                    let deadline = Instant::now() + Duration::from_secs(2);
+                    while let Some(c) = cmd.take() {
+                        match txs[r.index()].try_send(c) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(c)) => {
+                                if Instant::now() >= deadline {
+                                    break;
+                                }
+                                cmd = Some(c);
+                                std::thread::sleep(TICK);
+                            }
+                            Err(TrySendError::Disconnected(_)) => return,
+                        }
+                    }
+                }
+            });
         }
         ThreadedCluster {
             graph,
@@ -449,6 +592,10 @@ impl ThreadedCluster {
             wire_bytes,
             retransmits,
             demotions,
+            lost,
+            restarts,
+            crashed,
+            durable: config.durability.is_some(),
             _net: net,
         }
     }
@@ -458,17 +605,44 @@ impl ThreadedCluster {
     ///
     /// # Panics
     ///
-    /// Panics if `r` does not store `x` or the cluster has shut down.
+    /// Panics if `r` does not store `x`, is crashed, or the cluster has
+    /// shut down. Fallible callers (the serving tier) use
+    /// [`try_write`](Self::try_write).
     pub fn write(&self, r: ReplicaId, x: RegisterId, v: Value) -> UpdateId {
+        self.try_write(r, x, v)
+            .unwrap_or_else(|e| panic!("write({r}, {x}): {e}"))
+    }
+
+    /// Fallible blocking write at replica `r`: a crashed replica or dead
+    /// thread yields a typed [`ClusterError`] instead of a panic.
+    pub fn try_write(
+        &self,
+        r: ReplicaId,
+        x: RegisterId,
+        v: Value,
+    ) -> Result<UpdateId, ClusterError> {
         let (reply, rx) = bounded(1);
-        self.cmd_txs[r.index()]
+        if self.cmd_txs[r.index()]
             .send(Cmd::Write {
                 register: x,
                 value: v,
                 reply,
             })
-            .expect("cluster alive");
-        rx.recv().expect("replica thread alive")
+            .is_err()
+        {
+            return Err(ClusterError::Disconnected { replica: r });
+        }
+        rx.recv().map_err(|_| self.unreachable_kind(r))
+    }
+
+    /// Classifies why a reply channel from `r` died: the thread dropped
+    /// the reply because the replica is crashed, or the thread is gone.
+    fn unreachable_kind(&self, r: ReplicaId) -> ClusterError {
+        if self.is_crashed(r) {
+            ClusterError::Crashed { replica: r }
+        } else {
+            ClusterError::Disconnected { replica: r }
+        }
     }
 
     /// Pipelined writes: enqueues every command before collecting any
@@ -484,18 +658,27 @@ impl ThreadedCluster {
     pub fn write_burst(&self, r: ReplicaId, writes: &[(RegisterId, Value)]) -> Vec<UpdateId> {
         let (reply, rx) = bounded(writes.len().max(1));
         for (x, v) in writes {
-            self.cmd_txs[r.index()]
+            if self.cmd_txs[r.index()]
                 .send(Cmd::Write {
                     register: *x,
                     value: v.clone(),
                     reply: reply.clone(),
                 })
-                .expect("cluster alive");
+                .is_err()
+            {
+                panic!(
+                    "write_burst({r}): {}",
+                    ClusterError::Disconnected { replica: r }
+                );
+            }
         }
         drop(reply);
         let mut ids = Vec::with_capacity(writes.len());
         for _ in writes {
-            ids.push(rx.recv().expect("replica thread alive"));
+            match rx.recv() {
+                Ok(id) => ids.push(id),
+                Err(_) => panic!("write_burst({r}): {}", self.unreachable_kind(r)),
+            }
         }
         ids
     }
@@ -514,11 +697,21 @@ impl ThreadedCluster {
     /// publishing the value returned; exists as the naive-serving
     /// baseline the lock-free snapshot path is measured against.
     pub fn read_at(&self, r: ReplicaId, x: RegisterId) -> Option<Value> {
+        self.try_read_at(r, x)
+            .unwrap_or_else(|e| panic!("read_at({r}, {x}): {e}"))
+    }
+
+    /// Fallible authoritative read: a crashed replica or dead thread
+    /// yields a typed [`ClusterError`] instead of a panic.
+    pub fn try_read_at(&self, r: ReplicaId, x: RegisterId) -> Result<Option<Value>, ClusterError> {
         let (reply, rx) = bounded(1);
-        self.cmd_txs[r.index()]
+        if self.cmd_txs[r.index()]
             .send(Cmd::ReadAt { register: x, reply })
-            .expect("cluster alive");
-        rx.recv().expect("replica thread alive")
+            .is_err()
+        {
+            return Err(ClusterError::Disconnected { replica: r });
+        }
+        rx.recv().map_err(|_| self.unreachable_kind(r))
     }
 
     /// The full immutable [`ReplicaView`] currently published by `r`
@@ -533,19 +726,69 @@ impl ThreadedCluster {
     }
 
     /// Enqueues a coalesced run of tagged writes at replica `r` without
-    /// waiting for completion; each `(token, UpdateId)` completion is
-    /// delivered on `reply` after the replica republishes its snapshot
-    /// (so a completion implies read-your-writes visibility). The
-    /// serving tier's write-ingress path.
+    /// waiting for completion; each `(token, WriteStatus)` completion is
+    /// delivered on `reply` — [`WriteStatus::Done`] after the replica
+    /// republishes its snapshot (so a completion implies read-your-writes
+    /// visibility), [`WriteStatus::Crashed`] when the replica is inside a
+    /// crash window and the op must be re-routed. When the replica
+    /// thread is gone entirely (cluster shutting down) nothing is
+    /// enqueued and the ops are handed back for the caller to re-route.
+    /// The serving tier's write-ingress path.
     pub(crate) fn send_write_many(
         &self,
         r: ReplicaId,
         ops: Vec<(u64, RegisterId, Value)>,
-        reply: Sender<(u64, UpdateId)>,
-    ) {
+        reply: Sender<(u64, WriteStatus)>,
+    ) -> Result<(), Vec<(u64, RegisterId, Value)>> {
         self.cmd_txs[r.index()]
             .send(Cmd::WriteMany { ops, reply })
-            .expect("cluster alive");
+            .map_err(|e| match e.0 {
+                Cmd::WriteMany { ops, .. } => ops,
+                _ => unreachable!("send_write_many only sends WriteMany"),
+            })
+    }
+
+    /// True if `r` is currently inside a crash window (lock-free flag —
+    /// the serving tier's failover signal).
+    pub fn is_crashed(&self, r: ReplicaId) -> bool {
+        self.crashed[r.index()].load(Ordering::SeqCst)
+    }
+
+    /// Crashes replica `r` now, blocking until the crash took effect.
+    /// The replica's volatile state is gone; its durable [`RecoveryLog`]
+    /// survives for [`restart`](Self::restart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability is not armed
+    /// ([`ClusterConfig::durability`]) — a crash without a recovery log
+    /// would be permanent data loss, which this runtime does not model —
+    /// or if the cluster has shut down.
+    pub fn crash(&self, r: ReplicaId) {
+        assert!(
+            self.durable,
+            "crash({r}) requires ClusterConfig::durability (recovery logs are not armed)"
+        );
+        let (done, rx) = bounded(1);
+        self.cmd_txs[r.index()]
+            .send(Cmd::Crash { done: Some(done) })
+            .unwrap_or_else(|_| panic!("crash({r}): cluster has shut down"));
+        let _ = rx.recv();
+    }
+
+    /// Restarts a crashed replica `r` from its durable log, blocking
+    /// until recovery (WAL replay + session stream rebuild + catch-up
+    /// probes) completed. A no-op on a replica that is not crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has shut down.
+    pub fn restart(&self, r: ReplicaId) {
+        let (done, rx) = bounded(1);
+        self.cmd_txs[r.index()]
+            .send(Cmd::Restart { done: Some(done) })
+            .unwrap_or_else(|_| panic!("restart({r}): cluster has shut down"));
+        let _ = rx.recv();
     }
 
     /// The snapshot publication counter of `r` (monotonically
@@ -555,8 +798,9 @@ impl ThreadedCluster {
     }
 
     /// Blocks until the cluster is quiescent: every sent message that has
-    /// a recipient has been applied and no pending buffers remain, stable
-    /// for a grace period.
+    /// a recipient has been applied (or, without a session to repair it,
+    /// permanently lost to a crash window) and no pending buffers remain,
+    /// stable for a grace period.
     pub fn settle(&self) {
         let mut last = (usize::MAX, usize::MAX);
         let mut stable_since = Instant::now();
@@ -566,7 +810,8 @@ impl ThreadedCluster {
                 self.pending.load(Ordering::SeqCst),
             );
             let sent = self.sent.load(Ordering::SeqCst);
-            let drained = now.0 >= sent && now.1 == 0;
+            let lost = self.lost.load(Ordering::SeqCst);
+            let drained = now.0 + lost >= sent && now.1 == 0;
             if now != last {
                 last = now;
                 stable_since = Instant::now();
@@ -610,6 +855,17 @@ impl ThreadedCluster {
         self.demotions.load(Ordering::SeqCst)
     }
 
+    /// Completed replica restarts (crash recoveries) so far.
+    pub fn total_restarts(&self) -> usize {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Updates permanently lost to crash windows so far (always 0 with a
+    /// session layer — retransmission repairs crash-window losses).
+    pub fn total_lost_to_crash(&self) -> usize {
+        self.lost.load(Ordering::SeqCst)
+    }
+
     /// Shuts the cluster down, joining all replica threads.
     pub fn shutdown(mut self) -> Trace {
         for tx in &self.cmd_txs {
@@ -644,12 +900,15 @@ struct ReplicaCtx {
     cmds: Receiver<Cmd>,
     shard: Arc<TraceShard>,
     snapshot: Arc<SnapshotCell>,
+    crashed_flag: Arc<AtomicBool>,
     applied_ctr: Arc<AtomicUsize>,
     pending_ctr: Arc<AtomicUsize>,
     sent_ctr: Arc<AtomicUsize>,
     wire_bytes_ctr: Arc<AtomicUsize>,
     retransmits_ctr: Arc<AtomicUsize>,
     demotions_ctr: Arc<AtomicUsize>,
+    lost_ctr: Arc<AtomicUsize>,
+    restarts_ctr: Arc<AtomicUsize>,
 }
 
 /// A per-destination pending batch on the sender side.
@@ -660,15 +919,21 @@ struct Outq {
 }
 
 /// Wraps queued updates as a batch and hands it to the session layer
-/// (or ships it bare).
+/// (or ships it bare). With a recovery log armed, the batch enters the
+/// durable outbox *before* the network sees it — restart rebuilds the
+/// session sender streams from exactly this history.
 fn ship(
     msgs: Vec<UpdateMsg>,
     dst: ReplicaId,
     endpoint: &mut Option<SessionEndpoint<BatchMsg>>,
     net: &NodeHandle<SessionFrame<BatchMsg>>,
     now_ms: u64,
+    log: &mut Option<RecoveryLog>,
 ) {
     let batch = BatchMsg { updates: msgs };
+    if let Some(lg) = log.as_mut() {
+        lg.record_send(dst, batch.clone());
+    }
     let frame = match endpoint.as_mut() {
         Some(ep) => ep.send(dst, batch, now_ms),
         None => SessionFrame::Bare(batch),
@@ -686,6 +951,11 @@ struct TxPath<'a> {
     codec: WireCodec,
     outq: HashMap<ReplicaId, Outq>,
     endpoint: Option<SessionEndpoint<BatchMsg>>,
+    /// Durable recovery log, when armed. Owned here because the WAL's
+    /// outbox entries are written on the transmit path (`ship`), but the
+    /// command loop also records deliveries and drives snapshots/recovery
+    /// through it.
+    log: Option<RecoveryLog>,
     net: &'a NodeHandle<SessionFrame<BatchMsg>>,
     epoch: Instant,
     shard: &'a TraceShard,
@@ -710,7 +980,14 @@ impl TxPath<'_> {
 
     fn ship(&mut self, msgs: Vec<UpdateMsg>, dst: ReplicaId) {
         let now_ms = self.now_ms();
-        ship(msgs, dst, &mut self.endpoint, self.net, now_ms);
+        ship(
+            msgs,
+            dst,
+            &mut self.endpoint,
+            self.net,
+            now_ms,
+            &mut self.log,
+        );
     }
 
     /// Issues one write at `replica`, stamps the issue, and fans the
@@ -727,6 +1004,12 @@ impl TxPath<'_> {
             .copied()
             .filter(|&h| h != self.id)
             .collect();
+        // Write-ahead: the WAL entry lands before the write executes or
+        // any ack can escape (crashes are injected at command
+        // granularity, so the entry and the state change are atomic).
+        if let Some(lg) = self.log.as_mut() {
+            lg.record_own_write(register, value.clone());
+        }
         let (msg, recipients) = replica
             .write(register, value, recipients)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -855,23 +1138,34 @@ fn replica_main(ctx: ReplicaCtx) {
         cmds,
         shard,
         snapshot,
+        crashed_flag,
         applied_ctr,
         pending_ctr,
         sent_ctr,
         wire_bytes_ctr,
         retransmits_ctr,
         demotions_ctr,
+        lost_ctr,
+        restarts_ctr,
     } = ctx;
     // Each sender thread owns the codec for its outgoing pair streams —
     // per-pair delta state never crosses threads.
-    let codec = WireCodec::new(config.wire, Some(registry.clone()));
+    let wire_mode = config.wire;
+    let codec = WireCodec::new(wire_mode, Some(registry.clone()));
     let mut replica = Replica::new(
         id,
         graph.placement().registers_of(id).clone(),
-        Box::new(EdgeTracker::new(registry, id)) as Box<dyn CausalityTracker>,
+        Box::new(EdgeTracker::new(registry.clone(), id)) as Box<dyn CausalityTracker>,
     );
     let endpoint = config.session.map(|cfg| SessionEndpoint::new(id, cfg));
-    let eager = config.batch.batch_count <= 1;
+    let log = config
+        .durability
+        .map(|every| RecoveryLog::new(replica.clone(), every));
+    // Durability forces eager shipping: an acked write must already sit
+    // in the outbox when a crash hits, and crash atomicity is per
+    // command — a batch coalescing across commands would ack writes
+    // whose updates exist nowhere durable.
+    let eager = config.batch.batch_count <= 1 || log.is_some();
     let flush_window = TICK * config.batch.flush_after.min(u32::MAX as u64) as u32;
     let mut tx = TxPath {
         id,
@@ -879,6 +1173,7 @@ fn replica_main(ctx: ReplicaCtx) {
         codec,
         outq: HashMap::new(),
         endpoint,
+        log,
         net: &net,
         epoch,
         shard: &shard,
@@ -898,6 +1193,10 @@ fn replica_main(ctx: ReplicaCtx) {
     // serving tier's lock-free session-guarantee gate (see
     // [`ReplicaView::covers`]).
     let mut frontier = vec![0u64; graph.num_replicas()];
+    // Inside a crash window: commands and frames are discarded (clients
+    // get typed rejections), volatile state is dead weight awaiting the
+    // restart's WAL replay.
+    let mut crashed = false;
     // A command caught by the idle `recv_timeout` below, consumed ahead
     // of the channel on the next drain pass.
     let mut carry: Option<Cmd> = None;
@@ -920,6 +1219,12 @@ fn replica_main(ctx: ReplicaCtx) {
                     reply,
                 } => {
                     idle = false;
+                    if crashed {
+                        // Dropping the reply sender surfaces as a typed
+                        // ClusterError::Crashed at the caller.
+                        drop(reply);
+                        continue;
+                    }
                     let uid = tx.issue(&mut replica, register, value);
                     frontier[id.index()] = uid.seq + 1;
                     // Publish before replying: a reader that saw this
@@ -930,6 +1235,14 @@ fn replica_main(ctx: ReplicaCtx) {
                 }
                 Cmd::WriteMany { ops, reply } => {
                     idle = false;
+                    if crashed {
+                        // Typed per-op rejection: the serving tier
+                        // re-routes each op to a live holder.
+                        for (token, _, _) in ops {
+                            let _ = reply.send((token, WriteStatus::Crashed));
+                        }
+                        continue;
+                    }
                     let mut done = Vec::with_capacity(ops.len());
                     for (token, register, value) in ops {
                         let uid = tx.issue(&mut replica, register, value);
@@ -940,16 +1253,71 @@ fn replica_main(ctx: ReplicaCtx) {
                     // completion escapes: a completion token implies the
                     // write is snapshot-visible (read-your-writes).
                     publish_view(&snapshot, &replica, &frontier);
-                    for d in done {
-                        let _ = reply.send(d);
+                    for (token, uid) in done {
+                        let _ = reply.send((token, WriteStatus::Done(uid)));
                     }
                 }
                 Cmd::ReadAt { register, reply } => {
                     idle = false;
+                    if crashed {
+                        drop(reply);
+                        continue;
+                    }
                     let _ = reply.send(replica.read(register).cloned());
                 }
+                Cmd::Crash { done } => {
+                    idle = false;
+                    // Without a durable log a crash would be permanent
+                    // data loss; this runtime only models recoverable
+                    // fail-stop, so the command is ignored.
+                    if !crashed && tx.log.is_some() {
+                        crashed = true;
+                        crashed_flag.store(true, Ordering::SeqCst);
+                        // Volatile sender state dies with the process
+                        // image. Durability keeps shipping eager, so the
+                        // outq is empty and no acked write is in it.
+                        tx.outq.clear();
+                    }
+                    if let Some(d) = done {
+                        let _ = d.send(());
+                    }
+                }
+                Cmd::Restart { done } => {
+                    idle = false;
+                    if crashed {
+                        let lg = tx.log.as_ref().expect("crashed implies a log");
+                        let (rec, fr) = lg.recover_with_frontier(graph.num_replicas());
+                        replica = rec;
+                        frontier = fr;
+                        // Fresh codec: per-pair delta streams restart
+                        // from scratch. Sound because frames carry
+                        // decoded metadata values (receivers hold no
+                        // stream state); only byte accounting changes.
+                        tx.codec = WireCodec::new(wire_mode, Some(registry.clone()));
+                        if let Some(ep) = tx.endpoint.as_mut() {
+                            let lg = tx.log.as_ref().expect("crashed implies a log");
+                            let mut out = Vec::new();
+                            let now_ms = epoch.elapsed().as_millis() as u64;
+                            ep.restart(lg.outbox(), &lg.recv_cums(), now_ms, &mut out);
+                            for (dst, f) in out {
+                                net.send(dst, f);
+                            }
+                        }
+                        crashed = false;
+                        crashed_flag.store(false, Ordering::SeqCst);
+                        restarts_ctr.fetch_add(1, Ordering::SeqCst);
+                        // Republish from recovered state: durable writes
+                        // become snapshot-visible again immediately.
+                        publish_view(&snapshot, &replica, &frontier);
+                    }
+                    if let Some(d) = done {
+                        let _ = d.send(());
+                    }
+                }
                 Cmd::Shutdown => {
-                    tx.flush_all();
+                    if !crashed {
+                        tx.flush_all();
+                    }
                     return;
                 }
             }
@@ -959,18 +1327,44 @@ fn replica_main(ctx: ReplicaCtx) {
         for _ in 0..256 {
             let Some(env) = net.try_recv() else { break };
             idle = false;
+            if crashed {
+                // A crashed node's NIC is dark: frames vanish. Bare
+                // frames (no session) are permanent losses and must be
+                // accounted so `settle` can still converge; session
+                // frames will be retransmitted until after the restart.
+                if tx.endpoint.is_none() {
+                    if let SessionFrame::Bare(b) = env.msg {
+                        lost_ctr.fetch_add(b.updates.len(), Ordering::SeqCst);
+                    }
+                }
+                continue;
+            }
             let payloads = match tx.endpoint.as_mut() {
                 Some(ep) => {
                     let now = epoch.elapsed().as_millis() as u64;
                     let mut resp = Vec::new();
                     let msgs = ep.on_frame(env.src, env.msg, now, &mut resp);
+                    // Ack-after-durable: every in-order payload reaches
+                    // the WAL before the cumulative ack for it can reach
+                    // the network, so a peer's acked point never runs
+                    // ahead of this replica's durable log.
+                    if let Some(lg) = tx.log.as_mut() {
+                        for b in &msgs {
+                            lg.record_delivery(env.src, b.clone());
+                        }
+                    }
                     for (dst, f) in resp {
                         net.send(dst, f);
                     }
                     msgs
                 }
                 None => match env.msg {
-                    SessionFrame::Bare(b) => vec![b],
+                    SessionFrame::Bare(b) => {
+                        if let Some(lg) = tx.log.as_mut() {
+                            lg.record_delivery(env.src, b.clone());
+                        }
+                        vec![b]
+                    }
                     // Session frames without a session endpoint cannot
                     // happen (both are chosen by the same constructor).
                     _ => Vec::new(),
@@ -1005,19 +1399,26 @@ fn replica_main(ctx: ReplicaCtx) {
         if applied_any {
             publish_view(&snapshot, &replica, &frontier);
         }
-        let np = replica.pending_count();
-        if np != local_pending {
-            if np > local_pending {
-                pending_ctr.fetch_add(np - local_pending, Ordering::SeqCst);
-            } else {
-                pending_ctr.fetch_sub(local_pending - np, Ordering::SeqCst);
+        if !crashed {
+            // Compact the WAL once per loop pass: the live state now
+            // reflects every logged event of this pass.
+            if let Some(lg) = tx.log.as_mut() {
+                lg.maybe_snapshot_with_frontier(&replica, &frontier);
             }
-            local_pending = np;
+            let np = replica.pending_count();
+            if np != local_pending {
+                if np > local_pending {
+                    pending_ctr.fetch_add(np - local_pending, Ordering::SeqCst);
+                } else {
+                    pending_ctr.fetch_sub(local_pending - np, Ordering::SeqCst);
+                }
+                local_pending = np;
+            }
+            // Flush batches whose coalescing window has closed.
+            idle = idle && tx.flush_due();
+            // Retransmission timers: fire whatever is due.
+            tx.poll_session();
         }
-        // Flush batches whose coalescing window has closed.
-        idle = idle && tx.flush_due();
-        // Retransmission timers: fire whatever is due.
-        tx.poll_session();
         if idle {
             // Doze for at most one tick, but wake instantly on a client
             // command — the serving tier's write latency must not eat a
@@ -1178,6 +1579,121 @@ mod tests {
             }
         });
         cluster.settle();
+        assert!(cluster.check().is_consistent());
+    }
+
+    fn fast_session() -> Option<SessionConfig> {
+        Some(SessionConfig {
+            rto_base: 10,
+            rto_max: 80,
+            jitter: 3,
+            ack_delay: 0,
+        })
+    }
+
+    #[test]
+    fn crash_restart_recovers_durable_state() {
+        let cluster = ThreadedCluster::with_config(
+            topology::path(2),
+            DelayModel::Fixed(1),
+            3,
+            ClusterConfig {
+                durability: Some(4),
+                session: fast_session(),
+                ..ClusterConfig::default()
+            },
+        );
+        for k in 0..10u64 {
+            cluster.write(r(0), x(0), Value::from(k));
+        }
+        cluster.settle();
+        cluster.crash(r(0));
+        assert!(cluster.is_crashed(r(0)));
+        assert_eq!(
+            cluster.try_write(r(0), x(0), Value::from(99u64)),
+            Err(ClusterError::Crashed { replica: r(0) })
+        );
+        assert_eq!(
+            cluster.try_read_at(r(0), x(0)),
+            Err(ClusterError::Crashed { replica: r(0) })
+        );
+        // The surviving holder keeps writing while its peer is down.
+        cluster.write(r(1), x(0), Value::from(50u64));
+        cluster.restart(r(0));
+        assert!(!cluster.is_crashed(r(0)));
+        assert_eq!(cluster.total_restarts(), 1);
+        cluster.settle();
+        // Catch-up delivered the write issued during the crash window.
+        assert_eq!(cluster.read(r(0), x(0)), Some(Value::from(50u64)));
+        // The recovered replica continues its durable sequence exactly.
+        let uid = cluster.write(r(0), x(0), Value::from(77u64));
+        assert_eq!(uid.seq, 10, "seq must continue from the durable log");
+        cluster.settle();
+        assert_eq!(cluster.read(r(1), x(0)), Some(Value::from(77u64)));
+        let rep = cluster.check();
+        assert!(rep.is_consistent(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn acked_writes_survive_crash_before_restart() {
+        // Writes acked just before the crash must be present after
+        // recovery — the acked ⇒ durable ⇒ survives invariant, with a
+        // snapshot interval small enough to exercise compaction.
+        let cluster = ThreadedCluster::with_config(
+            topology::ring(3),
+            DelayModel::Fixed(1),
+            9,
+            ClusterConfig {
+                durability: Some(3),
+                session: fast_session(),
+                ..ClusterConfig::default()
+            },
+        );
+        let mut acked = Vec::new();
+        for k in 0..20u64 {
+            acked.push(cluster.write(r(0), x(0), Value::from(k)));
+        }
+        // Crash immediately — no settle: in-flight fan-out is repaired
+        // by the session layer after restart.
+        cluster.crash(r(0));
+        cluster.restart(r(0));
+        cluster.settle();
+        let view = cluster.store_snapshot(r(0));
+        for uid in &acked {
+            assert!(view.covers(*uid), "acked write {uid} lost in recovery");
+        }
+        assert_eq!(cluster.read(r(0), x(0)), Some(Value::from(19u64)));
+        assert_eq!(cluster.read(r(1), x(0)), Some(Value::from(19u64)));
+        assert!(cluster.check().is_consistent());
+    }
+
+    #[test]
+    fn scheduled_crash_fires_and_heals() {
+        // Replica 1 is scripted to crash at tick 25 (5 ms) and restart
+        // at tick 500 (100 ms); durability auto-arms.
+        let cluster = ThreadedCluster::with_config(
+            topology::path(2),
+            DelayModel::Fixed(1),
+            5,
+            ClusterConfig {
+                schedule: FaultSchedule::none().crash(r(1), 25, 500),
+                session: fast_session(),
+                ..ClusterConfig::default()
+            },
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            cluster.is_crashed(r(1)),
+            "scripted crash did not fire by mid-window"
+        );
+        for k in 0..5u64 {
+            cluster.write(r(0), x(0), Value::from(k));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(!cluster.is_crashed(r(1)), "scripted restart did not fire");
+        cluster.settle();
+        assert_eq!(cluster.read(r(1), x(0)), Some(Value::from(4u64)));
+        assert_eq!(cluster.total_restarts(), 1);
         assert!(cluster.check().is_consistent());
     }
 

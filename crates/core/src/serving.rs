@@ -35,6 +35,15 @@
 //!   channel round trip and one snapshot publish per
 //!   [`ServingConfig::write_batch`] client writes, feeding the
 //!   cluster's sender-side batch pipeline.
+//! * **Fault tolerance.** When a session's target replica is inside a
+//!   crash window the op fails over to another live holder — reads via
+//!   [`route_live`] candidate skipping, writes via bounded re-route
+//!   retries of per-op crash rejections — and the session's
+//!   portable dependency state makes the guarantees hold across the
+//!   move. Ops that cannot be served degrade to typed [`ServingError`]s
+//!   (never a panic): blocked past [`ServingConfig::op_timeout`],
+//!   every holder down, or shed by admission control at
+//!   [`ServingConfig::max_in_flight`] outstanding writes.
 //!
 //! # Why covering is sound
 //!
@@ -51,7 +60,7 @@
 //!
 //! [`WriteMany`]: ThreadedCluster::write
 
-use crate::runtime::{ReplicaView, ThreadedCluster};
+use crate::runtime::{ReplicaView, ThreadedCluster, WriteStatus};
 use crate::stats::LatencyStats;
 use crate::value::Value;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -59,6 +68,7 @@ use parking_lot::Mutex;
 use prcc_checker::{SessionEvent, UpdateId};
 use prcc_sharegraph::{ClientId, RegisterId, ReplicaId, ShareGraph};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -84,6 +94,22 @@ pub struct ServingConfig {
     /// future read). Uncovered entries are *never* dropped — the cap
     /// bounds memory without weakening guarantees.
     pub dep_cap: usize,
+    /// How long an op may block — a read on an uncovered dependency, a
+    /// session draining its in-flight write — before it degrades to
+    /// [`ServingError::Timeout`] instead of wedging the worker.
+    pub op_timeout: Duration,
+    /// Admission-control watermark: a write arriving while this many
+    /// writes are outstanding on the worker is shed with
+    /// [`ServingError::Overloaded`] instead of queued. Kept below the
+    /// completion channel's capacity so completions can never block a
+    /// replica thread.
+    pub max_in_flight: usize,
+    /// Re-route attempts for a write rejected by a crashed replica
+    /// before the (never-acked) write is abandoned.
+    pub max_retries: u32,
+    /// First step of the deterministic exponential backoff used while
+    /// an op blocks (doubles per attempt, capped at one millisecond).
+    pub backoff_base: Duration,
 }
 
 impl Default for ServingConfig {
@@ -93,9 +119,56 @@ impl Default for ServingConfig {
             attach_span: 2,
             write_batch: 32,
             dep_cap: 64,
+            op_timeout: Duration::from_secs(30),
+            max_in_flight: 1 << 15,
+            max_retries: 3,
+            backoff_base: Duration::from_micros(5),
         }
     }
 }
+
+/// Why the serving tier could not serve an op — the panic-free
+/// degradation surface. Callers decide whether to retry, shed the
+/// client request, or fail it upward; the tier stays live either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingError {
+    /// The op stayed blocked past [`ServingConfig::op_timeout`]: a read
+    /// dependency never became covered, or a write completion never
+    /// arrived.
+    Timeout {
+        /// The register the op targeted.
+        register: RegisterId,
+    },
+    /// Every replica that could serve the op is inside a crash window.
+    ReplicaCrashed {
+        /// The op's preferred (fault-free) target.
+        replica: ReplicaId,
+    },
+    /// Admission control shed the op at the
+    /// [`ServingConfig::max_in_flight`] watermark.
+    Overloaded {
+        /// Writes outstanding at the moment of rejection.
+        in_flight: usize,
+    },
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::Timeout { register } => {
+                write!(f, "op on {register} timed out waiting for coverage")
+            }
+            ServingError::ReplicaCrashed { replica } => {
+                write!(f, "every holder reachable from {replica} is crashed")
+            }
+            ServingError::Overloaded { in_flight } => {
+                write!(f, "shed at {in_flight} writes in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
 
 /// One session's dependency on one register: the update produced by the
 /// session's last write of it, and the update observed by its last read
@@ -131,6 +204,10 @@ struct TierCounters {
     ryw_blocks: AtomicU64,
     mr_blocks: AtomicU64,
     dep_evictions: AtomicU64,
+    failovers: AtomicU64,
+    ops_shed: AtomicU64,
+    op_timeouts: AtomicU64,
+    writes_abandoned: AtomicU64,
 }
 
 /// A point-in-time snapshot of serving-tier counters.
@@ -150,6 +227,19 @@ pub struct ServingStats {
     /// Dependency entries evicted because every holder already covered
     /// them.
     pub dep_evictions: u64,
+    /// Ops re-routed away from a crashed replica to another live holder
+    /// in (or beyond) the session's attach window.
+    pub failovers: u64,
+    /// Writes shed by admission control at the
+    /// [`ServingConfig::max_in_flight`] watermark.
+    pub ops_shed: u64,
+    /// Ops that degraded to [`ServingError::Timeout`] (or were still
+    /// outstanding when the worker finished).
+    pub op_timeouts: u64,
+    /// Writes abandoned after [`ServingConfig::max_retries`] crash
+    /// rejections with no live holder left — never acked, so no
+    /// guarantee covers them.
+    pub writes_abandoned: u64,
 }
 
 /// What one worker (or the whole run, after merging) collected:
@@ -164,8 +254,14 @@ pub struct Collected {
     /// Client-visible write latency (nanoseconds; completion-to-visible,
     /// includes coalescing residency).
     pub write_lat: LatencyStats,
-    /// Total ops served.
+    /// Client-visible latency of ops that failed over to a non-preferred
+    /// replica (nanoseconds) — the cost of riding out a crash window.
+    pub failover_lat: LatencyStats,
+    /// Total ops served (acked).
     pub ops: u64,
+    /// Ops that entered the tier but timed out or were abandoned before
+    /// acking. Never recorded as events: the checker owes them nothing.
+    pub failed: u64,
 }
 
 impl Collected {
@@ -177,7 +273,9 @@ impl Collected {
         self.events.extend(other.events);
         self.read_lat.absorb(other.read_lat);
         self.write_lat.absorb(other.write_lat);
+        self.failover_lat.absorb(other.failover_lat);
         self.ops += other.ops;
+        self.failed += other.failed;
     }
 }
 
@@ -205,6 +303,30 @@ pub fn route(graph: &ShareGraph, sid: u64, span: usize, x: RegisterId) -> (Repli
     (p.holders(x)[0], false)
 }
 
+/// Routes like [`route`] but skips replicas `is_down` reports dead —
+/// the serving tier's failover path. Agrees with [`route`] whenever the
+/// preferred target is up; returns `None` when every holder of `x` is
+/// down (nothing can serve the op right now).
+pub fn route_live(
+    graph: &ShareGraph,
+    sid: u64,
+    span: usize,
+    x: RegisterId,
+    is_down: impl Fn(ReplicaId) -> bool,
+) -> Option<(ReplicaId, bool)> {
+    let p = graph.placement();
+    for r in attach_set(sid, graph.num_replicas(), span) {
+        if p.stores(r, x) && !is_down(r) {
+            return Some((r, true));
+        }
+    }
+    p.holders(x)
+        .iter()
+        .copied()
+        .find(|&h| !is_down(h))
+        .map(|h| (h, false))
+}
+
 /// A serving tier multiplexing many client sessions onto a borrowed
 /// [`ThreadedCluster`]. Shared by reference across worker threads; all
 /// hot-path state is either striped, atomic, or worker-local.
@@ -221,8 +343,8 @@ pub fn route(graph: &ShareGraph, sid: u64, span: usize, x: RegisterId) -> (Repli
 /// let cluster = ThreadedCluster::new(topology::clique_full(4, 2), DelayModel::Fixed(1), 7);
 /// let tier = ServingTier::new(&cluster, ServingConfig::default());
 /// let mut w = tier.worker();
-/// w.write(3, RegisterId::new(0), Value::from(9u64));
-/// let (v, _) = w.read(3, RegisterId::new(0), 0);
+/// w.write(3, RegisterId::new(0), Value::from(9u64)).unwrap();
+/// let (v, _) = w.read(3, RegisterId::new(0), 0).unwrap();
 /// assert_eq!(v, Some(Value::from(9u64)));
 /// let collected = w.finish();
 /// assert_eq!(collected.ops, 2);
@@ -262,6 +384,10 @@ impl<'c> ServingTier<'c> {
             ryw_blocks: self.counters.ryw_blocks.load(Ordering::Relaxed),
             mr_blocks: self.counters.mr_blocks.load(Ordering::Relaxed),
             dep_evictions: self.counters.dep_evictions.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            ops_shed: self.counters.ops_shed.load(Ordering::Relaxed),
+            op_timeouts: self.counters.op_timeouts.load(Ordering::Relaxed),
+            writes_abandoned: self.counters.writes_abandoned.load(Ordering::Relaxed),
         }
     }
 
@@ -318,12 +444,16 @@ impl<'c> ServingTier<'c> {
 }
 
 /// A write shipped but not yet completed: which session issued it, on
-/// which register, and when it entered the tier.
+/// which register and value (kept for crash re-routes), when it entered
+/// the tier, and how its failover budget stands.
 #[derive(Debug)]
 struct PendingWrite {
     sid: u64,
     register: RegisterId,
+    value: Value,
     start: Instant,
+    attempts: u32,
+    failed_over: bool,
 }
 
 /// One driver thread's handle onto the tier: per-replica write buffers,
@@ -342,26 +472,42 @@ pub struct ServingWorker<'c, 't> {
     /// session: the session's next op drains it first, so the write's
     /// `UpdateId` is always known before a dependent read routes.
     in_flight: HashMap<u64, u64>,
-    reply_tx: Sender<(u64, UpdateId)>,
-    reply_rx: Receiver<(u64, UpdateId)>,
+    reply_tx: Sender<(u64, WriteStatus)>,
+    reply_rx: Receiver<(u64, WriteStatus)>,
     out: Collected,
 }
 
-/// How long a read spins on an uncovered dependency before the run is
-/// declared wedged. Generous: covering requires only that one candidate
-/// replica applies one update.
-const STALL_DEADLINE: Duration = Duration::from_secs(30);
-
 impl ServingWorker<'_, '_> {
-    /// Serves a write for session `sid`: routes it, coalesces it into
-    /// the target replica's buffer, and returns. Completion (and the
-    /// session's dependency update) happens asynchronously via
-    /// [`poll`](Self::poll) / the session's next op.
-    pub fn write(&mut self, sid: u64, x: RegisterId, v: Value) {
+    /// Serves a write for session `sid`: routes it (failing over past a
+    /// crashed preferred target), coalesces it into the target replica's
+    /// buffer, and returns. Completion (and the session's dependency
+    /// update) happens asynchronously via [`poll`](Self::poll) / the
+    /// session's next op. Degrades instead of queueing unboundedly:
+    /// [`ServingError::Overloaded`] past the admission watermark,
+    /// [`ServingError::ReplicaCrashed`] when no holder is up.
+    pub fn write(&mut self, sid: u64, x: RegisterId, v: Value) -> Result<(), ServingError> {
         self.poll();
-        self.drain_session(sid);
+        self.drain_session(sid)?;
         let tier = self.tier;
-        let (target, local) = route(tier.cluster.graph(), sid, tier.cfg.attach_span, x);
+        if self.tokens.len() >= tier.cfg.max_in_flight {
+            tier.counters.ops_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServingError::Overloaded {
+                in_flight: self.tokens.len(),
+            });
+        }
+        let graph = tier.cluster.graph();
+        let (preferred, mut local) = route(graph, sid, tier.cfg.attach_span, x);
+        let mut target = preferred;
+        let mut failed_over = false;
+        if tier.cluster.is_crashed(preferred) {
+            let Some((alt, alt_local)) = route_live(graph, sid, tier.cfg.attach_span, x, |r| {
+                tier.cluster.is_crashed(r)
+            }) else {
+                return Err(ServingError::ReplicaCrashed { replica: preferred });
+            };
+            tier.counters.failovers.fetch_add(1, Ordering::Relaxed);
+            (target, local, failed_over) = (alt, alt_local, true);
+        }
         let ctr = if local {
             &tier.counters.ops_routed_local
         } else {
@@ -375,7 +521,10 @@ impl ServingWorker<'_, '_> {
             PendingWrite {
                 sid,
                 register: x,
+                value: v.clone(),
                 start: Instant::now(),
+                attempts: 0,
+                failed_over,
             },
         );
         self.in_flight.insert(sid, token);
@@ -383,7 +532,7 @@ impl ServingWorker<'_, '_> {
         if self.bufs[target.index()].len() >= tier.cfg.write_batch {
             self.flush_replica(target);
         }
-        self.out.ops += 1;
+        Ok(())
     }
 
     /// Serves a read for session `sid` on register `x`, returning the
@@ -393,12 +542,19 @@ impl ServingWorker<'_, '_> {
     ///
     /// The fast path is entirely lock-free past the session-table
     /// stripe: candidates' published [`ReplicaView`]s are checked for
-    /// dependency covering; the first covering view serves. If none
+    /// dependency covering; the first covering view serves. Crashed
+    /// candidates are skipped — the failover path — and if no live view
     /// covers (a just-shipped dependency still in flight), the read
-    /// spins — never enqueues — until one does.
-    pub fn read(&mut self, sid: u64, x: RegisterId, roam: u64) -> (Option<Value>, ReplicaId) {
+    /// backs off exponentially — never enqueues — until one does, up to
+    /// [`ServingConfig::op_timeout`].
+    pub fn read(
+        &mut self,
+        sid: u64,
+        x: RegisterId,
+        roam: u64,
+    ) -> Result<(Option<Value>, ReplicaId), ServingError> {
         self.poll();
-        self.drain_session(sid);
+        self.drain_session(sid)?;
         let tier = self.tier;
         let graph = tier.cluster.graph();
         let p = graph.placement();
@@ -422,10 +578,18 @@ impl ServingWorker<'_, '_> {
         }
         let dep = tier.with_session(sid, |s| s.deps.get(&x).copied().unwrap_or_default());
         let started = Instant::now();
+        let deadline = started + tier.cfg.op_timeout;
         let mut blocked = false;
+        let mut attempt = 0u32;
+        let failed_over;
         let (view, server, local) = loop {
             let mut served = None;
-            for &(r, local) in &candidates {
+            let mut skipped_preferred = false;
+            for (i, &(r, local)) in candidates.iter().enumerate() {
+                if tier.cluster.is_crashed(r) {
+                    skipped_preferred |= i == 0;
+                    continue;
+                }
                 let view = tier.cluster.store_snapshot(r);
                 if dep.covered_by(&view) {
                     served = Some((view, r, local));
@@ -433,6 +597,7 @@ impl ServingWorker<'_, '_> {
                 }
             }
             if let Some(hit) = served {
+                failed_over = skipped_preferred;
                 break hit;
             }
             if !blocked {
@@ -448,11 +613,21 @@ impl ServingWorker<'_, '_> {
                 };
                 ctr.fetch_add(1, Ordering::Relaxed);
             }
-            assert!(
-                started.elapsed() < STALL_DEADLINE,
-                "read of {x} for session {sid} wedged on dependency {dep:?}"
-            );
-            std::thread::sleep(Duration::from_micros(5));
+            if Instant::now() >= deadline {
+                tier.counters.op_timeouts.fetch_add(1, Ordering::Relaxed);
+                self.out.failed += 1;
+                return Err(
+                    if candidates.iter().all(|&(r, _)| tier.cluster.is_crashed(r)) {
+                        ServingError::ReplicaCrashed {
+                            replica: candidates[0].0,
+                        }
+                    } else {
+                        ServingError::Timeout { register: x }
+                    },
+                );
+            }
+            std::thread::sleep(backoff(tier.cfg.backoff_base, attempt));
+            attempt += 1;
         };
         let ctr = if local {
             &tier.counters.ops_routed_local
@@ -479,11 +654,14 @@ impl ServingWorker<'_, '_> {
             register: x,
             observed,
         });
-        self.out
-            .read_lat
-            .record(started.elapsed().as_nanos() as u64);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        self.out.read_lat.record(elapsed);
+        if failed_over {
+            tier.counters.failovers.fetch_add(1, Ordering::Relaxed);
+            self.out.failover_lat.record(elapsed);
+        }
         self.out.ops += 1;
-        (value, server)
+        Ok((value, server))
     }
 
     /// Ships every non-empty write buffer now (end of a driver quantum).
@@ -497,56 +675,155 @@ impl ServingWorker<'_, '_> {
 
     /// Processes any write completions that have arrived, without
     /// blocking: updates session dependencies, records write events and
-    /// latency, and releases the sessions' in-flight slots.
+    /// latency, releases the sessions' in-flight slots, and re-routes
+    /// writes a crashed replica rejected.
     pub fn poll(&mut self) {
-        while let Ok((token, uid)) = self.reply_rx.try_recv() {
-            self.complete(token, uid);
+        while let Ok((token, st)) = self.reply_rx.try_recv() {
+            self.handle_completion(token, st);
         }
     }
 
     /// Flushes remaining buffers, waits for every outstanding write to
-    /// complete, and returns everything collected.
+    /// complete (bounded by [`ServingConfig::op_timeout`] — leftovers
+    /// are abandoned and counted, never panicked over), and returns
+    /// everything collected.
     pub fn finish(mut self) -> Collected {
         self.flush();
+        let deadline = Instant::now() + self.tier.cfg.op_timeout;
         while !self.tokens.is_empty() {
-            match self.reply_rx.recv_timeout(STALL_DEADLINE) {
-                Ok((token, uid)) => self.complete(token, uid),
-                Err(_) => panic!("{} write completions never arrived", self.tokens.len()),
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match self.reply_rx.recv_timeout(remaining) {
+                Ok((token, st)) => self.handle_completion(token, st),
+                Err(_) => break,
             }
+        }
+        let leftovers = self.tokens.len() as u64;
+        if leftovers > 0 {
+            self.tier
+                .counters
+                .op_timeouts
+                .fetch_add(leftovers, Ordering::Relaxed);
+            self.out.failed += leftovers;
         }
         self.out
     }
 
     fn flush_replica(&mut self, r: ReplicaId) {
         let ops = std::mem::take(&mut self.bufs[r.index()]);
-        if !ops.is_empty() {
-            self.tier
-                .cluster
-                .send_write_many(r, ops, self.reply_tx.clone());
+        if ops.is_empty() {
+            return;
+        }
+        if let Err(returned) = self
+            .tier
+            .cluster
+            .send_write_many(r, ops, self.reply_tx.clone())
+        {
+            // The replica thread is gone entirely (cluster shutting
+            // down mid-run): treat each op like a crash rejection.
+            for (token, _, _) in returned {
+                self.retry_write(token);
+            }
         }
     }
 
     /// Blocks until session `sid` has no write in flight. Flushes first:
-    /// a buffered write would otherwise never complete.
-    fn drain_session(&mut self, sid: u64) {
+    /// a buffered write would otherwise never complete. On timeout the
+    /// wedged (never-acked) write is abandoned so the session can keep
+    /// being served.
+    fn drain_session(&mut self, sid: u64) -> Result<(), ServingError> {
         if !self.in_flight.contains_key(&sid) {
-            return;
+            return Ok(());
         }
         self.flush();
-        let deadline = Instant::now() + STALL_DEADLINE;
-        while self.in_flight.contains_key(&sid) {
-            let remaining = deadline
-                .checked_duration_since(Instant::now())
-                .expect("write completion never arrived");
+        let deadline = Instant::now() + self.tier.cfg.op_timeout;
+        while let Some(&token) = self.in_flight.get(&sid) {
+            let expired = deadline.checked_duration_since(Instant::now());
+            let Some(remaining) = expired else {
+                return Err(self.give_up(sid, token));
+            };
             match self.reply_rx.recv_timeout(remaining) {
-                Ok((token, uid)) => self.complete(token, uid),
-                Err(_) => panic!("write completion for session {sid} never arrived"),
+                Ok((t, st)) => self.handle_completion(t, st),
+                Err(_) => return Err(self.give_up(sid, token)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Abandons session `sid`'s wedged in-flight write and produces the
+    /// timeout error for it. The write was never acked (no event
+    /// recorded), so no guarantee covers it; a completion arriving late
+    /// is dropped by [`complete`](Self::complete).
+    fn give_up(&mut self, sid: u64, token: u64) -> ServingError {
+        self.tier
+            .counters
+            .op_timeouts
+            .fetch_add(1, Ordering::Relaxed);
+        let register = self
+            .tokens
+            .remove(&token)
+            .map(|pw| pw.register)
+            .unwrap_or_default();
+        self.in_flight.remove(&sid);
+        self.out.failed += 1;
+        ServingError::Timeout { register }
+    }
+
+    fn handle_completion(&mut self, token: u64, st: WriteStatus) {
+        match st {
+            WriteStatus::Done(uid) => self.complete(token, uid),
+            WriteStatus::Crashed => self.retry_write(token),
+        }
+    }
+
+    /// Re-routes a write whose target rejected it from inside a crash
+    /// window (or whose target thread is gone): deterministic
+    /// exponential backoff, then an immediate re-ship to a live holder —
+    /// the op is already late, so it skips the coalescing quantum. Past
+    /// [`ServingConfig::max_retries`], or with no live holder left, the
+    /// never-acked write is abandoned and counted.
+    fn retry_write(&mut self, token: u64) {
+        let tier = self.tier;
+        let Some(pw) = self.tokens.get_mut(&token) else {
+            return; // already completed or abandoned
+        };
+        pw.attempts += 1;
+        pw.failed_over = true;
+        let (sid, x, v, attempts) = (pw.sid, pw.register, pw.value.clone(), pw.attempts);
+        let rerouted = (attempts <= tier.cfg.max_retries)
+            .then(|| {
+                route_live(tier.cluster.graph(), sid, tier.cfg.attach_span, x, |r| {
+                    tier.cluster.is_crashed(r)
+                })
+            })
+            .flatten();
+        match rerouted {
+            Some((target, _)) => {
+                tier.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff(tier.cfg.backoff_base, attempts));
+                self.bufs[target.index()].push((token, x, v));
+                self.flush_replica(target);
+            }
+            None => {
+                self.tokens.remove(&token);
+                if self.in_flight.get(&sid) == Some(&token) {
+                    self.in_flight.remove(&sid);
+                }
+                tier.counters
+                    .writes_abandoned
+                    .fetch_add(1, Ordering::Relaxed);
+                self.out.failed += 1;
             }
         }
     }
 
     fn complete(&mut self, token: u64, uid: UpdateId) {
-        let pw = self.tokens.remove(&token).expect("unknown write token");
+        // A write abandoned at timeout may still complete late; it was
+        // never acked, so the completion is dropped.
+        let Some(pw) = self.tokens.remove(&token) else {
+            return;
+        };
         if self.in_flight.get(&pw.sid) == Some(&token) {
             self.in_flight.remove(&pw.sid);
         }
@@ -566,10 +843,20 @@ impl ServingWorker<'_, '_> {
             update: uid,
             register: pw.register,
         });
-        self.out
-            .write_lat
-            .record(pw.start.elapsed().as_nanos() as u64);
+        let elapsed = pw.start.elapsed().as_nanos() as u64;
+        self.out.write_lat.record(elapsed);
+        if pw.failed_over {
+            self.out.failover_lat.record(elapsed);
+        }
+        self.out.ops += 1;
     }
+}
+
+/// Deterministic exponential backoff: `base << attempt`, capped at one
+/// millisecond so a long stall keeps probing often enough to notice a
+/// restart promptly.
+fn backoff(base: Duration, attempt: u32) -> Duration {
+    (base * (1u32 << attempt.min(8))).min(Duration::from_millis(1))
 }
 
 #[cfg(test)]
@@ -621,8 +908,8 @@ mod tests {
             // write's completion lands in the dependency set before the
             // read routes).
             let sid = k % 7;
-            w.write(sid, x(sid as u32), Value::from(k));
-            let (v, _) = w.read(sid, x(sid as u32), k);
+            w.write(sid, x(sid as u32), Value::from(k)).unwrap();
+            let (v, _) = w.read(sid, x(sid as u32), k).unwrap();
             assert_eq!(v, Some(Value::from(k)));
         }
         let collected = w.finish();
@@ -645,8 +932,8 @@ mod tests {
         let mut w = tier.worker();
         // Register 3 is held by replicas {2,3}, outside session 0's
         // attach window {0,1}.
-        w.write(0, x(3), Value::from(1u64));
-        let (v, _) = w.read(0, x(3), 0);
+        w.write(0, x(3), Value::from(1u64)).unwrap();
+        let (v, _) = w.read(0, x(3), 0).unwrap();
         assert_eq!(v, Some(Value::from(1u64)));
         w.finish();
         let stats = tier.stats();
@@ -664,8 +951,8 @@ mod tests {
         let tier = ServingTier::new(&cluster, cfg);
         let mut w = tier.worker();
         for k in 0..2000u64 {
-            w.write(0, x((k % 8) as u32), Value::from(k));
-            w.read(0, x(((k + 3) % 8) as u32), k);
+            w.write(0, x((k % 8) as u32), Value::from(k)).unwrap();
+            w.read(0, x(((k + 3) % 8) as u32), k).unwrap();
         }
         let collected = w.finish();
         // Dependency entries never exceed cap + registers touched since
@@ -692,9 +979,10 @@ mod tests {
                             // Worker wid owns sessions {wid, wid+4, ...}.
                             let sid = wid + 4 * (k % 3);
                             if k % 4 == 0 {
-                                w.write(sid, x((k % 4) as u32), Value::from(wid * 1000 + k));
+                                w.write(sid, x((k % 4) as u32), Value::from(wid * 1000 + k))
+                                    .unwrap();
                             } else {
-                                w.read(sid, x((k % 4) as u32), k);
+                                w.read(sid, x((k % 4) as u32), k).unwrap();
                             }
                         }
                         w.finish()
@@ -715,5 +1003,111 @@ mod tests {
             prcc_checker::check_sessions(&trace, &collected.events).is_empty(),
             "session guarantees violated"
         );
+    }
+
+    #[test]
+    fn ops_fail_over_when_preferred_replica_crashes() {
+        // Session layer armed: updates shipped into the crash window are
+        // retransmitted after the restart, so the cluster still settles.
+        let cluster = ThreadedCluster::with_config(
+            topology::clique_full(3, 2),
+            DelayModel::Fixed(1),
+            9,
+            crate::runtime::ClusterConfig {
+                durability: Some(8),
+                session: Some(prcc_net::SessionConfig {
+                    rto_base: 10,
+                    rto_max: 80,
+                    jitter: 3,
+                    ack_delay: 0,
+                }),
+                ..crate::runtime::ClusterConfig::default()
+            },
+        );
+        let tier = ServingTier::new(&cluster, ServingConfig::default());
+        let mut w = tier.worker();
+        let (preferred, _) = route(cluster.graph(), 0, 2, x(0));
+        cluster.crash(preferred);
+        for k in 0..10u64 {
+            w.write(0, x(0), Value::from(k)).unwrap();
+            let (v, server) = w.read(0, x(0), 0).unwrap();
+            assert_eq!(v, Some(Value::from(k)));
+            assert_ne!(server, preferred, "read served by a crashed replica");
+        }
+        let collected = w.finish();
+        assert_eq!(collected.ops, 20);
+        assert_eq!(collected.failed, 0);
+        assert!(!collected.failover_lat.is_empty());
+        let stats = tier.stats();
+        assert!(stats.failovers > 0, "no failover counted: {stats:?}");
+        assert_eq!(stats.writes_abandoned, 0);
+        cluster.restart(preferred);
+        cluster.settle();
+        let trace = cluster.trace_snapshot();
+        assert!(prcc_checker::check_sessions(&trace, &collected.events).is_empty());
+    }
+
+    #[test]
+    fn overload_sheds_writes_at_the_watermark() {
+        let cluster = ThreadedCluster::new(topology::clique_full(3, 2), DelayModel::Fixed(1), 4);
+        let cfg = ServingConfig {
+            max_in_flight: 2,
+            // Keep writes coalescing (never shipped) so tokens pile up.
+            write_batch: 1024,
+            ..ServingConfig::default()
+        };
+        let tier = ServingTier::new(&cluster, cfg);
+        let mut w = tier.worker();
+        // Distinct sessions: draining one's in-flight write must not
+        // release another's admission slot.
+        w.write(0, x(0), Value::from(0u64)).unwrap();
+        w.write(1, x(0), Value::from(1u64)).unwrap();
+        let err = w.write(2, x(0), Value::from(2u64)).unwrap_err();
+        assert_eq!(err, ServingError::Overloaded { in_flight: 2 });
+        assert_eq!(tier.stats().ops_shed, 1);
+        let collected = w.finish();
+        assert_eq!(collected.ops, 2, "shed write must not be acked");
+    }
+
+    #[test]
+    fn ops_degrade_to_typed_errors_when_every_holder_is_down() {
+        // ring(4): register 1 is held by replicas {1, 2} only.
+        let cluster = ThreadedCluster::with_config(
+            topology::ring(4),
+            DelayModel::Fixed(1),
+            6,
+            crate::runtime::ClusterConfig {
+                durability: Some(8),
+                ..crate::runtime::ClusterConfig::default()
+            },
+        );
+        let cfg = ServingConfig {
+            op_timeout: Duration::from_millis(50),
+            ..ServingConfig::default()
+        };
+        let tier = ServingTier::new(&cluster, cfg);
+        let mut w = tier.worker();
+        cluster.crash(ReplicaId::new(1));
+        cluster.crash(ReplicaId::new(2));
+        // Writes reject immediately: no live holder to route to.
+        assert_eq!(
+            w.write(0, x(1), Value::from(7u64)).unwrap_err(),
+            ServingError::ReplicaCrashed {
+                replica: ReplicaId::new(1)
+            }
+        );
+        // Reads block (a restart could still serve them), then degrade.
+        assert_eq!(
+            w.read(0, x(1), 0).unwrap_err(),
+            ServingError::ReplicaCrashed {
+                replica: ReplicaId::new(1)
+            }
+        );
+        assert!(tier.stats().op_timeouts >= 1);
+        let collected = w.finish();
+        assert_eq!(collected.ops, 0);
+        cluster.restart(ReplicaId::new(1));
+        cluster.restart(ReplicaId::new(2));
+        cluster.settle();
     }
 }

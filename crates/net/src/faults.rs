@@ -292,6 +292,20 @@ impl FaultSchedule {
         r
     }
 
+    /// Every crash and restart instant interleaved in time order:
+    /// `(tick, replica, is_restart)`. This is the driver sequence for a
+    /// runtime that injects crashes as commands (the threaded cluster's
+    /// fault driver walks it and sleeps between entries).
+    pub fn crash_timeline(&self) -> Vec<(u64, ReplicaId, bool)> {
+        let mut t: Vec<(u64, ReplicaId, bool)> = self
+            .crashes
+            .iter()
+            .flat_map(|c| [(c.at, c.replica, false), (c.restart, c.replica, true)])
+            .collect();
+        t.sort_unstable();
+        t
+    }
+
     /// The last scripted event boundary (outage heal or restart), or 0 if
     /// the script is empty — useful for sizing workloads past the chaos.
     pub fn horizon(&self) -> u64 {
@@ -402,6 +416,22 @@ mod tests {
         assert_eq!(s.restarts(), vec![(30, r(3)), (120, r(1))]);
         assert_eq!(s.horizon(), 120);
         assert!(s.eventually_heals());
+    }
+
+    #[test]
+    fn crash_timeline_interleaves_in_time_order() {
+        let s = FaultSchedule::none()
+            .crash(r(1), 50, 120)
+            .crash(r(3), 10, 60);
+        assert_eq!(
+            s.crash_timeline(),
+            vec![
+                (10, r(3), false),
+                (50, r(1), false),
+                (60, r(3), true),
+                (120, r(1), true),
+            ]
+        );
     }
 
     #[test]

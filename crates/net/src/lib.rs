@@ -38,4 +38,4 @@ pub use delay::DelayModel;
 pub use faults::{CrashEvent, FaultAction, FaultPlan, FaultSchedule, LinkOutage};
 pub use session::{SessionConfig, SessionEndpoint, SessionFrame, SessionStats};
 pub use sim_net::{Envelope, NetStats, SimNetwork};
-pub use thread_net::{NodeHandle, ThreadNet};
+pub use thread_net::{NodeHandle, ThreadNet, TICK};

@@ -9,7 +9,7 @@
 //! built on crossbeam since the offline crate set has no async runtime).
 
 use crate::delay::DelayModel;
-use crate::faults::{FaultAction, FaultPlan};
+use crate::faults::{FaultAction, FaultPlan, FaultSchedule};
 use crate::sim_net::Envelope;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use prcc_sharegraph::ReplicaId;
@@ -21,8 +21,10 @@ use std::fmt;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One simulated-delay tick in wall-clock time.
-const TICK: Duration = Duration::from_micros(200);
+/// One simulated-delay tick in wall-clock time. Public so harnesses can
+/// convert a [`FaultSchedule`](crate::faults::FaultSchedule) horizon
+/// (in ticks) into the wall-clock span they must wait out.
+pub const TICK: Duration = Duration::from_micros(200);
 
 struct Pending<M> {
     due: Instant,
@@ -159,6 +161,25 @@ impl<M: Send + Clone + 'static> ThreadNet<M> {
         faults: FaultPlan,
         capacity: usize,
     ) -> Self {
+        Self::with_schedule(n, delay, seed, FaultSchedule::from_plan(faults), capacity)
+    }
+
+    /// Like [`ThreadNet::with_config`], but the router also enforces the
+    /// schedule's scripted link outages. Outage windows are expressed in
+    /// simulated ticks and mapped onto wall-clock time from the moment of
+    /// construction (one tick = 200 µs); the check happens at *send* time,
+    /// matching [`FaultSchedule::link_down`]'s documented semantics — a
+    /// message already in flight when the outage starts still arrives.
+    /// Crash windows are *not* enforced here: a crashed replica's inbox
+    /// keeps filling and the runtime harness discards the frames, which
+    /// keeps crash semantics (and the loss accounting) in one place.
+    pub fn with_schedule(
+        n: usize,
+        delay: DelayModel,
+        seed: u64,
+        schedule: FaultSchedule,
+        capacity: usize,
+    ) -> Self {
         let (to_router, from_nodes) = unbounded::<Envelope<M>>();
         let mut inbox_txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -171,6 +192,8 @@ impl<M: Send + Clone + 'static> ThreadNet<M> {
                 inbox: rx,
             });
         }
+        let has_outages = !schedule.outages.is_empty();
+        let epoch = Instant::now();
         let router = std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut heap: BinaryHeap<Reverse<Pending<M>>> = BinaryHeap::new();
@@ -199,10 +222,18 @@ impl<M: Send + Clone + 'static> ThreadNet<M> {
                     .unwrap_or(Duration::from_millis(50));
                 match from_nodes.recv_timeout(wait) {
                     Ok(env) => {
-                        let copies = match faults.decide(&mut rng, env.src, env.dst) {
-                            FaultAction::Drop => 0,
-                            FaultAction::Deliver => 1,
-                            FaultAction::Duplicate => 2,
+                        let scripted_down = has_outages && {
+                            let now_ticks = (epoch.elapsed().as_micros() / TICK.as_micros()) as u64;
+                            schedule.link_down(env.src, env.dst, now_ticks)
+                        };
+                        let copies = if scripted_down {
+                            0
+                        } else {
+                            match schedule.plan.decide(&mut rng, env.src, env.dst) {
+                                FaultAction::Drop => 0,
+                                FaultAction::Deliver => 1,
+                                FaultAction::Duplicate => 2,
+                            }
                         };
                         for _ in 0..copies {
                             let ticks = delay.sample(&mut rng, env.src, env.dst);
@@ -353,6 +384,27 @@ mod tests {
             .recv_timeout(Duration::from_secs(2))
             .expect("router alive");
         assert_eq!(env.msg, 999);
+    }
+
+    #[test]
+    fn scripted_outage_drops_then_heals() {
+        // Link 0 -> 1 is down for the first 250 ticks (50 ms of wall
+        // clock): an immediate send vanishes, a send after the heal
+        // instant arrives.
+        let schedule = FaultSchedule::none().outage(r(0), r(1), 0, 250);
+        let net: ThreadNet<u32> =
+            ThreadNet::with_schedule(2, DelayModel::Fixed(0), 0, schedule, 64);
+        let a = net.handle(r(0));
+        let b = net.handle(r(1));
+        a.send(r(1), 1);
+        assert!(
+            b.recv_timeout(Duration::from_millis(20)).is_none(),
+            "message crossed a severed link"
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        a.send(r(1), 2);
+        let env = b.recv_timeout(Duration::from_secs(2)).expect("healed link");
+        assert_eq!(env.msg, 2);
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub struct ScenarioConfig {
     /// workload. `0` (the default) skips the client-serving pass; when
     /// non-zero the report's routing and guarantee-block stats are
     /// populated and `consistent` also requires the serving pass to be
-    /// clean.
+    /// clean. Composes with [`faults`](ScenarioConfig::faults): the same
+    /// schedule (drops, outages, crash windows — ticks are 200 µs of
+    /// wall clock on the threaded cluster) is driven under the live
+    /// serving workload, with recovery logs auto-armed for crashes.
     pub clients: usize,
 }
 
@@ -151,6 +154,16 @@ pub struct RunReport {
     pub ryw_blocks: u64,
     /// Reads that waited on the monotonic-reads guarantee.
     pub mr_blocks: u64,
+    /// Client ops re-routed around a crashed replica by the serving
+    /// tier.
+    pub failovers: u64,
+    /// Client writes shed by serving-tier admission control.
+    pub ops_shed: u64,
+    /// Client ops that degraded to a timeout in the serving tier.
+    pub op_timeouts: u64,
+    /// Acked fraction of attempted client ops (1.0 when the serving pass
+    /// is skipped or fault-free).
+    pub client_availability: f64,
 }
 
 impl fmt::Display for RunReport {
@@ -253,7 +266,8 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
     sys.run_to_quiescence();
 
     // Optional client-serving pass: the serving tier multiplexing
-    // sessions onto a threaded cluster over the same share graph.
+    // sessions onto a threaded cluster over the same share graph, with
+    // the same fault schedule running live underneath it.
     let serving = (cfg.clients > 0).then(|| {
         run_serving_scenario(
             g,
@@ -261,13 +275,15 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
                 sessions: cfg.clients,
                 zipf_theta: cfg.workload.zipf_theta,
                 seed: cfg.net_seed,
+                faults: cfg.faults.clone(),
+                session: cfg.session,
                 ..Default::default()
             },
         )
     });
     let serving_clean = serving
         .as_ref()
-        .is_none_or(|s| s.consistent && s.session_violations == 0);
+        .is_none_or(|s| s.consistent && s.session_violations == 0 && s.acked_write_loss == 0);
     let serving_stats = serving.as_ref().map(|s| s.stats).unwrap_or_default();
 
     let check = sys.check();
@@ -315,6 +331,10 @@ pub fn run_scenario(g: &ShareGraph, cfg: &ScenarioConfig) -> RunReport {
         ops_forwarded: serving_stats.ops_forwarded,
         ryw_blocks: serving_stats.ryw_blocks,
         mr_blocks: serving_stats.mr_blocks,
+        failovers: serving_stats.failovers,
+        ops_shed: serving_stats.ops_shed,
+        op_timeouts: serving_stats.op_timeouts,
+        client_availability: serving.as_ref().map_or(1.0, |s| s.availability),
     }
 }
 
@@ -536,6 +556,44 @@ mod tests {
             with_clients.client_ops,
             "every client op is either local or forwarded"
         );
+    }
+
+    #[test]
+    fn clients_compose_with_crash_and_drop_faults() {
+        // One schedule, two passes: the lockstep replica workload and
+        // the threaded serving workload both run under the same drops
+        // and crash window; recovery logs and a fast session layer are
+        // auto-armed for the serving pass, so the combined verdict must
+        // come back clean.
+        use prcc_net::{FaultPlan, FaultSchedule};
+        let g = topology::ring(4);
+        let report = run_scenario(
+            &g,
+            &ScenarioConfig {
+                workload: WorkloadConfig {
+                    writes_per_replica: 10,
+                    zipf_theta: 0.0,
+                    seed: 3,
+                },
+                net_seed: 3,
+                faults: FaultSchedule::from_plan(FaultPlan::dropping(0.2)).crash(
+                    ReplicaId::new(1),
+                    100,
+                    600,
+                ),
+                session: Some(prcc_net::SessionConfig::default()),
+                clients: 8,
+                staleness_probes: 0,
+                ..Default::default()
+            },
+        );
+        assert!(report.consistent, "{report}");
+        assert!(report.client_ops > 0);
+        assert!(
+            report.client_availability > 0.5 && report.client_availability <= 1.0,
+            "{report}"
+        );
+        assert_eq!(report.ops_shed, 0, "tiny workload must not shed: {report}");
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use prcc_checker::HbGraph;
 use prcc_core::client_server::ClientServerSystem;
 use prcc_core::serving::{route, Collected, ServingConfig, ServingTier};
-use prcc_core::{ThreadedCluster, Value};
-use prcc_net::DelayModel;
+use prcc_core::{ClusterConfig, ThreadedCluster, Value};
+use prcc_net::{DelayModel, FaultSchedule, SessionConfig, TICK};
 use prcc_sharegraph::{AugmentedShareGraph, ClientAssignment, ClientId, RegisterId, ShareGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +43,18 @@ pub struct ServingScenarioConfig {
     pub flush_quantum: usize,
     /// Tier tuning.
     pub serving: ServingConfig,
+    /// Scripted faults driven against the live cluster: drops and
+    /// duplicates via the embedded plan, link outages, and crash/restart
+    /// windows. Default: benign.
+    pub faults: FaultSchedule,
+    /// Reliable-delivery session layer (required for convergence under
+    /// drops, outages, or crash windows). `None` with a non-benign fault
+    /// schedule auto-arms a fast configuration tuned to the runner's
+    /// fixed 1-tick delay model.
+    pub session: Option<SessionConfig>,
+    /// Arms per-replica durable recovery logs with this compaction
+    /// interval — required when `faults` scripts crashes.
+    pub durability: Option<usize>,
 }
 
 impl Default for ServingScenarioConfig {
@@ -56,6 +68,9 @@ impl Default for ServingScenarioConfig {
             seed: 0,
             flush_quantum: 256,
             serving: ServingConfig::default(),
+            faults: FaultSchedule::default(),
+            session: None,
+            durability: None,
         }
     }
 }
@@ -104,6 +119,14 @@ pub struct ServingRunReport {
     pub sessions: usize,
     /// Total client ops served.
     pub ops: u64,
+    /// Total client ops attempted (served + shed + rejected + timed
+    /// out). Equals `ops` on a fault-free run.
+    pub attempted: u64,
+    /// Attempted ops that were not acked.
+    pub failed: u64,
+    /// `ops / attempted` — the serving tier's availability under the
+    /// scripted fault storm.
+    pub availability: f64,
     /// Wall-clock driving time in seconds (submission through the last
     /// write completion).
     pub elapsed_secs: f64,
@@ -117,24 +140,37 @@ pub struct ServingRunReport {
     pub write_p50_ns: u64,
     /// Client-visible write latency, 99th percentile (ns).
     pub write_p99_ns: u64,
-    /// Tier counters (routing and guarantee-block stats).
+    /// Failover latency (op entry to ack on a non-preferred replica),
+    /// median (ns). Zero when nothing failed over.
+    pub failover_p50_ns: u64,
+    /// Failover latency, maximum (ns).
+    pub failover_max_ns: u64,
+    /// Tier counters (routing, guarantee-block, and resilience stats).
     pub stats: prcc_core::ServingStats,
     /// Causal-consistency verdict of the cluster trace.
     pub consistent: bool,
     /// Session-guarantee violations found by replaying the served-op log
     /// against the recomputed happened-before relation (must be 0).
     pub session_violations: usize,
+    /// Acked writes missing from some holder's converged final store
+    /// (must be 0: acked ⇒ durable ⇒ survives).
+    pub acked_write_loss: usize,
+    /// Completed crash/restart cycles during the run.
+    pub restarts: usize,
 }
 
 impl fmt::Display for ServingRunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} sessions, {} ops in {:.2}s = {:.0} ops/s, read p50/p99 {}µs/{}µs, \
-             write p50/p99 {}µs/{}µs, local/forwarded {}/{}, blocks ryw={} mr={}, \
-             consistent={}, session_violations={}",
+            "{} sessions, {}/{} ops (availability {:.4}) in {:.2}s = {:.0} ops/s, \
+             read p50/p99 {}µs/{}µs, write p50/p99 {}µs/{}µs, local/forwarded {}/{}, \
+             blocks ryw={} mr={}, failovers={} shed={} timeouts={} restarts={}, \
+             consistent={}, session_violations={}, acked_write_loss={}",
             self.sessions,
             self.ops,
+            self.attempted,
+            self.availability,
             self.elapsed_secs,
             self.ops_per_sec,
             self.read_p50_ns / 1_000,
@@ -145,25 +181,63 @@ impl fmt::Display for ServingRunReport {
             self.stats.ops_forwarded,
             self.stats.ryw_blocks,
             self.stats.mr_blocks,
+            self.stats.failovers,
+            self.stats.ops_shed,
+            self.stats.op_timeouts,
+            self.restarts,
             self.consistent,
-            self.session_violations
+            self.session_violations,
+            self.acked_write_loss
         )
     }
 }
 
 /// Drives the generated workload through a [`ServingTier`] over a fresh
-/// [`ThreadedCluster`] and reports throughput, latency, and verdicts.
+/// [`ThreadedCluster`] — with any scripted fault storm live underneath —
+/// and reports throughput, latency, availability, and verdicts.
+///
+/// Under faults, individual ops may degrade to typed errors; the run
+/// keeps going and the report carries the availability split. After the
+/// drivers finish, the runner waits out the schedule's horizon (so
+/// scripted restarts fire), settles the cluster, and checks three things
+/// differentially: the causal trace, the session-guarantee log of acked
+/// ops, and that every acked write survived into each holder's final
+/// store.
 ///
 /// # Panics
 ///
-/// Panics if a worker thread dies or a write completion never arrives.
+/// Panics if a worker thread dies.
 pub fn run_serving_scenario(graph: &ShareGraph, cfg: &ServingScenarioConfig) -> ServingRunReport {
     let ops = generate_session_ops(graph, cfg);
-    let cluster = ThreadedCluster::new(graph.clone(), DelayModel::Fixed(1), cfg.seed);
+    // A fault storm without a session layer can strand an update whose
+    // causal predecessor was lost in a crash window: the orphan parks in
+    // `pending` forever and settle never converges. The runner always
+    // drives `DelayModel::Fixed(1)`, so a tight retransmission timer is
+    // safe — arm one whenever faults are live and the caller didn't.
+    let session = cfg.session.or_else(|| {
+        (!cfg.faults.is_benign()).then_some(SessionConfig {
+            rto_base: 10,
+            rto_max: 80,
+            jitter: 3,
+            ack_delay: 0,
+        })
+    });
+    let cluster = ThreadedCluster::with_config(
+        graph.clone(),
+        DelayModel::Fixed(1),
+        cfg.seed,
+        ClusterConfig {
+            schedule: cfg.faults.clone(),
+            session,
+            durability: cfg.durability,
+            ..ClusterConfig::default()
+        },
+    );
+    let epoch = Instant::now();
     let tier = ServingTier::new(&cluster, cfg.serving.clone());
     let workers = cfg.workers.max(1);
     let start = Instant::now();
-    let mut collected = std::thread::scope(|s| {
+    let (mut collected, attempted) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let tier = &tier;
@@ -171,16 +245,22 @@ pub fn run_serving_scenario(graph: &ShareGraph, cfg: &ServingScenarioConfig) -> 
                 s.spawn(move || {
                     let mut worker = tier.worker();
                     let mut since_flush = 0usize;
+                    let mut attempted = 0u64;
                     // Round-major on purpose: op k of every owned session
                     // before op k+1 of any, so sessions interleave.
                     #[allow(clippy::needless_range_loop)]
                     for k in 0..cfg.ops_per_session {
                         let mut sid = w;
                         while sid < cfg.sessions {
+                            attempted += 1;
+                            // A typed failure (shed, crashed, timed out)
+                            // fails that op only; the session keeps going.
                             match &ops[sid][k] {
-                                SessionOp::Write(x, v) => worker.write(sid as u64, *x, v.clone()),
+                                SessionOp::Write(x, v) => {
+                                    let _ = worker.write(sid as u64, *x, v.clone());
+                                }
                                 SessionOp::Read(x) => {
-                                    worker.read(sid as u64, *x, k as u64);
+                                    let _ = worker.read(sid as u64, *x, k as u64);
                                 }
                             }
                             since_flush += 1;
@@ -192,26 +272,54 @@ pub fn run_serving_scenario(graph: &ShareGraph, cfg: &ServingScenarioConfig) -> 
                             sid += workers;
                         }
                     }
-                    worker.finish()
+                    (worker.finish(), attempted)
                 })
             })
             .collect();
         let mut all = Collected::default();
+        let mut attempted = 0u64;
         for h in handles {
-            all.absorb(h.join().expect("serving worker"));
+            let (c, a) = h.join().expect("serving worker");
+            all.absorb(c);
+            attempted += a;
         }
-        all
+        (all, attempted)
     });
     let elapsed = start.elapsed();
+    // Scheduled restarts may lie beyond the workload: wait out the
+    // horizon so every crash window closes before convergence is judged.
+    let horizon = epoch + TICK * cfg.faults.horizon().min(u32::MAX as u64) as u32;
+    if let Some(rem) = horizon.checked_duration_since(Instant::now()) {
+        std::thread::sleep(rem + TICK * 50);
+    }
     cluster.settle();
     let trace = cluster.trace_snapshot();
     let hb = HbGraph::build(&trace);
     let check = prcc_checker::check_with_hb(&trace, graph.placement(), &hb);
     let violations = prcc_checker::check_sessions_with_hb(&hb, &collected.events);
+    // Durability gate: acked ⇒ survives into every holder's final store.
+    let placement = graph.placement();
+    let acked = prcc_checker::acked_writes(&collected.events);
+    let mut acked_write_loss = 0usize;
+    for &(uid, x) in &acked {
+        for &h in placement.holders(x) {
+            if !cluster.store_snapshot(h).covers(uid) {
+                acked_write_loss += 1;
+            }
+        }
+    }
     let secs = elapsed.as_secs_f64();
+    let failed = attempted - collected.ops;
     ServingRunReport {
         sessions: cfg.sessions,
         ops: collected.ops,
+        attempted,
+        failed,
+        availability: if attempted > 0 {
+            collected.ops as f64 / attempted as f64
+        } else {
+            1.0
+        },
         elapsed_secs: secs,
         ops_per_sec: if secs > 0.0 {
             collected.ops as f64 / secs
@@ -222,9 +330,13 @@ pub fn run_serving_scenario(graph: &ShareGraph, cfg: &ServingScenarioConfig) -> 
         read_p99_ns: collected.read_lat.p99(),
         write_p50_ns: collected.write_lat.p50(),
         write_p99_ns: collected.write_lat.p99(),
+        failover_p50_ns: collected.failover_lat.p50(),
+        failover_max_ns: collected.failover_lat.max(),
         stats: tier.stats(),
         consistent: check.is_consistent(),
         session_violations: violations.len(),
+        acked_write_loss,
+        restarts: cluster.total_restarts(),
     }
 }
 

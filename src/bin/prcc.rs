@@ -46,7 +46,11 @@ fn usage() -> ! {
            --no-batch                    ship every update as a singleton frame\n\
            --clients <n>                 drive n client sessions through the serving\n\
                                          tier on a threaded cluster and report routing\n\
-                                         + session-guarantee stats"
+                                         + session-guarantee stats; composes with\n\
+                                         --crash/--drop/--partition (the schedule runs\n\
+                                         live under the serving workload: sessions\n\
+                                         fail over, overload sheds, availability is\n\
+                                         reported)"
     );
     std::process::exit(2);
 }
@@ -218,6 +222,11 @@ fn cmd_run(g: &ShareGraph, args: &[String]) {
             report.ops_forwarded,
             report.ryw_blocks,
             report.mr_blocks
+        );
+        println!(
+            "serving resilience: availability {:.4}, {} failovers, \
+             {} shed, {} timed out",
+            report.client_availability, report.failovers, report.ops_shed, report.op_timeouts
         );
     }
     if have_faults {
