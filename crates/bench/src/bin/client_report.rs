@@ -12,11 +12,17 @@
 //!   cargo run --release -p prcc-bench --bin client_report > BENCH_clients.json
 //!
 //! Flags:
-//!   --quick   small sweep (CI smoke: fewer sessions/ops, clique only)
-//!   --check   exit non-zero unless the headline multiplexed run beats
-//!             the serial baseline by >= 2x (quick) and, in full mode,
-//!             sustains >= 100k ops/sec at 10k sessions on clique(8)
-//!             with zero session-guarantee violations
+//!   --quick        small sweep (CI smoke: fewer sessions/ops, clique only)
+//!   --check        exit non-zero unless the headline multiplexed run beats
+//!                  the serial baseline by >= 2x (quick) and, in full mode,
+//!                  sustains >= 100k ops/sec at 10k sessions on clique(8)
+//!                  with zero session-guarantee violations
+//!   --closed-loop  add a closed-loop latency row: the same headline
+//!                  workload with every op flushed and polled before the
+//!                  next is issued, so measured write p50/p99 is pure
+//!                  service latency with no open-loop coalescing
+//!                  residency (a buffered write's completion otherwise
+//!                  waits for its flush quantum, inflating the tail)
 
 use prcc_core::{ThreadedCluster, Value};
 use prcc_net::DelayModel;
@@ -34,6 +40,7 @@ struct Row {
     sessions: usize,
     ops: u64,
     write_ratio: f64,
+    closed_loop: bool,
     ops_per_sec: f64,
     read_p50_ns: u64,
     read_p99_ns: u64,
@@ -69,6 +76,7 @@ fn tier_row(topology: &str, cfg: &ServingScenarioConfig) -> Row {
         sessions: r.sessions,
         ops: r.ops,
         write_ratio: cfg.write_ratio,
+        closed_loop: cfg.flush_quantum == 1,
         ops_per_sec: r.ops_per_sec,
         read_p50_ns: r.read_p50_ns,
         read_p99_ns: r.read_p99_ns,
@@ -119,6 +127,7 @@ fn serial_baseline(ops: usize, write_ratio: f64, seed: u64) -> Row {
         sessions: 1,
         ops: ops as u64,
         write_ratio,
+        closed_loop: true,
         ops_per_sec: ops as f64 / elapsed.as_secs_f64(),
         read_p50_ns: 0,
         read_p99_ns: 0,
@@ -137,6 +146,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
+    let closed_loop = args.iter().any(|a| a == "--closed-loop");
 
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -169,6 +179,20 @@ fn main() {
     let mut rows = Vec::new();
     rows.push(serial_baseline(base_ops, write_ratio, 42));
     rows.push(tier_row("clique", &headline_cfg));
+    if closed_loop {
+        // Same headline workload, but every op is flushed and polled
+        // before the next is issued: write completion latency is pure
+        // service time, with no share of the flush quantum's residency.
+        let mut row = tier_row(
+            "clique",
+            &ServingScenarioConfig {
+                flush_quantum: 1,
+                ..headline_cfg.clone()
+            },
+        );
+        row.bench = "serving/clique-closed-loop".to_owned();
+        rows.push(row);
+    }
     if !quick {
         rows.push(tier_row(
             "clique",
@@ -195,15 +219,17 @@ fn main() {
         .map(|r| {
             format!(
                 "    {{\"bench\":\"{}\",\"n\":{},\"zipf\":{:.1},\"sessions\":{},\"ops\":{},\
-\"write_ratio\":{:.2},\"ops_per_sec\":{:.0},\"read_p50_ns\":{},\"read_p99_ns\":{},\
-\"write_p50_ns\":{},\"write_p99_ns\":{},\"routed_local\":{},\"forwarded\":{},\
-\"ryw_blocks\":{},\"mr_blocks\":{},\"consistent\":{},\"session_violations\":{}}}",
+\"write_ratio\":{:.2},\"closed_loop\":{},\"ops_per_sec\":{:.0},\"read_p50_ns\":{},\
+\"read_p99_ns\":{},\"write_p50_ns\":{},\"write_p99_ns\":{},\"routed_local\":{},\
+\"forwarded\":{},\"ryw_blocks\":{},\"mr_blocks\":{},\"consistent\":{},\
+\"session_violations\":{}}}",
                 r.bench,
                 N,
                 r.zipf,
                 r.sessions,
                 r.ops,
                 r.write_ratio,
+                r.closed_loop,
                 r.ops_per_sec,
                 r.read_p50_ns,
                 r.read_p99_ns,
@@ -263,5 +289,19 @@ every row is trace-verified for causal consistency and session guarantees\","
             headline.ops_per_sec / baseline.ops_per_sec,
             baseline.ops_per_sec
         );
+        if let Some(cl) = rows
+            .iter()
+            .find(|r| r.bench == "serving/clique-closed-loop")
+        {
+            eprintln!(
+                "closed-loop write p50 {} ns / p99 {} ns (open-loop {} / {} ns: \
+residency bias {:.1}x at p50)",
+                cl.write_p50_ns,
+                cl.write_p99_ns,
+                headline.write_p50_ns,
+                headline.write_p99_ns,
+                headline.write_p50_ns.max(1) as f64 / cl.write_p50_ns.max(1) as f64
+            );
+        }
     }
 }

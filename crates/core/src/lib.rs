@@ -39,6 +39,7 @@ pub mod construct;
 pub mod explore;
 pub mod explore_cs;
 pub mod message;
+pub mod netframe;
 pub mod recovery;
 pub mod replica;
 pub mod routed;
@@ -56,11 +57,14 @@ pub use construct::{propagate, release_all, WritePlan};
 pub use explore::{ExplorationResult, Scenario, ScriptedWrite};
 pub use explore_cs::{CsOp, CsScenario};
 pub use message::{BatchMsg, DepEntry, Metadata, TransitInfo, UpdateMsg};
+pub use netframe::{cluster_codec, ClusterCodec};
 pub use recovery::{RecoveryLog, WalEntry};
 pub use replica::{Applied, PendingMode, Replica, ReplicaError, WriteOutput};
 pub use routed::RoutedRing;
 pub use routed_general::{RoutedError, RoutedSystem};
-pub use runtime::{ClusterConfig, ClusterError, ReplicaView, ThreadedCluster};
+pub use runtime::{
+    ClusterConfig, ClusterError, NodeEvent, NodeRuntime, ReplicaView, ThreadedCluster,
+};
 pub use serving::{
     Collected, ServingConfig, ServingError, ServingStats, ServingTier, ServingWorker,
 };

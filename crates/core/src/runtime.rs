@@ -35,6 +35,7 @@
 
 use crate::codec::{WireCodec, WireMode};
 use crate::message::{BatchMsg, UpdateMsg};
+use crate::netframe::cluster_codec;
 use crate::recovery::RecoveryLog;
 use crate::replica::Replica;
 use crate::system::BatchPolicy;
@@ -44,13 +45,15 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use prcc_checker::{check, CheckReport, Trace, UpdateId};
 use prcc_net::{
-    DelayModel, FaultPlan, FaultSchedule, NodeHandle, SessionConfig, SessionEndpoint, SessionFrame,
-    ThreadNet,
+    BoundListener, DelayModel, FaultPlan, FaultSchedule, SessionConfig, SessionEndpoint,
+    SessionFrame, TcpEndpoint, TcpNetConfig, TcpStatsSnapshot, ThreadNet, Transport,
 };
 use prcc_sharegraph::{LoopConfig, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
 use prcc_timestamp::TsRegistry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::io;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -389,7 +392,16 @@ pub struct ThreadedCluster {
     /// Whether recovery logs are armed (required by [`crash`](Self::crash)).
     durable: bool,
     /// Keep the net alive for the cluster's lifetime.
-    _net: ThreadNet<SessionFrame<BatchMsg>>,
+    net: NetBacking,
+}
+
+/// The message substrate a [`ThreadedCluster`] runs over — kept alive
+/// (and shut down) with the cluster.
+enum NetBacking {
+    /// In-process crossbeam channels behind a delay-scheduling router.
+    Thread(#[allow(dead_code)] ThreadNet<SessionFrame<BatchMsg>>),
+    /// Real kernel sockets: one loopback [`TcpEndpoint`] per replica.
+    Tcp(Vec<TcpEndpoint<SessionFrame<BatchMsg>>>),
 }
 
 impl fmt::Debug for ThreadedCluster {
@@ -482,6 +494,79 @@ impl ThreadedCluster {
             config.schedule.clone(),
             config.ingress_depth,
         );
+        let handles: Vec<_> = graph.replicas().map(|i| net.handle(i)).collect();
+        Self::spawn(graph, registry, config, handles, NetBacking::Thread(net))
+    }
+
+    /// A cluster over **real kernel sockets**: every replica gets its own
+    /// loopback [`TcpEndpoint`], per-peer TCP connections, and the
+    /// [`cluster_codec`] link framing — the same replica threads, command
+    /// surface, and trace machinery as [`with_config`](Self::with_config),
+    /// with the [`ThreadNet`] router swapped for the kernel.
+    ///
+    /// Link-level fault injection ([`ClusterConfig::faults`] /
+    /// [`FaultSchedule`] outages) is a router feature and does not apply
+    /// here — the kernel's loopback does not drop frames. Scripted
+    /// crash/restart events still work (they are injected as commands).
+    /// A [`SessionConfig`] is still worth arming: the transport sheds
+    /// frames on a backed-up or not-yet-connected peer, and only session
+    /// retransmission repairs those.
+    pub fn with_tcp(
+        graph: ShareGraph,
+        config: ClusterConfig,
+        tcp: TcpNetConfig,
+    ) -> io::Result<Self> {
+        let mut config = config;
+        if !config.schedule.crashes.is_empty() && config.durability.is_none() {
+            config.durability = Some(1024);
+        }
+        let graph = Arc::new(graph);
+        let registry = Arc::new(TsRegistry::new(
+            &graph,
+            TimestampGraphs::build(&graph, LoopConfig::EXHAUSTIVE),
+        ));
+        // Two-phase bind: every listener is live before any endpoint
+        // starts, so first connects never race the accept loops.
+        let loopback: SocketAddr = ([127, 0, 0, 1], 0).into();
+        let mut bounds = Vec::with_capacity(graph.num_replicas());
+        for i in graph.replicas() {
+            bounds.push(BoundListener::bind(i, loopback)?);
+        }
+        let addrs: Vec<SocketAddr> = bounds.iter().map(BoundListener::local_addr).collect();
+        let replicas: Vec<ReplicaId> = graph.replicas().collect();
+        let mut endpoints = Vec::with_capacity(bounds.len());
+        let mut handles = Vec::with_capacity(bounds.len());
+        for bound in bounds {
+            let me = bound.id();
+            let peers: HashMap<ReplicaId, SocketAddr> = replicas
+                .iter()
+                .filter(|&&r| r != me)
+                .map(|&r| (r, addrs[r.index()]))
+                .collect();
+            let mut cfg = tcp.clone();
+            cfg.ingress_depth = config.ingress_depth;
+            let ep = TcpEndpoint::start(bound, peers, cfg, cluster_codec(me, registry.clone()))?;
+            handles.push(ep.handle());
+            endpoints.push(ep);
+        }
+        Ok(Self::spawn(
+            graph,
+            registry,
+            config,
+            handles,
+            NetBacking::Tcp(endpoints),
+        ))
+    }
+
+    /// Spawns the replica threads over already-built transport handles —
+    /// the substrate-independent half of every constructor.
+    fn spawn<T: Transport<Msg = SessionFrame<BatchMsg>>>(
+        graph: Arc<ShareGraph>,
+        registry: Arc<TsRegistry>,
+        config: ClusterConfig,
+        handles: Vec<T>,
+        net: NetBacking,
+    ) -> Self {
         let applied = Arc::new(AtomicUsize::new(0));
         let pending = Arc::new(AtomicUsize::new(0));
         let sent = Arc::new(AtomicUsize::new(0));
@@ -497,7 +582,7 @@ impl ThreadedCluster {
         let mut shards = Vec::new();
         let mut snapshots = Vec::new();
         let mut crashed = Vec::new();
-        for i in graph.replicas() {
+        for (i, handle) in graph.replicas().zip(handles) {
             let (tx, rx) = bounded::<Cmd>(config.channel_depth.max(1));
             cmd_txs.push(tx);
             let shard: Arc<TraceShard> = Arc::new(Mutex::new(Vec::new()));
@@ -506,7 +591,6 @@ impl ThreadedCluster {
             snapshots.push(snapshot.clone());
             let crashed_flag = Arc::new(AtomicBool::new(false));
             crashed.push(crashed_flag.clone());
-            let handle = net.handle(i);
             let graph = graph.clone();
             let registry = registry.clone();
             let config = config.clone();
@@ -596,8 +680,43 @@ impl ThreadedCluster {
             restarts,
             crashed,
             durable: config.durability.is_some(),
-            _net: net,
+            net,
         }
+    }
+
+    /// Per-replica transport counters when this cluster runs over TCP
+    /// ([`with_tcp`](Self::with_tcp)); `None` over the in-process router.
+    pub fn tcp_stats(&self) -> Option<Vec<TcpStatsSnapshot>> {
+        match &self.net {
+            NetBacking::Tcp(eps) => Some(eps.iter().map(TcpEndpoint::stats).collect()),
+            NetBacking::Thread(_) => None,
+        }
+    }
+
+    /// Per-delivery latencies in nanoseconds — one entry per recorded
+    /// apply, `apply stamp − issue stamp` on the shared cluster epoch.
+    /// Meaningful for any single-process cluster (both substrates share
+    /// one monotonic epoch).
+    pub fn delivery_latencies_nanos(&self) -> Vec<u64> {
+        let mut issued: HashMap<UpdateId, u64> = HashMap::new();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for s in shard.lock().iter() {
+                if let ShardEvent::Issue { id, .. } = s.ev {
+                    issued.insert(id, s.nanos);
+                }
+            }
+        }
+        for shard in &self.shards {
+            for s in shard.lock().iter() {
+                if let ShardEvent::Apply { id } = s.ev {
+                    if let Some(&t0) = issued.get(&id) {
+                        out.push(s.nanos.saturating_sub(t0));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Performs a blocking write at replica `r`. A full command channel
@@ -889,14 +1008,261 @@ impl Drop for ThreadedCluster {
     }
 }
 
-/// Everything one replica thread owns.
-struct ReplicaCtx {
+/// One protocol event exported from a node's trace shard, in the node's
+/// own thread order. The multi-process driver assembles per-node event
+/// logs into one global [`Trace`] *topologically* (an apply is placed
+/// after its issue) — wall clocks are not comparable across processes,
+/// so no stamps are exported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// `id` was issued at this node, writing `register`.
+    Issue {
+        /// The new update's id.
+        id: UpdateId,
+        /// The register written.
+        register: RegisterId,
+    },
+    /// `id` was applied at this node.
+    Apply {
+        /// The applied update's id.
+        id: UpdateId,
+    },
+}
+
+/// One replica of a cluster running **in this process**, its peers
+/// reachable over TCP — the per-process unit behind `prcc-node`. Runs
+/// exactly the [`ThreadedCluster`] replica loop (same commands, same
+/// trace shard, same snapshot publishing) with a [`prcc_net::TcpHandle`]
+/// as its transport.
+pub struct NodeRuntime {
+    id: ReplicaId,
+    graph: Arc<ShareGraph>,
+    cmd_tx: Sender<Cmd>,
+    thread: Option<JoinHandle<()>>,
+    shard: Arc<TraceShard>,
+    snapshot: Arc<SnapshotCell>,
+    applied: Arc<AtomicUsize>,
+    pending: Arc<AtomicUsize>,
+    sent: Arc<AtomicUsize>,
+    wire_bytes: Arc<AtomicUsize>,
+    endpoint: TcpEndpoint<SessionFrame<BatchMsg>>,
+}
+
+impl fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("id", &self.id)
+            .field("applied", &self.applied.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl NodeRuntime {
+    /// Starts replica `id` of `graph` on an already-bound listener,
+    /// connecting out to `peers` (every other replica's listen address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` was bound for a different replica id.
+    pub fn start(
+        graph: ShareGraph,
+        config: ClusterConfig,
+        tcp: TcpNetConfig,
+        bound: BoundListener,
+        peers: HashMap<ReplicaId, SocketAddr>,
+    ) -> io::Result<NodeRuntime> {
+        let id = bound.id();
+        let graph = Arc::new(graph);
+        // Every process derives the identical registry from the shared
+        // graph — layout negotiation needs no cross-process exchange.
+        let registry = Arc::new(TsRegistry::new(
+            &graph,
+            TimestampGraphs::build(&graph, LoopConfig::EXHAUSTIVE),
+        ));
+        let mut cfg = tcp;
+        cfg.ingress_depth = config.ingress_depth;
+        let endpoint = TcpEndpoint::start(bound, peers, cfg, cluster_codec(id, registry.clone()))?;
+        let (cmd_tx, cmd_rx) = bounded::<Cmd>(config.channel_depth.max(1));
+        let shard: Arc<TraceShard> = Arc::new(Mutex::new(Vec::new()));
+        let snapshot = Arc::new(SnapshotCell::new(graph.num_replicas()));
+        let applied = Arc::new(AtomicUsize::new(0));
+        let pending = Arc::new(AtomicUsize::new(0));
+        let sent = Arc::new(AtomicUsize::new(0));
+        let wire_bytes = Arc::new(AtomicUsize::new(0));
+        let thread = std::thread::spawn({
+            let graph = graph.clone();
+            let shard = shard.clone();
+            let snapshot = snapshot.clone();
+            let applied = applied.clone();
+            let pending = pending.clone();
+            let sent = sent.clone();
+            let wire_bytes = wire_bytes.clone();
+            let net = endpoint.handle();
+            move || {
+                replica_main(ReplicaCtx {
+                    id,
+                    graph,
+                    registry,
+                    config,
+                    epoch: Instant::now(),
+                    net,
+                    cmds: cmd_rx,
+                    shard,
+                    snapshot,
+                    crashed_flag: Arc::new(AtomicBool::new(false)),
+                    applied_ctr: applied,
+                    pending_ctr: pending,
+                    sent_ctr: sent,
+                    wire_bytes_ctr: wire_bytes,
+                    retransmits_ctr: Arc::new(AtomicUsize::new(0)),
+                    demotions_ctr: Arc::new(AtomicUsize::new(0)),
+                    lost_ctr: Arc::new(AtomicUsize::new(0)),
+                    restarts_ctr: Arc::new(AtomicUsize::new(0)),
+                })
+            }
+        });
+        Ok(NodeRuntime {
+            id,
+            graph,
+            cmd_tx,
+            thread: Some(thread),
+            shard,
+            snapshot,
+            applied,
+            pending,
+            sent,
+            wire_bytes,
+            endpoint,
+        })
+    }
+
+    /// This node's replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The share graph this node runs over.
+    pub fn graph(&self) -> &ShareGraph {
+        &self.graph
+    }
+
+    /// Blocking write of `v` to register `x` at this replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this replica does not store `x` or the runtime has shut
+    /// down.
+    pub fn write(&self, x: RegisterId, v: Value) -> UpdateId {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Cmd::Write {
+                register: x,
+                value: v,
+                reply,
+            })
+            .unwrap_or_else(|_| panic!("write({x}): node {} has shut down", self.id));
+        rx.recv()
+            .unwrap_or_else(|_| panic!("write({x}): node {} replica thread died", self.id))
+    }
+
+    /// Lock-free snapshot read of register `x`.
+    pub fn read(&self, x: RegisterId) -> Option<Value> {
+        self.snapshot.load().get(&x).cloned()
+    }
+
+    /// The full published [`ReplicaView`].
+    pub fn store_snapshot(&self) -> Arc<ReplicaView> {
+        self.snapshot.load()
+    }
+
+    /// Remote updates applied here so far.
+    pub fn total_applied(&self) -> usize {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// Update messages sent from here so far.
+    pub fn total_sent(&self) -> usize {
+        self.sent.load(Ordering::SeqCst)
+    }
+
+    /// Metadata bytes put on the wire so far (wire-codec frame sizes).
+    pub fn total_wire_bytes(&self) -> usize {
+        self.wire_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until this node has applied at least `expected_applies`
+    /// remote updates with nothing parked in pending buffers, stable for
+    /// a grace period. Returns `false` on timeout — the multi-process
+    /// quiescence primitive (each node knows its own expected apply count
+    /// from the shared seeded workload; no cross-process counter exists).
+    pub fn wait_quiescent(&self, expected_applies: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut stable_since = Instant::now();
+        let mut last = usize::MAX;
+        loop {
+            let applied = self.applied.load(Ordering::SeqCst);
+            let drained = applied >= expected_applies && self.pending.load(Ordering::SeqCst) == 0;
+            if applied != last {
+                last = applied;
+                stable_since = Instant::now();
+            } else if drained && stable_since.elapsed() > Duration::from_millis(50) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// This node's protocol events so far, in thread order.
+    pub fn events(&self) -> Vec<NodeEvent> {
+        self.shard
+            .lock()
+            .iter()
+            .map(|s| match s.ev {
+                ShardEvent::Issue { id, register } => NodeEvent::Issue { id, register },
+                ShardEvent::Apply { id } => NodeEvent::Apply { id },
+            })
+            .collect()
+    }
+
+    /// Transport counters for this node's endpoint.
+    pub fn tcp_stats(&self) -> TcpStatsSnapshot {
+        self.endpoint.stats()
+    }
+
+    /// Shuts the node down: flushes queued batches, joins the replica
+    /// thread, and returns the final event log.
+    pub fn shutdown(mut self) -> Vec<NodeEvent> {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.endpoint.shutdown();
+        self.events()
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Everything one replica thread owns. Generic over the [`Transport`]
+/// carrying session frames: [`prcc_net::NodeHandle`] in-process,
+/// [`prcc_net::TcpHandle`] over real sockets — the loop is identical.
+struct ReplicaCtx<T: Transport<Msg = SessionFrame<BatchMsg>>> {
     id: ReplicaId,
     graph: Arc<ShareGraph>,
     registry: Arc<TsRegistry>,
     config: ClusterConfig,
     epoch: Instant,
-    net: NodeHandle<SessionFrame<BatchMsg>>,
+    net: T,
     cmds: Receiver<Cmd>,
     shard: Arc<TraceShard>,
     snapshot: Arc<SnapshotCell>,
@@ -922,11 +1288,11 @@ struct Outq {
 /// (or ships it bare). With a recovery log armed, the batch enters the
 /// durable outbox *before* the network sees it — restart rebuilds the
 /// session sender streams from exactly this history.
-fn ship(
+fn ship<T: Transport<Msg = SessionFrame<BatchMsg>>>(
     msgs: Vec<UpdateMsg>,
     dst: ReplicaId,
     endpoint: &mut Option<SessionEndpoint<BatchMsg>>,
-    net: &NodeHandle<SessionFrame<BatchMsg>>,
+    net: &T,
     now_ms: u64,
     log: &mut Option<RecoveryLog>,
 ) {
@@ -945,7 +1311,7 @@ fn ship(
 /// pending per-destination batches, session endpoint, and the trace
 /// shard for issue stamps. Factored out of the command loop so
 /// [`Cmd::Write`] and [`Cmd::WriteMany`] share one issue path.
-struct TxPath<'a> {
+struct TxPath<'a, T: Transport<Msg = SessionFrame<BatchMsg>>> {
     id: ReplicaId,
     graph: &'a ShareGraph,
     codec: WireCodec,
@@ -956,7 +1322,7 @@ struct TxPath<'a> {
     /// command loop also records deliveries and drives snapshots/recovery
     /// through it.
     log: Option<RecoveryLog>,
-    net: &'a NodeHandle<SessionFrame<BatchMsg>>,
+    net: &'a T,
     epoch: Instant,
     shard: &'a TraceShard,
     shard_seq: u64,
@@ -971,7 +1337,7 @@ struct TxPath<'a> {
     last_retx: usize,
 }
 
-impl TxPath<'_> {
+impl<T: Transport<Msg = SessionFrame<BatchMsg>>> TxPath<'_, T> {
     /// Session timers run on wall-clock milliseconds since the cluster
     /// epoch — the real-timer counterpart of the sim clock.
     fn now_ms(&self) -> u64 {
@@ -1127,7 +1493,7 @@ fn publish_view(snapshot: &SnapshotCell, replica: &Replica, frontier: &[u64]) {
     });
 }
 
-fn replica_main(ctx: ReplicaCtx) {
+fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) {
     let ReplicaCtx {
         id,
         graph,

@@ -32,10 +32,17 @@ pub mod delay;
 pub mod faults;
 pub mod session;
 pub mod sim_net;
+pub mod tcp_net;
 pub mod thread_net;
+pub mod transport;
 
 pub use delay::DelayModel;
 pub use faults::{CrashEvent, FaultAction, FaultPlan, FaultSchedule, LinkOutage};
 pub use session::{SessionConfig, SessionEndpoint, SessionFrame, SessionStats};
 pub use sim_net::{Envelope, NetStats, SimNetwork};
+pub use tcp_net::{
+    pack_zero_runs, unpack_zero_runs, BoundListener, CodecFactory, FrameBuffer, FrameError,
+    LinkCodec, TcpEndpoint, TcpHandle, TcpNetConfig, TcpStatsSnapshot,
+};
 pub use thread_net::{NodeHandle, ThreadNet, TICK};
+pub use transport::Transport;

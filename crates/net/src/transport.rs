@@ -1,0 +1,64 @@
+//! The transport seam between a replica runtime and a message substrate.
+//!
+//! `prcc-core`'s threaded runtime drives its per-replica event loop
+//! through exactly four operations — identity, fire-and-forget send,
+//! non-blocking receive, and bounded blocking receive. [`Transport`]
+//! names that seam so the same loop runs unchanged over
+//! [`ThreadNet`](crate::ThreadNet) handles (in-process, seeded delays and
+//! faults) and [`TcpEndpoint`](crate::TcpEndpoint) handles (real kernel
+//! sockets, one process per replica).
+
+use crate::sim_net::Envelope;
+use crate::thread_net::NodeHandle;
+use prcc_sharegraph::ReplicaId;
+use std::time::Duration;
+
+/// A per-node message endpoint: everything the replica event loop needs
+/// from a network.
+///
+/// Semantics required of implementations:
+///
+/// * `send` never blocks the caller — a backed-up or disconnected peer
+///   surfaces as `false` (loss), which the session layer repairs;
+/// * delivery may reorder, duplicate, or drop messages — the protocol
+///   stack above assumes nothing stronger;
+/// * `try_recv`/`recv_timeout` return messages addressed to this node,
+///   each tagged with its true source.
+pub trait Transport: Send + 'static {
+    /// The message type carried.
+    type Msg;
+
+    /// This node's replica id.
+    fn id(&self) -> ReplicaId;
+
+    /// Sends `msg` to `dst` without blocking. Returns `false` if the
+    /// message was immediately known to be lost (shed on a full queue or
+    /// a shut-down substrate); `true` means *accepted*, not delivered.
+    fn send(&self, dst: ReplicaId, msg: Self::Msg) -> bool;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<Envelope<Self::Msg>>;
+
+    /// Blocking receive with timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<Self::Msg>>;
+}
+
+impl<M: Send + 'static> Transport for NodeHandle<M> {
+    type Msg = M;
+
+    fn id(&self) -> ReplicaId {
+        NodeHandle::id(self)
+    }
+
+    fn send(&self, dst: ReplicaId, msg: M) -> bool {
+        NodeHandle::send(self, dst, msg)
+    }
+
+    fn try_recv(&self) -> Option<Envelope<M>> {
+        NodeHandle::try_recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        NodeHandle::recv_timeout(self, timeout)
+    }
+}

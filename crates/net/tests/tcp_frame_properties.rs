@@ -1,0 +1,147 @@
+//! Fuzz/property tests for the TCP frame reassembly path: arbitrary
+//! split points, short reads, mid-frame disconnects, and garbage
+//! prefixes must never corrupt decoder state — the same transactional
+//! rejection discipline as the wire codec's `DecodeError`.
+
+use prcc_net::{pack_zero_runs, unpack_zero_runs, FrameBuffer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Serializes `bodies` as length-prefixed frames on one wire image.
+fn frame_stream(bodies: &[Vec<u8>]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for body in bodies {
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(body);
+    }
+    wire
+}
+
+/// Feeds `wire` to `fb` in chunks cut at `splits`, collecting every
+/// complete frame.
+fn feed_in_chunks(fb: &mut FrameBuffer, wire: &[u8], splits: &[usize]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (wire.len() + 1)).collect();
+    cuts.push(0);
+    cuts.push(wire.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        fb.extend(&wire[w[0]..w[1]]);
+        while let Ok(Some(frame)) = fb.next_frame() {
+            out.push(frame);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Any chunking of a valid frame stream reassembles to exactly the
+    /// original frame sequence, regardless of where the reads split.
+    #[test]
+    fn reassembly_is_split_invariant(
+        seed in 0u64..1_000_000,
+        nframes in 0usize..12,
+        splits in proptest::collection::vec(0usize..4096, 0..24),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bodies: Vec<Vec<u8>> = (0..nframes)
+            .map(|_| {
+                let len = rng.gen_range(0usize..200);
+                (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+            })
+            .collect();
+        let wire = frame_stream(&bodies);
+        let mut fb = FrameBuffer::new(1 << 16);
+        let got = feed_in_chunks(&mut fb, &wire, &splits);
+        prop_assert_eq!(got, bodies);
+        prop_assert_eq!(fb.pending(), 0);
+        prop_assert!(!fb.is_poisoned());
+    }
+
+    /// A mid-frame disconnect (truncated tail) yields exactly the frames
+    /// that completed; the partial frame never surfaces and the buffer
+    /// stays clean for the bytes it did get.
+    #[test]
+    fn truncated_tail_yields_only_complete_frames(
+        seed in 0u64..1_000_000,
+        nframes in 1usize..8,
+        cut_back in 1usize..64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bodies: Vec<Vec<u8>> = (0..nframes)
+            .map(|_| {
+                let len = rng.gen_range(1usize..100);
+                (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+            })
+            .collect();
+        let wire = frame_stream(&bodies);
+        let cut = wire.len().saturating_sub(cut_back % wire.len());
+        let mut fb = FrameBuffer::new(1 << 16);
+        let got = feed_in_chunks(&mut fb, &wire[..cut], &[]);
+        // Every surfaced frame is a true prefix of the original sequence.
+        prop_assert!(got.len() <= bodies.len());
+        prop_assert_eq!(&got[..], &bodies[..got.len()]);
+        prop_assert!(!fb.is_poisoned());
+    }
+
+    /// Garbage prefixes either stall (incomplete) or poison the buffer —
+    /// `next_frame` never panics, never allocates past the cap, and a
+    /// poisoned buffer stays rejected.
+    #[test]
+    fn garbage_never_corrupts_or_overallocates(
+        garbage_w in proptest::collection::vec(0u32..256, 0..512),
+        splits in proptest::collection::vec(0usize..512, 0..8),
+    ) {
+        let garbage: Vec<u8> = garbage_w.iter().map(|&b| b as u8).collect();
+        let max = 1 << 12;
+        let mut fb = FrameBuffer::new(max);
+        let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (garbage.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(garbage.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut poisoned = false;
+        for w in cuts.windows(2) {
+            fb.extend(&garbage[w[0]..w[1]]);
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(frame)) => prop_assert!(frame.len() <= max),
+                    Ok(None) => break,
+                    Err(_) => { poisoned = true; break; }
+                }
+            }
+            if poisoned { break; }
+        }
+        if poisoned {
+            prop_assert!(fb.is_poisoned());
+            fb.extend(&[1, 2, 3]);
+            prop_assert!(fb.next_frame().is_err(), "poison must be sticky");
+        }
+    }
+
+    /// Zero-run packing round-trips arbitrary bytes exactly.
+    #[test]
+    fn zero_run_roundtrip(data_w in proptest::collection::vec(0u32..256, 0..2048)) {
+        let data: Vec<u8> = data_w.iter().map(|&b| b as u8).collect();
+        let mut packed = Vec::new();
+        pack_zero_runs(&data, &mut packed);
+        let mut unpacked = Vec::new();
+        unpack_zero_runs(&packed, &mut unpacked, data.len()).unwrap();
+        prop_assert_eq!(unpacked, data);
+    }
+
+    /// Unpacking arbitrary garbage never panics and never exceeds the
+    /// caller's bound.
+    #[test]
+    fn zero_run_unpack_is_bounded(
+        data_w in proptest::collection::vec(0u32..256, 0..512),
+        max in 0usize..256,
+    ) {
+        let data: Vec<u8> = data_w.iter().map(|&b| b as u8).collect();
+        let mut out = Vec::new();
+        let _ = unpack_zero_runs(&data, &mut out, max);
+        prop_assert!(out.len() <= max, "unpack exceeded its bound even on error");
+    }
+}

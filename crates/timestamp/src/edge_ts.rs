@@ -54,6 +54,14 @@ pub struct EdgeTimestamp {
 }
 
 impl EdgeTimestamp {
+    /// Reassembles a timestamp from its owner and raw counter values
+    /// (aligned with `E_i`'s sorted edge order) — the inverse of
+    /// [`EdgeTimestamp::values`], used by transports that ship raw-mode
+    /// timestamps across address spaces.
+    pub fn from_parts(replica: ReplicaId, values: Vec<u64>) -> Self {
+        EdgeTimestamp { replica, values }
+    }
+
     /// The replica this timestamp belongs to.
     pub fn replica(&self) -> ReplicaId {
         self.replica

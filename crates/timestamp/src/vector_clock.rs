@@ -37,6 +37,13 @@ impl VectorClock {
         }
     }
 
+    /// Reassembles a clock from raw per-replica values — the inverse of
+    /// [`VectorClock::values`], used by transports that ship clocks
+    /// across address spaces.
+    pub fn from_values(values: Vec<u64>) -> Self {
+        VectorClock { values }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.values.len()

@@ -461,8 +461,57 @@ impl PairLayout {
         next: &mut Vec<u64>,
     ) -> usize {
         let start = buf.len();
+        let ep = &self.explicit_positions;
         // Steady-state deltas are overwhelmingly one byte; reserve for
         // that case so the loop almost never grows the buffer.
+        buf.reserve(ep.len() + 8);
+        next.clear();
+        next.reserve(ep.len());
+        // Chunks of 8: when every zig-zag delta in the chunk fits one
+        // LEB128 byte (the steady state), the whole chunk lands with a
+        // single 8-byte extend — branch-free per element, and the
+        // all-small test is one OR-reduction the compiler vectorizes.
+        let mut j = 0;
+        while j + 8 <= ep.len() {
+            let mut z = [0u64; 8];
+            let mut all = 0u64;
+            for (k, zk) in z.iter_mut().enumerate() {
+                let v = full[ep[j + k]];
+                *zk = encode_delta(prev[j + k], v);
+                all |= *zk;
+                next.push(v);
+            }
+            if all < 0x80 {
+                let bytes = z.map(|d| d as u8);
+                buf.extend_from_slice(&bytes);
+            } else {
+                for &zk in &z {
+                    write_varint(buf, zk);
+                }
+            }
+            j += 8;
+        }
+        while j < ep.len() {
+            let v = full[ep[j]];
+            write_varint(buf, encode_delta(prev[j], v));
+            next.push(v);
+            j += 1;
+        }
+        buf.len() - start
+    }
+
+    /// The pre-chunking scalar body of [`PairLayout::encode_frame`], kept
+    /// as the byte-identical reference for differential tests and the
+    /// `varint` micro-bench.
+    #[doc(hidden)]
+    pub fn encode_frame_scalar(
+        &self,
+        prev: &[u64],
+        full: &[u64],
+        buf: &mut Vec<u8>,
+        next: &mut Vec<u64>,
+    ) -> usize {
+        let start = buf.len();
         buf.reserve(self.explicit_positions.len() + 8);
         next.clear();
         next.reserve(self.explicit_positions.len());
@@ -490,6 +539,65 @@ impl PairLayout {
     ///
     /// Panics if `prev` is shorter than the explicit count.
     pub fn decode_frame(
+        &self,
+        prev: &[u64],
+        frame: &[u8],
+        pos: &mut usize,
+        next: &mut Vec<u64>,
+    ) -> Result<Vec<u64>, DecodeError> {
+        let mut slice = vec![0u64; self.common_len()];
+        next.clear();
+        next.reserve(self.explicit.len());
+        let n = self.explicit.len();
+        let mut j = 0;
+        // Chunks of 8: a block of 8 continuation-free bytes is 8 complete
+        // one-byte varints (a one-byte varint is exactly a byte < 0x80),
+        // so the steady state decodes with one OR-reduction test and no
+        // per-byte branches.
+        while j + 8 <= n {
+            if let Some(chunk) = frame.get(*pos..*pos + 8) {
+                let all = chunk.iter().fold(0u8, |a, &b| a | b);
+                if all < 0x80 {
+                    for (k, &b) in chunk.iter().enumerate() {
+                        let v = decode_delta(prev[j + k], u64::from(b));
+                        next.push(v);
+                        slice[self.explicit[j + k]] = v;
+                    }
+                    *pos += 8;
+                    j += 8;
+                    continue;
+                }
+            }
+            // Probe miss: some varint in this chunk carries a
+            // continuation byte. Decode the whole chunk scalar before
+            // probing again, so a continuation-heavy frame pays one
+            // probe per 8 entries rather than one per entry.
+            for _ in 0..8 {
+                let offset = *pos;
+                let z = read_varint(frame, pos).ok_or(DecodeError::BadVarint { offset })?;
+                let v = decode_delta(prev[j], z);
+                next.push(v);
+                slice[self.explicit[j]] = v;
+                j += 1;
+            }
+        }
+        while j < n {
+            let offset = *pos;
+            let z = read_varint(frame, pos).ok_or(DecodeError::BadVarint { offset })?;
+            let v = decode_delta(prev[j], z);
+            next.push(v);
+            slice[self.explicit[j]] = v;
+            j += 1;
+        }
+        self.reconstruct(&mut slice)?;
+        Ok(slice)
+    }
+
+    /// The pre-chunking scalar body of [`PairLayout::decode_frame`], kept
+    /// as the byte-identical reference for differential tests and the
+    /// `varint` micro-bench.
+    #[doc(hidden)]
+    pub fn decode_frame_scalar(
         &self,
         prev: &[u64],
         frame: &[u8],

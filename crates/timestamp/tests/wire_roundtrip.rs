@@ -119,6 +119,72 @@ proptest! {
         assert_roundtrip(&layout, &frames);
     }
 
+    /// The chunked (8-wide fast path) frame encoder and decoder are
+    /// byte-identical to the scalar reference on arbitrary layouts and
+    /// frame sequences — small steady-state deltas, multi-byte spikes,
+    /// and `u64::MAX` swings alike.
+    #[test]
+    fn chunked_frame_codec_matches_scalar(
+        len in 1usize..40,
+        num_frames in 1usize..6,
+        seed in 0u64..1_000_000,
+        spiky in 0usize..2,
+    ) {
+        let layout = PairLayout::identity((0..len).collect());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prev = vec![0u64; len];
+        for _ in 0..num_frames {
+            let full: Vec<u64> = (0..len)
+                .map(|_| {
+                    if spiky == 1 && rng.gen_range(0u32..8) == 0 {
+                        rng.gen_range(0..u64::MAX)
+                    } else {
+                        rng.gen_range(0u64..64)
+                    }
+                })
+                .collect();
+            let (mut fast, mut slow) = (Vec::new(), Vec::new());
+            let (mut next_f, mut next_s) = (Vec::new(), Vec::new());
+            let nf = layout.encode_frame(&prev, &full, &mut fast, &mut next_f);
+            let ns = layout.encode_frame_scalar(&prev, &full, &mut slow, &mut next_s);
+            prop_assert_eq!(nf, ns);
+            prop_assert_eq!(&fast, &slow, "chunked encode changed the bytes");
+            prop_assert_eq!(&next_f, &next_s);
+            let (mut pos_f, mut pos_s) = (0usize, 0usize);
+            let (mut dn_f, mut dn_s) = (Vec::new(), Vec::new());
+            let df = layout.decode_frame(&prev, &fast, &mut pos_f, &mut dn_f);
+            let ds = layout.decode_frame_scalar(&prev, &slow, &mut pos_s, &mut dn_s);
+            prop_assert_eq!(df.as_ref().expect("decode"), &full);
+            prop_assert_eq!(df, ds);
+            prop_assert_eq!(pos_f, pos_s);
+            prop_assert_eq!(&dn_f, &dn_s);
+            prev = next_f;
+        }
+    }
+
+    /// Chunked decode rejects exactly what scalar decode rejects on
+    /// mutated frames, and both leave `pos`/state reusable.
+    #[test]
+    fn chunked_decode_rejects_like_scalar(
+        len in 8usize..24,
+        seed in 0u64..1_000_000,
+        chop in 1usize..8,
+    ) {
+        let layout = PairLayout::identity((0..len).collect());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prev = vec![0u64; len];
+        let full: Vec<u64> = (0..len).map(|_| rng.gen_range(0..u64::MAX)).collect();
+        let (mut buf, mut next) = (Vec::new(), Vec::new());
+        layout.encode_frame(&prev, &full, &mut buf, &mut next);
+        let cut = buf.len().saturating_sub(chop);
+        let truncated = &buf[..cut];
+        let (mut pos_f, mut pos_s) = (0usize, 0usize);
+        let (mut dn_f, mut dn_s) = (Vec::new(), Vec::new());
+        let df = layout.decode_frame(&prev, truncated, &mut pos_f, &mut dn_f);
+        let ds = layout.decode_frame_scalar(&prev, truncated, &mut pos_s, &mut dn_s);
+        prop_assert_eq!(df.is_err(), ds.is_err());
+    }
+
     /// Layouts with derived rows: random own-edge register sets (some
     /// linearly dependent, some not — the builder decides and verifies)
     /// with values that respect the sender-maintained linear relations.

@@ -1,0 +1,45 @@
+//! Multi-process differential gate: `prcc-node --launch` spawns real OS
+//! processes connected over loopback TCP, and its driver asserts the
+//! stores are byte-identical to the in-process oracle and the merged
+//! cross-process trace is causally consistent. This test just drives
+//! the binary and checks its verdict — the heavy lifting (and the
+//! precise failure diagnostics) live in the driver itself.
+
+use std::process::Command;
+
+fn launch(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_prcc-node"))
+        .args(args)
+        .output()
+        .expect("prcc-node must spawn");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "prcc-node {args:?} failed\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    stdout
+}
+
+#[test]
+fn three_process_loopback_matches_oracle() {
+    let json = launch(&["--launch", "3", "--rounds", "4"]);
+    assert!(json.contains("\"stores_match\": true"), "{json}");
+    assert!(json.contains("\"consistent\": true"), "{json}");
+    assert!(json.contains("\"ok\": true"), "{json}");
+}
+
+#[test]
+fn four_process_clique_compressed_matches_oracle() {
+    let json = launch(&[
+        "--launch",
+        "4",
+        "--topology",
+        "clique:4x2",
+        "--wire",
+        "compressed",
+        "--rounds",
+        "3",
+    ]);
+    assert!(json.contains("\"ok\": true"), "{json}");
+}
