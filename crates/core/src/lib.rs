@@ -47,6 +47,7 @@ pub mod routed_general;
 pub mod runtime;
 pub mod serving;
 pub mod stats;
+pub mod store_cow;
 pub mod system;
 pub mod tracker;
 pub mod value;
@@ -69,6 +70,7 @@ pub use serving::{
     Collected, ServingConfig, ServingError, ServingStats, ServingTier, ServingWorker,
 };
 pub use stats::LatencyStats;
+pub use store_cow::{CowStore, Entry, SharedShards, StoreMode};
 pub use system::{BatchPolicy, System, SystemBuilder, SystemMetrics, TrackerKind};
 pub use tracker::{CausalityTracker, EdgeTracker, FullDepsTracker, ReadyCheck, VcTracker};
 pub use value::Value;

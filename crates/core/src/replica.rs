@@ -26,6 +26,7 @@
 //! `pending_drain` bench in `prcc-bench` measures the gap.
 
 use crate::message::UpdateMsg;
+use crate::store_cow::CowStore;
 use crate::tracker::{CausalityTracker, ReadyCheck};
 use crate::value::Value;
 use prcc_checker::UpdateId;
@@ -143,11 +144,10 @@ pub struct Replica {
     /// Registers actually stored here (data, not dummies).
     stores: prcc_sharegraph::RegSet,
     tracker: Box<dyn CausalityTracker>,
-    store: HashMap<RegisterId, Value>,
-    /// Which update produced the current value of each stored register —
-    /// the provenance the serving tier's session-guarantee fast path
-    /// reads from published snapshots.
-    store_src: HashMap<RegisterId, UpdateId>,
+    /// Value + provenance, sharded for O(Δ) copy-on-write publishes
+    /// (the provenance is what the serving tier's session-guarantee
+    /// fast path reads from published snapshots).
+    store: CowStore,
     mode: PendingMode,
     /// Scan mode: buffered updates in arrival order.
     pending: Vec<Parked>,
@@ -197,10 +197,9 @@ impl Replica {
     ) -> Self {
         Replica {
             id,
+            store: CowStore::new(stores.len()),
             stores,
             tracker,
-            store: HashMap::new(),
-            store_src: HashMap::new(),
             mode,
             pending: Vec::new(),
             wakeup: WakeupIndex::default(),
@@ -219,22 +218,29 @@ impl Replica {
 
     /// Step 1: serve a local read.
     pub fn read(&self, x: RegisterId) -> Option<&Value> {
-        self.store.get(&x)
+        self.store.get(x)
     }
 
-    /// A full clone of the local store. The threaded runtime publishes
-    /// this as an immutable read snapshot after every state change, so
-    /// reader threads never have to enqueue into the replica thread.
+    /// A full clone of the local store. The threaded runtime's
+    /// [`StoreMode::Clone`](crate::StoreMode) oracle publishes this as
+    /// an immutable read snapshot after every state change; the default
+    /// COW path shares shards via [`Replica::store_cow`] instead.
     pub fn store_snapshot(&self) -> HashMap<RegisterId, Value> {
-        self.store.clone()
+        self.store.flat_store()
     }
 
     /// Per-register provenance: the update whose value each stored
     /// register currently holds. Registers written through the routed
     /// protocol's payload path ([`Replica::store_local`]) have no entry —
     /// their producing update is not known to this replica.
-    pub fn store_src(&self) -> &HashMap<RegisterId, UpdateId> {
-        &self.store_src
+    pub fn store_src(&self) -> HashMap<RegisterId, UpdateId> {
+        self.store.flat_src()
+    }
+
+    /// The sharded copy-on-write store itself — the threaded runtime
+    /// publishes O(Δ) snapshots from it via [`CowStore::share`].
+    pub fn store_cow(&self) -> &CowStore {
+        &self.store
     }
 
     /// True if this replica stores `x` (as data).
@@ -262,13 +268,13 @@ impl Replica {
                 replica: self.id,
             });
         }
-        self.store.insert(x, v.clone());
-        self.store_src.insert(
+        self.store.insert(
             x,
-            UpdateId {
+            v.clone(),
+            Some(UpdateId {
                 issuer: self.id,
                 seq: self.next_seq,
-            },
+            }),
         );
         let meta = std::sync::Arc::new(self.tracker.on_local_write(x));
         let msg = UpdateMsg {
@@ -461,13 +467,13 @@ impl Replica {
     fn apply_store(&mut self, m: &UpdateMsg) {
         if let Some(v) = &m.value {
             if self.stores.contains(m.register) {
-                self.store.insert(m.register, v.clone());
-                self.store_src.insert(
+                self.store.insert(
                     m.register,
-                    UpdateId {
+                    v.clone(),
+                    Some(UpdateId {
                         issuer: m.issuer,
                         seq: m.seq,
-                    },
+                    }),
                 );
             }
         }
@@ -479,8 +485,7 @@ impl Replica {
     /// updates). Clears the provenance entry: the producing update is
     /// unknown on this path.
     pub(crate) fn store_local(&mut self, x: RegisterId, v: Value) {
-        self.store.insert(x, v);
-        self.store_src.remove(&x);
+        self.store.insert(x, v, None);
     }
 
     /// Number of updates applied from remote replicas.

@@ -38,10 +38,11 @@ use crate::message::{BatchMsg, UpdateMsg};
 use crate::netframe::cluster_codec;
 use crate::recovery::RecoveryLog;
 use crate::replica::Replica;
+use crate::store_cow::{SharedShards, StoreMode};
 use crate::system::BatchPolicy;
 use crate::tracker::{CausalityTracker, EdgeTracker};
 use crate::value::Value;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use prcc_checker::{check, CheckReport, Trace, UpdateId};
 use prcc_net::{
@@ -50,7 +51,7 @@ use prcc_net::{
 };
 use prcc_sharegraph::{LoopConfig, RegisterId, ReplicaId, ShareGraph, TimestampGraphs};
 use prcc_timestamp::TsRegistry;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::io;
 use std::net::SocketAddr;
@@ -95,6 +96,18 @@ pub struct ClusterConfig {
     /// shipping so every acknowledged write reaches the durable outbox
     /// before its ack — the ack-after-durable discipline.
     pub durability: Option<usize>,
+    /// How publishes materialise snapshots: sharded copy-on-write
+    /// (O(Δ) per publish, the default) or the original clone-the-world
+    /// oracle ([`StoreMode::Clone`], O(store) per publish).
+    pub store: StoreMode,
+    /// Pipelines each replica loop into an apply thread plus an I/O
+    /// thread (encode / ship / session / decode off the critical path).
+    /// On by default; a replica falls back to the single-threaded inline
+    /// loop whenever durability is armed (the WAL must observe sends in
+    /// issue order), so every crash-bearing configuration runs inline
+    /// and piped crash commands are the same no-op the inline loop
+    /// performs without a WAL.
+    pub pipeline: bool,
 }
 
 impl Default for ClusterConfig {
@@ -108,6 +121,8 @@ impl Default for ClusterConfig {
             channel_depth: 1024,
             ingress_depth: 4096,
             durability: None,
+            store: StoreMode::default(),
+            pipeline: true,
         }
     }
 }
@@ -267,27 +282,85 @@ fn merge_shards(shards: &[Arc<TraceShard>]) -> Trace {
 /// read-your-writes / monotonic-reads test that needs no replica lock.
 #[derive(Debug, Clone, Default)]
 pub struct ReplicaView {
-    store: HashMap<RegisterId, Value>,
-    src: HashMap<RegisterId, UpdateId>,
+    repr: ViewRepr,
     frontier: Vec<u64>,
 }
 
+/// How a published view holds its store. `Flat` is the
+/// [`StoreMode::Clone`] oracle (deep-cloned maps, O(store) to build);
+/// `Shards` is the default O(Δ) path sharing shard `Arc`s with the live
+/// [`CowStore`]. Readers can't tell them apart — same `get` /
+/// `source_of` / `covers` answers, same torn-read impossibility (both
+/// reprs are immutable once published).
+#[derive(Debug, Clone)]
+enum ViewRepr {
+    Flat {
+        store: HashMap<RegisterId, Value>,
+        src: HashMap<RegisterId, UpdateId>,
+    },
+    Shards(SharedShards),
+}
+
+impl Default for ViewRepr {
+    fn default() -> Self {
+        ViewRepr::Flat {
+            store: HashMap::new(),
+            src: HashMap::new(),
+        }
+    }
+}
+
 impl ReplicaView {
-    /// The published value of `x`, if any.
-    pub fn get(&self, x: &RegisterId) -> Option<&Value> {
-        self.store.get(x)
+    /// Captures `replica`'s store per `mode`, paired with the applied
+    /// frontier that vouches for it. This is the single publish
+    /// constructor: the threaded runtime, the lockstep oracle, and the
+    /// publish microbench all build views through it.
+    pub fn capture(replica: &Replica, mode: StoreMode, frontier: Vec<u64>) -> Self {
+        let repr = match mode {
+            StoreMode::Cow => ViewRepr::Shards(replica.store_cow().share()),
+            StoreMode::Clone => ViewRepr::Flat {
+                store: replica.store_snapshot(),
+                src: replica.store_src(),
+            },
+        };
+        ReplicaView { repr, frontier }
     }
 
-    /// The full published store.
-    pub fn store(&self) -> &HashMap<RegisterId, Value> {
-        &self.store
+    /// The published value of `x`, if any.
+    pub fn get(&self, x: &RegisterId) -> Option<&Value> {
+        match &self.repr {
+            ViewRepr::Flat { store, .. } => store.get(x),
+            ViewRepr::Shards(s) => s.get(*x),
+        }
+    }
+
+    /// The full published store, collected into a flat map.
+    pub fn store(&self) -> HashMap<RegisterId, Value> {
+        match &self.repr {
+            ViewRepr::Flat { store, .. } => store.clone(),
+            ViewRepr::Shards(s) => s.iter().map(|(x, e)| (*x, e.value.clone())).collect(),
+        }
     }
 
     /// The update that produced the published value of `x` (absent for
     /// unwritten registers and routed-payload writes, whose producing
     /// update is unknown).
     pub fn source_of(&self, x: RegisterId) -> Option<UpdateId> {
-        self.src.get(&x).copied()
+        match &self.repr {
+            ViewRepr::Flat { src, .. } => src.get(&x).copied(),
+            ViewRepr::Shards(s) => s.src_of(x),
+        }
+    }
+
+    /// `(aliased, total)` physically shared store shards between two
+    /// COW-published views; `None` unless both views were published by
+    /// the [`StoreMode::Cow`] path. The shard-aliasing non-vacuity test
+    /// uses this to prove consecutive publishes skip untouched shards.
+    pub fn shards_shared_with(&self, other: &ReplicaView) -> Option<(usize, usize)> {
+        match (&self.repr, &other.repr) {
+            (ViewRepr::Shards(a), ViewRepr::Shards(b)) => Some(a.shards_shared_with(b)),
+            _ => None,
+        }
     }
 
     /// True if this view's issuer frontier includes update `u` — the
@@ -319,8 +392,7 @@ impl SnapshotCell {
     fn new(num_replicas: usize) -> Self {
         SnapshotCell {
             view: RwLock::new(Arc::new(ReplicaView {
-                store: HashMap::new(),
-                src: HashMap::new(),
+                repr: ViewRepr::default(),
                 frontier: vec![0; num_replicas],
             })),
             version: AtomicU64::new(0),
@@ -602,7 +674,8 @@ impl ThreadedCluster {
             let demotions = demotions.clone();
             let lost = lost.clone();
             let restarts = restarts.clone();
-            threads.push(std::thread::spawn(move || {
+            let builder = std::thread::Builder::new().name(format!("apply-{}", i.raw()));
+            let handle_t = builder.spawn(move || {
                 replica_main(ReplicaCtx {
                     id: i,
                     graph,
@@ -623,7 +696,8 @@ impl ThreadedCluster {
                     lost_ctr: lost,
                     restarts_ctr: restarts,
                 })
-            }));
+            });
+            threads.push(handle_t.expect("spawn replica apply thread"));
         }
         // The fault driver: walks the scripted crash/restart timeline on
         // the shared wall-clock tick and injects the events as commands.
@@ -1307,93 +1381,51 @@ fn ship<T: Transport<Msg = SessionFrame<BatchMsg>>>(
     net.send(dst, frame);
 }
 
-/// The sender-side transmit path one replica thread owns: wire codec,
-/// pending per-destination batches, session endpoint, and the trace
-/// shard for issue stamps. Factored out of the command loop so
-/// [`Cmd::Write`] and [`Cmd::WriteMany`] share one issue path.
-struct TxPath<'a, T: Transport<Msg = SessionFrame<BatchMsg>>> {
+/// The encode-and-ship half of a replica's transmit path: wire codec,
+/// pending per-destination batches, session endpoint, and the network
+/// handle. Owned by the replica thread in the inline loop (inside
+/// [`TxPath`]) and by the dedicated I/O thread in the pipelined loop —
+/// per-pair codec delta state never crosses threads either way.
+struct FanoutPath<T: Transport<Msg = SessionFrame<BatchMsg>>> {
     id: ReplicaId,
-    graph: &'a ShareGraph,
     codec: WireCodec,
     outq: HashMap<ReplicaId, Outq>,
     endpoint: Option<SessionEndpoint<BatchMsg>>,
-    /// Durable recovery log, when armed. Owned here because the WAL's
-    /// outbox entries are written on the transmit path (`ship`), but the
-    /// command loop also records deliveries and drives snapshots/recovery
-    /// through it.
-    log: Option<RecoveryLog>,
-    net: &'a T,
+    net: T,
     epoch: Instant,
-    shard: &'a TraceShard,
-    shard_seq: u64,
     batch: BatchPolicy,
     eager: bool,
     flush_window: Duration,
-    sent_ctr: &'a AtomicUsize,
-    wire_bytes_ctr: &'a AtomicUsize,
-    demotions_ctr: &'a AtomicUsize,
-    retransmits_ctr: &'a AtomicUsize,
+    wire_bytes_ctr: Arc<AtomicUsize>,
+    demotions_ctr: Arc<AtomicUsize>,
+    retransmits_ctr: Arc<AtomicUsize>,
     last_demotions: usize,
     last_retx: usize,
 }
 
-impl<T: Transport<Msg = SessionFrame<BatchMsg>>> TxPath<'_, T> {
+impl<T: Transport<Msg = SessionFrame<BatchMsg>>> FanoutPath<T> {
     /// Session timers run on wall-clock milliseconds since the cluster
     /// epoch — the real-timer counterpart of the sim clock.
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
     }
 
-    fn ship(&mut self, msgs: Vec<UpdateMsg>, dst: ReplicaId) {
+    fn ship(&mut self, msgs: Vec<UpdateMsg>, dst: ReplicaId, log: &mut Option<RecoveryLog>) {
         let now_ms = self.now_ms();
-        ship(
-            msgs,
-            dst,
-            &mut self.endpoint,
-            self.net,
-            now_ms,
-            &mut self.log,
-        );
+        ship(msgs, dst, &mut self.endpoint, &self.net, now_ms, log);
     }
 
-    /// Issues one write at `replica`, stamps the issue, and fans the
-    /// update out to the register's other holders (batched or eager per
-    /// policy). Returns the new update's id. Does *not* publish a
-    /// snapshot — the caller publishes once per command, which is what
-    /// makes [`Cmd::WriteMany`] cheap.
-    fn issue(&mut self, replica: &mut Replica, register: RegisterId, value: Value) -> UpdateId {
-        let recipients: Vec<ReplicaId> = self
-            .graph
-            .placement()
-            .holders(register)
-            .iter()
-            .copied()
-            .filter(|&h| h != self.id)
-            .collect();
-        // Write-ahead: the WAL entry lands before the write executes or
-        // any ack can escape (crashes are injected at command
-        // granularity, so the entry and the state change are atomic).
-        if let Some(lg) = self.log.as_mut() {
-            lg.record_own_write(register, value.clone());
-        }
-        let (msg, recipients) = replica
-            .write(register, value, recipients)
-            .unwrap_or_else(|e| panic!("{e}"));
-        let uid = UpdateId {
-            issuer: self.id,
-            seq: msg.seq,
-        };
-        // Stamp the issue *before* any send: the shard merge relies on
-        // issue stamps preceding all apply stamps.
-        self.shard.lock().push(Stamped {
-            nanos: self.epoch.elapsed().as_nanos() as u64,
-            seq: self.shard_seq,
-            ev: ShardEvent::Issue { id: uid, register },
-        });
-        self.shard_seq += 1;
-        // Encode-once fan-out: the metadata `Arc` (or its per-pair
-        // projected frame) is shared, not cloned, and identical pair
-        // streams share one varint pass.
+    /// Encodes `msg` for each recipient and ships it (eager) or
+    /// coalesces it into the per-destination batch. Encode-once
+    /// fan-out: the metadata `Arc` (or its per-pair projected frame) is
+    /// shared, not cloned, and identical pair streams share one varint
+    /// pass.
+    fn fanout(
+        &mut self,
+        msg: &UpdateMsg,
+        recipients: Vec<ReplicaId>,
+        log: &mut Option<RecoveryLog>,
+    ) {
         let metas = self.codec.encode_fanout(self.id, &recipients, &msg.meta);
         let demoted = self.codec.stats().demotions;
         if demoted > self.last_demotions {
@@ -1404,7 +1436,6 @@ impl<T: Transport<Msg = SessionFrame<BatchMsg>>> TxPath<'_, T> {
             self.last_demotions = demoted;
         }
         for (dst, meta) in recipients.into_iter().zip(metas) {
-            self.sent_ctr.fetch_add(1, Ordering::SeqCst);
             let m = UpdateMsg {
                 meta,
                 ..msg.clone()
@@ -1412,7 +1443,7 @@ impl<T: Transport<Msg = SessionFrame<BatchMsg>>> TxPath<'_, T> {
             self.wire_bytes_ctr
                 .fetch_add(m.meta.size_bytes(), Ordering::SeqCst);
             if self.eager {
-                self.ship(vec![m], dst);
+                self.ship(vec![m], dst, log);
             } else {
                 let q = self.outq.entry(dst).or_insert_with(|| Outq {
                     msgs: Vec::new(),
@@ -1423,16 +1454,15 @@ impl<T: Transport<Msg = SessionFrame<BatchMsg>>> TxPath<'_, T> {
                 q.msgs.push(m);
                 if q.msgs.len() >= self.batch.batch_count || q.bytes >= self.batch.batch_bytes {
                     let q = self.outq.remove(&dst).expect("slot just filled");
-                    self.ship(q.msgs, dst);
+                    self.ship(q.msgs, dst, log);
                 }
             }
         }
-        uid
     }
 
     /// Ships batches whose coalescing window has closed. Returns true
     /// when nothing remains queued (the thread may doze).
-    fn flush_due(&mut self) -> bool {
+    fn flush_due(&mut self, log: &mut Option<RecoveryLog>) -> bool {
         if self.outq.is_empty() {
             return true;
         }
@@ -1445,17 +1475,17 @@ impl<T: Transport<Msg = SessionFrame<BatchMsg>>> TxPath<'_, T> {
             .collect();
         for dst in due {
             let q = self.outq.remove(&dst).expect("due batch present");
-            self.ship(q.msgs, dst);
+            self.ship(q.msgs, dst, log);
         }
         // Stay hot while a batch is waiting for its window.
         self.outq.is_empty()
     }
 
     /// Flushes every unshipped batch so nothing queued is lost.
-    fn flush_all(&mut self) {
+    fn flush_all(&mut self, log: &mut Option<RecoveryLog>) {
         let outq = std::mem::take(&mut self.outq);
         for (dst, q) in outq {
-            self.ship(q.msgs, dst);
+            self.ship(q.msgs, dst, log);
         }
     }
 
@@ -1482,18 +1512,210 @@ impl<T: Transport<Msg = SessionFrame<BatchMsg>>> TxPath<'_, T> {
     }
 }
 
+/// The full single-threaded transmit path of the inline loop: issue
+/// (WAL + write + stamp) fused with [`FanoutPath`] encode/ship, plus
+/// the durable log the command loop also records deliveries through.
+/// Factored out of the command loop so [`Cmd::Write`] and
+/// [`Cmd::WriteMany`] share one issue path.
+struct TxPath<'a, T: Transport<Msg = SessionFrame<BatchMsg>>> {
+    fan: FanoutPath<T>,
+    graph: &'a ShareGraph,
+    /// Durable recovery log, when armed. Owned here because the WAL's
+    /// outbox entries are written on the transmit path (`ship`), but the
+    /// command loop also records deliveries and drives snapshots/recovery
+    /// through it.
+    log: Option<RecoveryLog>,
+    shard: &'a TraceShard,
+    shard_seq: u64,
+    sent_ctr: &'a AtomicUsize,
+}
+
+impl<T: Transport<Msg = SessionFrame<BatchMsg>>> TxPath<'_, T> {
+    /// Issues one write at `replica`, stamps the issue, and fans the
+    /// update out to the register's other holders (batched or eager per
+    /// policy). Returns the new update's id. Does *not* publish a
+    /// snapshot — the caller publishes once per drain burst, which is
+    /// what makes bursts cheap.
+    fn issue(&mut self, replica: &mut Replica, register: RegisterId, value: Value) -> UpdateId {
+        // Write-ahead: the WAL entry lands before the write executes or
+        // any ack can escape (crashes are injected at command
+        // granularity, so the entry and the state change are atomic).
+        if let Some(lg) = self.log.as_mut() {
+            lg.record_own_write(register, value.clone());
+        }
+        let (msg, recipients, uid) = issue_local(
+            replica,
+            self.graph,
+            self.fan.id,
+            self.shard,
+            &mut self.shard_seq,
+            self.fan.epoch,
+            self.sent_ctr,
+            register,
+            value,
+        );
+        self.fan.fanout(&msg, recipients, &mut self.log);
+        uid
+    }
+}
+
+/// The issue half shared by both loops: WAL-free local write + issue
+/// stamp + sent accounting. Returns the update to fan out (the caller
+/// encodes and ships — inline directly, pipelined via the egress
+/// channel).
+#[allow(clippy::too_many_arguments)]
+fn issue_local(
+    replica: &mut Replica,
+    graph: &ShareGraph,
+    id: ReplicaId,
+    shard: &TraceShard,
+    shard_seq: &mut u64,
+    epoch: Instant,
+    sent_ctr: &AtomicUsize,
+    register: RegisterId,
+    value: Value,
+) -> (UpdateMsg, Vec<ReplicaId>, UpdateId) {
+    let recipients: Vec<ReplicaId> = graph
+        .placement()
+        .holders(register)
+        .iter()
+        .copied()
+        .filter(|&h| h != id)
+        .collect();
+    let (msg, recipients) = replica
+        .write(register, value, recipients)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let uid = UpdateId {
+        issuer: id,
+        seq: msg.seq,
+    };
+    // Stamp the issue *before* any send: the shard merge relies on
+    // issue stamps preceding all apply stamps.
+    shard.lock().push(Stamped {
+        nanos: epoch.elapsed().as_nanos() as u64,
+        seq: *shard_seq,
+        ev: ShardEvent::Issue { id: uid, register },
+    });
+    *shard_seq += 1;
+    sent_ctr.fetch_add(recipients.len(), Ordering::SeqCst);
+    (msg, recipients, uid)
+}
+
 /// Publishes `replica`'s current state as one immutable [`ReplicaView`]:
 /// store, per-register provenance, and the applied frontier, captured
 /// together so readers never see a store newer than its frontier.
-fn publish_view(snapshot: &SnapshotCell, replica: &Replica, frontier: &[u64]) {
-    snapshot.publish(ReplicaView {
-        store: replica.store_snapshot(),
-        src: replica.store_src().clone(),
-        frontier: frontier.to_vec(),
-    });
+fn publish_view(snapshot: &SnapshotCell, replica: &Replica, frontier: &[u64], mode: StoreMode) {
+    snapshot.publish(ReplicaView::capture(replica, mode, frontier.to_vec()));
 }
 
-fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) {
+/// A [`Cmd::WriteMany`] reply channel plus the per-write statuses owed
+/// to it once the burst's publish lands.
+type ManyReply = (Sender<(u64, WriteStatus)>, Vec<(u64, WriteStatus)>);
+
+/// Write completions held back until the burst's single publish. The
+/// COW publish invariant (DESIGN §14): a completion token never escapes
+/// to a client before its write is snapshot-visible, so read-your-
+/// writes needs no replica lock — releasing always publishes first
+/// when any write is pending.
+#[derive(Default)]
+struct DeferredReplies {
+    wrote: bool,
+    writes: Vec<(Sender<UpdateId>, UpdateId)>,
+    many: Vec<ManyReply>,
+}
+
+impl DeferredReplies {
+    /// Publishes once (iff any write is pending) and releases every
+    /// held completion token — the one-publish-per-drain-burst path
+    /// shared by [`Cmd::Write`] and [`Cmd::WriteMany`].
+    fn release(
+        &mut self,
+        snapshot: &SnapshotCell,
+        replica: &Replica,
+        frontier: &[u64],
+        mode: StoreMode,
+    ) {
+        if self.wrote {
+            publish_view(snapshot, replica, frontier, mode);
+            self.wrote = false;
+        }
+        for (reply, uid) in self.writes.drain(..) {
+            let _ = reply.send(uid);
+        }
+        for (reply, statuses) in self.many.drain(..) {
+            for s in statuses {
+                let _ = reply.send(s);
+            }
+        }
+    }
+}
+
+/// Loop state shared by the inline and pipelined replica loops.
+struct LoopShared<'a> {
+    id: ReplicaId,
+    graph: &'a ShareGraph,
+    mode: StoreMode,
+    epoch: Instant,
+    cmds: &'a Receiver<Cmd>,
+    shard: &'a TraceShard,
+    snapshot: &'a SnapshotCell,
+    applied_ctr: &'a AtomicUsize,
+    pending_ctr: &'a AtomicUsize,
+    sent_ctr: &'a AtomicUsize,
+}
+
+/// Applies one decoded batch: store writes, tracker merge, frontier
+/// advance, apply stamps, and the cluster apply counter. Returns true
+/// when anything was applied (the caller owes a publish).
+fn apply_batch(
+    replica: &mut Replica,
+    batch: BatchMsg,
+    sh: &LoopShared<'_>,
+    shard_seq: &mut u64,
+    frontier: &mut [u64],
+) -> bool {
+    let applied = replica.receive_batch(batch.updates);
+    let any = !applied.is_empty();
+    if any {
+        let mut s = sh.shard.lock();
+        let nanos = sh.epoch.elapsed().as_nanos() as u64;
+        for a in &applied {
+            let issuer = a.msg.issuer;
+            let f = &mut frontier[issuer.index()];
+            *f = (*f).max(a.msg.seq + 1);
+            s.push(Stamped {
+                nanos,
+                seq: *shard_seq,
+                ev: ShardEvent::Apply {
+                    id: UpdateId {
+                        issuer,
+                        seq: a.msg.seq,
+                    },
+                },
+            });
+            *shard_seq += 1;
+        }
+    }
+    sh.applied_ctr.fetch_add(applied.len(), Ordering::SeqCst);
+    any
+}
+
+/// Rolls the replica's pending count delta into the cluster counter.
+fn sync_pending(replica: &Replica, sh: &LoopShared<'_>, local_pending: &mut usize) {
+    let np = replica.pending_count();
+    if np != *local_pending {
+        if np > *local_pending {
+            sh.pending_ctr
+                .fetch_add(np - *local_pending, Ordering::SeqCst);
+        } else {
+            sh.pending_ctr
+                .fetch_sub(*local_pending - np, Ordering::SeqCst);
+        }
+        *local_pending = np;
+    }
+}
+
+fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>> + Send>(ctx: ReplicaCtx<T>) {
     let ReplicaCtx {
         id,
         graph,
@@ -1517,8 +1739,7 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
     // Each sender thread owns the codec for its outgoing pair streams —
     // per-pair delta state never crosses threads.
     let wire_mode = config.wire;
-    let codec = WireCodec::new(wire_mode, Some(registry.clone()));
-    let mut replica = Replica::new(
+    let replica = Replica::new(
         id,
         graph.placement().registers_of(id).clone(),
         Box::new(EdgeTracker::new(registry.clone(), id)) as Box<dyn CausalityTracker>,
@@ -1533,32 +1754,92 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
     // whose updates exist nowhere durable.
     let eager = config.batch.batch_count <= 1 || log.is_some();
     let flush_window = TICK * config.batch.flush_after.min(u32::MAX as u64) as u32;
-    let mut tx = TxPath {
+    let fan = FanoutPath {
         id,
-        graph: &graph,
-        codec,
+        codec: WireCodec::new(wire_mode, Some(registry.clone())),
         outq: HashMap::new(),
         endpoint,
-        log,
-        net: &net,
+        net,
         epoch,
-        shard: &shard,
-        shard_seq: 0,
         batch: config.batch,
         eager,
         flush_window,
-        sent_ctr: &sent_ctr,
-        wire_bytes_ctr: &wire_bytes_ctr,
-        demotions_ctr: &demotions_ctr,
-        retransmits_ctr: &retransmits_ctr,
+        wire_bytes_ctr,
+        demotions_ctr,
+        retransmits_ctr,
         last_demotions: 0,
         last_retx: 0,
+    };
+    let sh = LoopShared {
+        id,
+        graph: &graph,
+        mode: config.store,
+        epoch,
+        cmds: &cmds,
+        shard: &shard,
+        snapshot: &snapshot,
+        applied_ctr: &applied_ctr,
+        pending_ctr: &pending_ctr,
+        sent_ctr: &sent_ctr,
+    };
+    // The pipelined loop covers exactly the configurations where a
+    // crash command is a no-op (no durable log, so the inline loop
+    // ignores crashes too — a crash without a WAL would be permanent
+    // data loss). Every fault-bearing configuration runs inline.
+    if config.pipeline && log.is_none() {
+        piped_main(
+            &sh,
+            replica,
+            fan,
+            config.channel_depth,
+            config.ingress_depth,
+        );
+    } else {
+        inline_main(
+            &sh,
+            replica,
+            fan,
+            log,
+            &crashed_flag,
+            &lost_ctr,
+            &restarts_ctr,
+            &registry,
+            wire_mode,
+        );
+    }
+}
+
+/// The original single-threaded replica loop: commands, network input,
+/// publishes, session timers, WAL, and crash/restart all on one thread.
+/// This is the only loop that runs with durability armed (the WAL must
+/// observe sends in issue order) and the oracle the pipelined loop is
+/// differentially tested against.
+#[allow(clippy::too_many_arguments)]
+fn inline_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(
+    sh: &LoopShared<'_>,
+    mut replica: Replica,
+    fan: FanoutPath<T>,
+    log: Option<RecoveryLog>,
+    crashed_flag: &AtomicBool,
+    lost_ctr: &AtomicUsize,
+    restarts_ctr: &AtomicUsize,
+    registry: &Arc<TsRegistry>,
+    wire_mode: WireMode,
+) {
+    let id = sh.id;
+    let mut tx = TxPath {
+        fan,
+        graph: sh.graph,
+        log,
+        shard: sh.shard,
+        shard_seq: 0,
+        sent_ctr: sh.sent_ctr,
     };
     let mut local_pending = 0usize;
     // Per-issuer applied frontier published with every snapshot — the
     // serving tier's lock-free session-guarantee gate (see
     // [`ReplicaView::covers`]).
-    let mut frontier = vec![0u64; graph.num_replicas()];
+    let mut frontier = vec![0u64; sh.graph.num_replicas()];
     // Inside a crash window: commands and frames are discarded (clients
     // get typed rejections), volatile state is dead weight awaiting the
     // restart's WAL replay.
@@ -1566,14 +1847,17 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
     // A command caught by the idle `recv_timeout` below, consumed ahead
     // of the channel on the next drain pass.
     let mut carry: Option<Cmd> = None;
+    // Completion tokens held for the burst's single publish.
+    let mut deferred = DeferredReplies::default();
     loop {
         let mut idle = true;
         // Drain a burst of client commands (writes from concurrent
-        // drivers coalesce into the same pending batches).
+        // drivers coalesce into the same pending batches and share one
+        // snapshot publish).
         for _ in 0..64 {
             let cmd = match carry.take() {
                 Some(c) => c,
-                None => match cmds.try_recv() {
+                None => match sh.cmds.try_recv() {
                     Ok(c) => c,
                     Err(_) => break,
                 },
@@ -1593,11 +1877,11 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
                     }
                     let uid = tx.issue(&mut replica, register, value);
                     frontier[id.index()] = uid.seq + 1;
-                    // Publish before replying: a reader that saw this
-                    // write return must find it in the snapshot
+                    // Defer the completion: the burst publishes once,
+                    // and no token escapes before that publish
                     // (read-own-writes).
-                    publish_view(&snapshot, &replica, &frontier);
-                    let _ = reply.send(uid);
+                    deferred.wrote = true;
+                    deferred.writes.push((reply, uid));
                 }
                 Cmd::WriteMany { ops, reply } => {
                     idle = false;
@@ -1613,15 +1897,10 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
                     for (token, register, value) in ops {
                         let uid = tx.issue(&mut replica, register, value);
                         frontier[id.index()] = uid.seq + 1;
-                        done.push((token, uid));
+                        done.push((token, WriteStatus::Done(uid)));
                     }
-                    // One publish for the whole run, *before* any
-                    // completion escapes: a completion token implies the
-                    // write is snapshot-visible (read-your-writes).
-                    publish_view(&snapshot, &replica, &frontier);
-                    for (token, uid) in done {
-                        let _ = reply.send((token, WriteStatus::Done(uid)));
-                    }
+                    deferred.wrote |= !done.is_empty();
+                    deferred.many.push((reply, done));
                 }
                 Cmd::ReadAt { register, reply } => {
                     idle = false;
@@ -1633,6 +1912,10 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
                 }
                 Cmd::Crash { done } => {
                     idle = false;
+                    // The crash must observe every completion already
+                    // promised: publish and release before the window
+                    // opens.
+                    deferred.release(sh.snapshot, &replica, &frontier, sh.mode);
                     // Without a durable log a crash would be permanent
                     // data loss; this runtime only models recoverable
                     // fail-stop, so the command is ignored.
@@ -1642,7 +1925,7 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
                         // Volatile sender state dies with the process
                         // image. Durability keeps shipping eager, so the
                         // outq is empty and no acked write is in it.
-                        tx.outq.clear();
+                        tx.fan.outq.clear();
                     }
                     if let Some(d) = done {
                         let _ = d.send(());
@@ -1650,23 +1933,24 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
                 }
                 Cmd::Restart { done } => {
                     idle = false;
+                    deferred.release(sh.snapshot, &replica, &frontier, sh.mode);
                     if crashed {
                         let lg = tx.log.as_ref().expect("crashed implies a log");
-                        let (rec, fr) = lg.recover_with_frontier(graph.num_replicas());
+                        let (rec, fr) = lg.recover_with_frontier(sh.graph.num_replicas());
                         replica = rec;
                         frontier = fr;
                         // Fresh codec: per-pair delta streams restart
                         // from scratch. Sound because frames carry
                         // decoded metadata values (receivers hold no
                         // stream state); only byte accounting changes.
-                        tx.codec = WireCodec::new(wire_mode, Some(registry.clone()));
-                        if let Some(ep) = tx.endpoint.as_mut() {
+                        tx.fan.codec = WireCodec::new(wire_mode, Some(registry.clone()));
+                        if let Some(ep) = tx.fan.endpoint.as_mut() {
                             let lg = tx.log.as_ref().expect("crashed implies a log");
                             let mut out = Vec::new();
-                            let now_ms = epoch.elapsed().as_millis() as u64;
+                            let now_ms = sh.epoch.elapsed().as_millis() as u64;
                             ep.restart(lg.outbox(), &lg.recv_cums(), now_ms, &mut out);
                             for (dst, f) in out {
-                                net.send(dst, f);
+                                tx.fan.net.send(dst, f);
                             }
                         }
                         crashed = false;
@@ -1674,40 +1958,47 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
                         restarts_ctr.fetch_add(1, Ordering::SeqCst);
                         // Republish from recovered state: durable writes
                         // become snapshot-visible again immediately.
-                        publish_view(&snapshot, &replica, &frontier);
+                        publish_view(sh.snapshot, &replica, &frontier, sh.mode);
                     }
                     if let Some(d) = done {
                         let _ = d.send(());
                     }
                 }
                 Cmd::Shutdown => {
+                    deferred.release(sh.snapshot, &replica, &frontier, sh.mode);
                     if !crashed {
-                        tx.flush_all();
+                        tx.fan.flush_all(&mut tx.log);
                     }
                     return;
                 }
             }
         }
+        // One publish for the whole burst, then every held completion
+        // token — never a token before its write is snapshot-visible.
+        deferred.release(sh.snapshot, &replica, &frontier, sh.mode);
         // Then a burst of network input.
         let mut applied_any = false;
+        let mut shard_seq = tx.shard_seq;
         for _ in 0..256 {
-            let Some(env) = net.try_recv() else { break };
+            let Some(env) = tx.fan.net.try_recv() else {
+                break;
+            };
             idle = false;
             if crashed {
                 // A crashed node's NIC is dark: frames vanish. Bare
                 // frames (no session) are permanent losses and must be
                 // accounted so `settle` can still converge; session
                 // frames will be retransmitted until after the restart.
-                if tx.endpoint.is_none() {
+                if tx.fan.endpoint.is_none() {
                     if let SessionFrame::Bare(b) = env.msg {
                         lost_ctr.fetch_add(b.updates.len(), Ordering::SeqCst);
                     }
                 }
                 continue;
             }
-            let payloads = match tx.endpoint.as_mut() {
+            let payloads = match tx.fan.endpoint.as_mut() {
                 Some(ep) => {
-                    let now = epoch.elapsed().as_millis() as u64;
+                    let now = sh.epoch.elapsed().as_millis() as u64;
                     let mut resp = Vec::new();
                     let msgs = ep.on_frame(env.src, env.msg, now, &mut resp);
                     // Ack-after-durable: every in-order payload reaches
@@ -1720,7 +2011,7 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
                         }
                     }
                     for (dst, f) in resp {
-                        net.send(dst, f);
+                        tx.fan.net.send(dst, f);
                     }
                     msgs
                 }
@@ -1737,33 +2028,12 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
                 },
             };
             for batch in payloads {
-                let applied = replica.receive_batch(batch.updates);
-                if !applied.is_empty() {
-                    applied_any = true;
-                    let mut s = shard.lock();
-                    let nanos = epoch.elapsed().as_nanos() as u64;
-                    for a in &applied {
-                        let issuer = a.msg.issuer;
-                        let f = &mut frontier[issuer.index()];
-                        *f = (*f).max(a.msg.seq + 1);
-                        s.push(Stamped {
-                            nanos,
-                            seq: tx.shard_seq,
-                            ev: ShardEvent::Apply {
-                                id: UpdateId {
-                                    issuer,
-                                    seq: a.msg.seq,
-                                },
-                            },
-                        });
-                        tx.shard_seq += 1;
-                    }
-                }
-                applied_ctr.fetch_add(applied.len(), Ordering::SeqCst);
+                applied_any |= apply_batch(&mut replica, batch, sh, &mut shard_seq, &mut frontier);
             }
         }
+        tx.shard_seq = shard_seq;
         if applied_any {
-            publish_view(&snapshot, &replica, &frontier);
+            publish_view(sh.snapshot, &replica, &frontier, sh.mode);
         }
         if !crashed {
             // Compact the WAL once per loop pass: the live state now
@@ -1771,26 +2041,262 @@ fn replica_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(ctx: ReplicaCtx<T>) 
             if let Some(lg) = tx.log.as_mut() {
                 lg.maybe_snapshot_with_frontier(&replica, &frontier);
             }
-            let np = replica.pending_count();
-            if np != local_pending {
-                if np > local_pending {
-                    pending_ctr.fetch_add(np - local_pending, Ordering::SeqCst);
-                } else {
-                    pending_ctr.fetch_sub(local_pending - np, Ordering::SeqCst);
-                }
-                local_pending = np;
-            }
+            sync_pending(&replica, sh, &mut local_pending);
             // Flush batches whose coalescing window has closed.
-            idle = idle && tx.flush_due();
+            idle = idle && tx.fan.flush_due(&mut tx.log);
             // Retransmission timers: fire whatever is due.
-            tx.poll_session();
+            tx.fan.poll_session();
         }
         if idle {
             // Doze for at most one tick, but wake instantly on a client
             // command — the serving tier's write latency must not eat a
             // full sleep quantum.
-            if let Ok(c) = cmds.recv_timeout(TICK) {
+            if let Ok(c) = sh.cmds.recv_timeout(TICK) {
                 carry = Some(c);
+            }
+        }
+    }
+}
+
+/// What the apply thread hands its I/O thread.
+enum Egress {
+    /// Encode `msg` per recipient and ship (or coalesce) it.
+    Update {
+        msg: UpdateMsg,
+        recipients: Vec<ReplicaId>,
+    },
+    /// Flush everything queued and exit.
+    Shutdown,
+}
+
+/// The pipelined replica loop: an **apply thread** (this function —
+/// issues, `J`-predicate evaluation, frontier, publishes, client
+/// replies) and an **I/O thread** ([`io_main`] — wire encode, session
+/// acks/retransmits, wire decode) connected by two bounded channels.
+/// Wire work leaves the critical path, so a write's publish-and-reply
+/// no longer waits behind codec passes or frame decode.
+///
+/// Only runs without a durable log (see [`replica_main`]): crash and
+/// restart commands are the same no-ops the inline loop performs when
+/// no WAL is armed, and acks may precede applies because a decoded
+/// batch parked in the ingress channel can no longer be lost.
+fn piped_main<T: Transport<Msg = SessionFrame<BatchMsg>> + Send>(
+    sh: &LoopShared<'_>,
+    mut replica: Replica,
+    fan: FanoutPath<T>,
+    egress_depth: usize,
+    ingress_depth: usize,
+) {
+    let (eg_tx, eg_rx) = bounded::<Egress>(egress_depth.max(1));
+    let (in_tx, in_rx) = bounded::<BatchMsg>(ingress_depth.max(1));
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name(format!("io-{}", sh.id.raw()))
+            .spawn_scoped(scope, move || io_main(fan, eg_rx, in_tx))
+            .expect("spawn replica io thread");
+        let mut shard_seq = 0u64;
+        let mut local_pending = 0usize;
+        let mut frontier = vec![0u64; sh.graph.num_replicas()];
+        let mut carry: Option<Cmd> = None;
+        let mut deferred = DeferredReplies::default();
+        let issue = |replica: &mut Replica,
+                     shard_seq: &mut u64,
+                     register: RegisterId,
+                     value: Value|
+         -> UpdateId {
+            let (msg, recipients, uid) = issue_local(
+                replica,
+                sh.graph,
+                sh.id,
+                sh.shard,
+                shard_seq,
+                sh.epoch,
+                sh.sent_ctr,
+                register,
+                value,
+            );
+            if !recipients.is_empty() {
+                // A full egress channel blocks here: bounded
+                // backpressure against the I/O thread, which never
+                // blocks back (it parks ingress overflow in its spill),
+                // so this cannot deadlock.
+                let _ = eg_tx.send(Egress::Update { msg, recipients });
+            }
+            uid
+        };
+        loop {
+            let mut idle = true;
+            for _ in 0..64 {
+                let cmd = match carry.take() {
+                    Some(c) => c,
+                    None => match sh.cmds.try_recv() {
+                        Ok(c) => c,
+                        Err(_) => break,
+                    },
+                };
+                match cmd {
+                    Cmd::Write {
+                        register,
+                        value,
+                        reply,
+                    } => {
+                        idle = false;
+                        let uid = issue(&mut replica, &mut shard_seq, register, value);
+                        frontier[sh.id.index()] = uid.seq + 1;
+                        deferred.wrote = true;
+                        deferred.writes.push((reply, uid));
+                    }
+                    Cmd::WriteMany { ops, reply } => {
+                        idle = false;
+                        let mut done = Vec::with_capacity(ops.len());
+                        for (token, register, value) in ops {
+                            let uid = issue(&mut replica, &mut shard_seq, register, value);
+                            frontier[sh.id.index()] = uid.seq + 1;
+                            done.push((token, WriteStatus::Done(uid)));
+                        }
+                        deferred.wrote |= !done.is_empty();
+                        deferred.many.push((reply, done));
+                    }
+                    Cmd::ReadAt { register, reply } => {
+                        idle = false;
+                        let _ = reply.send(replica.read(register).cloned());
+                    }
+                    Cmd::Crash { done } | Cmd::Restart { done } => {
+                        idle = false;
+                        // No durable log in this configuration, so a
+                        // crash would be permanent data loss — ignored,
+                        // exactly like the inline loop without a WAL.
+                        if let Some(d) = done {
+                            let _ = d.send(());
+                        }
+                    }
+                    Cmd::Shutdown => {
+                        deferred.release(sh.snapshot, &replica, &frontier, sh.mode);
+                        let _ = eg_tx.send(Egress::Shutdown);
+                        return;
+                    }
+                }
+            }
+            // One publish per burst, then the held completion tokens.
+            deferred.release(sh.snapshot, &replica, &frontier, sh.mode);
+            // Decoded ingress from the I/O thread.
+            let mut applied_any = false;
+            for _ in 0..256 {
+                let Ok(batch) = in_rx.try_recv() else { break };
+                idle = false;
+                applied_any |= apply_batch(&mut replica, batch, sh, &mut shard_seq, &mut frontier);
+            }
+            if applied_any {
+                publish_view(sh.snapshot, &replica, &frontier, sh.mode);
+            }
+            sync_pending(&replica, sh, &mut local_pending);
+            if idle {
+                // Doze for at most one tick, waking instantly on a
+                // client command (ingress batches wait at most the tick).
+                if let Ok(c) = sh.cmds.recv_timeout(TICK) {
+                    carry = Some(c);
+                }
+            }
+        }
+    });
+}
+
+/// The per-replica I/O thread: drains the egress channel (encode +
+/// ship + coalesce), pumps the network (session frames decoded, acks
+/// answered, payload batches handed to the apply thread), and fires
+/// session retransmit timers. Never blocks on the apply thread: when
+/// the ingress channel is full, decoded payloads park in a spill queue
+/// and no further frames are pulled from the net — backpressure without
+/// ever dropping a decoded bare payload (which, sessionless, would be
+/// permanent loss).
+fn io_main<T: Transport<Msg = SessionFrame<BatchMsg>>>(
+    mut fan: FanoutPath<T>,
+    eg_rx: Receiver<Egress>,
+    in_tx: Sender<BatchMsg>,
+) {
+    // The pipelined configuration never arms a WAL.
+    let mut no_log: Option<RecoveryLog> = None;
+    let mut spill: VecDeque<BatchMsg> = VecDeque::new();
+    loop {
+        let mut idle = true;
+        for _ in 0..256 {
+            match eg_rx.try_recv() {
+                Ok(Egress::Update { msg, recipients }) => {
+                    idle = false;
+                    fan.fanout(&msg, recipients, &mut no_log);
+                }
+                Ok(Egress::Shutdown) => {
+                    fan.flush_all(&mut no_log);
+                    return;
+                }
+                Err(_) => break,
+            }
+        }
+        // Retry the spill before pulling new frames: ingress order is
+        // decode order.
+        while let Some(b) = spill.pop_front() {
+            match in_tx.try_send(b) {
+                Ok(()) => {}
+                Err(TrySendError::Full(b)) => {
+                    spill.push_front(b);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            }
+        }
+        if spill.is_empty() {
+            for _ in 0..256 {
+                let Some(env) = fan.net.try_recv() else { break };
+                idle = false;
+                let payloads = match fan.endpoint.as_mut() {
+                    Some(ep) => {
+                        let now = fan.epoch.elapsed().as_millis() as u64;
+                        let mut resp = Vec::new();
+                        let msgs = ep.on_frame(env.src, env.msg, now, &mut resp);
+                        for (dst, f) in resp {
+                            fan.net.send(dst, f);
+                        }
+                        msgs
+                    }
+                    None => match env.msg {
+                        SessionFrame::Bare(b) => vec![b],
+                        _ => Vec::new(),
+                    },
+                };
+                for b in payloads {
+                    if spill.is_empty() {
+                        match in_tx.try_send(b) {
+                            Ok(()) => continue,
+                            Err(TrySendError::Full(b)) => spill.push_back(b),
+                            Err(TrySendError::Disconnected(_)) => return,
+                        }
+                    } else {
+                        // One frame can decode to several in-order
+                        // batches; once the channel filled, the rest of
+                        // the frame follows through the spill.
+                        spill.push_back(b);
+                    }
+                }
+                if !spill.is_empty() {
+                    break;
+                }
+            }
+        }
+        idle = idle && fan.flush_due(&mut no_log);
+        fan.poll_session();
+        if idle {
+            match eg_rx.recv_timeout(TICK) {
+                Ok(Egress::Update { msg, recipients }) => {
+                    fan.fanout(&msg, recipients, &mut no_log);
+                }
+                Ok(Egress::Shutdown) => {
+                    fan.flush_all(&mut no_log);
+                    return;
+                }
+                // The apply thread is gone; nothing more can be shipped
+                // or delivered.
+                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
             }
         }
     }

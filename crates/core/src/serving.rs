@@ -110,6 +110,15 @@ pub struct ServingConfig {
     /// First step of the deterministic exponential backoff used while
     /// an op blocks (doubles per attempt, capped at one millisecond).
     pub backoff_base: Duration,
+    /// How long a worker parks on its completion channel after flushing
+    /// writes, waiting for the flushed batch to be acked. Parking —
+    /// rather than submitting and racing on — bounds the in-flight
+    /// window to roughly one batch and, on hosts with few cores, hands
+    /// the CPU straight to the replica threads: an open-loop driver
+    /// that never blocks can otherwise burn a full scheduler quantum
+    /// (milliseconds) on snapshot reads while acked-but-unobserved
+    /// completions age in the channel. Zero disables the wait.
+    pub completion_wait: Duration,
 }
 
 impl Default for ServingConfig {
@@ -123,6 +132,7 @@ impl Default for ServingConfig {
             max_in_flight: 1 << 15,
             max_retries: 3,
             backoff_base: Duration::from_micros(5),
+            completion_wait: Duration::from_micros(150),
         }
     }
 }
@@ -531,6 +541,7 @@ impl ServingWorker<'_, '_> {
         self.bufs[target.index()].push((token, x, v));
         if self.bufs[target.index()].len() >= tier.cfg.write_batch {
             self.flush_replica(target);
+            self.await_completions();
         }
         Ok(())
     }
@@ -664,12 +675,18 @@ impl ServingWorker<'_, '_> {
         Ok((value, server))
     }
 
-    /// Ships every non-empty write buffer now (end of a driver quantum).
+    /// Ships every non-empty write buffer now (end of a driver quantum)
+    /// and briefly parks for the flushed batch's acks.
     pub fn flush(&mut self) {
+        let mut flushed = false;
         for i in 0..self.bufs.len() {
             if !self.bufs[i].is_empty() {
                 self.flush_replica(ReplicaId::new(i as u32));
+                flushed = true;
             }
+        }
+        if flushed {
+            self.await_completions();
         }
     }
 
@@ -725,6 +742,30 @@ impl ServingWorker<'_, '_> {
             for (token, _, _) in returned {
                 self.retry_write(token);
             }
+        }
+    }
+
+    /// Parks on the completion channel until at most a handful of
+    /// flushed writes remain outstanding or
+    /// [`ServingConfig::completion_wait`] elapses — see that knob for
+    /// why submitting-and-racing-on is worse than waiting. The small
+    /// residual window keeps the worker's submission pipelined with the
+    /// replicas' apply work instead of serialising on the slowest ack.
+    fn await_completions(&mut self) {
+        let wait = self.tier.cfg.completion_wait;
+        if wait.is_zero() || self.tokens.is_empty() {
+            return;
+        }
+        // One bounded park for the first ack: the apply thread serves
+        // the whole flushed batch in one drain burst, so once anything
+        // arrives the rest is already in the channel — drain it without
+        // blocking again and move on to serving reads.
+        match self.reply_rx.recv_timeout(wait) {
+            Ok((t, st)) => self.handle_completion(t, st),
+            Err(_) => return,
+        }
+        while let Ok((t, st)) = self.reply_rx.try_recv() {
+            self.handle_completion(t, st);
         }
     }
 

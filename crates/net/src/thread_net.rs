@@ -194,7 +194,8 @@ impl<M: Send + Clone + 'static> ThreadNet<M> {
         }
         let has_outages = !schedule.outages.is_empty();
         let epoch = Instant::now();
-        let router = std::thread::spawn(move || {
+        let router_builder = std::thread::Builder::new().name("net-router".into());
+        let router = router_builder.spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut heap: BinaryHeap<Reverse<Pending<M>>> = BinaryHeap::new();
             let mut seq = 0u64;
@@ -253,7 +254,7 @@ impl<M: Send + Clone + 'static> ThreadNet<M> {
         drop(to_router);
         ThreadNet {
             handles,
-            router: Some(router),
+            router: Some(router.expect("spawn net-router thread")),
         }
     }
 

@@ -111,13 +111,13 @@ impl NetWorkload {
 pub fn store_lines(view: &ReplicaView) -> Vec<String> {
     let mut lines: Vec<String> = view
         .store()
-        .iter()
+        .into_iter()
         .map(|(x, v)| {
             let src = view
-                .source_of(*x)
+                .source_of(x)
                 .map(|u| format!("{}:{}", u.issuer.raw(), u.seq))
                 .unwrap_or_else(|| "-".into());
-            format!("{} {} {}", x.raw(), value_repr(v), src)
+            format!("{} {} {}", x.raw(), value_repr(&v), src)
         })
         .collect();
     lines.sort();

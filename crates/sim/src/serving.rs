@@ -11,7 +11,7 @@
 use prcc_checker::HbGraph;
 use prcc_core::client_server::ClientServerSystem;
 use prcc_core::serving::{route, Collected, ServingConfig, ServingTier};
-use prcc_core::{ClusterConfig, ThreadedCluster, Value};
+use prcc_core::{ClusterConfig, StoreMode, ThreadedCluster, Value};
 use prcc_net::{DelayModel, FaultSchedule, SessionConfig, TICK};
 use prcc_sharegraph::{AugmentedShareGraph, ClientAssignment, ClientId, RegisterId, ShareGraph};
 use rand::rngs::StdRng;
@@ -55,6 +55,9 @@ pub struct ServingScenarioConfig {
     /// Arms per-replica durable recovery logs with this compaction
     /// interval — required when `faults` scripts crashes.
     pub durability: Option<usize>,
+    /// Snapshot publish mode: sharded copy-on-write (default) or the
+    /// clone-the-world differential oracle.
+    pub store: StoreMode,
 }
 
 impl Default for ServingScenarioConfig {
@@ -71,6 +74,7 @@ impl Default for ServingScenarioConfig {
             faults: FaultSchedule::default(),
             session: None,
             durability: None,
+            store: StoreMode::default(),
         }
     }
 }
@@ -230,6 +234,7 @@ pub fn run_serving_scenario(graph: &ShareGraph, cfg: &ServingScenarioConfig) -> 
             schedule: cfg.faults.clone(),
             session,
             durability: cfg.durability,
+            store: cfg.store,
             ..ClusterConfig::default()
         },
     );
@@ -242,38 +247,41 @@ pub fn run_serving_scenario(graph: &ShareGraph, cfg: &ServingScenarioConfig) -> 
             .map(|w| {
                 let tier = &tier;
                 let ops = &ops;
-                s.spawn(move || {
-                    let mut worker = tier.worker();
-                    let mut since_flush = 0usize;
-                    let mut attempted = 0u64;
-                    // Round-major on purpose: op k of every owned session
-                    // before op k+1 of any, so sessions interleave.
-                    #[allow(clippy::needless_range_loop)]
-                    for k in 0..cfg.ops_per_session {
-                        let mut sid = w;
-                        while sid < cfg.sessions {
-                            attempted += 1;
-                            // A typed failure (shed, crashed, timed out)
-                            // fails that op only; the session keeps going.
-                            match &ops[sid][k] {
-                                SessionOp::Write(x, v) => {
-                                    let _ = worker.write(sid as u64, *x, v.clone());
+                std::thread::Builder::new()
+                    .name(format!("serve-{w}"))
+                    .spawn_scoped(s, move || {
+                        let mut worker = tier.worker();
+                        let mut since_flush = 0usize;
+                        let mut attempted = 0u64;
+                        // Round-major on purpose: op k of every owned session
+                        // before op k+1 of any, so sessions interleave.
+                        #[allow(clippy::needless_range_loop)]
+                        for k in 0..cfg.ops_per_session {
+                            let mut sid = w;
+                            while sid < cfg.sessions {
+                                attempted += 1;
+                                // A typed failure (shed, crashed, timed out)
+                                // fails that op only; the session keeps going.
+                                match &ops[sid][k] {
+                                    SessionOp::Write(x, v) => {
+                                        let _ = worker.write(sid as u64, *x, v.clone());
+                                    }
+                                    SessionOp::Read(x) => {
+                                        let _ = worker.read(sid as u64, *x, k as u64);
+                                    }
                                 }
-                                SessionOp::Read(x) => {
-                                    let _ = worker.read(sid as u64, *x, k as u64);
+                                since_flush += 1;
+                                if since_flush >= cfg.flush_quantum.max(1) {
+                                    worker.flush();
+                                    worker.poll();
+                                    since_flush = 0;
                                 }
+                                sid += workers;
                             }
-                            since_flush += 1;
-                            if since_flush >= cfg.flush_quantum.max(1) {
-                                worker.flush();
-                                worker.poll();
-                                since_flush = 0;
-                            }
-                            sid += workers;
                         }
-                    }
-                    (worker.finish(), attempted)
-                })
+                        (worker.finish(), attempted)
+                    })
+                    .expect("spawn serving worker thread")
             })
             .collect();
         let mut all = Collected::default();
